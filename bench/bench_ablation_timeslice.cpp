@@ -1,0 +1,103 @@
+// A1 — ablation: cooperative-scheduler behaviour vs load and slice budget.
+//
+// The paper's environment interleaves all active scripts on one thread;
+// this bench measures (a) frame cost as the number of concurrent scripts
+// grows, (b) the effect of the per-process step budget on progress per
+// frame, and (c) the cost the interference model adds.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "blocks/builder.hpp"
+#include "core/parallel_blocks.hpp"
+#include "sched/thread_manager.hpp"
+
+namespace {
+
+using namespace psnap;
+using namespace psnap::build;
+
+const vm::PrimitiveTable& prims() {
+  static const vm::PrimitiveTable table = core::fullPrimitiveTable();
+  return table;
+}
+
+void printReproduction() {
+  std::printf("# A1 — scheduler ablation: fairness across loads\n");
+  std::printf("#   scripts  frames-for-each-to-tick-100x\n");
+  for (int scripts : {1, 4, 16, 64}) {
+    sched::ThreadManager tm(&blocks::BlockRegistry::standard(), &prims());
+    auto env = blocks::Environment::make();
+    for (int i = 0; i < scripts; ++i) {
+      env->declare("n" + std::to_string(i), blocks::Value(0));
+      tm.spawnScript(
+          scriptOf({repeat(100, scriptOf({changeVar(
+                        "n" + std::to_string(i), 1)}))}),
+          env);
+    }
+    uint64_t frames = tm.runUntilIdle();
+    // Round-robin fairness: everyone finishes in ~the same frame count
+    // regardless of how many scripts run concurrently.
+    std::printf("#   %7d  %llu\n", scripts, (unsigned long long)frames);
+  }
+  std::printf("\n");
+}
+
+void BM_FramesUnderLoad(benchmark::State& state) {
+  const auto scripts = state.range(0);
+  for (auto _ : state) {
+    sched::ThreadManager tm(&blocks::BlockRegistry::standard(), &prims());
+    auto env = blocks::Environment::make();
+    env->declare("n", blocks::Value(0));
+    for (int64_t i = 0; i < scripts; ++i) {
+      tm.spawnScript(scriptOf({repeat(50, scriptOf({changeVar("n", 1)}))}),
+                     env);
+    }
+    tm.runUntilIdle();
+    benchmark::DoNotOptimize(env->get("n"));
+  }
+  state.SetItemsProcessed(state.iterations() * scripts * 50);
+}
+BENCHMARK(BM_FramesUnderLoad)->Arg(1)->Arg(8)->Arg(64);
+
+void BM_SliceBudget(benchmark::State& state) {
+  // A tiny step budget forces mid-expression preemption; throughput drops
+  // but progress stays correct.
+  const auto budget = state.range(0);
+  for (auto _ : state) {
+    sched::ThreadManager tm(&blocks::BlockRegistry::standard(), &prims());
+    tm.setSliceSteps(size_t(budget));
+    auto env = blocks::Environment::make();
+    env->declare("n", blocks::Value(0));
+    tm.spawnScript(scriptOf({repeat(100, scriptOf({changeVar("n", 1)}))}),
+                   env);
+    tm.runUntilIdle();
+    benchmark::DoNotOptimize(env->get("n"));
+  }
+  state.counters["slice_steps"] = double(budget);
+}
+BENCHMARK(BM_SliceBudget)->Arg(8)->Arg(64)->Arg(1 << 20);
+
+void BM_InterferenceOverhead(benchmark::State& state) {
+  const auto period = state.range(0);
+  for (auto _ : state) {
+    sched::ThreadManager tm(&blocks::BlockRegistry::standard(), &prims());
+    if (period > 0) {
+      tm.setInterference({uint64_t(period), 4});
+    }
+    tm.spawnScript(scriptOf({busyWork(200)}), blocks::Environment::make());
+    benchmark::DoNotOptimize(tm.runUntilIdle());
+  }
+  state.counters["period"] = double(period);
+}
+BENCHMARK(BM_InterferenceOverhead)->Arg(0)->Arg(3)->Arg(8);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  printReproduction();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,105 @@
+// E3 + A3 — paper Figs. 7, 9, 10: the concession stand.
+//
+// Reproduction: 3 cups, 3 timesteps per glass.
+//   parallel mode                       →  3 timesteps  (Fig. 9)
+//   sequential mode, ideal              →  9 timesteps  (footnote 5)
+//   sequential mode, browser interference → 12 timesteps (Fig. 10)
+//
+// Ablation A3: the interference model (period/offset of stolen frames)
+// swept to show how the observed sequential time inflates while the
+// parallel run, finishing before the first theft, is untouched.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "scenarios/concession.hpp"
+
+namespace {
+
+namespace sc = psnap::scenarios;
+
+void printReproduction() {
+  std::printf("# E3 / Fig. 7-10 — concession stand timesteps\n");
+  std::printf("#   mode                             measured  paper\n");
+  auto parallel = sc::runConcession({.parallel = true});
+  auto sequential = sc::runConcession({.parallel = false});
+  auto observed = sc::runConcession(
+      {.parallel = false, .interference = sc::paperInterference()});
+  auto parObserved = sc::runConcession(
+      {.parallel = true, .interference = sc::paperInterference()});
+  std::printf("#   parallel (3 clones)              %8llu      3\n",
+              (unsigned long long)parallel.pourTimesteps);
+  std::printf("#   parallel + interference          %8llu      3\n",
+              (unsigned long long)parObserved.pourTimesteps);
+  std::printf("#   sequential, ideal                %8llu      9\n",
+              (unsigned long long)sequential.pourTimesteps);
+  std::printf("#   sequential + interference        %8llu     12\n",
+              (unsigned long long)observed.pourTimesteps);
+
+  std::printf("#\n#   cups sweep (pour = 3 frames):  cups  par  seq  speedup\n");
+  for (size_t cups : {2u, 3u, 4u, 6u, 8u}) {
+    auto p = sc::runConcession({.parallel = true, .cups = cups});
+    auto s = sc::runConcession({.parallel = false, .cups = cups});
+    std::printf("#                                  %4zu %4llu %4llu  %5.2fx\n",
+                cups, (unsigned long long)p.pourTimesteps,
+                (unsigned long long)s.pourTimesteps,
+                double(s.pourTimesteps) / double(p.pourTimesteps));
+  }
+
+  std::printf(
+      "#\n# A3: interference sweep, sequential 3x3 (ideal 9):\n"
+      "#   period offset  observed\n");
+  for (uint64_t period : {2u, 3u, 4u, 6u}) {
+    for (uint64_t offset : {4u, 5u}) {
+      auto r = sc::runConcession(
+          {.parallel = false,
+           .interference = psnap::sched::InterferenceModel{period, offset}});
+      std::printf("#   %6llu %6llu  %8llu\n", (unsigned long long)period,
+                  (unsigned long long)offset,
+                  (unsigned long long)r.pourTimesteps);
+    }
+  }
+  std::printf("\n");
+}
+
+void BM_ConcessionParallel(benchmark::State& state) {
+  const auto cups = static_cast<size_t>(state.range(0));
+  uint64_t timesteps = 0;
+  for (auto _ : state) {
+    auto r = sc::runConcession({.parallel = true, .cups = cups});
+    timesteps = r.pourTimesteps;
+    benchmark::DoNotOptimize(r);
+  }
+  state.counters["timesteps"] = double(timesteps);
+}
+BENCHMARK(BM_ConcessionParallel)->Arg(3)->Arg(8);
+
+void BM_ConcessionSequential(benchmark::State& state) {
+  const auto cups = static_cast<size_t>(state.range(0));
+  uint64_t timesteps = 0;
+  for (auto _ : state) {
+    auto r = sc::runConcession({.parallel = false, .cups = cups});
+    timesteps = r.pourTimesteps;
+    benchmark::DoNotOptimize(r);
+  }
+  state.counters["timesteps"] = double(timesteps);
+}
+BENCHMARK(BM_ConcessionSequential)->Arg(3)->Arg(8);
+
+void BM_ConcessionWithRendering(benchmark::State& state) {
+  for (auto _ : state) {
+    auto r = sc::runConcession({.parallel = true, .captureFrames = true});
+    benchmark::DoNotOptimize(r.frames);
+  }
+}
+BENCHMARK(BM_ConcessionWithRendering);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  printReproduction();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,120 @@
+// E4 — paper Figs. 11/12: word count with the mapReduce block.
+//
+// Reproduction: the sorted (word, count) list of Fig. 12 over the demo
+// sentence, verified against a plain-C++ reference count.
+// Benchmark: MapReduce engine throughput, parallel vs sequential, over
+// Zipf corpora of growing size.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "blocks/builder.hpp"
+#include "core/parallel_blocks.hpp"
+#include "data/corpus.hpp"
+#include "mapreduce/engine.hpp"
+#include "sched/thread_manager.hpp"
+
+namespace {
+
+using namespace psnap;
+using namespace psnap::build;
+
+const vm::PrimitiveTable& prims() {
+  static const vm::PrimitiveTable table = core::fullPrimitiveTable();
+  return table;
+}
+
+void printReproduction() {
+  std::printf("# E4 / Fig. 11-12 — word count mapReduce\n");
+  const std::string text = data::sampleSentence();
+  sched::ThreadManager tm(&blocks::BlockRegistry::standard(), &prims());
+  blocks::Value v = tm.evaluate(
+      mapReduce(ring(In(1.0)), ring(lengthOf(empty())),
+                splitText(text, "whitespace")),
+      blocks::Environment::make());
+  auto reference = data::referenceWordCount(text);
+  std::printf("#   input: \"%s\"\n#   word        count  (reference)\n",
+              text.c_str());
+  bool match = v.asList()->length() == reference.size();
+  for (const blocks::Value& pair : v.asList()->items()) {
+    const std::string word = pair.asList()->item(1).asText();
+    const size_t count = size_t(pair.asList()->item(2).asNumber());
+    const size_t expected = reference.count(word) ? reference.at(word) : 0;
+    match = match && count == expected;
+    std::printf("#   %-10s %6zu  (%zu)\n", word.c_str(), count, expected);
+  }
+  std::printf("#   result %s the reference count\n\n",
+              match ? "MATCHES" : "DIFFERS FROM");
+}
+
+blocks::ListPtr corpusList(size_t words) {
+  auto list = blocks::List::make();
+  for (const std::string& w :
+       data::tokenize(data::generateText(words, 50, 99))) {
+    list->add(blocks::Value(w));
+  }
+  return list;
+}
+
+mr::MapFn constOne() {
+  return [](const blocks::Value&) { return blocks::Value(1); };
+}
+mr::ReduceFn countValues() {
+  return [](const blocks::ListPtr& values) {
+    return blocks::Value(values->length());
+  };
+}
+
+void BM_WordCountEngineParallel(benchmark::State& state) {
+  auto input = corpusList(size_t(state.range(0)));
+  mr::Stats stats;
+  for (auto _ : state) {
+    auto result = mr::run(input, constOne(), countValues(), {.workers = 4},
+                          &stats);
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+  state.counters["distinct_keys"] = double(stats.distinctKeys);
+  state.counters["map_makespan"] = double(stats.mapMakespan);
+}
+BENCHMARK(BM_WordCountEngineParallel)
+    ->Arg(1000)
+    ->Arg(10000)
+    ->Arg(100000);
+
+void BM_WordCountEngineSequential(benchmark::State& state) {
+  auto input = corpusList(size_t(state.range(0)));
+  for (auto _ : state) {
+    auto result =
+        mr::run(input, constOne(), countValues(), {.sequential = true});
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_WordCountEngineSequential)->Arg(1000)->Arg(10000)->Arg(100000);
+
+/// The whole block path: split + mapReduce block through the scheduler.
+void BM_WordCountBlock(benchmark::State& state) {
+  const std::string text =
+      data::generateText(size_t(state.range(0)), 50, 99);
+  for (auto _ : state) {
+    sched::ThreadManager tm(&blocks::BlockRegistry::standard(), &prims());
+    blocks::Value v = tm.evaluate(
+        mapReduce(ring(In(1.0)), ring(lengthOf(empty())),
+                  splitText(text, "whitespace")),
+        blocks::Environment::make());
+    benchmark::DoNotOptimize(v);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_WordCountBlock)->Arg(1000)->Arg(10000);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  printReproduction();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

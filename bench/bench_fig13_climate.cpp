@@ -1,0 +1,143 @@
+// E5 — paper Fig. 13 / Figs. 18-20 / Listings 6-7: the climate MapReduce
+// and its OpenMP code generation.
+//
+// Reproduction:
+//   * the mapReduce block converts °F→°C and averages, matching the plain
+//     C++ reference mean exactly;
+//   * the per-decade series shows the warming drift the classroom
+//     exercise asks students to observe;
+//   * the generated OpenMP program (Listings 6-7) compiles with
+//     gcc -fopenmp and agrees with both (float precision).
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <cstdio>
+
+#include "blocks/builder.hpp"
+#include "codegen/programs.hpp"
+#include "codegen/toolchain.hpp"
+#include "core/parallel_blocks.hpp"
+#include "data/climate.hpp"
+#include "sched/thread_manager.hpp"
+#include "support/strings.hpp"
+
+namespace {
+
+using namespace psnap;
+using namespace psnap::build;
+
+const vm::PrimitiveTable& prims() {
+  static const vm::PrimitiveTable table = core::fullPrimitiveTable();
+  return table;
+}
+
+blocks::BlockPtr climateMapper() {
+  return ring(listOf(
+      {In("avgC"), In(quotient(product(5, difference(empty(), 32)), 9))}));
+}
+
+blocks::BlockPtr climateReducer() {
+  return ring(quotient(combineUsing(empty(), ring(sum(empty(), empty()))),
+                       lengthOf(empty())));
+}
+
+void printReproduction() {
+  std::printf("# E5 / Fig. 13 — climate mapReduce (F->C average)\n");
+  data::ClimateConfig config;
+  config.stations = 4;
+  config.firstYear = 1950;
+  config.lastYear = 2009;
+  auto records = data::generateClimate(config);
+  double reference = data::referenceMeanCelsius(records);
+
+  sched::ThreadManager tm(&blocks::BlockRegistry::standard(), &prims());
+  blocks::Value v = tm.evaluate(
+      mapReduce(climateMapper(), climateReducer(),
+                In(blocks::Value(data::toFahrenheitList(records)))),
+      blocks::Environment::make());
+  double blockMean = v.asList()->item(1).asList()->item(2).asNumber();
+  std::printf("#   records: %zu   block mean C: %.6f   reference: %.6f   %s\n",
+              records.size(), blockMean, reference,
+              std::abs(blockMean - reference) < 1e-9 ? "MATCH" : "MISMATCH");
+
+  std::printf("#\n#   per-decade mean C (warming-trend exercise):\n");
+  auto yearly = data::referenceYearlyMeanCelsius(records);
+  for (size_t start = 0; start + 10 <= yearly.size(); start += 10) {
+    double sum = 0;
+    for (size_t i = start; i < start + 10; ++i) sum += yearly[i].second;
+    std::printf("#   %d-%d  %7.3f C\n", yearly[start].first,
+                yearly[start + 9].first, sum / 10.0);
+  }
+
+  if (codegen::Toolchain::compilerAvailable()) {
+    auto mapRing =
+        tm.evaluate(ring(quotient(product(5, difference(empty(), 32)), 9)),
+                    blocks::Environment::make())
+            .asRing();
+    auto reduceRing =
+        tm.evaluate(climateReducer(), blocks::Environment::make()).asRing();
+    codegen::Toolchain tc;
+    auto run = tc.compileAndRun(
+        codegen::mapReduceOpenMP(mapRing, reduceRing), "climate", true,
+        data::toKvpText(records, "avgC"), "OMP_NUM_THREADS=4");
+    double openmpMean = 0;
+    auto fields = strings::splitWhitespace(run.output);
+    if (fields.size() == 2) strings::parseNumber(fields[1], openmpMean);
+    std::printf(
+        "#\n#   generated OpenMP binary (Listings 6-7): %.4f C  (%s)\n",
+        openmpMean,
+        std::abs(openmpMean - reference) < 0.05 ? "agrees" : "disagrees");
+  }
+  std::printf("\n");
+}
+
+void BM_ClimateMapReduceBlock(benchmark::State& state) {
+  data::ClimateConfig config;
+  config.stations = size_t(state.range(0));
+  config.firstYear = 1950;
+  config.lastYear = 2009;
+  auto records = data::generateClimate(config);
+  auto list = data::toFahrenheitList(records);
+  for (auto _ : state) {
+    sched::ThreadManager tm(&blocks::BlockRegistry::standard(), &prims());
+    blocks::Value v = tm.evaluate(
+        mapReduce(climateMapper(), climateReducer(),
+                  In(blocks::Value(list))),
+        blocks::Environment::make());
+    benchmark::DoNotOptimize(v);
+  }
+  state.SetItemsProcessed(state.iterations() * int64_t(records.size()));
+}
+BENCHMARK(BM_ClimateMapReduceBlock)->Arg(1)->Arg(4)->Arg(16);
+
+void BM_ClimateReference(benchmark::State& state) {
+  data::ClimateConfig config;
+  config.stations = size_t(state.range(0));
+  config.firstYear = 1950;
+  config.lastYear = 2009;
+  auto records = data::generateClimate(config);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(data::referenceMeanCelsius(records));
+  }
+  state.SetItemsProcessed(state.iterations() * int64_t(records.size()));
+}
+BENCHMARK(BM_ClimateReference)->Arg(4)->Arg(16);
+
+void BM_ClimateGeneration(benchmark::State& state) {
+  data::ClimateConfig config;
+  config.stations = size_t(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(data::generateClimate(config));
+  }
+}
+BENCHMARK(BM_ClimateGeneration)->Arg(4)->Arg(32);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  printReproduction();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,53 @@
+// E8 — paper Sec. 5: the Women in Computing Day survey.
+//
+// The human study cannot be rerun; the module simulates the cohort (see
+// DESIGN.md) and tallies it with the same code path real response sheets
+// would take. The table prints paper-vs-measured for every published
+// percentage.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "survey/survey.hpp"
+
+namespace {
+
+using namespace psnap::survey;
+
+void printReproduction() {
+  std::printf("# E8 / Sec. 5 — WCD survey (simulated cohort, n=100)\n");
+  auto cohort = generateCohort(100, Targets::paper2016(), 2016);
+  std::printf("%s\n", comparisonTable(Targets::paper2016(), tally(cohort))
+                          .c_str());
+}
+
+void BM_GenerateCohort(benchmark::State& state) {
+  const auto n = size_t(state.range(0));
+  uint64_t seed = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        generateCohort(n, Targets::paper2016(), seed++));
+  }
+  state.SetItemsProcessed(state.iterations() * int64_t(n));
+}
+BENCHMARK(BM_GenerateCohort)->Arg(100)->Arg(10000);
+
+void BM_Tally(benchmark::State& state) {
+  auto cohort =
+      generateCohort(size_t(state.range(0)), Targets::paper2016(), 7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tally(cohort));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Tally)->Arg(100)->Arg(100000);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  printReproduction();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

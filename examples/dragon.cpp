@@ -1,0 +1,47 @@
+// The dragon project of paper Figs. 2–3: one sprite, three scripts —
+// a green-flag forever-loop that moves the dragon, and two key scripts
+// that turn it. Events are injected programmatically and the stage is
+// rendered as text after each frame, showing "the visual effect of the
+// user seemingly being able to control the flight of the dragon".
+//
+//   $ ./dragon
+#include <cstdio>
+
+#include "blocks/builder.hpp"
+#include "core/parallel_blocks.hpp"
+#include "stage/stage.hpp"
+
+int main() {
+  using namespace psnap;
+  using namespace psnap::build;
+
+  vm::PrimitiveTable prims = core::fullPrimitiveTable();
+  sched::ThreadManager tm(&blocks::BlockRegistry::standard(), &prims);
+  stage::Stage stage(&tm);
+
+  stage::Sprite& dragon = stage.addSprite("Dragon");
+  dragon.setCostume("dragon");
+
+  // Fig. 3, top script: when green flag clicked, forever move 5 steps.
+  dragon.addScript(scriptOf({whenGreenFlag(),
+                             forever(scriptOf({moveSteps(5)}))}));
+  // Fig. 3, middle: when right arrow pressed, turn right 15 degrees.
+  dragon.addScript(scriptOf({whenKeyPressed("right arrow"),
+                             turnRight(15)}));
+  // Fig. 3, bottom: when left arrow pressed, turn left 15 degrees.
+  dragon.addScript(scriptOf({whenKeyPressed("left arrow"),
+                             turnLeftBy(15)}));
+
+  // "Fly" the dragon: green flag, then a scripted key sequence.
+  stage.greenFlag();
+  const char* keys[] = {nullptr,       nullptr, "right arrow",
+                        "right arrow", nullptr, "left arrow",
+                        nullptr,       nullptr};
+  for (const char* key : keys) {
+    if (key) stage.keyPressed(key);
+    tm.runFrame();
+    std::printf("%s\n", stage.renderFrame().c_str());
+  }
+  stage.stopAll();
+  return 0;
+}

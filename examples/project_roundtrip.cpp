@@ -1,0 +1,49 @@
+// Save and load a project: the parallel concession-stand project is
+// serialized to Snap!-style XML, parsed back, instantiated onto a fresh
+// stage, and run — demonstrating that the full block structure (including
+// the parallelForEach mode slot) survives persistence.
+//
+//   $ ./project_roundtrip
+#include <cstdio>
+
+#include "blocks/builder.hpp"
+#include "core/parallel_blocks.hpp"
+#include "project/project.hpp"
+
+int main() {
+  using namespace psnap;
+  using namespace psnap::build;
+
+  // Author a small project.
+  project::Project original;
+  original.name = "parallel-demo";
+  original.globals.push_back({"result", blocks::Value()});
+  project::SpriteDef sprite;
+  sprite.name = "Worker";
+  sprite.scripts.push_back(scriptOf({
+      whenGreenFlag(),
+      setVar("result", parallelMap(ring(product(empty(), empty())),
+                                   numbersFromTo(1, 8), 2)),
+      say(getVar("result")),
+  }));
+  original.sprites.push_back(std::move(sprite));
+
+  // Serialize and show the XML.
+  std::string xml = project::toXml(original);
+  std::printf("== project XML ==\n%s\n", xml.c_str());
+
+  // Parse it back and run it.
+  project::Project loaded = project::fromXml(xml);
+  vm::PrimitiveTable prims = core::fullPrimitiveTable();
+  sched::ThreadManager tm(&blocks::BlockRegistry::standard(), &prims);
+  stage::Stage stage(&tm);
+  loaded.instantiate(stage);
+  stage.greenFlag();
+  tm.runUntilIdle();
+
+  for (const std::string& line : tm.collectSayLog()) {
+    std::printf("Worker says: %s\n", line.c_str());
+  }
+  std::printf("errors: %zu\n", tm.errors().size());
+  return tm.errors().empty() ? 0 : 1;
+}

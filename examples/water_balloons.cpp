@@ -1,0 +1,90 @@
+// The water-balloon game from the paper's Sec. 5: "One of the more
+// creative examples of parallelism was a video game, where the player
+// controlled an on-screen (laundry) basket and tried to catch water
+// balloons that were falling from the sky (in parallel) before they
+// landed on the heads of people."
+//
+// Each balloon is a clone falling concurrently (the parallelism the
+// students discovered); the basket moves on key events; a balloon that
+// touches the basket is caught, one that reaches the ground is missed.
+//
+//   $ ./water_balloons
+#include <cstdio>
+
+#include "blocks/builder.hpp"
+#include "core/parallel_blocks.hpp"
+#include "stage/stage.hpp"
+#include "support/rng.hpp"
+
+int main() {
+  using namespace psnap;
+  using namespace psnap::build;
+
+  vm::PrimitiveTable prims = core::fullPrimitiveTable();
+  sched::ThreadManager tm(&blocks::BlockRegistry::standard(), &prims);
+  stage::Stage stage(&tm);
+
+  stage.globals()->declare("caught", blocks::Value(0));
+  stage.globals()->declare("missed", blocks::Value(0));
+
+  // The basket, controlled with the arrow keys.
+  stage::Sprite& basket = stage.addSprite("Basket");
+  basket.gotoXY(0, -140);
+  basket.setCostume("basket");
+  basket.setTouchRadius(40);
+  basket.addScript(scriptOf({whenKeyPressed("right arrow"),
+                             blk("changeXPosition", {In(40)})}));
+  basket.addScript(scriptOf({whenKeyPressed("left arrow"),
+                             blk("changeXPosition", {In(-40)})}));
+
+  // The balloon template: hidden; clones fall from the sky in parallel.
+  stage::Sprite& balloon = stage.addSprite("Balloon");
+  balloon.setCostume("balloon");
+  balloon.setVisible(false);
+  balloon.addScript(scriptOf({
+      whenCloneStarts(),
+      show(),
+      repeatUntil(
+          or_(touching("Basket"), lessThan(blk("yPosition"), -140.0)),
+          scriptOf({blk("changeYPosition", {In(-20)})})),
+      doIfElse(touching("Basket"),
+               scriptOf({changeVar("caught", 1)}),
+               scriptOf({changeVar("missed", 1)})),
+      hide(),
+      removeClone(),
+  }));
+
+  // Drop 6 balloons from deterministic positions, staggered over time,
+  // while "the player" mashes the arrow keys trying to catch them.
+  Rng rng(7);
+  const double dropX[] = {-80, 40, 0, 120, -40, 80};
+  for (int wave = 0; wave < 6; ++wave) {
+    balloon.gotoXY(dropX[wave], 160);
+    stage.makeClone(&balloon);
+    // Player reaction: move toward the falling balloon.
+    for (int frame = 0; frame < 6; ++frame) {
+      stage::Sprite* fall = nullptr;
+      for (stage::Sprite* s : stage.sprites()) {
+        if (s->isClone()) fall = s;
+      }
+      if (fall) {
+        if (fall->x() > basket.x() + 20) {
+          stage.keyPressed("right arrow");
+        } else if (fall->x() < basket.x() - 20) {
+          stage.keyPressed("left arrow");
+        }
+      }
+      tm.runFrame();
+    }
+  }
+  tm.runUntilIdle();
+
+  std::printf("water balloon game over!\n");
+  std::printf("  caught: %s\n",
+              stage.globals()->get("caught").display().c_str());
+  std::printf("  missed: %s\n",
+              stage.globals()->get("missed").display().c_str());
+  std::printf("  errors: %zu\n", tm.errors().size());
+  for (const std::string& e : tm.errors()) std::printf("  %s\n", e.c_str());
+  return tm.errors().empty() ? 0 : 1;
+}

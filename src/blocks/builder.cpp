@@ -1,0 +1,57 @@
+#include "blocks/builder.hpp"
+
+namespace psnap::build {
+
+BlockPtr blk(const std::string& opcode, std::vector<In> inputs) {
+  std::vector<Input> slots;
+  slots.reserve(inputs.size());
+  for (In& in : inputs) slots.push_back(std::move(in.input));
+  return Block::make(opcode, std::move(slots));
+}
+
+ScriptPtr scriptOf(std::vector<BlockPtr> blocks) {
+  return Script::make(std::move(blocks));
+}
+
+BlockPtr declareVars(const std::vector<std::string>& names) {
+  std::vector<In> inputs;
+  inputs.reserve(names.size());
+  for (const std::string& name : names) inputs.emplace_back(name);
+  return blk("doDeclareVariables", std::move(inputs));
+}
+
+BlockPtr listOf(std::vector<In> items) {
+  return blk("reportNewList", std::move(items));
+}
+
+BlockPtr ring(In expression, std::vector<std::string> formals) {
+  std::vector<In> inputs;
+  inputs.push_back(std::move(expression));
+  for (std::string& name : formals) inputs.emplace_back(std::move(name));
+  return blk("reifyReporter", std::move(inputs));
+}
+
+BlockPtr ringScript(ScriptPtr script, std::vector<std::string> formals) {
+  std::vector<In> inputs;
+  inputs.emplace_back(std::move(script));
+  for (std::string& name : formals) inputs.emplace_back(std::move(name));
+  return blk("reifyScript", std::move(inputs));
+}
+
+BlockPtr identityRing() { return ring(In(identity(empty()))); }
+
+BlockPtr callRing(In ringIn, std::vector<In> args) {
+  std::vector<In> inputs;
+  inputs.push_back(std::move(ringIn));
+  for (In& arg : args) inputs.push_back(std::move(arg));
+  return blk("evaluate", std::move(inputs));
+}
+
+BlockPtr runRing(In ringIn, std::vector<In> args) {
+  std::vector<In> inputs;
+  inputs.push_back(std::move(ringIn));
+  for (In& arg : args) inputs.push_back(std::move(arg));
+  return blk("doRun", std::move(inputs));
+}
+
+}  // namespace psnap::build

@@ -1,0 +1,276 @@
+// A fluent C++ DSL for assembling block scripts.
+//
+// This is the "script editor" of the reproduction: where a Snap! user drags
+// blocks together, a C++ user writes
+//
+//   using namespace psnap::build;
+//   auto script = scriptOf({
+//       setVar("result", parallelMap(ring(product(empty(), 10)),
+//                                    listOf({3, 7, 8}))),
+//       say(getVar("result")),
+//   });
+//
+// Every helper returns a BlockPtr (a reporter or command block); the `In`
+// wrapper converts C++ literals, blocks, and scripts into input slots
+// implicitly so nesting reads like the visual language.
+#pragma once
+
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "blocks/block.hpp"
+#include "blocks/registry.hpp"
+
+namespace psnap::build {
+
+using blocks::Block;
+using blocks::BlockPtr;
+using blocks::Input;
+using blocks::Script;
+using blocks::ScriptPtr;
+using blocks::Value;
+
+/// Implicit-conversion wrapper so helper calls accept literals, nested
+/// blocks, scripts, and explicit Inputs interchangeably.
+struct In {
+  Input input;
+
+  In(Input i) : input(std::move(i)) {}                    // NOLINT
+  In(double n) : input(Value(n)) {}                       // NOLINT
+  In(int n) : input(Value(n)) {}                          // NOLINT
+  In(long n) : input(Value(static_cast<double>(n))) {}    // NOLINT
+  In(long long n) : input(Value(n)) {}                    // NOLINT
+  In(size_t n) : input(Value(n)) {}                       // NOLINT
+  In(bool b) : input(Value(b)) {}                         // NOLINT
+  In(const char* s) : input(Value(s)) {}                  // NOLINT
+  In(std::string s) : input(Value(std::move(s))) {}       // NOLINT
+  In(Value v) : input(std::move(v)) {}                    // NOLINT
+  In(BlockPtr b) : input(std::move(b)) {}                 // NOLINT
+  In(ScriptPtr s) : input(std::move(s)) {}                // NOLINT
+};
+
+/// The grey empty slot (implicit ring parameter).
+inline In empty() { return In(Input::empty()); }
+/// A collapsed optional slot (e.g. parallelForEach's "in parallel" input
+/// collapsed selects sequential mode, paper Fig. 8b).
+inline In collapsed() { return In(Input::collapsed()); }
+/// An expanded-but-blank optional slot (use the block's default).
+inline In blank() { return In(Value()); }
+
+/// Build an arbitrary block by opcode.
+BlockPtr blk(const std::string& opcode, std::vector<In> inputs = {});
+
+/// Build a script from a block sequence.
+ScriptPtr scriptOf(std::vector<BlockPtr> blocks);
+
+// --- operators -----------------------------------------------------------
+inline BlockPtr sum(In a, In b) { return blk("reportSum", {a, b}); }
+inline BlockPtr difference(In a, In b) {
+  return blk("reportDifference", {a, b});
+}
+inline BlockPtr product(In a, In b) { return blk("reportProduct", {a, b}); }
+inline BlockPtr quotient(In a, In b) { return blk("reportQuotient", {a, b}); }
+inline BlockPtr modulus(In a, In b) { return blk("reportModulus", {a, b}); }
+inline BlockPtr power(In a, In b) { return blk("reportPower", {a, b}); }
+inline BlockPtr round_(In a) { return blk("reportRound", {a}); }
+inline BlockPtr monadic(const std::string& fn, In a) {
+  return blk("reportMonadic", {In(fn), a});
+}
+inline BlockPtr pickRandom(In lo, In hi) {
+  return blk("reportRandom", {lo, hi});
+}
+inline BlockPtr equals(In a, In b) { return blk("reportEquals", {a, b}); }
+inline BlockPtr lessThan(In a, In b) { return blk("reportLessThan", {a, b}); }
+inline BlockPtr greaterThan(In a, In b) {
+  return blk("reportGreaterThan", {a, b});
+}
+inline BlockPtr and_(In a, In b) { return blk("reportAnd", {a, b}); }
+inline BlockPtr or_(In a, In b) { return blk("reportOr", {a, b}); }
+inline BlockPtr not_(In a) { return blk("reportNot", {a}); }
+inline BlockPtr ifElseReporter(In cond, In thenV, In elseV) {
+  return blk("reportIfElse", {cond, thenV, elseV});
+}
+inline BlockPtr join(std::vector<In> parts) {
+  return blk("reportJoinWords", std::move(parts));
+}
+inline BlockPtr letter(In index, In text) {
+  return blk("reportLetter", {index, text});
+}
+inline BlockPtr textLength(In text) {
+  return blk("reportStringSize", {text});
+}
+inline BlockPtr splitText(In text, In sep) {
+  return blk("reportSplit", {text, sep});
+}
+inline BlockPtr isA(In value, const std::string& type) {
+  return blk("reportIsA", {value, In(type)});
+}
+inline BlockPtr identity(In value) { return blk("reportIdentity", {value}); }
+
+// --- variables -------------------------------------------------------------
+inline BlockPtr getVar(const std::string& name) {
+  return blk("reportGetVar", {In(name)});
+}
+inline BlockPtr setVar(const std::string& name, In value) {
+  return blk("doSetVar", {In(name), value});
+}
+inline BlockPtr changeVar(const std::string& name, In delta) {
+  return blk("doChangeVar", {In(name), delta});
+}
+BlockPtr declareVars(const std::vector<std::string>& names);
+
+// --- lists -------------------------------------------------------------
+BlockPtr listOf(std::vector<In> items);
+inline BlockPtr itemOf(In index, In list) {
+  return blk("reportListItem", {index, list});
+}
+inline BlockPtr lengthOf(In list) {
+  return blk("reportListLength", {list});
+}
+inline BlockPtr contains(In list, In probe) {
+  return blk("reportListContainsItem", {list, probe});
+}
+inline BlockPtr indexOf(In probe, In list) {
+  return blk("reportListIndex", {probe, list});
+}
+inline BlockPtr numbersFromTo(In lo, In hi) {
+  return blk("reportNumbers", {lo, hi});
+}
+inline BlockPtr sorted(In list) { return blk("reportSorted", {list}); }
+inline BlockPtr addToList(In value, In list) {
+  return blk("doAddToList", {value, list});
+}
+inline BlockPtr deleteOfList(In index, In list) {
+  return blk("doDeleteFromList", {index, list});
+}
+inline BlockPtr insertInList(In value, In index, In list) {
+  return blk("doInsertInList", {value, index, list});
+}
+inline BlockPtr replaceInList(In index, In list, In value) {
+  return blk("doReplaceInList", {index, list, value});
+}
+
+// --- rings ---------------------------------------------------------------
+/// Ringify a reporter expression (the grey ring of Fig. 4a). Formal names
+/// optional; with none, empty slots act as implicit parameters.
+BlockPtr ring(In expression, std::vector<std::string> formals = {});
+/// Ringify a command script.
+BlockPtr ringScript(ScriptPtr script, std::vector<std::string> formals = {});
+/// The identity ring (used for MapReduce's pass-through phases).
+BlockPtr identityRing();
+
+// --- higher-order functions ------------------------------------------------
+inline BlockPtr mapOver(In ringIn, In list) {
+  return blk("reportMap", {ringIn, list});
+}
+inline BlockPtr keepFrom(In ringIn, In list) {
+  return blk("reportKeep", {ringIn, list});
+}
+inline BlockPtr combineUsing(In list, In ringIn) {
+  return blk("reportCombine", {list, ringIn});
+}
+inline BlockPtr forEach(const std::string& var, In list, ScriptPtr body) {
+  return blk("doForEach", {In(var), list, In(std::move(body))});
+}
+BlockPtr callRing(In ringIn, std::vector<In> args = {});
+BlockPtr runRing(In ringIn, std::vector<In> args = {});
+
+// --- control -----------------------------------------------------------
+inline BlockPtr forever(ScriptPtr body) {
+  return blk("doForever", {In(std::move(body))});
+}
+inline BlockPtr repeat(In count, ScriptPtr body) {
+  return blk("doRepeat", {count, In(std::move(body))});
+}
+inline BlockPtr forLoop(const std::string& var, In from, In to,
+                        ScriptPtr body) {
+  return blk("doFor", {In(var), from, to, In(std::move(body))});
+}
+inline BlockPtr doIf(In cond, ScriptPtr body) {
+  return blk("doIf", {cond, In(std::move(body))});
+}
+inline BlockPtr doIfElse(In cond, ScriptPtr thenS, ScriptPtr elseS) {
+  return blk("doIfElse", {cond, In(std::move(thenS)), In(std::move(elseS))});
+}
+inline BlockPtr repeatUntil(In cond, ScriptPtr body) {
+  return blk("doUntil", {cond, In(std::move(body))});
+}
+inline BlockPtr wait(In seconds) { return blk("doWait", {seconds}); }
+inline BlockPtr waitUntil(In cond) { return blk("doWaitUntil", {cond}); }
+inline BlockPtr busyWork(In frames) { return blk("doBusyWork", {frames}); }
+inline BlockPtr warp(ScriptPtr body) { return blk("doWarp", {In(std::move(body))}); }
+inline BlockPtr report(In value) { return blk("doReport", {value}); }
+inline BlockPtr stopThis() { return blk("doStopThis"); }
+inline BlockPtr broadcast(In message) {
+  return blk("doBroadcast", {message});
+}
+inline BlockPtr broadcastAndWait(In message) {
+  return blk("doBroadcastAndWait", {message});
+}
+inline BlockPtr createCloneOf(In name) { return blk("createClone", {name}); }
+inline BlockPtr removeClone() { return blk("removeClone"); }
+
+// --- hats ---------------------------------------------------------------
+inline BlockPtr whenGreenFlag() { return blk("receiveGo"); }
+inline BlockPtr whenKeyPressed(const std::string& key) {
+  return blk("receiveKey", {In(key)});
+}
+inline BlockPtr whenIReceive(const std::string& message) {
+  return blk("receiveMessage", {In(message)});
+}
+inline BlockPtr whenCloneStarts() { return blk("receiveCloneStart"); }
+
+// --- looks / motion / sensing --------------------------------------------
+inline BlockPtr say(In value) { return blk("bubble", {value}); }
+inline BlockPtr sayFor(In value, In seconds) {
+  return blk("doSayFor", {value, seconds});
+}
+inline BlockPtr think(In value) { return blk("doThink", {value}); }
+inline BlockPtr switchCostume(In name) {
+  return blk("doSwitchToCostume", {name});
+}
+inline BlockPtr show() { return blk("show"); }
+inline BlockPtr hide() { return blk("hide"); }
+inline BlockPtr touching(In name) {
+  return blk("reportTouchingSprite", {name});
+}
+inline BlockPtr moveSteps(In steps) { return blk("forward", {steps}); }
+inline BlockPtr turnRight(In degrees) { return blk("turn", {degrees}); }
+inline BlockPtr turnLeftBy(In degrees) { return blk("turnLeft", {degrees}); }
+inline BlockPtr pointInDirection(In degrees) {
+  return blk("setHeading", {degrees});
+}
+inline BlockPtr goToXY(In x, In y) { return blk("gotoXY", {x, y}); }
+inline BlockPtr timer() { return blk("getTimer"); }
+inline BlockPtr resetTimer() { return blk("doResetTimer"); }
+
+// --- the paper's parallel blocks -------------------------------------------
+/// `parallel map (ring) over (list) workers: (n)` — paper Fig. 5.
+/// Pass collapsed() (or omit) for the default worker count.
+inline BlockPtr parallelMap(In ringIn, In list, In workers = collapsed()) {
+  return blk("reportParallelMap", {ringIn, list, workers});
+}
+/// `for each (var) of (list) in parallel (n) { body }` — paper Fig. 8a.
+/// Pass collapsed() as `parallelism` for sequential mode (Fig. 8b) and
+/// blank() for the default (one clone per list element).
+inline BlockPtr parallelForEach(const std::string& var, In list,
+                                In parallelism, ScriptPtr body) {
+  return blk("doParallelForEach",
+             {In(var), list, parallelism, In(std::move(body))});
+}
+/// `mapReduce map: (ring) reduce: (ring) on (list)` — paper Fig. 11/13.
+inline BlockPtr mapReduce(In mapRing, In reduceRing, In list) {
+  return blk("reportMapReduce", {mapRing, reduceRing, list});
+}
+inline BlockPtr maxWorkers() { return blk("reportMaxWorkers"); }
+
+// --- code mapping (Section 6) ----------------------------------------------
+inline BlockPtr mapToLanguage(In language) {
+  return blk("doMapToCode", {language});
+}
+inline BlockPtr codeOf(In ringIn) {
+  return blk("reportMappedCode", {ringIn});
+}
+
+}  // namespace psnap::build

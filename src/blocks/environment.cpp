@@ -1,0 +1,79 @@
+#include "blocks/environment.hpp"
+
+#include "support/error.hpp"
+
+namespace psnap::blocks {
+
+void Environment::declare(const std::string& name, Value initial) {
+  vars_[name] = std::move(initial);
+}
+
+bool Environment::isDeclared(const std::string& name) const {
+  if (vars_.count(name) != 0) return true;
+  return parent_ && parent_->isDeclared(name);
+}
+
+const Value& Environment::get(const std::string& name) const {
+  auto it = vars_.find(name);
+  if (it != vars_.end()) return it->second;
+  if (parent_) return parent_->get(name);
+  throw Error("a variable of name '" + name + "' does not exist");
+}
+
+void Environment::set(const std::string& name, Value value) {
+  Environment* frame = this;
+  while (frame) {
+    auto it = frame->vars_.find(name);
+    if (it != frame->vars_.end()) {
+      it->second = std::move(value);
+      return;
+    }
+    if (!frame->parent_) {
+      // Root frame: declare globally.
+      frame->vars_[name] = std::move(value);
+      return;
+    }
+    frame = frame->parent_.get();
+  }
+}
+
+void Environment::setImplicitArgs(std::vector<Value> args) {
+  implicitArgs_ = std::move(args);
+}
+
+bool Environment::hasImplicitArgs() const {
+  if (implicitArgs_.has_value()) return true;
+  return parent_ && parent_->hasImplicitArgs();
+}
+
+const Value& Environment::implicitArg(size_t ordinal) const {
+  const Environment* frame = this;
+  while (frame) {
+    if (frame->implicitArgs_.has_value()) {
+      const auto& args = *frame->implicitArgs_;
+      if (args.empty()) {
+        throw Error("empty slot evaluated with no implicit arguments");
+      }
+      // Exactly one argument fills every blank; otherwise blanks map
+      // positionally.
+      if (args.size() == 1) return args[0];
+      if (ordinal >= args.size()) {
+        throw Error("empty slot ordinal " + std::to_string(ordinal) +
+                    " exceeds implicit argument count " +
+                    std::to_string(args.size()));
+      }
+      return args[ordinal];
+    }
+    frame = frame->parent_.get();
+  }
+  throw Error("empty slot evaluated outside of a ring call");
+}
+
+std::vector<std::string> Environment::localNames() const {
+  std::vector<std::string> names;
+  names.reserve(vars_.size());
+  for (const auto& [name, value] : vars_) names.push_back(name);
+  return names;
+}
+
+}  // namespace psnap::blocks

@@ -1,0 +1,421 @@
+#include "blocks/registry.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+#include "support/error.hpp"
+
+namespace psnap::blocks {
+
+size_t BlockSpec::minArity() const {
+  size_t count = 0;
+  for (const SlotSpec& slot : slots) {
+    if (!slot.optional) ++count;
+  }
+  return count;
+}
+
+std::vector<SlotSpec> parseSpecSlots(const std::string& spec,
+                                     bool& variadic) {
+  variadic = false;
+  std::vector<SlotSpec> slots;
+  size_t i = 0;
+  while (i < spec.size()) {
+    if (spec[i] != '%') {
+      ++i;
+      continue;
+    }
+    size_t start = i + 1;
+    size_t end = start;
+    while (end < spec.size() &&
+           (std::isalnum(static_cast<unsigned char>(spec[end])))) {
+      ++end;
+    }
+    std::string token = spec.substr(start, end - start);
+    bool optional = end < spec.size() && spec[end] == '?';
+    i = optional ? end + 1 : end;
+
+    SlotSpec slot;
+    slot.optional = optional;
+    if (token == "n") {
+      slot.kind = SlotKind::Number;
+    } else if (token == "s") {
+      slot.kind = SlotKind::Text;
+    } else if (token == "b") {
+      slot.kind = SlotKind::Boolean;
+    } else if (token == "any") {
+      slot.kind = SlotKind::Any;
+    } else if (token == "l") {
+      slot.kind = SlotKind::List;
+    } else if (token == "repRing") {
+      slot.kind = SlotKind::ReporterRing;
+    } else if (token == "cmdRing") {
+      slot.kind = SlotKind::CommandRing;
+    } else if (token == "cs") {
+      slot.kind = SlotKind::CScript;
+    } else if (token == "var") {
+      slot.kind = SlotKind::Variable;
+    } else if (token == "mult") {
+      variadic = true;
+      continue;  // variadic tail adds no fixed slot
+    } else {
+      throw BlockError("unknown spec token %" + token + " in \"" + spec +
+                       "\"");
+    }
+    slots.push_back(slot);
+  }
+  return slots;
+}
+
+void BlockRegistry::add(BlockSpec spec) {
+  if (specs_.count(spec.opcode) != 0) {
+    throw BlockError("duplicate opcode " + spec.opcode);
+  }
+  if (spec.slots.empty()) {
+    spec.slots = parseSpecSlots(spec.spec, spec.variadic);
+  }
+  specs_.emplace(spec.opcode, std::move(spec));
+}
+
+bool BlockRegistry::has(const std::string& opcode) const {
+  return specs_.count(opcode) != 0;
+}
+
+const BlockSpec* BlockRegistry::find(const std::string& opcode) const {
+  auto it = specs_.find(opcode);
+  return it == specs_.end() ? nullptr : &it->second;
+}
+
+const BlockSpec& BlockRegistry::get(const std::string& opcode) const {
+  const BlockSpec* spec = find(opcode);
+  if (!spec) throw BlockError("unknown opcode " + opcode);
+  return *spec;
+}
+
+void BlockRegistry::validate(const Block& block) const {
+  const BlockSpec& spec = get(block.opcode());
+  const size_t fixed = spec.slots.size();
+  if (block.arity() < spec.minArity() ||
+      (!spec.variadic && block.arity() > fixed)) {
+    throw BlockError("block " + block.opcode() + " has " +
+                     std::to_string(block.arity()) + " inputs, spec \"" +
+                     spec.spec + "\" wants " +
+                     std::to_string(spec.minArity()) +
+                     (spec.variadic ? "+" : ".." + std::to_string(fixed)));
+  }
+  for (size_t i = 0; i < block.arity(); ++i) {
+    const Input& input = block.input(i);
+    const SlotSpec* slot = i < fixed ? &spec.slots[i] : nullptr;
+    if (input.isCollapsed()) {
+      if (!slot || !slot->optional) {
+        throw BlockError("input " + std::to_string(i + 1) + " of " +
+                         block.opcode() + " is not collapsible");
+      }
+      continue;
+    }
+    if (slot && slot->kind == SlotKind::CScript) {
+      if (!input.isScript()) {
+        throw BlockError("input " + std::to_string(i + 1) + " of " +
+                         block.opcode() + " must be a C-slot script");
+      }
+    } else if (input.isScript()) {
+      throw BlockError("input " + std::to_string(i + 1) + " of " +
+                       block.opcode() + " may not hold a script");
+    }
+    if (input.isBlock()) validate(*input.block());
+    if (input.isScript()) validate(*input.script());
+  }
+}
+
+void BlockRegistry::validate(const Script& script) const {
+  for (const BlockPtr& block : script.blocks()) validate(*block);
+}
+
+std::vector<std::string> BlockRegistry::opcodes() const {
+  std::vector<std::string> out;
+  out.reserve(specs_.size());
+  for (const auto& [opcode, spec] : specs_) out.push_back(opcode);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+namespace {
+
+std::string renderInput(const BlockRegistry& registry, const Input& input) {
+  switch (input.kind()) {
+    case InputKind::Literal: {
+      const Value& v = input.literalValue();
+      return "(" + v.display() + ")";
+    }
+    case InputKind::BlockExpr:
+      return "(" + registry.render(*input.block()) + ")";
+    case InputKind::ScriptSlot: {
+      std::string out = "{";
+      for (const BlockPtr& b : input.script()->blocks()) {
+        out += " " + registry.render(*b) + ";";
+      }
+      return out + " }";
+    }
+    case InputKind::Empty:
+      return "( )";
+    case InputKind::Collapsed:
+      return "";
+  }
+  return "";
+}
+
+}  // namespace
+
+std::string BlockRegistry::render(const Block& block) const {
+  const BlockSpec* spec = find(block.opcode());
+  if (!spec) return block.display();
+  std::string out;
+  size_t nextInput = 0;
+  size_t i = 0;
+  const std::string& text = spec->spec;
+  while (i < text.size()) {
+    if (text[i] != '%') {
+      out += text[i++];
+      continue;
+    }
+    size_t end = i + 1;
+    while (end < text.size() &&
+           std::isalnum(static_cast<unsigned char>(text[end]))) {
+      ++end;
+    }
+    const std::string token = text.substr(i + 1, end - i - 1);
+    if (end < text.size() && text[end] == '?') ++end;
+    i = end;
+    if (token == "mult") {
+      // Render the variadic tail.
+      std::vector<std::string> parts;
+      while (nextInput < block.arity()) {
+        parts.push_back(renderInput(*this, block.input(nextInput++)));
+      }
+      for (size_t p = 0; p < parts.size(); ++p) {
+        if (p != 0) out += ' ';
+        out += parts[p];
+      }
+      continue;
+    }
+    if (nextInput < block.arity()) {
+      out += renderInput(*this, block.input(nextInput++));
+    } else {
+      out += "( )";
+    }
+  }
+  return out;
+}
+
+namespace {
+
+BlockSpec spec(std::string opcode, std::string text, std::string category,
+               BlockType type, bool pure, bool strict = true) {
+  BlockSpec s;
+  s.opcode = std::move(opcode);
+  s.spec = std::move(text);
+  s.category = std::move(category);
+  s.type = type;
+  s.pure = pure;
+  s.strict = strict;
+  return s;
+}
+
+}  // namespace
+
+void registerStandardSpecs(BlockRegistry& r) {
+  using T = BlockType;
+  // --- operators (pure reporters) -------------------------------------
+  r.add(spec("reportSum", "%n + %n", "operators", T::Reporter, true));
+  r.add(spec("reportDifference", "%n - %n", "operators", T::Reporter, true));
+  r.add(spec("reportProduct", "%n * %n", "operators", T::Reporter, true));
+  r.add(spec("reportQuotient", "%n / %n", "operators", T::Reporter, true));
+  r.add(spec("reportModulus", "%n mod %n", "operators", T::Reporter, true));
+  r.add(spec("reportPower", "%n ^ %n", "operators", T::Reporter, true));
+  r.add(spec("reportRound", "round %n", "operators", T::Reporter, true));
+  r.add(spec("reportMonadic", "%s of %n", "operators", T::Reporter, true));
+  r.add(spec("reportRandom", "pick random %n to %n", "operators",
+             T::Reporter, false));
+  r.add(spec("reportEquals", "%any = %any", "operators", T::Predicate, true));
+  r.add(spec("reportLessThan", "%any < %any", "operators", T::Predicate,
+             true));
+  r.add(spec("reportGreaterThan", "%any > %any", "operators", T::Predicate,
+             true));
+  r.add(spec("reportAnd", "%b and %b", "operators", T::Predicate, true));
+  r.add(spec("reportOr", "%b or %b", "operators", T::Predicate, true));
+  r.add(spec("reportNot", "not %b", "operators", T::Predicate, true));
+  r.add(spec("reportIfElse", "if %b then %any else %any", "operators",
+             T::Reporter, true));
+  r.add(spec("reportJoinWords", "join %mult", "operators", T::Reporter,
+             true));
+  r.add(spec("reportLetter", "letter %n of %s", "operators", T::Reporter,
+             true));
+  r.add(spec("reportStringSize", "length of text %s", "operators",
+             T::Reporter, true));
+  r.add(spec("reportUnicode", "unicode of %s", "operators", T::Reporter,
+             true));
+  r.add(spec("reportUnicodeAsLetter", "unicode %n as letter", "operators",
+             T::Reporter, true));
+  r.add(spec("reportSplit", "split %s by %s", "operators", T::Reporter,
+             true));
+  r.add(spec("reportIsA", "is %any a %s ?", "operators", T::Predicate,
+             true));
+  r.add(spec("reportIdentity", "identity %any", "operators", T::Reporter,
+             true));
+
+  // --- rings (first-class procedures) -----------------------------------
+  // Non-strict: the body is captured, not evaluated. The variadic tail
+  // holds the formal parameter names as text literals.
+  r.add(spec("reifyReporter", "ring %any %mult", "operators", T::Reporter,
+             true, false));
+  r.add(spec("reifyScript", "ring %cs %mult", "operators", T::Reporter,
+             true, false));
+
+  // --- variables -------------------------------------------------------
+  r.add(spec("reportGetVar", "%var", "variables", T::Reporter, true));
+  r.add(spec("doSetVar", "set %var to %any", "variables", T::Command,
+             false));
+  r.add(spec("doChangeVar", "change %var by %n", "variables", T::Command,
+             false));
+  r.add(spec("doDeclareVariables", "script variables %mult", "variables",
+             T::Command, false));
+
+  // --- lists (reporters pure, mutators impure) -------------------------
+  r.add(spec("reportNewList", "list %mult", "lists", T::Reporter, true));
+  r.add(spec("reportListItem", "item %n of %l", "lists", T::Reporter, true));
+  r.add(spec("reportListLength", "length of %l", "lists", T::Reporter,
+             true));
+  r.add(spec("reportListContainsItem", "%l contains %any", "lists",
+             T::Predicate, true));
+  r.add(spec("reportListIndex", "index of %any in %l", "lists", T::Reporter,
+             true));
+  r.add(spec("reportCONS", "%any in front of %l", "lists", T::Reporter,
+             true));
+  r.add(spec("reportCDR", "all but first of %l", "lists", T::Reporter,
+             true));
+  r.add(spec("reportNumbers", "numbers from %n to %n", "lists", T::Reporter,
+             true));
+  r.add(spec("reportSorted", "sorted %l", "lists", T::Reporter, true));
+  r.add(spec("doAddToList", "add %any to %l", "lists", T::Command, false));
+  r.add(spec("doDeleteFromList", "delete %n of %l", "lists", T::Command,
+             false));
+  r.add(spec("doInsertInList", "insert %any at %n of %l", "lists",
+             T::Command, false));
+  r.add(spec("doReplaceInList", "replace item %n of %l with %any", "lists",
+             T::Command, false));
+
+  // --- higher-order functions (sequential) ------------------------------
+  r.add(spec("reportMap", "map %repRing over %l", "lists", T::Reporter,
+             true));
+  r.add(spec("reportKeep", "keep items such that %repRing from %l", "lists",
+             T::Reporter, true));
+  r.add(spec("reportCombine", "combine %l using %repRing", "lists",
+             T::Reporter, true));
+  r.add(spec("doForEach", "for each %var of %l %cs", "lists", T::Command,
+             false, false));
+
+  // --- control -----------------------------------------------------------
+  r.add(spec("doForever", "forever %cs", "control", T::Command, false,
+             false));
+  r.add(spec("doRepeat", "repeat %n %cs", "control", T::Command, false,
+             false));
+  r.add(spec("doFor", "for %var = %n to %n %cs", "control", T::Command,
+             false, false));
+  r.add(spec("doIf", "if %b %cs", "control", T::Command, false, false));
+  r.add(spec("doIfElse", "if %b %cs else %cs", "control", T::Command, false,
+             false));
+  r.add(spec("doUntil", "repeat until %b %cs", "control", T::Command, false,
+             false));
+  r.add(spec("doWaitUntil", "wait until %b", "control", T::Command, false,
+             false));
+  r.add(spec("doWait", "wait %n secs", "control", T::Command, false));
+  r.add(spec("doWarp", "warp %cs", "control", T::Command, false, false));
+  r.add(spec("doYield", "yield", "control", T::Command, false));
+  r.add(spec("doBusyWork", "work for %n frames", "control", T::Command,
+             false));
+  r.add(spec("doReport", "report %any", "control", T::Command, false));
+  r.add(spec("doStopThis", "stop this script", "control", T::Command,
+             false));
+  r.add(spec("doBroadcast", "broadcast %s", "control", T::Command, false));
+  r.add(spec("doBroadcastAndWait", "broadcast %s and wait", "control",
+             T::Command, false, false));
+  r.add(spec("evaluate", "call %repRing with inputs %mult", "control",
+             T::Reporter, false));
+  r.add(spec("doRun", "run %cmdRing with inputs %mult", "control",
+             T::Command, false));
+  r.add(spec("receiveGo", "when green flag clicked", "control", T::Hat,
+             false));
+  r.add(spec("receiveKey", "when %s key pressed", "control", T::Hat, false));
+  r.add(spec("receiveMessage", "when I receive %s", "control", T::Hat,
+             false));
+  r.add(spec("receiveCloneStart", "when I start as a clone", "control",
+             T::Hat, false));
+  r.add(spec("createClone", "create a clone of %s", "control", T::Command,
+             false));
+  r.add(spec("removeClone", "delete this clone", "control", T::Command,
+             false));
+
+  // --- looks / motion / sensing ------------------------------------------
+  r.add(spec("bubble", "say %any", "looks", T::Command, false));
+  r.add(spec("doSayFor", "say %any for %n secs", "looks", T::Command,
+             false));
+  r.add(spec("doThink", "think %any", "looks", T::Command, false));
+  r.add(spec("doSwitchToCostume", "switch to costume %s", "looks",
+             T::Command, false));
+  r.add(spec("show", "show", "looks", T::Command, false));
+  r.add(spec("hide", "hide", "looks", T::Command, false));
+  r.add(spec("reportTouchingSprite", "touching %s ?", "sensing",
+             T::Predicate, false));
+  r.add(spec("reportCostumeName", "costume name", "looks", T::Reporter,
+             false));
+  r.add(spec("forward", "move %n steps", "motion", T::Command, false));
+  r.add(spec("turn", "turn right %n degrees", "motion", T::Command, false));
+  r.add(spec("turnLeft", "turn left %n degrees", "motion", T::Command,
+             false));
+  r.add(spec("setHeading", "point in direction %n", "motion", T::Command,
+             false));
+  r.add(spec("gotoXY", "go to x: %n y: %n", "motion", T::Command, false));
+  r.add(spec("changeXPosition", "change x by %n", "motion", T::Command,
+             false));
+  r.add(spec("changeYPosition", "change y by %n", "motion", T::Command,
+             false));
+  r.add(spec("xPosition", "x position", "motion", T::Reporter, false));
+  r.add(spec("yPosition", "y position", "motion", T::Reporter, false));
+  r.add(spec("direction", "direction", "motion", T::Reporter, false));
+  r.add(spec("getTimer", "timer", "sensing", T::Reporter, false));
+  r.add(spec("doResetTimer", "reset timer", "sensing", T::Command, false));
+
+  // --- the paper's parallel blocks (Sections 3–4) -------------------------
+  r.add(spec("reportParallelMap", "parallel map %repRing over %l workers: %n?",
+             "parallelism", T::Reporter, false));
+  r.add(spec("doParallelForEach",
+             "for each %var of %l in parallel %n? %cs", "parallelism",
+             T::Command, false, false));
+  r.add(spec("reportMapReduce",
+             "mapReduce map: %repRing reduce: %repRing on %l", "parallelism",
+             T::Reporter, false));
+  r.add(spec("reportMaxWorkers", "max workers", "parallelism", T::Reporter,
+             false));
+
+  // Internal driver used by doParallelForEach to run one clone's chunk of
+  // list items through the C-slot body (same layout as doForEach).
+  r.add(spec("__foreachDriver", "for each %var of %l %cs", "internal",
+             T::Command, false, false));
+
+  // --- code mapping (Section 6) -------------------------------------------
+  r.add(spec("doMapToCode", "map to language %s", "codegen", T::Command,
+             false));
+  r.add(spec("reportMappedCode", "code of %any", "codegen", T::Reporter,
+             false));
+}
+
+const BlockRegistry& BlockRegistry::standard() {
+  static const BlockRegistry registry = [] {
+    BlockRegistry r;
+    registerStandardSpecs(r);
+    return r;
+  }();
+  return registry;
+}
+
+}  // namespace psnap::blocks

@@ -1,0 +1,115 @@
+// The block registry: specs for every palette block.
+//
+// A BlockSpec mirrors the metadata Snap! keeps per primitive: the display
+// spec string with typed input-slot tokens, the block shape (command /
+// reporter / predicate / hat), the palette category, and two semantic
+// flags the parallel machinery relies on:
+//
+//   * `pure`   — the block has no effects on the stage or scheduler, so a
+//                ring containing it may be shipped to a Web-Worker-analog
+//                thread and may be translated by the expression code
+//                generator (paper Listing 2 performs exactly this
+//                translation via `mappedCode()`).
+//   * `strict` — all value inputs are evaluated before the primitive runs
+//                (control blocks are non-strict: they re-evaluate their
+//                condition slots and run their C-slots themselves).
+//
+// Spec token vocabulary (a subset of Snap!'s):
+//   %n number   %s text   %b boolean   %any any value   %l list
+//   %repRing reporter ring   %cmdRing command ring   %cs C-slot script
+//   %var variable name       %mult variadic tail of any-values
+// A token suffixed with `?` marks a *collapsible* optional slot (the
+// "in parallel" input of parallelForEach, Fig. 8 of the paper).
+#pragma once
+
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "blocks/block.hpp"
+
+namespace psnap::blocks {
+
+enum class BlockType { Command, Reporter, Predicate, Hat };
+
+enum class SlotKind {
+  Number,
+  Text,
+  Boolean,
+  Any,
+  List,
+  ReporterRing,
+  CommandRing,
+  CScript,
+  Variable,
+};
+
+/// One parsed input-slot of a spec.
+struct SlotSpec {
+  SlotKind kind = SlotKind::Any;
+  bool optional = false;  ///< slot may be Collapsed in a block instance
+};
+
+/// Static description of a palette block.
+struct BlockSpec {
+  std::string opcode;
+  std::string spec;      ///< display string with % tokens
+  std::string category;  ///< palette category ("control", "operators", …)
+  BlockType type = BlockType::Command;
+  bool pure = false;
+  bool strict = true;
+  std::vector<SlotSpec> slots;  ///< parsed from `spec`
+  bool variadic = false;        ///< spec ended with %mult
+
+  /// Number of mandatory slots (non-optional, non-variadic).
+  size_t minArity() const;
+};
+
+/// Parse the `%` tokens out of a spec string into slot descriptions.
+/// Returns the slots; sets `variadic` when the spec ends with %mult.
+std::vector<SlotSpec> parseSpecSlots(const std::string& spec, bool& variadic);
+
+/// Registry mapping opcodes to specs. The interpreter, the code generator,
+/// and the serializer all consult the same registry so the opcode set has a
+/// single source of truth.
+class BlockRegistry {
+ public:
+  BlockRegistry() = default;
+
+  /// Register a spec (parses slot tokens from `spec.spec` if `spec.slots`
+  /// is empty). Throws BlockError on duplicate opcodes.
+  void add(BlockSpec spec);
+
+  bool has(const std::string& opcode) const;
+  /// Lookup; returns nullptr when the opcode is unknown.
+  const BlockSpec* find(const std::string& opcode) const;
+  /// Lookup; throws BlockError when the opcode is unknown.
+  const BlockSpec& get(const std::string& opcode) const;
+
+  /// Check a block instance against its spec: arity, collapsed slots only
+  /// where optional, C-slots only in CScript positions. Recurses into
+  /// nested blocks and scripts. Throws BlockError on violation.
+  void validate(const Block& block) const;
+  void validate(const Script& script) const;
+
+  /// All registered opcodes, sorted (stable iteration for tests/docs).
+  std::vector<std::string> opcodes() const;
+
+  /// Render a block instance as the user would read it: the spec text with
+  /// slot tokens replaced by the rendered inputs.
+  std::string render(const Block& block) const;
+
+  /// The standard palette: every block the interpreter implements.
+  /// Includes the paper's parallel blocks.
+  static const BlockRegistry& standard();
+
+ private:
+  std::unordered_map<std::string, BlockSpec> specs_;
+};
+
+/// Populate `registry` with the standard palette (exposed separately so
+/// tests can build custom registries on top).
+void registerStandardSpecs(BlockRegistry& registry);
+
+}  // namespace psnap::blocks

@@ -1,0 +1,292 @@
+#include "blocks/value.hpp"
+
+#include <cmath>
+
+#include "support/error.hpp"
+#include "support/strings.hpp"
+
+namespace psnap::blocks {
+
+const char* valueKindName(ValueKind kind) {
+  switch (kind) {
+    case ValueKind::Nothing: return "nothing";
+    case ValueKind::Number: return "number";
+    case ValueKind::Boolean: return "boolean";
+    case ValueKind::Text: return "text";
+    case ValueKind::ListRef: return "list";
+    case ValueKind::RingRef: return "ring";
+  }
+  return "unknown";
+}
+
+ValueKind Value::kind() const {
+  switch (v_.index()) {
+    case 0: return ValueKind::Nothing;
+    case 1: return ValueKind::Number;
+    case 2: return ValueKind::Boolean;
+    case 3: return ValueKind::Text;
+    case 4: return ValueKind::ListRef;
+    default: return ValueKind::RingRef;
+  }
+}
+
+double Value::asNumber() const {
+  switch (kind()) {
+    case ValueKind::Number:
+      return std::get<double>(v_);
+    case ValueKind::Boolean:
+      return std::get<bool>(v_) ? 1.0 : 0.0;
+    case ValueKind::Text: {
+      double parsed = 0;
+      if (strings::parseNumber(std::get<std::string>(v_), parsed)) {
+        return parsed;
+      }
+      // Snap! treats empty text as 0 in arithmetic contexts.
+      if (strings::trim(std::get<std::string>(v_)).empty()) return 0.0;
+      throw TypeError("expecting a number but getting text \"" +
+                      std::get<std::string>(v_) + "\"");
+    }
+    case ValueKind::Nothing:
+      return 0.0;
+    default:
+      throw TypeError(std::string("expecting a number but getting a ") +
+                      valueKindName(kind()));
+  }
+}
+
+long long Value::asInteger() const {
+  double n = asNumber();
+  if (!std::isfinite(n)) throw TypeError("expecting a finite integer");
+  return static_cast<long long>(std::llround(n));
+}
+
+std::string Value::asText() const {
+  switch (kind()) {
+    case ValueKind::Nothing: return "";
+    case ValueKind::Number: return strings::formatNumber(std::get<double>(v_));
+    case ValueKind::Boolean: return std::get<bool>(v_) ? "true" : "false";
+    case ValueKind::Text: return std::get<std::string>(v_);
+    default:
+      throw TypeError(std::string("expecting text but getting a ") +
+                      valueKindName(kind()));
+  }
+}
+
+bool Value::asBoolean() const {
+  switch (kind()) {
+    case ValueKind::Boolean:
+      return std::get<bool>(v_);
+    case ValueKind::Text: {
+      const std::string lowered =
+          strings::toLower(std::get<std::string>(v_));
+      if (lowered == "true") return true;
+      if (lowered == "false") return false;
+      break;
+    }
+    default:
+      break;
+  }
+  throw TypeError(std::string("expecting a boolean but getting a ") +
+                  valueKindName(kind()));
+}
+
+const ListPtr& Value::asList() const {
+  if (!isList()) {
+    throw TypeError(std::string("expecting a list but getting a ") +
+                    valueKindName(kind()));
+  }
+  return std::get<ListPtr>(v_);
+}
+
+const RingPtr& Value::asRing() const {
+  if (!isRing()) {
+    throw TypeError(std::string("expecting a ring but getting a ") +
+                    valueKindName(kind()));
+  }
+  return std::get<RingPtr>(v_);
+}
+
+namespace {
+
+bool looksNumeric(const Value& value) {
+  switch (value.kind()) {
+    case ValueKind::Number:
+      return true;
+    case ValueKind::Text: {
+      double parsed = 0;
+      return strings::parseNumber(value.asText(), parsed);
+    }
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+bool Value::equals(const Value& other) const {
+  // Lists: deep structural equality.
+  if (isList() || other.isList()) {
+    if (!isList() || !other.isList()) return false;
+    return asList()->deepEquals(*other.asList());
+  }
+  // Rings: identity.
+  if (isRing() || other.isRing()) {
+    if (!isRing() || !other.isRing()) return false;
+    return asRing().get() == other.asRing().get();
+  }
+  if (isNothing() && other.isNothing()) return true;
+  if (isBoolean() || other.isBoolean()) {
+    if (isBoolean() && other.isBoolean()) {
+      return std::get<bool>(v_) == std::get<bool>(other.v_);
+    }
+    return false;
+  }
+  // Snap! compares numerically whenever both sides look numeric…
+  if (looksNumeric(*this) && looksNumeric(other)) {
+    return asNumber() == other.asNumber();
+  }
+  // …and case-insensitively otherwise.
+  return strings::toLower(asText()) == strings::toLower(other.asText());
+}
+
+std::string Value::display() const {
+  switch (kind()) {
+    case ValueKind::ListRef: return asList()->display();
+    case ValueKind::RingRef:
+      return asRing()->kind() == RingKind::Reporter ? "(reporter ring)"
+                                                    : "(command ring)";
+    default: return asText();
+  }
+}
+
+bool Value::isTransferable() const {
+  switch (kind()) {
+    case ValueKind::RingRef:
+      return false;
+    case ValueKind::ListRef: {
+      for (const Value& item : asList()->items()) {
+        if (!item.isTransferable()) return false;
+      }
+      return true;
+    }
+    default:
+      return true;
+  }
+}
+
+Value Value::structuredClone() const {
+  switch (kind()) {
+    case ValueKind::RingRef:
+      throw PurityError("rings cannot be structured-cloned to a worker");
+    case ValueKind::ListRef: {
+      auto copy = List::make();
+      copy->items().reserve(asList()->length());
+      for (const Value& item : asList()->items()) {
+        copy->add(item.structuredClone());
+      }
+      return Value(copy);
+    }
+    default:
+      return *this;
+  }
+}
+
+const Value& List::item(size_t index1) const {
+  if (index1 < 1 || index1 > items_.size()) {
+    throw IndexError("item " + std::to_string(index1) + " of a list of " +
+                     std::to_string(items_.size()));
+  }
+  return items_[index1 - 1];
+}
+
+Value& List::item(size_t index1) {
+  if (index1 < 1 || index1 > items_.size()) {
+    throw IndexError("item " + std::to_string(index1) + " of a list of " +
+                     std::to_string(items_.size()));
+  }
+  return items_[index1 - 1];
+}
+
+void List::insertAt(size_t index1, Value value) {
+  if (index1 < 1 || index1 > items_.size() + 1) {
+    throw IndexError("insert at " + std::to_string(index1) +
+                     " of a list of " + std::to_string(items_.size()));
+  }
+  items_.insert(items_.begin() + static_cast<ptrdiff_t>(index1 - 1),
+                std::move(value));
+}
+
+void List::replaceAt(size_t index1, Value value) {
+  item(index1) = std::move(value);
+}
+
+void List::removeAt(size_t index1) {
+  if (index1 < 1 || index1 > items_.size()) {
+    throw IndexError("delete " + std::to_string(index1) + " of a list of " +
+                     std::to_string(items_.size()));
+  }
+  items_.erase(items_.begin() + static_cast<ptrdiff_t>(index1 - 1));
+}
+
+bool List::contains(const Value& probe) const {
+  for (const Value& item : items_) {
+    if (item.equals(probe)) return true;
+  }
+  return false;
+}
+
+bool List::deepEquals(const List& other) const {
+  if (items_.size() != other.items_.size()) return false;
+  for (size_t i = 0; i < items_.size(); ++i) {
+    if (!items_[i].equals(other.items_[i])) return false;
+  }
+  return true;
+}
+
+ListPtr List::deepCopy() const {
+  auto copy = List::make();
+  copy->items().reserve(items_.size());
+  for (const Value& item : items_) {
+    if (item.isList()) {
+      copy->add(Value(item.asList()->deepCopy()));
+    } else {
+      copy->add(item);
+    }
+  }
+  return copy;
+}
+
+std::string List::display() const {
+  std::string out = "[";
+  for (size_t i = 0; i < items_.size(); ++i) {
+    if (i != 0) out += ", ";
+    out += items_[i].display();
+  }
+  out += "]";
+  return out;
+}
+
+Ring::Ring(RingKind kind, BlockPtr expression, ScriptPtr script,
+           std::vector<std::string> formals, EnvPtr captured)
+    : kind_(kind),
+      expression_(std::move(expression)),
+      script_(std::move(script)),
+      formals_(std::move(formals)),
+      captured_(std::move(captured)) {}
+
+RingPtr Ring::reporter(BlockPtr expression, std::vector<std::string> formals,
+                       EnvPtr captured) {
+  if (!expression) throw Error("reporter ring requires an expression");
+  return std::make_shared<Ring>(RingKind::Reporter, std::move(expression),
+                                nullptr, std::move(formals),
+                                std::move(captured));
+}
+
+RingPtr Ring::command(ScriptPtr script, std::vector<std::string> formals,
+                      EnvPtr captured) {
+  if (!script) throw Error("command ring requires a script");
+  return std::make_shared<Ring>(RingKind::Command, nullptr, std::move(script),
+                                std::move(formals), std::move(captured));
+}
+
+}  // namespace psnap::blocks

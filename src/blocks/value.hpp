@@ -1,0 +1,191 @@
+// The Snap! value model: numbers, text, booleans, first-class lists, and
+// first-class ringed procedures.
+//
+// Two properties of Snap! values are load-bearing for the paper's parallel
+// blocks and are preserved faithfully here:
+//
+//  * Lists are first-class objects with identity: passing a list passes a
+//    reference, and `add ... to ...` mutates the shared object. They are
+//    1-indexed.
+//  * Procedures ("rings") are first-class closures over a reporter block or
+//    a command script, with either named formal parameters or implicit
+//    empty-slot parameters filled left to right.
+//
+// Value equality follows Snap!: values that look numeric compare
+// numerically, and text comparison is case-insensitive.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace psnap::blocks {
+
+class List;
+class Ring;
+class Block;
+class Script;
+class Environment;
+
+using ListPtr = std::shared_ptr<List>;
+using RingPtr = std::shared_ptr<Ring>;
+using BlockPtr = std::shared_ptr<const Block>;
+using ScriptPtr = std::shared_ptr<const Script>;
+using EnvPtr = std::shared_ptr<Environment>;
+
+/// Discriminator for Value's runtime type.
+enum class ValueKind { Nothing, Number, Boolean, Text, ListRef, RingRef };
+
+/// Human-readable name of a ValueKind (for error messages).
+const char* valueKindName(ValueKind kind);
+
+/// A dynamically typed Snap! value.
+class Value {
+ public:
+  /// The "nothing" value reported by command blocks and empty slots.
+  Value() = default;
+  Value(double number) : v_(number) {}               // NOLINT(runtime/explicit)
+  Value(int number) : v_(double(number)) {}          // NOLINT(runtime/explicit)
+  Value(long number) : v_(double(number)) {}         // NOLINT(runtime/explicit)
+  Value(long long n) : v_(double(n)) {}              // NOLINT(runtime/explicit)
+  Value(size_t number) : v_(double(number)) {}       // NOLINT(runtime/explicit)
+  Value(bool flag) : v_(flag) {}                     // NOLINT(runtime/explicit)
+  Value(std::string text) : v_(std::move(text)) {}   // NOLINT(runtime/explicit)
+  Value(const char* text) : v_(std::string(text)) {} // NOLINT(runtime/explicit)
+  Value(ListPtr list) : v_(std::move(list)) {}       // NOLINT(runtime/explicit)
+  Value(RingPtr ring) : v_(std::move(ring)) {}       // NOLINT(runtime/explicit)
+
+  ValueKind kind() const;
+
+  bool isNothing() const { return kind() == ValueKind::Nothing; }
+  bool isNumber() const { return kind() == ValueKind::Number; }
+  bool isBoolean() const { return kind() == ValueKind::Boolean; }
+  bool isText() const { return kind() == ValueKind::Text; }
+  bool isList() const { return kind() == ValueKind::ListRef; }
+  bool isRing() const { return kind() == ValueKind::RingRef; }
+
+  /// Number coercion per Snap!: numbers pass through, numeric-looking text
+  /// parses, booleans are 1/0, everything else throws TypeError.
+  double asNumber() const;
+
+  /// Integer coercion: asNumber() rounded to nearest; throws on non-finite.
+  long long asInteger() const;
+
+  /// Text coercion: numbers render via strings::formatNumber, booleans as
+  /// "true"/"false", nothing as "". Lists/rings throw TypeError.
+  std::string asText() const;
+
+  /// Boolean coercion: booleans pass through; the texts "true"/"false"
+  /// coerce; everything else throws TypeError.
+  bool asBoolean() const;
+
+  /// List access without copying; throws TypeError for non-lists.
+  const ListPtr& asList() const;
+
+  /// Ring access; throws TypeError for non-rings.
+  const RingPtr& asRing() const;
+
+  /// Snap! `=` semantics: numeric when both sides coerce to numbers,
+  /// case-insensitive text otherwise; lists compare element-wise (deep);
+  /// rings compare by identity.
+  bool equals(const Value& other) const;
+
+  /// Display string as the Snap! UI would show it in a say-bubble or watcher;
+  /// lists render as bracketed element lists.
+  std::string display() const;
+
+  /// True if the value can be sent to a worker (no rings; lists recursively
+  /// cloneable). Mirrors the structured-clone restriction on Web Workers.
+  bool isTransferable() const;
+
+  /// Deep copy for transferring to/from a worker ("structured clone").
+  /// Throws PurityError when !isTransferable().
+  Value structuredClone() const;
+
+ private:
+  std::variant<std::monostate, double, bool, std::string, ListPtr, RingPtr>
+      v_;
+};
+
+/// A first-class, 1-indexed Snap! list with reference semantics (share the
+/// ListPtr to share the object).
+class List {
+ public:
+  List() = default;
+  explicit List(std::vector<Value> items) : items_(std::move(items)) {}
+
+  static ListPtr make() { return std::make_shared<List>(); }
+  static ListPtr make(std::vector<Value> items) {
+    return std::make_shared<List>(std::move(items));
+  }
+
+  size_t length() const { return items_.size(); }
+  bool empty() const { return items_.empty(); }
+
+  /// 1-indexed access; throws IndexError when out of range.
+  const Value& item(size_t index1) const;
+  Value& item(size_t index1);
+
+  void add(Value value) { items_.push_back(std::move(value)); }
+  /// Insert at 1-indexed position (1 = front, length+1 = back).
+  void insertAt(size_t index1, Value value);
+  /// Replace the item at a 1-indexed position.
+  void replaceAt(size_t index1, Value value);
+  /// Remove at 1-indexed position.
+  void removeAt(size_t index1);
+  void clear() { items_.clear(); }
+
+  /// True if any element `equals` the probe (Snap! `contains`).
+  bool contains(const Value& probe) const;
+
+  const std::vector<Value>& items() const { return items_; }
+  std::vector<Value>& items() { return items_; }
+
+  /// Deep structural equality (used by Value::equals).
+  bool deepEquals(const List& other) const;
+
+  /// Deep copy (shared sublists are duplicated).
+  ListPtr deepCopy() const;
+
+  std::string display() const;
+
+ private:
+  std::vector<Value> items_;
+};
+
+/// Whether a ring wraps a reporter expression or a command script.
+enum class RingKind { Reporter, Command };
+
+/// A first-class procedure: a closure over a reporter block or a command
+/// script, its formal parameter names, and the environment captured when
+/// the ring was evaluated (lexical scope).
+class Ring {
+ public:
+  Ring(RingKind kind, BlockPtr expression, ScriptPtr script,
+       std::vector<std::string> formals, EnvPtr captured);
+
+  static RingPtr reporter(BlockPtr expression,
+                          std::vector<std::string> formals = {},
+                          EnvPtr captured = nullptr);
+  static RingPtr command(ScriptPtr script,
+                         std::vector<std::string> formals = {},
+                         EnvPtr captured = nullptr);
+
+  RingKind kind() const { return kind_; }
+  /// Non-null for reporter rings.
+  const BlockPtr& expression() const { return expression_; }
+  /// Non-null for command rings.
+  const ScriptPtr& script() const { return script_; }
+  const std::vector<std::string>& formals() const { return formals_; }
+  const EnvPtr& captured() const { return captured_; }
+
+ private:
+  RingKind kind_;
+  BlockPtr expression_;
+  ScriptPtr script_;
+  std::vector<std::string> formals_;
+  EnvPtr captured_;
+};
+
+}  // namespace psnap::blocks

@@ -1,0 +1,219 @@
+#include "codegen/batch.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "support/error.hpp"
+#include "support/strings.hpp"
+
+namespace psnap::codegen {
+
+const char* jobStateName(JobState state) {
+  switch (state) {
+    case JobState::Pending: return "PENDING";
+    case JobState::Running: return "RUNNING";
+    case JobState::Completed: return "COMPLETED";
+  }
+  return "?";
+}
+
+BatchQueue::BatchQueue(int nodes, bool enableBackfill)
+    : nodes_(nodes), backfill_(enableBackfill) {
+  if (nodes <= 0) throw Error("BatchQueue: cluster needs at least one node");
+}
+
+uint64_t BatchQueue::submit(JobRequest request) {
+  if (request.nodes <= 0 || request.nodes > nodes_) {
+    throw Error("job '" + request.name + "' requests " +
+                std::to_string(request.nodes) + " node(s) on a " +
+                std::to_string(nodes_) + "-node cluster");
+  }
+  if (request.wallSeconds <= 0) {
+    throw Error("job '" + request.name + "' requests non-positive time");
+  }
+  JobStatus status;
+  status.id = nextId_++;
+  status.name = request.name;
+  status.nodes = request.nodes;
+  status.wallSeconds = request.wallSeconds;
+  status.submitTime = now_;
+  jobs_.push_back(status);
+  payloads_.push_back(std::move(request.payload));
+  scheduleReadyJobs();
+  return jobs_.back().id;
+}
+
+int BatchQueue::nodesInUse() const {
+  int used = 0;
+  for (const JobStatus& job : jobs_) {
+    if (job.state == JobState::Running) used += job.nodes;
+  }
+  return used;
+}
+
+size_t BatchQueue::pendingCount() const {
+  return static_cast<size_t>(
+      std::count_if(jobs_.begin(), jobs_.end(), [](const JobStatus& j) {
+        return j.state == JobState::Pending;
+      }));
+}
+
+bool BatchQueue::idle() const {
+  return std::all_of(jobs_.begin(), jobs_.end(), [](const JobStatus& j) {
+    return j.state == JobState::Completed;
+  });
+}
+
+void BatchQueue::scheduleReadyJobs() {
+  // FCFS with EASY backfill: the queue head reserves its start time; a
+  // later job may start now only if it fits the free nodes AND would
+  // finish before the head's reservation (or needs no reserved nodes).
+  int freeNodes = nodes_ - nodesInUse();
+
+  // Find the queue head (oldest pending job).
+  JobStatus* head = nullptr;
+  for (JobStatus& job : jobs_) {
+    if (job.state == JobState::Pending) {
+      head = &job;
+      break;
+    }
+  }
+  if (!head) return;
+
+  auto startJob = [&](JobStatus& job) {
+    job.state = JobState::Running;
+    job.startTime = now_;
+    job.endTime = now_ + job.wallSeconds;
+    freeNodes -= job.nodes;
+    size_t index = static_cast<size_t>(&job - jobs_.data());
+    if (payloads_[index]) {
+      job.output = payloads_[index]();
+      payloads_[index] = nullptr;
+    }
+  };
+
+  // Start the head (and successive heads) while they fit.
+  for (JobStatus& job : jobs_) {
+    if (job.state != JobState::Pending) continue;
+    if (job.nodes <= freeNodes) {
+      startJob(job);
+    } else {
+      head = &job;
+      break;
+    }
+    head = nullptr;
+  }
+  if (!head) return;
+  if (!backfill_) return;  // strict FCFS: nothing passes the head
+
+  // Head blocked: compute its reservation — the earliest time enough
+  // running jobs have finished to free its nodes.
+  std::vector<std::pair<double, int>> releases;
+  for (const JobStatus& job : jobs_) {
+    if (job.state == JobState::Running) {
+      releases.push_back({job.endTime, job.nodes});
+    }
+  }
+  std::sort(releases.begin(), releases.end());
+  double reservation = now_;
+  int available = freeNodes;
+  for (const auto& [time, count] : releases) {
+    if (available >= head->nodes) break;
+    available += count;
+    reservation = time;
+  }
+
+  // Backfill: later pending jobs that fit the free nodes and finish by
+  // the reservation may start now.
+  for (JobStatus& job : jobs_) {
+    if (job.state != JobState::Pending || &job == head) continue;
+    if (job.nodes <= freeNodes &&
+        now_ + job.wallSeconds <= reservation) {
+      startJob(job);
+    }
+  }
+}
+
+void BatchQueue::completeFinishedJobs() {
+  for (JobStatus& job : jobs_) {
+    if (job.state == JobState::Running && job.endTime <= now_) {
+      job.state = JobState::Completed;
+    }
+  }
+}
+
+void BatchQueue::advance(double seconds) {
+  if (seconds < 0) throw Error("BatchQueue::advance: negative time");
+  double target = now_ + seconds;
+  // Step through completion events so scheduling decisions happen at the
+  // right instants.
+  while (true) {
+    double nextEvent = target;
+    for (const JobStatus& job : jobs_) {
+      if (job.state == JobState::Running && job.endTime > now_ &&
+          job.endTime < nextEvent) {
+        nextEvent = job.endTime;
+      }
+    }
+    now_ = nextEvent;
+    completeFinishedJobs();
+    scheduleReadyJobs();
+    if (nextEvent >= target) break;
+  }
+}
+
+double BatchQueue::drain(double maxSeconds) {
+  double start = now_;
+  while (!idle()) {
+    if (now_ - start > maxSeconds) {
+      throw Error("BatchQueue::drain exceeded its time budget");
+    }
+    // Jump to the next completion event.
+    double nextEvent = -1;
+    for (const JobStatus& job : jobs_) {
+      if (job.state == JobState::Running &&
+          (nextEvent < 0 || job.endTime < nextEvent)) {
+        nextEvent = job.endTime;
+      }
+    }
+    if (nextEvent < 0) {
+      throw Error("BatchQueue::drain: pending jobs but nothing running");
+    }
+    advance(nextEvent - now_);
+  }
+  return now_ - start;
+}
+
+const JobStatus& BatchQueue::status(uint64_t id) const {
+  for (const JobStatus& job : jobs_) {
+    if (job.id == id) return job;
+  }
+  throw Error("no job with id " + std::to_string(id));
+}
+
+std::string BatchQueue::render() const {
+  std::string out = "JOBID  NAME              NODES  STATE      START  END\n";
+  char line[160];
+  for (const JobStatus& job : jobs_) {
+    std::snprintf(line, sizeof(line), "%-6llu %-17s %5d  %-9s %6s %6s\n",
+                  (unsigned long long)job.id, job.name.c_str(), job.nodes,
+                  jobStateName(job.state),
+                  job.startTime < 0
+                      ? "-"
+                      : strings::formatNumber(job.startTime).c_str(),
+                  job.endTime < 0
+                      ? "-"
+                      : strings::formatNumber(job.endTime).c_str());
+    out += line;
+  }
+  return out;
+}
+
+JobStatus* BatchQueue::find(uint64_t id) {
+  for (JobStatus& job : jobs_) {
+    if (job.id == id) return &job;
+  }
+  return nullptr;
+}
+
+}  // namespace psnap::codegen

@@ -1,0 +1,90 @@
+// A simulated cluster batch queue (paper Sec. 6.3, future work):
+// "Supercomputers … use sophisticated batch scheduling systems. The Snap!
+// environment can be extended to … submit the job, monitor waiting in the
+// queue until execution, then collect the results and display them to the
+// user."
+//
+// The queue models a cluster with a fixed node count and schedules jobs
+// FCFS with EASY backfill (a smaller job may jump ahead if it cannot
+// delay the queue head), in virtual seconds. A job's payload is an
+// arbitrary callable — typically a Toolchain compile-and-run — executed
+// when the job starts, so the "cluster" really produces the program's
+// output.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace psnap::codegen {
+
+enum class JobState { Pending, Running, Completed };
+
+const char* jobStateName(JobState state);
+
+struct JobRequest {
+  std::string name;
+  int nodes = 1;
+  /// Requested wall time in virtual seconds (the #SBATCH --time analog).
+  double wallSeconds = 60;
+  /// Executed once when the job starts; its return value becomes the
+  /// job's collected output.
+  std::function<std::string()> payload;
+};
+
+struct JobStatus {
+  uint64_t id = 0;
+  std::string name;
+  int nodes = 1;
+  double wallSeconds = 0;
+  JobState state = JobState::Pending;
+  double submitTime = 0;
+  double startTime = -1;
+  double endTime = -1;
+  std::string output;  ///< collected once Completed
+};
+
+class BatchQueue {
+ public:
+  /// A cluster with `nodes` identical nodes. `enableBackfill` selects
+  /// EASY backfill (default) vs. strict FCFS — the A5 scheduler ablation.
+  explicit BatchQueue(int nodes, bool enableBackfill = true);
+
+  int nodes() const { return nodes_; }
+  double now() const { return now_; }
+
+  /// Submit a job; returns its id. Throws Error when the job can never
+  /// run (asks for more nodes than the cluster has, or non-positive
+  /// resources).
+  uint64_t submit(JobRequest request);
+
+  /// Advance virtual time by `seconds`, starting and completing jobs.
+  void advance(double seconds);
+  /// Advance until every submitted job completes; returns the virtual
+  /// time elapsed. Throws Error after `maxSeconds`.
+  double drain(double maxSeconds = 1e9);
+
+  const JobStatus& status(uint64_t id) const;
+  std::vector<JobStatus> jobs() const { return jobs_; }
+  int nodesInUse() const;
+  size_t pendingCount() const;
+  bool idle() const;
+
+  /// A squeue-style listing.
+  std::string render() const;
+
+ private:
+  void scheduleReadyJobs();
+  void completeFinishedJobs();
+  JobStatus* find(uint64_t id);
+
+  int nodes_;
+  bool backfill_;
+  double now_ = 0;
+  uint64_t nextId_ = 1;
+  std::vector<JobStatus> jobs_;
+  std::vector<std::function<std::string()>> payloads_;  // parallel to jobs_
+};
+
+}  // namespace psnap::codegen

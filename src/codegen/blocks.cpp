@@ -1,0 +1,30 @@
+#include "codegen/blocks.hpp"
+
+#include "codegen/translator.hpp"
+#include "support/error.hpp"
+
+namespace psnap::codegen {
+
+using blocks::Value;
+using vm::Context;
+using vm::Process;
+
+void registerCodegenPrimitives(vm::PrimitiveTable& table) {
+  // `map to C` / `map to JavaScript` … — must execute before `code of`
+  // "to set the internal code mapping" (paper Sec. 6.2).
+  table.add("doMapToCode", [](Process& p, Context& c) {
+    const std::string language = c.inputs[0].asText();
+    (void)CodeMapping::byName(language);  // validate now, not at code-of time
+    p.codegenLanguage = language;
+    p.finishCommand();
+  });
+
+  // `code of (ring)` — translates the ring's body for the selected target.
+  table.add("reportMappedCode", [](Process& p, Context& c) {
+    const CodeMapping& mapping = CodeMapping::byName(p.codegenLanguage);
+    Translator translator(mapping, p.registry());
+    p.returnValue(Value(translator.mappedCode(*c.inputs[0].asRing())));
+  });
+}
+
+}  // namespace psnap::codegen

@@ -1,0 +1,13 @@
+// The code-mapping blocks of paper Sec. 6.2: `map to language …` selects
+// the target mapping for the running process, and `code of (ring)` reports
+// the translated text — the "code of" block of Fig. 16.
+#pragma once
+
+#include "vm/process.hpp"
+
+namespace psnap::codegen {
+
+/// Register doMapToCode and reportMappedCode into `table`.
+void registerCodegenPrimitives(vm::PrimitiveTable& table);
+
+}  // namespace psnap::codegen

@@ -1,0 +1,272 @@
+#include "codegen/mapping.hpp"
+
+#include "support/error.hpp"
+#include "support/strings.hpp"
+
+namespace psnap::codegen {
+
+using blocks::Value;
+
+std::string CodeMapping::formatLiteral(const Value& value) const {
+  switch (value.kind()) {
+    case blocks::ValueKind::Nothing:
+      return language == "Python" ? "None"
+             : language == "JavaScript" ? "null"
+                                        : "0";
+    case blocks::ValueKind::Number:
+      return strings::formatNumber(value.asNumber());
+    case blocks::ValueKind::Boolean:
+      if (language == "Python") return value.asBoolean() ? "True" : "False";
+      if (language == "C" || language == "OpenMP C") {
+        return value.asBoolean() ? "1" : "0";
+      }
+      return value.asBoolean() ? "true" : "false";
+    case blocks::ValueKind::Text: {
+      std::string escaped;
+      for (char ch : value.asText()) {
+        if (ch == '"' || ch == '\\') escaped += '\\';
+        if (ch == '\n') {
+          escaped += "\\n";
+          continue;
+        }
+        escaped += ch;
+      }
+      return "\"" + escaped + "\"";
+    }
+    case blocks::ValueKind::ListRef: {
+      const bool cFamily = language == "C" || language == "OpenMP C";
+      std::string out = cFamily ? "{" : "[";
+      const auto& items = value.asList()->items();
+      for (size_t i = 0; i < items.size(); ++i) {
+        if (i != 0) out += ", ";
+        out += formatLiteral(items[i]);
+      }
+      out += cFamily ? "}" : "]";
+      return out;
+    }
+    case blocks::ValueKind::RingRef:
+      throw CodegenError("a ring literal has no textual representation");
+  }
+  return "";
+}
+
+void CodeMapping::setTemplate(const std::string& opcode, std::string text) {
+  templates[opcode] = std::move(text);
+}
+
+bool CodeMapping::hasTemplate(const std::string& opcode) const {
+  return templates.count(opcode) != 0;
+}
+
+const std::string& CodeMapping::getTemplate(const std::string& opcode) const {
+  auto it = templates.find(opcode);
+  if (it == templates.end()) {
+    throw CodegenError("no " + language + " mapping for block " + opcode);
+  }
+  return it->second;
+}
+
+namespace {
+
+/// Templates shared by every C-family mapping (paper Fig. 15 is a portion
+/// of exactly this table).
+void addCommonCFamily(CodeMapping& m) {
+  m.statementSuffix = "";
+  m.lineComment = "//";
+  auto& t = m.templates;
+  // operators
+  t["reportSum"] = "(<#1> + <#2>)";
+  t["reportDifference"] = "(<#1> - <#2>)";
+  t["reportProduct"] = "(<#1> * <#2>)";
+  t["reportQuotient"] = "(<#1> / <#2>)";
+  t["reportModulus"] = "fmod(<#1>, <#2>)";
+  t["reportPower"] = "pow(<#1>, <#2>)";
+  t["reportRound"] = "round(<#1>)";
+  t["reportEquals"] = "(<#1> == <#2>)";
+  t["reportLessThan"] = "(<#1> < <#2>)";
+  t["reportGreaterThan"] = "(<#1> > <#2>)";
+  t["reportAnd"] = "(<#1> && <#2>)";
+  t["reportOr"] = "(<#1> || <#2>)";
+  t["reportNot"] = "(!<#1>)";
+  t["reportIfElse"] = "(<#1> ? <#2> : <#3>)";
+  t["reportIdentity"] = "<#1>";
+  // variables
+  t["reportGetVar"] = "<#1>";
+  t["doSetVar"] = "<#1> = <#2>;";
+  t["doChangeVar"] = "<#1> += <#2>;";
+  t["doDeclareVariables"] = "";  // handled by the declaration emitter
+  // lists (C arrays)
+  t["reportNewList"] = "{<#*>}";
+  t["reportListItem"] = "<#2>[(int)(<#1>) - 1]";
+  t["reportListLength"] = "(sizeof(<#1>)/sizeof(<#1>[0]))";
+  // control
+  t["doRepeat"] = "for (i = 1; i <= <#1>; i++) {\n<#2>\n}";
+  t["doFor"] =
+      "for (int <#1> = (int)(<#2>); <#1> <= (int)(<#3>); <#1>++) "
+      "{\n<#4>\n}";
+  t["doIf"] = "if (<#1>) {\n<#2>\n}";
+  t["doIfElse"] = "if (<#1>) {\n<#2>\n} else {\n<#3>\n}";
+  t["doUntil"] = "while (!(<#1>)) {\n<#2>\n}";
+  t["doForever"] = "while (1) {\n<#1>\n}";
+  t["doForEach"] =
+      "for (int __k = 0; __k < (int)(sizeof(<#2>)/sizeof(<#2>[0])); "
+      "__k++) {\n    double <#1> = <#2>[__k];\n<#3>\n}";
+  t["doWait"] = "sleep((unsigned)(<#1>));";
+  t["doAddToList"] = "append(<#1>, <#2>);";
+  // looks
+  t["bubble"] = "printf(\"%g\\n\", (double)(<#1>));";
+  t["doSayFor"] = "printf(\"%g\\n\", (double)(<#1>)); sleep((unsigned)(<#2>));";
+}
+
+CodeMapping makeC() {
+  CodeMapping m;
+  m.language = "C";
+  addCommonCFamily(m);
+  // Sequential C runs the parallel blocks serially.
+  m.templates["doParallelForEach"] =
+      "for (int __k = 0; __k < (int)(sizeof(<#2>)/sizeof(<#2>[0])); "
+      "__k++) {\n    double <#1> = <#2>[__k];\n<#4>\n}";
+  return m;
+}
+
+CodeMapping makeOpenMP() {
+  CodeMapping m;
+  m.language = "OpenMP C";
+  addCommonCFamily(m);
+  // The payoff of Sec. 6: the parallel block becomes an OpenMP pragma.
+  m.templates["doParallelForEach"] =
+      "#pragma omp parallel for\n"
+      "for (int __k = 0; __k < (int)(sizeof(<#2>)/sizeof(<#2>[0])); "
+      "__k++) {\n    double <#1> = <#2>[__k];\n<#4>\n}";
+  return m;
+}
+
+CodeMapping makeJavaScript() {
+  CodeMapping m;
+  m.language = "JavaScript";
+  m.lineComment = "//";
+  auto& t = m.templates;
+  t["reportSum"] = "(<#1> + <#2>)";
+  t["reportDifference"] = "(<#1> - <#2>)";
+  t["reportProduct"] = "(<#1> * <#2>)";
+  t["reportQuotient"] = "(<#1> / <#2>)";
+  t["reportModulus"] = "(((<#1> % <#2>) + <#2>) % <#2>)";
+  t["reportPower"] = "Math.pow(<#1>, <#2>)";
+  t["reportRound"] = "Math.round(<#1>)";
+  t["reportEquals"] = "(<#1> == <#2>)";
+  t["reportLessThan"] = "(<#1> < <#2>)";
+  t["reportGreaterThan"] = "(<#1> > <#2>)";
+  t["reportAnd"] = "(<#1> && <#2>)";
+  t["reportOr"] = "(<#1> || <#2>)";
+  t["reportNot"] = "(!<#1>)";
+  t["reportIfElse"] = "(<#1> ? <#2> : <#3>)";
+  t["reportIdentity"] = "<#1>";
+  t["reportJoinWords"] = "[<#*>].join(\"\")";
+  t["reportGetVar"] = "<#1>";
+  t["doSetVar"] = "<#1> = <#2>;";
+  t["doChangeVar"] = "<#1> += <#2>;";
+  t["doDeclareVariables"] = "var <#*>;";
+  t["reportNewList"] = "[<#*>]";
+  t["reportListItem"] = "<#2>[(<#1>) - 1]";
+  t["reportListLength"] = "<#1>.length";
+  t["reportMap"] = "<#2>.map(<#1>)";
+  t["reportKeep"] = "<#2>.filter(<#1>)";
+  t["doRepeat"] = "for (let __i = 0; __i < <#1>; __i++) {\n<#2>\n}";
+  t["doFor"] = "for (let <#1> = <#2>; <#1> <= <#3>; <#1>++) {\n<#4>\n}";
+  t["doIf"] = "if (<#1>) {\n<#2>\n}";
+  t["doIfElse"] = "if (<#1>) {\n<#2>\n} else {\n<#3>\n}";
+  t["doUntil"] = "while (!(<#1>)) {\n<#2>\n}";
+  t["doForever"] = "while (true) {\n<#1>\n}";
+  t["doForEach"] = "for (const <#1> of <#2>) {\n<#3>\n}";
+  t["bubble"] = "console.log(<#1>);";
+  t["doAddToList"] = "<#2>.push(<#1>);";
+  t["doWait"] = "// wait <#1> s";
+  t["reifyReporter"] = "function (x) { return <#1>; }";
+  // Paper Listing 1: the block maps onto Parallel.js.
+  t["reportParallelMap"] =
+      "new Parallel(<#2>, {maxWorkers: <#3>}).map(<#1>).data";
+  t["doParallelForEach"] =
+      "<#2>.forEach(function (<#1>) {\n<#4>\n});";
+  return m;
+}
+
+CodeMapping makePython() {
+  CodeMapping m;
+  m.language = "Python";
+  m.lineComment = "#";
+  m.statementSuffix = "";
+  auto& t = m.templates;
+  t["reportSum"] = "(<#1> + <#2>)";
+  t["reportDifference"] = "(<#1> - <#2>)";
+  t["reportProduct"] = "(<#1> * <#2>)";
+  t["reportQuotient"] = "(<#1> / <#2>)";
+  t["reportModulus"] = "(<#1> % <#2>)";
+  t["reportPower"] = "(<#1> ** <#2>)";
+  t["reportRound"] = "round(<#1>)";
+  t["reportEquals"] = "(<#1> == <#2>)";
+  t["reportLessThan"] = "(<#1> < <#2>)";
+  t["reportGreaterThan"] = "(<#1> > <#2>)";
+  t["reportAnd"] = "(<#1> and <#2>)";
+  t["reportOr"] = "(<#1> or <#2>)";
+  t["reportNot"] = "(not <#1>)";
+  t["reportIfElse"] = "(<#2> if <#1> else <#3>)";
+  t["reportIdentity"] = "<#1>";
+  t["reportJoinWords"] = "\"\".join(str(__s) for __s in [<#*>])";
+  t["reportGetVar"] = "<#1>";
+  t["doSetVar"] = "<#1> = <#2>";
+  t["doChangeVar"] = "<#1> += <#2>";
+  t["doDeclareVariables"] = "";
+  t["reportNewList"] = "[<#*>]";
+  t["reportListItem"] = "<#2>[int(<#1>) - 1]";
+  t["reportListLength"] = "len(<#1>)";
+  t["reportMap"] = "[(<#1>)(__e) for __e in <#2>]";
+  t["reportKeep"] = "[__e for __e in <#2> if (<#1>)(__e)]";
+  t["doRepeat"] = "for __i in range(int(<#1>)):\n<#2>";
+  t["doFor"] = "for <#1> in range(int(<#2>), int(<#3>) + 1):\n<#4>";
+  t["doIf"] = "if <#1>:\n<#2>";
+  t["doIfElse"] = "if <#1>:\n<#2>\nelse:\n<#3>";
+  t["doUntil"] = "while not (<#1>):\n<#2>";
+  t["doForever"] = "while True:\n<#1>";
+  t["doForEach"] = "for <#1> in <#2>:\n<#3>";
+  t["bubble"] = "print(<#1>)";
+  t["doAddToList"] = "<#2>.append(<#1>)";
+  t["doWait"] = "time.sleep(<#1>)";
+  t["reifyReporter"] = "lambda x: <#1>";
+  t["reportParallelMap"] =
+      "multiprocessing.Pool(<#3>).map(<#1>, <#2>)";
+  t["doParallelForEach"] = "for <#1> in <#2>:\n<#4>";
+  return m;
+}
+
+}  // namespace
+
+const CodeMapping& CodeMapping::c() {
+  static const CodeMapping m = makeC();
+  return m;
+}
+
+const CodeMapping& CodeMapping::openmpC() {
+  static const CodeMapping m = makeOpenMP();
+  return m;
+}
+
+const CodeMapping& CodeMapping::javascript() {
+  static const CodeMapping m = makeJavaScript();
+  return m;
+}
+
+const CodeMapping& CodeMapping::python() {
+  static const CodeMapping m = makePython();
+  return m;
+}
+
+const CodeMapping& CodeMapping::byName(const std::string& name) {
+  const std::string key = strings::toLower(name);
+  if (key == "c") return c();
+  if (key == "openmp c" || key == "openmp") return openmpC();
+  if (key == "javascript" || key == "js") return javascript();
+  if (key == "python" || key == "py") return python();
+  throw CodegenError("no code mapping for language \"" + name + "\"");
+}
+
+}  // namespace psnap::codegen

@@ -1,0 +1,65 @@
+// Code mappings: Snap!'s experimental block→text translation feature
+// (paper Sec. 6.2, Fig. 15).
+//
+// A CodeMapping holds, per opcode, a template string in which <#1>, <#2>,
+// … mark where the translations of the block's input slots are spliced;
+// all other characters are copied verbatim — exactly the placeholder
+// convention of the paper. Mappings exist for C, OpenMP C, JavaScript,
+// and Python ("Currently, mappings exist for JavaScript, C, Smalltalk,
+// and Python"); users can register additional templates per opcode, the
+// analog of "creating the corresponding mapping block".
+#pragma once
+
+#include <string>
+#include <unordered_map>
+
+#include "blocks/value.hpp"
+
+namespace psnap::codegen {
+
+/// Target-language description driving the translator.
+struct CodeMapping {
+  std::string language;
+
+  /// opcode → template with <#N> placeholders. A missing opcode is a
+  /// CodegenError at translation time.
+  std::unordered_map<std::string, std::string> templates;
+
+  /// Name substituted for an empty slot (the ring's implicit parameter) —
+  /// the `aContext.inputs[0]` parameter name of paper Listing 2.
+  std::string emptySlotName = "x";
+
+  /// Wrap one statement (adds ';' for C-family languages).
+  std::string statementSuffix;
+
+  /// Spaces each nested C-slot body is indented by.
+  int indentWidth = 4;
+
+  /// Comment syntax, used by program emitters.
+  std::string lineComment = "//";
+
+  /// Format a literal value for this language.
+  std::string formatLiteral(const blocks::Value& value) const;
+  /// True if strings are quoted with double quotes (C/JS); Python also
+  /// uses double quotes here for uniformity.
+  bool quoteTexts = true;
+
+  /// Register (or override) the template for an opcode — the user-facing
+  /// extension point ("code mappings for new textual languages can easily
+  /// be specified").
+  void setTemplate(const std::string& opcode, std::string text);
+  bool hasTemplate(const std::string& opcode) const;
+  const std::string& getTemplate(const std::string& opcode) const;
+
+  // Built-in mappings.
+  static const CodeMapping& c();
+  static const CodeMapping& openmpC();
+  static const CodeMapping& javascript();
+  static const CodeMapping& python();
+
+  /// Lookup by name ("C", "OpenMP C", "JavaScript", "Python";
+  /// case-insensitive). Throws CodegenError for unknown languages.
+  static const CodeMapping& byName(const std::string& name);
+};
+
+}  // namespace psnap::codegen

@@ -1,0 +1,67 @@
+// Whole-program emitters for the paper's Section 6 artifacts:
+//
+//   * Listings 3–4: the sequential and OpenMP "hello(ID), world(ID)"
+//     programs.
+//   * Listing 5 / Fig. 16: the map-times-ten script translated to a
+//     complete C program (linked-list append version).
+//   * Listings 6–7 + kvp.h: the MapReduce OpenMP program — the map and
+//     reduce functions generated from the user's rings, plus the driver
+//     with `#pragma omp parallel for` over both phases and the key sort
+//     in between.
+//
+// Each emitter returns the file set ready for the Toolchain to compile
+// and run outside the "browser" — the paper's Fig. 17 workflow.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "blocks/block.hpp"
+#include "codegen/translator.hpp"
+
+namespace psnap::codegen {
+
+/// A generated program: file name → contents. The main file is "main.c".
+using SourceSet = std::map<std::string, std::string>;
+
+/// Listing 3: sequential hello world in C.
+SourceSet helloSequentialC();
+/// Listing 4: the same program with the OpenMP pragma and thread ids.
+SourceSet helloOpenMP();
+
+/// Listing 5: translate `set b to (map (x * factor) over values)` into a
+/// complete C program that appends the mapped values to a linked list and
+/// optionally prints them (printing enabled so the Toolchain run can be
+/// checked against the interpreter's result).
+SourceSet mapProgramC(const std::vector<double>& values, double factor);
+
+/// The same computation with the map loop parallelized by OpenMP.
+SourceSet mapProgramOpenMP(const std::vector<double>& values, double factor);
+
+/// Listings 6–7: the MapReduce OpenMP program. The map ring is translated
+/// into the body of `int map(KVP*, KVP*)` with its blank bound to
+/// `in->val`; the reduce ring into `int reduce(...)` over one key group's
+/// value array (`a`, `count`). Emits kvp.h, mapreduce.c, and main.c.
+///
+/// Supported reduce-ring shapes: compositions of combine-with-(+/*/min-
+/// max-style binary rings), `length of`, arithmetic, and `item 1 of` over
+/// the values list. Anything else raises CodegenError.
+SourceSet mapReduceOpenMP(const blocks::RingPtr& mapRing,
+                          const blocks::RingPtr& reduceRing);
+
+/// The kvp.h header shared by MapReduce programs (paper Listing 6's
+/// include).
+std::string kvpHeader();
+
+/// A Makefile for a generated source set (the paper's future-work item:
+/// "automating the compilation and linking of the textual output").
+std::string makefileFor(const SourceSet& sources, bool openmp,
+                        const std::string& target = "program");
+
+/// An outline batch-submission script for running the generated binary on
+/// a cluster (future work: "generate an outline of the batch submission
+/// script").
+std::string slurmScriptFor(const std::string& binary, int nodes,
+                           int tasksPerNode, const std::string& jobName);
+
+}  // namespace psnap::codegen

@@ -1,0 +1,100 @@
+#include "codegen/toolchain.hpp"
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "support/error.hpp"
+#include "support/strings.hpp"
+
+namespace psnap::codegen {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+std::string readFile(const fs::path& path) {
+  std::ifstream in(path);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+int runShell(const std::string& command) { return std::system(command.c_str()); }
+
+}  // namespace
+
+Toolchain::Toolchain(fs::path directory) : dir_(std::move(directory)) {
+  if (dir_.empty()) {
+    dir_ = fs::temp_directory_path() / "psnap-codegen";
+    static int counter = 0;
+    dir_ /= "work-" + std::to_string(::getpid()) + "-" +
+            std::to_string(counter++);
+  }
+  fs::create_directories(dir_);
+}
+
+bool Toolchain::compilerAvailable() {
+  static const bool available =
+      runShell("gcc --version > /dev/null 2>&1") == 0;
+  return available;
+}
+
+void Toolchain::writeSources(const SourceSet& sources) {
+  for (const auto& [name, contents] : sources) {
+    std::ofstream out(dir_ / name);
+    if (!out) throw CodegenError("cannot write " + (dir_ / name).string());
+    out << contents;
+  }
+}
+
+fs::path Toolchain::compile(const SourceSet& sources,
+                            const std::string& binaryName, bool openmp) {
+  if (!compilerAvailable()) {
+    throw CodegenError("no C compiler available on this host");
+  }
+  writeSources(sources);
+  const fs::path binary = dir_ / binaryName;
+  const fs::path log = dir_ / (binaryName + ".compile.log");
+  std::string command = "cd '" + dir_.string() + "' && gcc -O2 -Wall";
+  if (openmp) command += " -fopenmp";
+  for (const auto& [name, contents] : sources) {
+    if (strings::endsWith(name, ".c")) command += " " + name;
+  }
+  command += " -o " + binaryName + " -lm > '" + log.string() + "' 2>&1";
+  if (runShell(command) != 0) {
+    throw CodegenError("compilation failed:\n" + readFile(log));
+  }
+  return binary;
+}
+
+RunResult Toolchain::run(const fs::path& binary, const std::string& stdinText,
+                         const std::string& envPrefix) {
+  const fs::path outFile = dir_ / (binary.filename().string() + ".out");
+  const fs::path inFile = dir_ / (binary.filename().string() + ".in");
+  {
+    std::ofstream in(inFile);
+    in << stdinText;
+  }
+  std::string command;
+  if (!envPrefix.empty()) command += envPrefix + " ";
+  command += "'" + binary.string() + "' < '" + inFile.string() + "' > '" +
+             outFile.string() + "' 2>&1";
+  RunResult result;
+  int status = runShell(command);
+  result.exitCode = status;
+  result.output = readFile(outFile);
+  return result;
+}
+
+RunResult Toolchain::compileAndRun(const SourceSet& sources,
+                                   const std::string& binaryName, bool openmp,
+                                   const std::string& stdinText,
+                                   const std::string& envPrefix) {
+  return run(compile(sources, binaryName, openmp), stdinText, envPrefix);
+}
+
+}  // namespace psnap::codegen

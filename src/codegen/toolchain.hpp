@@ -1,0 +1,55 @@
+// The compile-and-run half of the paper's Fig. 17 workflow: generated
+// text is written to disk, compiled with gcc (optionally with -fopenmp),
+// and executed, with stdout captured — "the text file is then compiled and
+// linked against an OpenMP run time to produce a parallel program".
+#pragma once
+
+#include <filesystem>
+#include <string>
+
+#include "codegen/programs.hpp"
+
+namespace psnap::codegen {
+
+struct RunResult {
+  int exitCode = -1;
+  std::string output;  ///< captured stdout
+};
+
+class Toolchain {
+ public:
+  /// Work in `directory` (created if missing); a unique temp directory is
+  /// created when the path is empty.
+  explicit Toolchain(std::filesystem::path directory = {});
+
+  const std::filesystem::path& directory() const { return dir_; }
+
+  /// True when a usable C compiler is on PATH.
+  static bool compilerAvailable();
+
+  /// Write the source set into the work directory.
+  void writeSources(const SourceSet& sources);
+
+  /// Compile every .c file in the source set into `binaryName`.
+  /// Throws CodegenError with the compiler diagnostics on failure.
+  std::filesystem::path compile(const SourceSet& sources,
+                                const std::string& binaryName,
+                                bool openmp);
+
+  /// Run a binary with optional stdin text and environment prefix (e.g.
+  /// "OMP_NUM_THREADS=4"), capturing stdout.
+  RunResult run(const std::filesystem::path& binary,
+                const std::string& stdinText = "",
+                const std::string& envPrefix = "");
+
+  /// One-call pipeline: write, compile, run.
+  RunResult compileAndRun(const SourceSet& sources,
+                          const std::string& binaryName, bool openmp,
+                          const std::string& stdinText = "",
+                          const std::string& envPrefix = "");
+
+ private:
+  std::filesystem::path dir_;
+};
+
+}  // namespace psnap::codegen

@@ -1,0 +1,232 @@
+#include "codegen/translator.hpp"
+
+#include <functional>
+#include <unordered_map>
+
+#include "support/error.hpp"
+#include "support/strings.hpp"
+
+namespace psnap::codegen {
+
+using blocks::Block;
+using blocks::BlockRegistry;
+using blocks::Input;
+using blocks::InputKind;
+using blocks::Ring;
+using blocks::RingKind;
+using blocks::Script;
+using blocks::SlotKind;
+using blocks::Value;
+
+const char* cTypeName(CType type) {
+  switch (type) {
+    case CType::Double: return "double";
+    case CType::Int: return "int";
+    case CType::Bool: return "int";
+    case CType::Text: return "const char *";
+    case CType::DoubleArray: return "double";  // declared with []
+    case CType::Unknown: return "double";
+  }
+  return "double";
+}
+
+CType inferInputType(const Input& input) {
+  switch (input.kind()) {
+    case InputKind::Literal:
+      switch (input.literalValue().kind()) {
+        case blocks::ValueKind::Number: {
+          double n = input.literalValue().asNumber();
+          return n == static_cast<long long>(n) ? CType::Int : CType::Double;
+        }
+        case blocks::ValueKind::Boolean: return CType::Bool;
+        case blocks::ValueKind::Text: return CType::Text;
+        case blocks::ValueKind::ListRef: return CType::DoubleArray;
+        default: return CType::Unknown;
+      }
+    case InputKind::BlockExpr:
+      return inferType(*input.block());
+    default:
+      return CType::Unknown;
+  }
+}
+
+CType inferType(const Block& block) {
+  static const std::unordered_map<std::string, CType> byOpcode = {
+      {"reportSum", CType::Double},      {"reportDifference", CType::Double},
+      {"reportProduct", CType::Double},  {"reportQuotient", CType::Double},
+      {"reportModulus", CType::Double},  {"reportPower", CType::Double},
+      {"reportRound", CType::Int},       {"reportMonadic", CType::Double},
+      {"reportRandom", CType::Double},   {"reportEquals", CType::Bool},
+      {"reportLessThan", CType::Bool},   {"reportGreaterThan", CType::Bool},
+      {"reportAnd", CType::Bool},        {"reportOr", CType::Bool},
+      {"reportNot", CType::Bool},        {"reportJoinWords", CType::Text},
+      {"reportLetter", CType::Text},     {"reportStringSize", CType::Int},
+      {"reportListLength", CType::Int},  {"reportNewList", CType::DoubleArray},
+      {"reportNumbers", CType::DoubleArray},
+      {"reportSorted", CType::DoubleArray},
+      {"reportMap", CType::DoubleArray},
+      {"reportParallelMap", CType::DoubleArray},
+      {"reportListItem", CType::Double},
+      {"getTimer", CType::Double},
+  };
+  auto it = byOpcode.find(block.opcode());
+  if (it != byOpcode.end()) return it->second;
+  if (block.opcode() == "reportIfElse" && block.arity() == 3) {
+    return inferInputType(block.input(1));
+  }
+  return CType::Unknown;
+}
+
+Translator::Translator(const CodeMapping& mapping,
+                       const BlockRegistry& registry)
+    : mapping_(&mapping), registry_(&registry) {}
+
+std::string Translator::renderInput(const Input& input) const {
+  switch (input.kind()) {
+    case InputKind::Literal:
+      return mapping_->formatLiteral(input.literalValue());
+    case InputKind::BlockExpr:
+      return mappedCode(*input.block());
+    case InputKind::ScriptSlot:
+      return strings::indent(mappedCode(*input.script()),
+                             mapping_->indentWidth);
+    case InputKind::Empty:
+      return mapping_->emptySlotName;
+    case InputKind::Collapsed:
+      return mapping_->formatLiteral(Value());
+  }
+  return "";
+}
+
+std::string Translator::substitute(const std::string& text,
+                                   const Block& block) const {
+  // Variable slots render as bare identifiers rather than quoted strings.
+  const blocks::BlockSpec* spec = registry_->find(block.opcode());
+  auto renderAt = [&](size_t index) -> std::string {
+    const Input& input = block.input(index);
+    if (spec && index < spec->slots.size() &&
+        spec->slots[index].kind == SlotKind::Variable &&
+        input.isLiteral()) {
+      return input.literalValue().asText();
+    }
+    return renderInput(input);
+  };
+
+  std::string out;
+  size_t i = 0;
+  while (i < text.size()) {
+    if (text.compare(i, 2, "<#") != 0) {
+      out += text[i++];
+      continue;
+    }
+    size_t end = text.find('>', i);
+    if (end == std::string::npos) {
+      out += text.substr(i);
+      break;
+    }
+    const std::string token = text.substr(i + 2, end - i - 2);
+    i = end + 1;
+    if (token == "*") {
+      // Splice all inputs (used by variadic slots).
+      for (size_t k = 0; k < block.arity(); ++k) {
+        if (k != 0) out += ", ";
+        out += renderAt(k);
+      }
+      continue;
+    }
+    size_t index = 0;
+    try {
+      index = static_cast<size_t>(std::stoul(token));
+    } catch (...) {
+      throw CodegenError("bad placeholder <#" + token + "> in template for " +
+                         block.opcode());
+    }
+    if (index == 0 || index > block.arity()) {
+      throw CodegenError("placeholder <#" + token + "> out of range for " +
+                         block.opcode() + " with " +
+                         std::to_string(block.arity()) + " inputs");
+    }
+    out += renderAt(index - 1);
+  }
+  return out;
+}
+
+std::string Translator::mappedCode(const Block& block) const {
+  // Rings translate to their body (Listing 2 translates the ringed
+  // expression, not the ring wrapper), unless the language maps rings to
+  // first-class functions (JavaScript/Python lambdas).
+  if (block.opcode() == "reifyReporter" &&
+      !mapping_->hasTemplate("reifyReporter")) {
+    if (block.arity() == 0 || block.input(0).isEmpty()) {
+      return mapping_->emptySlotName;
+    }
+    return renderInput(block.input(0));
+  }
+  return substitute(mapping_->getTemplate(block.opcode()), block);
+}
+
+std::string Translator::mappedCode(const Script& script) const {
+  std::vector<std::string> lines;
+  for (const blocks::BlockPtr& block : script.blocks()) {
+    std::string code = mappedCode(*block);
+    if (code.empty()) continue;  // e.g. declaration blocks handled apart
+    lines.push_back(code + mapping_->statementSuffix);
+  }
+  return strings::join(lines, "\n");
+}
+
+std::string Translator::mappedCode(const Ring& ring) const {
+  if (ring.kind() == RingKind::Reporter) {
+    std::string body = mappedCode(*ring.expression());
+    // Languages with first-class functions wrap the body in a lambda
+    // (their reifyReporter template); C-family targets emit the bare
+    // expression, exactly like Listing 2's mappedCode().
+    if (mapping_->hasTemplate("reifyReporter")) {
+      return strings::replaceAll(mapping_->getTemplate("reifyReporter"),
+                                 "<#1>", body);
+    }
+    return body;
+  }
+  return mappedCode(*ring.script());
+}
+
+std::string Translator::declarationsFor(const Script& script) const {
+  // Find every declared name and the type of its first assignment.
+  std::vector<std::string> names;
+  std::unordered_map<std::string, CType> types;
+  std::function<void(const Script&)> walk = [&](const Script& s) {
+    for (const blocks::BlockPtr& block : s.blocks()) {
+      if (block->opcode() == "doDeclareVariables") {
+        for (const Input& input : block->inputs()) {
+          names.push_back(input.literalValue().asText());
+        }
+      }
+      if (block->opcode() == "doSetVar" && block->arity() == 2 &&
+          block->input(0).isLiteral()) {
+        const std::string name = block->input(0).literalValue().asText();
+        if (types.count(name) == 0) {
+          types[name] = inferInputType(block->input(1));
+        }
+      }
+      for (const Input& input : block->inputs()) {
+        if (input.isScript()) walk(*input.script());
+      }
+    }
+  };
+  walk(script);
+
+  std::string out;
+  for (const std::string& name : names) {
+    CType type = types.count(name) ? types[name] : CType::Unknown;
+    if (type == CType::DoubleArray) {
+      // Array declarations need an initializer; emitters splice it.
+      out += "double " + name + "[]";
+    } else {
+      out += std::string(cTypeName(type)) + " " + name;
+    }
+    out += ";\n";
+  }
+  return out;
+}
+
+}  // namespace psnap::codegen

@@ -1,0 +1,70 @@
+// The block→text translator: Snap!'s `mappedCode()` (paper Sec. 6.2).
+//
+// Translation is recursive template substitution: the template for a
+// block's opcode is fetched from the CodeMapping and each <#N> placeholder
+// is replaced by the translation of input slot N (which may itself be a
+// nested block — "the value substituted for a particular placeholder may
+// itself have resulted from the translation of a nested block"). <#*>
+// splices all remaining (variadic) inputs joined with ", ".
+//
+// Slot-kind awareness comes from the BlockRegistry: Variable slots render
+// as bare identifiers, C-slots as indented statement sequences, empty
+// slots as the mapping's implicit-parameter name, literals through the
+// mapping's literal formatter.
+//
+// The module also implements the dynamic→static type mapping the paper
+// lists as required for generating correct source code (Sec. 6.3): a
+// bottom-up type inference over reporter expressions, used to emit C
+// declarations for `script variables`.
+#pragma once
+
+#include <string>
+
+#include "blocks/block.hpp"
+#include "blocks/registry.hpp"
+#include "codegen/mapping.hpp"
+
+namespace psnap::codegen {
+
+/// Inferred static type of an expression (the dynamic→static mapping).
+enum class CType { Double, Int, Bool, Text, DoubleArray, Unknown };
+
+/// C spelling of an inferred type.
+const char* cTypeName(CType type);
+
+/// Infer the static type of a reporter expression bottom-up by opcode.
+CType inferType(const blocks::Block& block);
+/// Infer the type of an input slot (literals by value kind).
+CType inferInputType(const blocks::Input& input);
+
+class Translator {
+ public:
+  explicit Translator(const CodeMapping& mapping,
+                      const blocks::BlockRegistry& registry =
+                          blocks::BlockRegistry::standard());
+
+  const CodeMapping& mapping() const { return *mapping_; }
+
+  /// Translate a single block (reporter or command).
+  std::string mappedCode(const blocks::Block& block) const;
+  /// Translate a script: one statement per line.
+  std::string mappedCode(const blocks::Script& script) const;
+  /// Translate a ring by translating its body with blanks replaced by the
+  /// mapping's implicit-parameter name (Listing 2's
+  /// `aContext.expression.mappedCode()`).
+  std::string mappedCode(const blocks::Ring& ring) const;
+
+  /// Emit C declarations for every `script variables` block in `script`,
+  /// using type inference over the first assignment to each name.
+  std::string declarationsFor(const blocks::Script& script) const;
+
+ private:
+  std::string renderInput(const blocks::Input& input) const;
+  std::string substitute(const std::string& text,
+                         const blocks::Block& block) const;
+
+  const CodeMapping* mapping_;
+  const blocks::BlockRegistry* registry_;
+};
+
+}  // namespace psnap::codegen

@@ -1,0 +1,224 @@
+#include "core/parallel_blocks.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "core/pure_eval.hpp"
+#include "mapreduce/engine.hpp"
+#include "support/error.hpp"
+#include "vm/host.hpp"
+
+namespace psnap::core {
+
+using blocks::Block;
+using blocks::Input;
+using blocks::List;
+using blocks::ListPtr;
+using blocks::RingPtr;
+using blocks::Value;
+using vm::Context;
+using vm::Process;
+
+namespace {
+
+/// State stashed in the context across yields for doParallelForEach.
+struct ForEachJob {
+  std::vector<std::shared_ptr<const vm::ProcessStatus>> statuses;
+  std::vector<vm::SpriteApi*> clones;
+};
+
+/// Resolve the optional worker/parallelism slot: collapsed or blank means
+/// "use the default".
+bool slotIsDefault(const Context& c, size_t index) {
+  return c.isCollapsed(index) || c.inputs[index].isNothing() ||
+         (c.inputs[index].isText() && c.inputs[index].asText().empty());
+}
+
+// ---------------------------------------------------------------------------
+// reportParallelMap — the faithful translation of paper Listing 2.
+// ---------------------------------------------------------------------------
+void parallelMapHandler(Process& p, Context& c, ParallelBlockOptions opts) {
+  // First invocation: all three declared inputs are evaluated; build the
+  // function, create the Parallel job, stash it, and yield.
+  if (!c.state) {
+    const RingPtr& ring = c.inputs[0].asRing();
+    const ListPtr& list = c.inputs[1].asList();
+    size_t workerCount = slotIsDefault(c, 2)
+                             ? p.host().maxWorkers()
+                             : static_cast<size_t>(std::max<long long>(
+                                   1, c.inputs[2].asInteger()));
+    // body = 'return ' + expression.mappedCode(); — here: compile the
+    // ring into a thread-safe pure function.
+    auto fn = compileUnary(ring, p.registry());
+    auto job = std::make_shared<workers::Parallel>(
+        list, workers::ParallelOptions{.maxWorkers = workerCount,
+                                       .distribution = opts.distribution,
+                                       .chunkSize = opts.chunkSize});
+    job->map(fn);
+    c.state = job;
+    // this.pushContext('doYield'); this.pushContext();
+    p.retryAfterYield(c);
+    return;
+  }
+  // Subsequent invocations: check whether the workers are done; if so,
+  // return the resulting array.
+  auto job = std::static_pointer_cast<workers::Parallel>(c.state);
+  if (!job->resolved()) {
+    p.retryAfterYield(c);
+    return;
+  }
+  if (job->failed()) {
+    throw Error("parallel map failed: " + job->errorMessage());
+  }
+  p.returnValue(Value(List::make(job->data())));
+}
+
+// ---------------------------------------------------------------------------
+// doParallelForEach — clones pouring in parallel (Fig. 8–10).
+// ---------------------------------------------------------------------------
+void parallelForEachHandler(Process& p, Context& c) {
+  // Non-strict: evaluate var name, list, and the optional parallelism slot.
+  if (c.inputs.size() < 3) {
+    p.evalInput(c, c.inputs.size());
+    return;
+  }
+
+  // Sequential mode: the parallelism slot is collapsed (Fig. 8b). Behave
+  // exactly like forEach: the single sprite serves every item in turn.
+  if (c.isCollapsed(2)) {
+    const ListPtr& list = c.inputs[1].asList();
+    if (static_cast<size_t>(c.counter) >= list->length()) {
+      p.finishCommand();
+      return;
+    }
+    if (c.phase == 1) {
+      c.phase = 0;
+      p.retryAfterYield(c);
+      return;
+    }
+    ++c.counter;
+    c.phase = 1;
+    auto frame = blocks::Environment::make(c.env);
+    frame->declare(c.inputs[0].asText(),
+                   list->item(static_cast<size_t>(c.counter)));
+    p.pushScript(c.block->input(3).script().get(), frame);
+    return;
+  }
+
+  // Parallel mode.
+  if (!c.state) {
+    const std::string varName = c.inputs[0].asText();
+    const ListPtr& list = c.inputs[1].asList();
+    const size_t n = list->length();
+    if (n == 0) {
+      p.finishCommand();
+      return;
+    }
+    // "If empty, it defaults to the length of the input list."
+    size_t clones = c.inputs[2].isNothing()
+                        ? n
+                        : static_cast<size_t>(std::max<long long>(
+                              1, c.inputs[2].asInteger()));
+    clones = std::min(clones, n);
+
+    auto job = std::make_shared<ForEachJob>();
+    for (size_t j = 0; j < clones; ++j) {
+      // Round-robin distribution: clone j serves items j+1, j+1+k, …
+      auto chunk = List::make();
+      for (size_t i = j + 1; i <= n; i += clones) {
+        chunk->add(list->item(i));
+      }
+      // The system spawns clones of the sprite to serve the items.
+      vm::SpriteApi* clone = p.host().makeClone(p.sprite(), "");
+      if (clone) job->clones.push_back(clone);
+
+      // Driver: run the body for each item of the chunk, then remove the
+      // clone.
+      auto driver = Block::make(
+          "__foreachDriver",
+          {Input(Value(varName)), Input(Value(chunk)),
+           Input(c.block->input(3).script())});
+      auto script = blocks::Script::make(
+          {driver, Block::make("removeClone")});
+      auto env = blocks::Environment::make(c.env);
+      job->statuses.push_back(
+          p.host().launchScript(script, env, clone ? clone : p.sprite()));
+    }
+    c.state = job;
+    p.retryAfterYield(c);
+    return;
+  }
+
+  // Poll the clone processes.
+  auto job = std::static_pointer_cast<ForEachJob>(c.state);
+  for (const auto& status : job->statuses) {
+    if (!status->done) {
+      p.retryAfterYield(c);
+      return;
+    }
+  }
+  for (const auto& status : job->statuses) {
+    if (status->errored) {
+      throw Error("parallel forEach clone failed: " + status->error);
+    }
+  }
+  p.finishCommand();
+}
+
+// ---------------------------------------------------------------------------
+// reportMapReduce — Fig. 11/13.
+// ---------------------------------------------------------------------------
+void mapReduceHandler(Process& p, Context& c) {
+  if (!c.state) {
+    const RingPtr& mapRing = c.inputs[0].asRing();
+    const RingPtr& reduceRing = c.inputs[1].asRing();
+    const ListPtr& list = c.inputs[2].asList();
+    auto mapFn = compileUnary(mapRing, p.registry());
+    auto reduceCompiled = compileRing(reduceRing, p.registry());
+    mr::ReduceFn reduceFn = [reduceCompiled](const ListPtr& values) {
+      return reduceCompiled({Value(values)});
+    };
+    auto job = std::make_shared<mr::Job>(
+        list, mapFn, reduceFn,
+        mr::Options{.workers = p.host().maxWorkers()});
+    c.state = job;
+    p.retryAfterYield(c);
+    return;
+  }
+  auto job = std::static_pointer_cast<mr::Job>(c.state);
+  if (!job->resolved()) {
+    p.retryAfterYield(c);
+    return;
+  }
+  if (job->failed()) {
+    throw Error("mapReduce failed: " + job->errorMessage());
+  }
+  p.returnValue(Value(job->result()));
+}
+
+}  // namespace
+
+void registerParallelPrimitives(vm::PrimitiveTable& table,
+                                ParallelBlockOptions options) {
+  table.add("reportParallelMap", [options](Process& p, Context& c) {
+    parallelMapHandler(p, c, options);
+  });
+  table.add("doParallelForEach", parallelForEachHandler);
+  table.add("reportMapReduce", mapReduceHandler);
+  // The per-clone chunk driver shares doForEach's iteration logic.
+  const vm::Handler* forEach = table.find("doForEach");
+  if (!forEach) {
+    throw BlockError(
+        "registerParallelPrimitives requires the standard palette");
+  }
+  table.add("__foreachDriver", *forEach);
+}
+
+vm::PrimitiveTable fullPrimitiveTable(ParallelBlockOptions options) {
+  vm::PrimitiveTable table = vm::PrimitiveTable::standard();
+  registerParallelPrimitives(table, options);
+  return table;
+}
+
+}  // namespace psnap::core

@@ -1,0 +1,38 @@
+// The paper's contribution: the parallelMap, parallelForEach, and
+// mapReduce blocks (Sections 3–4), as interpreter primitives.
+//
+//   * reportParallelMap — Fig. 5 / Listing 2: compiles the ring to a pure
+//     function, ships it to a Parallel job over real worker threads, and
+//     polls for completion from the cooperative scheduler's yield loop.
+//     The optional workers slot defaults to the host's worker width
+//     (`aCount || navigator.hardwareConcurrency || 4`).
+//   * doParallelForEach — Fig. 8–10: in parallel mode, spawns sprite
+//     clones that each run the C-slot body over a share of the list
+//     *concurrently on the cooperative scheduler* (the pedagogical
+//     visualization: three Pitcher clones pouring at once); the collapsed
+//     mode runs the body sequentially like forEach.
+//   * reportMapReduce — Fig. 11–13: compiles both rings and runs the
+//     MapReduce engine on a background thread, polling for completion.
+#pragma once
+
+#include "vm/process.hpp"
+#include "workers/parallel.hpp"
+
+namespace psnap::core {
+
+/// Tuning for the parallel blocks (ablation A2 of DESIGN.md).
+struct ParallelBlockOptions {
+  workers::Distribution distribution = workers::Distribution::Dynamic;
+  size_t chunkSize = 1;
+};
+
+/// Register reportParallelMap, doParallelForEach, reportMapReduce, and the
+/// internal __foreachDriver into `table`.
+void registerParallelPrimitives(vm::PrimitiveTable& table,
+                                ParallelBlockOptions options = {});
+
+/// A PrimitiveTable with both the standard palette and the parallel
+/// blocks — the table a full psnap environment runs with.
+vm::PrimitiveTable fullPrimitiveTable(ParallelBlockOptions options = {});
+
+}  // namespace psnap::core

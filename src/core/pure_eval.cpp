@@ -1,0 +1,455 @@
+#include "core/pure_eval.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/error.hpp"
+#include "support/strings.hpp"
+
+namespace psnap::core {
+
+using blocks::Block;
+using blocks::BlockPtr;
+using blocks::BlockRegistry;
+using blocks::Input;
+using blocks::InputKind;
+using blocks::List;
+using blocks::ListPtr;
+using blocks::Ring;
+using blocks::RingKind;
+using blocks::RingPtr;
+using blocks::Value;
+
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+/// One pure call frame: the ring being applied and its arguments. Frames
+/// nest when a ring body calls another ring (combine, map, evaluate), so
+/// inner bodies still see outer formals.
+struct PureFrame {
+  const Ring* ring = nullptr;
+  const std::vector<Value>* args = nullptr;
+  const PureFrame* parent = nullptr;
+  const std::unordered_map<std::string, Value>* captured = nullptr;
+};
+
+Value evalPure(const Block& block, const PureFrame& frame);
+
+Value evalInput(const Input& input, const PureFrame& frame) {
+  switch (input.kind()) {
+    case InputKind::Literal:
+      return input.literalValue();
+    case InputKind::BlockExpr:
+      return evalPure(*input.block(), frame);
+    case InputKind::Empty: {
+      // Resolve the blank against the innermost frame whose ring body
+      // contains it.
+      for (const PureFrame* f = &frame; f; f = f->parent) {
+        if (!f->ring) continue;
+        size_t ordinal;
+        try {
+          ordinal = blocks::emptySlotOrdinal(*f->ring, &input);
+        } catch (const BlockError&) {
+          continue;  // slot belongs to an outer ring
+        }
+        const std::vector<Value>& args = *f->args;
+        if (args.empty()) {
+          throw Error("empty slot with no arguments in worker code");
+        }
+        if (args.size() == 1) return args[0];
+        if (ordinal >= args.size()) {
+          throw Error("not enough arguments for empty slots in worker code");
+        }
+        return args[ordinal];
+      }
+      throw Error("empty slot outside of any ring in worker code");
+    }
+    case InputKind::Collapsed:
+      return Value();
+    case InputKind::ScriptSlot:
+      throw PurityError("command scripts cannot run inside a worker");
+  }
+  return Value();
+}
+
+Value lookupVariable(const std::string& name, const PureFrame& frame) {
+  for (const PureFrame* f = &frame; f; f = f->parent) {
+    if (f->ring) {
+      const auto& formals = f->ring->formals();
+      for (size_t i = 0; i < formals.size(); ++i) {
+        if (formals[i] == name) {
+          return i < f->args->size() ? (*f->args)[i] : Value();
+        }
+      }
+    }
+    if (f->captured) {
+      auto it = f->captured->find(name);
+      if (it != f->captured->end()) return it->second;
+    }
+  }
+  throw Error("variable '" + name + "' is not visible inside worker code");
+}
+
+/// Call a ring value from within pure code (combine / map / evaluate).
+Value callPureRing(const RingPtr& ring, std::vector<Value> args,
+                   const PureFrame& caller) {
+  if (ring->kind() != RingKind::Reporter) {
+    throw PurityError("command rings cannot run inside a worker");
+  }
+  PureFrame frame;
+  frame.ring = ring.get();
+  frame.args = &args;
+  frame.parent = &caller;
+  return evalPure(*ring->expression(), frame);
+}
+
+bool looksNumeric(const Value& v) {
+  if (v.isNumber()) return true;
+  if (!v.isText()) return false;
+  double out;
+  return psnap::strings::parseNumber(v.asText(), out);
+}
+
+bool lessThanValues(const Value& a, const Value& b) {
+  if (looksNumeric(a) && looksNumeric(b)) return a.asNumber() < b.asNumber();
+  return psnap::strings::toLower(a.display()) <
+         psnap::strings::toLower(b.display());
+}
+
+Value evalPure(const Block& block, const PureFrame& frame) {
+  const std::string& op = block.opcode();
+
+  // Variable access and ring construction need the frame, so handle them
+  // before generic input evaluation.
+  if (op == "reportGetVar") {
+    return lookupVariable(block.input(0).literalValue().asText(), frame);
+  }
+  if (op == "reifyReporter") {
+    BlockPtr expression;
+    if (block.arity() == 0 || block.input(0).isEmpty()) {
+      static const BlockPtr identityTemplate =
+          Block::make("reportIdentity", {Input::empty()});
+      expression = identityTemplate;
+    } else if (block.input(0).isLiteral()) {
+      expression = Block::make("reportIdentity",
+                               {Input(block.input(0).literalValue())});
+    } else {
+      expression = block.input(0).block();
+    }
+    std::vector<std::string> formals;
+    for (size_t i = 1; i < block.arity(); ++i) {
+      formals.push_back(block.input(i).literalValue().asText());
+    }
+    // The returned ring carries no captured environment; name resolution
+    // happens through the PureFrame chain when it is called immediately
+    // (combine/map/evaluate). Escaping rings lose their defining frame.
+    return Value(Ring::reporter(expression, std::move(formals)));
+  }
+
+  // Strictly evaluate all inputs.
+  std::vector<Value> in;
+  in.reserve(block.arity());
+  for (const Input& input : block.inputs()) {
+    in.push_back(evalInput(input, frame));
+  }
+
+  // --- arithmetic -----------------------------------------------------------
+  if (op == "reportSum") return Value(in[0].asNumber() + in[1].asNumber());
+  if (op == "reportDifference") {
+    return Value(in[0].asNumber() - in[1].asNumber());
+  }
+  if (op == "reportProduct") {
+    return Value(in[0].asNumber() * in[1].asNumber());
+  }
+  if (op == "reportQuotient") {
+    double d = in[1].asNumber();
+    if (d == 0) throw Error("division by zero");
+    return Value(in[0].asNumber() / d);
+  }
+  if (op == "reportModulus") {
+    double d = in[1].asNumber();
+    if (d == 0) throw Error("modulus by zero");
+    double r = std::fmod(in[0].asNumber(), d);
+    if (r != 0 && ((r < 0) != (d < 0))) r += d;
+    return Value(r);
+  }
+  if (op == "reportPower") {
+    return Value(std::pow(in[0].asNumber(), in[1].asNumber()));
+  }
+  if (op == "reportRound") return Value(std::round(in[0].asNumber()));
+  if (op == "reportMonadic") {
+    const std::string fn = psnap::strings::toLower(in[0].asText());
+    const double x = in[1].asNumber();
+    if (fn == "sqrt") {
+      if (x < 0) throw Error("sqrt of a negative number");
+      return Value(std::sqrt(x));
+    }
+    if (fn == "abs") return Value(std::fabs(x));
+    if (fn == "floor") return Value(std::floor(x));
+    if (fn == "ceiling") return Value(std::ceil(x));
+    if (fn == "sin") return Value(std::sin(x * kPi / 180.0));
+    if (fn == "cos") return Value(std::cos(x * kPi / 180.0));
+    if (fn == "tan") return Value(std::tan(x * kPi / 180.0));
+    if (fn == "asin") return Value(std::asin(x) * 180.0 / kPi);
+    if (fn == "acos") return Value(std::acos(x) * 180.0 / kPi);
+    if (fn == "atan") return Value(std::atan(x) * 180.0 / kPi);
+    if (fn == "ln") {
+      if (x <= 0) throw Error("ln of a non-positive number");
+      return Value(std::log(x));
+    }
+    if (fn == "log") {
+      if (x <= 0) throw Error("log of a non-positive number");
+      return Value(std::log10(x));
+    }
+    if (fn == "e^") return Value(std::exp(x));
+    if (fn == "10^") return Value(std::pow(10.0, x));
+    throw Error("unknown monadic function \"" + fn + "\" in worker code");
+  }
+
+  // --- comparison / logic ----------------------------------------------------
+  if (op == "reportEquals") return Value(in[0].equals(in[1]));
+  if (op == "reportLessThan") return Value(lessThanValues(in[0], in[1]));
+  if (op == "reportGreaterThan") return Value(lessThanValues(in[1], in[0]));
+  if (op == "reportAnd") return Value(in[0].asBoolean() && in[1].asBoolean());
+  if (op == "reportOr") return Value(in[0].asBoolean() || in[1].asBoolean());
+  if (op == "reportNot") return Value(!in[0].asBoolean());
+  if (op == "reportIfElse") return in[0].asBoolean() ? in[1] : in[2];
+  if (op == "reportIsA") {
+    const std::string type = psnap::strings::toLower(in[1].asText());
+    const char* actual = blocks::valueKindName(in[0].kind());
+    return Value(type == actual ||
+                 (type == "nothing" && in[0].isNothing()));
+  }
+  if (op == "reportIdentity") return in[0];
+
+  // --- text ------------------------------------------------------------------
+  if (op == "reportJoinWords") {
+    std::string out;
+    for (const Value& v : in) out += v.asText();
+    return Value(out);
+  }
+  if (op == "reportLetter") {
+    const std::string text = in[1].asText();
+    long long index = in[0].asInteger();
+    if (index < 1 || static_cast<size_t>(index) > text.size()) {
+      return Value(std::string());
+    }
+    return Value(std::string(1, text[static_cast<size_t>(index - 1)]));
+  }
+  if (op == "reportStringSize") return Value(in[0].asText().size());
+  if (op == "reportUnicode") {
+    const std::string text = in[0].asText();
+    if (text.empty()) throw Error("unicode of empty text");
+    return Value(static_cast<double>(static_cast<unsigned char>(text[0])));
+  }
+  if (op == "reportUnicodeAsLetter") {
+    return Value(std::string(1, static_cast<char>(in[0].asInteger() & 0xff)));
+  }
+  if (op == "reportSplit") {
+    const std::string text = in[0].asText();
+    const std::string sep = in[1].asText();
+    auto out = List::make();
+    std::vector<std::string> parts;
+    if (sep == "whitespace" || sep == "word" || sep.empty()) {
+      parts = psnap::strings::splitWhitespace(text);
+    } else if (sep == "letter") {
+      for (char ch : text) parts.emplace_back(1, ch);
+    } else if (sep == "line") {
+      parts = psnap::strings::split(text, '\n');
+    } else if (sep.size() == 1) {
+      parts = psnap::strings::split(text, sep[0]);
+    } else {
+      throw Error("multi-character split is unsupported in worker code");
+    }
+    for (std::string& part : parts) out->add(Value(std::move(part)));
+    return Value(out);
+  }
+
+  // --- lists -------------------------------------------------------------------
+  if (op == "reportNewList") {
+    auto list = List::make();
+    for (const Value& v : in) list->add(v);
+    return Value(list);
+  }
+  if (op == "reportListItem") {
+    return in[1].asList()->item(static_cast<size_t>(in[0].asInteger()));
+  }
+  if (op == "reportListLength") return Value(in[0].asList()->length());
+  if (op == "reportListContainsItem") {
+    return Value(in[0].asList()->contains(in[1]));
+  }
+  if (op == "reportListIndex") {
+    const ListPtr& list = in[1].asList();
+    for (size_t i = 1; i <= list->length(); ++i) {
+      if (list->item(i).equals(in[0])) return Value(i);
+    }
+    return Value(0);
+  }
+  if (op == "reportCONS") {
+    auto out = List::make();
+    out->add(in[0]);
+    for (const Value& v : in[1].asList()->items()) out->add(v);
+    return Value(out);
+  }
+  if (op == "reportCDR") {
+    const ListPtr& list = in[0].asList();
+    if (list->empty()) throw Error("all but first of empty list");
+    auto out = List::make();
+    for (size_t i = 2; i <= list->length(); ++i) out->add(list->item(i));
+    return Value(out);
+  }
+  if (op == "reportNumbers") {
+    long long lo = in[0].asInteger();
+    long long hi = in[1].asInteger();
+    auto out = List::make();
+    if (lo <= hi) {
+      for (long long v = lo; v <= hi; ++v) out->add(Value(v));
+    } else {
+      for (long long v = lo; v >= hi; --v) out->add(Value(v));
+    }
+    return Value(out);
+  }
+  if (op == "reportSorted") {
+    auto out = List::make(in[0].asList()->items());
+    std::stable_sort(out->items().begin(), out->items().end(),
+                     lessThanValues);
+    return Value(out);
+  }
+
+  // --- higher-order functions --------------------------------------------------
+  if (op == "reportMap") {
+    const RingPtr& fn = in[0].asRing();
+    auto out = List::make();
+    for (const Value& item : in[1].asList()->items()) {
+      out->add(callPureRing(fn, {item}, frame));
+    }
+    return Value(out);
+  }
+  if (op == "reportKeep") {
+    const RingPtr& pred = in[0].asRing();
+    auto out = List::make();
+    for (const Value& item : in[1].asList()->items()) {
+      if (callPureRing(pred, {item}, frame).asBoolean()) out->add(item);
+    }
+    return Value(out);
+  }
+  if (op == "reportCombine") {
+    const ListPtr& list = in[0].asList();
+    const RingPtr& fn = in[1].asRing();
+    if (list->empty()) return Value(0);
+    Value acc = list->item(1);
+    for (size_t i = 2; i <= list->length(); ++i) {
+      acc = callPureRing(fn, {acc, list->item(i)}, frame);
+    }
+    return acc;
+  }
+  if (op == "evaluate") {
+    const RingPtr& fn = in[0].asRing();
+    std::vector<Value> args(in.begin() + 1, in.end());
+    return callPureRing(fn, std::move(args), frame);
+  }
+
+  throw PurityError("block " + op + " cannot run inside a worker");
+}
+
+/// Collect every variable name the body reads.
+void collectVariableReads(const Block& block,
+                          std::vector<std::string>& names) {
+  if (block.opcode() == "reportGetVar" && block.arity() == 1 &&
+      block.input(0).isLiteral()) {
+    names.push_back(block.input(0).literalValue().asText());
+  }
+  for (const Input& input : block.inputs()) {
+    if (input.isBlock()) collectVariableReads(*input.block(), names);
+    if (input.isScript()) {
+      for (const BlockPtr& b : input.script()->blocks()) {
+        collectVariableReads(*b, names);
+      }
+    }
+  }
+}
+
+void checkPurity(const Block& block, const BlockRegistry& registry,
+                 std::string& offender) {
+  if (!offender.empty()) return;
+  const blocks::BlockSpec* spec = registry.find(block.opcode());
+  if (!spec) {
+    offender = block.opcode();
+    return;
+  }
+  if (!spec->pure && block.opcode() != "evaluate") {
+    offender = block.opcode();
+    return;
+  }
+  for (const Input& input : block.inputs()) {
+    if (input.isBlock()) checkPurity(*input.block(), registry, offender);
+    if (input.isScript()) {
+      offender = block.opcode();  // C-slots imply commands
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+std::string findImpureBlock(const RingPtr& ring,
+                            const BlockRegistry& registry) {
+  if (ring->kind() != RingKind::Reporter) return "<command ring>";
+  std::string offender;
+  checkPurity(*ring->expression(), registry, offender);
+  return offender;
+}
+
+PureFn compileRing(const RingPtr& ring, const BlockRegistry& registry) {
+  if (!ring) throw Error("compileRing: null ring");
+  std::string offender = findImpureBlock(ring, registry);
+  if (!offender.empty()) {
+    throw PurityError("ring contains block '" + offender +
+                      "' which cannot run in a worker");
+  }
+
+  // Snapshot the captured (lexical) variables the body reads; the snapshot
+  // is structured-cloned so the worker shares nothing with the main thread.
+  auto captured = std::make_shared<std::unordered_map<std::string, Value>>();
+  std::vector<std::string> reads;
+  collectVariableReads(*ring->expression(), reads);
+  const auto& formals = ring->formals();
+  for (const std::string& name : reads) {
+    if (std::find(formals.begin(), formals.end(), name) != formals.end()) {
+      continue;  // bound at call time
+    }
+    if (ring->captured() && ring->captured()->isDeclared(name)) {
+      Value value = ring->captured()->get(name);
+      if (!value.isTransferable()) {
+        throw PurityError("captured variable '" + name +
+                          "' holds a non-transferable value");
+      }
+      captured->emplace(name, value.structuredClone());
+    }
+    // Unresolvable names raise at call time inside the worker.
+  }
+
+  // The closure holds the ring (keeping the AST alive) and the snapshot.
+  return [ring, captured](const std::vector<Value>& args) -> Value {
+    PureFrame frame;
+    frame.ring = ring.get();
+    frame.args = &args;
+    frame.captured = captured.get();
+    return evalPure(*ring->expression(), frame);
+  };
+}
+
+std::function<Value(const Value&)> compileUnary(
+    const RingPtr& ring, const BlockRegistry& registry) {
+  PureFn fn = compileRing(ring, registry);
+  return [fn](const Value& v) { return fn({v}); };
+}
+
+std::function<Value(const Value&, const Value&)> compileBinary(
+    const RingPtr& ring, const BlockRegistry& registry) {
+  PureFn fn = compileRing(ring, registry);
+  return [fn](const Value& a, const Value& b) { return fn({a, b}); };
+}
+
+}  // namespace psnap::core

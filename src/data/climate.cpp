@@ -1,0 +1,108 @@
+#include "data/climate.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/error.hpp"
+#include "support/rng.hpp"
+#include "support/strings.hpp"
+
+namespace psnap::data {
+
+namespace {
+constexpr double kPi = 3.14159265358979323846;
+}
+
+std::vector<TemperatureRecord> generateClimate(const ClimateConfig& config) {
+  if (config.lastYear < config.firstYear) {
+    throw Error("generateClimate: lastYear before firstYear");
+  }
+  Rng rng(config.seed);
+  std::vector<TemperatureRecord> out;
+  out.reserve(config.stations *
+              static_cast<size_t>(config.lastYear - config.firstYear + 1) *
+              12);
+  for (size_t s = 0; s < config.stations; ++s) {
+    // Station baseline: 35–70 °F annual mean, 10–30 °F seasonal swing.
+    const double baseline = rng.uniform(35.0, 70.0);
+    const double swing = rng.uniform(10.0, 30.0);
+    char id[16];
+    std::snprintf(id, sizeof(id), "USW%05zu", s + 1);
+    for (int year = config.firstYear; year <= config.lastYear; ++year) {
+      const double drift = config.warmingPerDecadeF *
+                           (year - config.firstYear) / 10.0;
+      for (int month = 1; month <= 12; ++month) {
+        TemperatureRecord record;
+        record.station = id;
+        record.year = year;
+        record.month = month;
+        const double seasonal =
+            swing * std::sin(2.0 * kPi * (month - 4) / 12.0);
+        record.fahrenheit = baseline + seasonal + drift +
+                            rng.normal(0.0, config.noiseStddevF);
+        out.push_back(std::move(record));
+      }
+    }
+  }
+  return out;
+}
+
+double fahrenheitToCelsius(double f) { return (5.0 * (f - 32.0)) / 9.0; }
+
+double referenceMeanCelsius(const std::vector<TemperatureRecord>& records) {
+  if (records.empty()) throw Error("referenceMeanCelsius: no records");
+  double sum = 0;
+  for (const TemperatureRecord& record : records) {
+    sum += fahrenheitToCelsius(record.fahrenheit);
+  }
+  return sum / static_cast<double>(records.size());
+}
+
+std::vector<std::pair<int, double>> referenceYearlyMeanCelsius(
+    const std::vector<TemperatureRecord>& records) {
+  std::vector<std::pair<int, double>> out;
+  std::vector<std::pair<int, std::pair<double, size_t>>> sums;
+  for (const TemperatureRecord& record : records) {
+    bool found = false;
+    for (auto& [year, acc] : sums) {
+      if (year == record.year) {
+        acc.first += fahrenheitToCelsius(record.fahrenheit);
+        acc.second += 1;
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      sums.push_back(
+          {record.year, {fahrenheitToCelsius(record.fahrenheit), 1}});
+    }
+  }
+  out.reserve(sums.size());
+  for (const auto& [year, acc] : sums) {
+    out.push_back({year, acc.first / static_cast<double>(acc.second)});
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+blocks::ListPtr toFahrenheitList(
+    const std::vector<TemperatureRecord>& records) {
+  auto list = blocks::List::make();
+  list->items().reserve(records.size());
+  for (const TemperatureRecord& record : records) {
+    list->add(blocks::Value(record.fahrenheit));
+  }
+  return list;
+}
+
+std::string toKvpText(const std::vector<TemperatureRecord>& records,
+                      const std::string& keyOverride) {
+  std::string out;
+  for (const TemperatureRecord& record : records) {
+    out += (keyOverride.empty() ? record.station : keyOverride) + " " +
+           strings::formatNumber(record.fahrenheit) + "\n";
+  }
+  return out;
+}
+
+}  // namespace psnap::data

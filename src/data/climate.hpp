@@ -1,0 +1,62 @@
+// Synthetic NOAA-like weather-station data (paper Sec. 3.4's global
+// climate modeling example).
+//
+// The paper uses NOAA weather-station files with temperatures in
+// Fahrenheit; those files are not redistributable here, so this generator
+// produces the closest synthetic equivalent that exercises the same code
+// path: per-station monthly mean temperatures in °F, built from a
+// station-specific baseline, a seasonal sinusoid, year-over-year warming
+// drift, and seeded noise. Ground-truth averages are computed in plain
+// C++ so the MapReduce pipeline (and the generated OpenMP program) can be
+// verified against them.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "blocks/value.hpp"
+
+namespace psnap::data {
+
+struct TemperatureRecord {
+  std::string station;  ///< NOAA-style id, e.g. "USW00003"
+  int year = 0;
+  int month = 1;        ///< 1–12
+  double fahrenheit = 0;
+};
+
+struct ClimateConfig {
+  size_t stations = 4;
+  int firstYear = 1950;
+  int lastYear = 2015;
+  double warmingPerDecadeF = 0.3;  ///< linear drift
+  double noiseStddevF = 2.0;
+  uint64_t seed = 42;
+};
+
+/// Generate monthly records for every station/year/month, deterministic
+/// per seed.
+std::vector<TemperatureRecord> generateClimate(const ClimateConfig& config);
+
+/// Fahrenheit→Celsius (the map function of paper Fig. 19).
+double fahrenheitToCelsius(double f);
+
+/// Ground-truth mean Celsius over all records.
+double referenceMeanCelsius(const std::vector<TemperatureRecord>& records);
+
+/// Ground-truth mean Celsius per year (for the warming-trend exercise:
+/// "observe a mean change in the temperature of the Earth over time").
+std::vector<std::pair<int, double>> referenceYearlyMeanCelsius(
+    const std::vector<TemperatureRecord>& records);
+
+/// The Fahrenheit readings as a block list (input to the mapReduce block).
+blocks::ListPtr toFahrenheitList(
+    const std::vector<TemperatureRecord>& records);
+
+/// "key value" lines for the generated OpenMP MapReduce program's stdin
+/// (key = station, value = °F); matches the driver's input() format.
+std::string toKvpText(const std::vector<TemperatureRecord>& records,
+                      const std::string& keyOverride = "");
+
+}  // namespace psnap::data

@@ -1,0 +1,61 @@
+#include "data/corpus.hpp"
+
+#include "support/error.hpp"
+#include "support/rng.hpp"
+#include "support/strings.hpp"
+
+namespace psnap::data {
+
+namespace {
+
+/// A compact base vocabulary; indices past its size synthesize words.
+const char* const kBaseWords[] = {
+    "the",      "of",       "and",      "to",       "in",      "is",
+    "parallel", "computing", "snap",    "block",    "map",     "reduce",
+    "worker",   "sprite",   "clone",    "script",   "data",    "code",
+    "thread",   "program",  "student",  "teacher",  "cloud",   "core",
+    "speed",    "time",     "list",     "value",    "stage",   "run",
+};
+constexpr size_t kBaseCount = sizeof(kBaseWords) / sizeof(kBaseWords[0]);
+
+std::string wordAt(size_t index) {
+  if (index < kBaseCount) return kBaseWords[index];
+  return "w" + std::to_string(index);
+}
+
+}  // namespace
+
+std::string sampleSentence() {
+  return "the quick brown fox jumps over the lazy dog and the quick cat";
+}
+
+std::string generateText(size_t wordCount, size_t vocabulary,
+                         uint64_t seed) {
+  if (vocabulary == 0) throw Error("generateText: empty vocabulary");
+  Rng rng(seed);
+  // Zipf rank weights 1/r.
+  std::vector<double> weights(vocabulary);
+  for (size_t r = 0; r < vocabulary; ++r) {
+    weights[r] = 1.0 / static_cast<double>(r + 1);
+  }
+  std::vector<std::string> words;
+  words.reserve(wordCount);
+  for (size_t i = 0; i < wordCount; ++i) {
+    words.push_back(wordAt(rng.weighted(weights)));
+  }
+  return strings::join(words, " ");
+}
+
+std::vector<std::string> tokenize(const std::string& text) {
+  std::vector<std::string> out = strings::splitWhitespace(text);
+  for (std::string& word : out) word = strings::toLower(word);
+  return out;
+}
+
+std::map<std::string, size_t> referenceWordCount(const std::string& text) {
+  std::map<std::string, size_t> counts;
+  for (const std::string& word : tokenize(text)) ++counts[word];
+  return counts;
+}
+
+}  // namespace psnap::data

@@ -1,0 +1,31 @@
+// Word-corpus workload generator for the word-count MapReduce experiment
+// (paper Fig. 11–12).
+//
+// Texts are generated from a fixed vocabulary under a Zipf-like rank
+// distribution (natural-language shaped: few very frequent words, a long
+// tail), seeded and fully deterministic. A plain-C++ reference counter is
+// provided as the ground truth the MapReduce result must match.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace psnap::data {
+
+/// The canonical demo sentence used in the paper-style examples.
+std::string sampleSentence();
+
+/// Generate `wordCount` space-separated words, Zipf-distributed over a
+/// `vocabulary`-word dictionary. Deterministic per seed.
+std::string generateText(size_t wordCount, size_t vocabulary, uint64_t seed);
+
+/// Split into lowercase words (whitespace tokenizer, punctuation kept —
+/// matching the split block's behaviour).
+std::vector<std::string> tokenize(const std::string& text);
+
+/// Ground-truth word count, sorted by word (the expected Fig. 12 output).
+std::map<std::string, size_t> referenceWordCount(const std::string& text);
+
+}  // namespace psnap::data

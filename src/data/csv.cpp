@@ -1,0 +1,118 @@
+#include "data/csv.hpp"
+
+#include "support/error.hpp"
+#include "support/strings.hpp"
+
+namespace psnap::data {
+
+using blocks::List;
+using blocks::ListPtr;
+using blocks::Value;
+
+std::vector<CsvRow> parseCsv(const std::string& text) {
+  std::vector<CsvRow> rows;
+  CsvRow row;
+  std::string field;
+  bool quoted = false;
+  bool sawAnything = false;
+
+  auto endField = [&] {
+    row.push_back(field);
+    field.clear();
+  };
+  auto endRow = [&] {
+    endField();
+    rows.push_back(row);
+    row.clear();
+    sawAnything = false;
+  };
+
+  for (size_t i = 0; i < text.size(); ++i) {
+    char ch = text[i];
+    if (quoted) {
+      if (ch == '"') {
+        if (i + 1 < text.size() && text[i + 1] == '"') {
+          field += '"';
+          ++i;
+        } else {
+          quoted = false;
+        }
+      } else {
+        field += ch;
+      }
+      sawAnything = true;
+      continue;
+    }
+    switch (ch) {
+      case '"':
+        quoted = true;
+        sawAnything = true;
+        break;
+      case ',':
+        endField();
+        sawAnything = true;
+        break;
+      case '\r':
+        break;
+      case '\n':
+        endRow();
+        break;
+      default:
+        field += ch;
+        sawAnything = true;
+    }
+  }
+  if (quoted) throw ParseError("unterminated quote in CSV");
+  if (sawAnything || !field.empty() || !row.empty()) endRow();
+  return rows;
+}
+
+std::string writeCsv(const std::vector<CsvRow>& rows) {
+  std::string out;
+  for (const CsvRow& row : rows) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i != 0) out += ',';
+      const std::string& field = row[i];
+      const bool needsQuote =
+          field.find_first_of(",\"\n") != std::string::npos;
+      if (needsQuote) {
+        out += '"' + strings::replaceAll(field, "\"", "\"\"") + '"';
+      } else {
+        out += field;
+      }
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+ListPtr csvToList(const std::vector<CsvRow>& rows) {
+  auto out = List::make();
+  for (const CsvRow& row : rows) {
+    auto rowList = List::make();
+    for (const std::string& field : row) {
+      double number = 0;
+      if (strings::parseNumber(field, number)) {
+        rowList->add(Value(number));
+      } else {
+        rowList->add(Value(field));
+      }
+    }
+    out->add(Value(rowList));
+  }
+  return out;
+}
+
+std::vector<CsvRow> listToCsv(const ListPtr& list) {
+  std::vector<CsvRow> rows;
+  for (const Value& rowValue : list->items()) {
+    CsvRow row;
+    for (const Value& field : rowValue.asList()->items()) {
+      row.push_back(field.asText());
+    }
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+}  // namespace psnap::data

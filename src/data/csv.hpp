@@ -1,0 +1,32 @@
+// Minimal CSV reading/writing — the "consume existing data files" and
+// "write data to files for use by other programs" future-work items of
+// paper Sec. 6.3, so the environment can ingest real station files when
+// they are available.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "blocks/value.hpp"
+
+namespace psnap::data {
+
+using CsvRow = std::vector<std::string>;
+
+/// Parse CSV text: commas separate fields, double quotes protect commas
+/// and embedded quotes ("" escapes a quote). Rows split on '\n'; a
+/// trailing newline does not produce an empty row.
+std::vector<CsvRow> parseCsv(const std::string& text);
+
+/// Serialize rows, quoting any field containing a comma, quote, or
+/// newline.
+std::string writeCsv(const std::vector<CsvRow>& rows);
+
+/// Convert parsed rows into a block list-of-lists (numeric-looking fields
+/// become numbers) — the shape Snap! users manipulate.
+blocks::ListPtr csvToList(const std::vector<CsvRow>& rows);
+
+/// Convert a block list-of-lists back to CSV rows.
+std::vector<CsvRow> listToCsv(const blocks::ListPtr& list);
+
+}  // namespace psnap::data

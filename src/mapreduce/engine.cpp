@@ -1,0 +1,140 @@
+#include "mapreduce/engine.hpp"
+
+#include <algorithm>
+
+#include "support/error.hpp"
+#include "support/strings.hpp"
+
+namespace psnap::mr {
+
+using blocks::List;
+using blocks::ListPtr;
+using blocks::Value;
+
+namespace {
+
+bool looksNumeric(const Value& v) {
+  if (v.isNumber()) return true;
+  if (!v.isText()) return false;
+  double out;
+  return strings::parseNumber(v.asText(), out);
+}
+
+bool keyLess(const Value& a, const Value& b) {
+  if (looksNumeric(a) && looksNumeric(b)) return a.asNumber() < b.asNumber();
+  return strings::toLower(a.display()) < strings::toLower(b.display());
+}
+
+/// Normalize one map result into a [key, value] pair.
+Value toPair(const Value& item, const Value& mapped) {
+  if (mapped.isList() && mapped.asList()->length() == 2) {
+    return mapped;  // explicit [key, value]
+  }
+  auto pair = List::make();
+  pair->add(item);
+  pair->add(mapped);
+  return Value(pair);
+}
+
+}  // namespace
+
+ReduceFn identityReduce() {
+  return [](const ListPtr& values) { return Value(values); };
+}
+
+ListPtr run(const ListPtr& input, const MapFn& mapFn,
+            const ReduceFn& reduceFn, const Options& options, Stats* stats) {
+  if (!input) throw Error("mapReduce: null input list");
+  Stats local;
+  local.inputItems = input->length();
+
+  // --- map phase -------------------------------------------------------------
+  std::vector<Value> pairs;
+  pairs.reserve(input->length());
+  if (options.sequential) {
+    for (const Value& item : input->items()) {
+      pairs.push_back(toPair(item, mapFn(item)));
+    }
+    local.mapMakespan = input->length();
+  } else {
+    workers::Parallel job(input->items(),
+                          {.maxWorkers = options.workers});
+    job.map([mapFn](const Value& item) { return toPair(item, mapFn(item)); });
+    pairs = job.data();  // waits; throws on worker error
+    local.mapMakespan = job.virtualMakespan();
+  }
+
+  // --- shuffle: sort by key ----------------------------------------------------
+  for (const Value& pair : pairs) {
+    if (!pair.isList() || pair.asList()->length() != 2) {
+      throw Error("mapReduce: map result is not a [key, value] pair");
+    }
+  }
+  std::stable_sort(pairs.begin(), pairs.end(),
+                   [](const Value& a, const Value& b) {
+                     return keyLess(a.asList()->item(1),
+                                    b.asList()->item(1));
+                   });
+
+  // --- group consecutive equal keys ---------------------------------------------
+  std::vector<Value> groups;  // each: [key, valuesList]
+  for (const Value& pair : pairs) {
+    const Value& key = pair.asList()->item(1);
+    const Value& value = pair.asList()->item(2);
+    if (!groups.empty() &&
+        groups.back().asList()->item(1).equals(key)) {
+      groups.back().asList()->item(2).asList()->add(value);
+    } else {
+      auto group = List::make();
+      group->add(key);
+      group->add(Value(List::make({value})));
+      groups.push_back(Value(group));
+    }
+  }
+  local.distinctKeys = groups.size();
+
+  // --- reduce phase ---------------------------------------------------------------
+  auto reduceGroup = [reduceFn](const Value& group) {
+    auto out = List::make();
+    out->add(group.asList()->item(1));
+    out->add(reduceFn(group.asList()->item(2).asList()));
+    return Value(out);
+  };
+  std::vector<Value> reduced;
+  if (options.sequential) {
+    reduced.reserve(groups.size());
+    for (const Value& group : groups) reduced.push_back(reduceGroup(group));
+    local.reduceMakespan = groups.size();
+  } else {
+    workers::Parallel job(groups, {.maxWorkers = options.workers});
+    job.map(reduceGroup);
+    reduced = job.data();
+    local.reduceMakespan = job.virtualMakespan();
+  }
+
+  if (stats) *stats = local;
+  return List::make(std::move(reduced));
+}
+
+Job::Job(ListPtr input, MapFn mapFn, ReduceFn reduceFn, Options options) {
+  thread_ = std::thread([this, input = std::move(input),
+                         mapFn = std::move(mapFn),
+                         reduceFn = std::move(reduceFn), options] {
+    try {
+      result_ = run(input, mapFn, reduceFn, options, &stats_);
+    } catch (const std::exception& e) {
+      error_ = e.what();
+      failed_.store(true);
+    } catch (...) {
+      error_ = "unknown mapReduce error";
+      failed_.store(true);
+    }
+    done_.store(true);
+  });
+}
+
+Job::~Job() {
+  if (thread_.joinable()) thread_.join();
+}
+
+}  // namespace psnap::mr

@@ -1,0 +1,96 @@
+// The MapReduce engine behind the mapReduce block (paper Sec. 3.4).
+//
+// Semantics, matching the paper's description and examples:
+//
+//   * The map function runs on every input item in parallel. Its result
+//     becomes the intermediate pair: if the result is itself a two-element
+//     list it is taken as [key, value]; otherwise the pair is
+//     [item, result] ("a two-element list with the item as the key and the
+//     result as the value").
+//   * "The elements of the intermediate result are sorted by the value of
+//     the key in between the map function and the reduce function, as
+//     required by the semantics of MapReduce" (paper footnote 6).
+//   * The reduce function runs once per distinct key, in parallel across
+//     keys, receiving the list of that key's values and reporting the
+//     reduced value. The identity reduce passes the values list through.
+//   * The output is the sorted list of [key, reduced] pairs — exactly the
+//     word-count readout of paper Fig. 12.
+//
+// "Although conceptually simple, MapReduce implementations can be quite
+// complex to set up and use. Fortunately, these details are hidden in the
+// implementation of the MapReduce block" — this file is those details.
+#pragma once
+
+#include <atomic>
+#include <functional>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "blocks/value.hpp"
+#include "workers/parallel.hpp"
+
+namespace psnap::mr {
+
+/// item → mapped value (or explicit [key, value] pair).
+using MapFn = std::function<blocks::Value(const blocks::Value&)>;
+/// values-of-one-key → reduced value.
+using ReduceFn = std::function<blocks::Value(const blocks::ListPtr&)>;
+
+struct Options {
+  /// Worker width for both phases; 0 uses the Parallel default (4).
+  size_t workers = 0;
+  /// Run phases sequentially on the caller thread (for the sequential
+  /// baseline rows of the benches).
+  bool sequential = false;
+};
+
+struct Stats {
+  size_t inputItems = 0;
+  size_t distinctKeys = 0;
+  uint64_t mapMakespan = 0;     ///< virtual: max items mapped by one worker
+  uint64_t reduceMakespan = 0;  ///< virtual: max groups reduced by one worker
+};
+
+/// Run a complete MapReduce synchronously. Returns the sorted list of
+/// [key, value] pairs. `stats`, when non-null, receives phase accounting.
+blocks::ListPtr run(const blocks::ListPtr& input, const MapFn& mapFn,
+                    const ReduceFn& reduceFn, const Options& options = {},
+                    Stats* stats = nullptr);
+
+/// The identity reduce: reports the values list unchanged (the paper notes
+/// either phase may be the identity).
+ReduceFn identityReduce();
+
+/// An asynchronous MapReduce job for integration with the cooperative
+/// scheduler: the whole pipeline runs on one background thread (which
+/// fans out to workers internally) and the block primitive polls
+/// resolved() from its yield loop, exactly like Listing 2 polls its
+/// Parallel job.
+class Job {
+ public:
+  Job(blocks::ListPtr input, MapFn mapFn, ReduceFn reduceFn,
+      Options options);
+  ~Job();
+
+  Job(const Job&) = delete;
+  Job& operator=(const Job&) = delete;
+
+  bool resolved() const { return done_.load(); }
+  bool failed() const { return failed_.load(); }
+  const std::string& errorMessage() const { return error_; }
+  /// Valid once resolved and not failed.
+  const blocks::ListPtr& result() const { return result_; }
+  const Stats& stats() const { return stats_; }
+
+ private:
+  std::thread thread_;
+  std::atomic<bool> done_{false};
+  std::atomic<bool> failed_{false};
+  std::string error_;
+  blocks::ListPtr result_;
+  Stats stats_;
+};
+
+}  // namespace psnap::mr

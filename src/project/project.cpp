@@ -1,0 +1,343 @@
+#include "project/project.hpp"
+
+#include "project/xml.hpp"
+#include "support/error.hpp"
+#include "support/strings.hpp"
+
+namespace psnap::project {
+
+using blocks::Block;
+using blocks::Input;
+using blocks::InputKind;
+using blocks::List;
+using blocks::Script;
+using blocks::ScriptPtr;
+using blocks::Value;
+
+namespace {
+
+// --- value <-> xml ----------------------------------------------------------
+
+XmlNode valueNode(const Value& value) {
+  XmlNode node;
+  switch (value.kind()) {
+    case blocks::ValueKind::Nothing:
+      node.tag = "l";
+      node.attrs["t"] = "0";
+      break;
+    case blocks::ValueKind::Number:
+      node.tag = "l";
+      node.attrs["t"] = "n";
+      node.text = strings::formatNumber(value.asNumber());
+      break;
+    case blocks::ValueKind::Boolean:
+      node.tag = "l";
+      node.attrs["t"] = "b";
+      node.text = value.asBoolean() ? "true" : "false";
+      break;
+    case blocks::ValueKind::Text:
+      node.tag = "l";
+      node.attrs["t"] = "s";
+      node.text = value.asText();
+      break;
+    case blocks::ValueKind::ListRef: {
+      node.tag = "list";
+      for (const Value& item : value.asList()->items()) {
+        node.children.push_back(valueNode(item));
+      }
+      break;
+    }
+    case blocks::ValueKind::RingRef:
+      throw ParseError("ring values cannot be saved as literals");
+  }
+  return node;
+}
+
+Value valueFromNode(const XmlNode& node) {
+  if (node.tag == "list") {
+    auto list = List::make();
+    for (const XmlNode& child : node.children) {
+      list->add(valueFromNode(child));
+    }
+    return Value(list);
+  }
+  if (node.tag != "l") throw ParseError("expected <l> literal");
+  const std::string type = node.attr("t", "s");
+  if (type == "0") return Value();
+  if (type == "n") {
+    double number = 0;
+    if (!strings::parseNumber(node.text, number)) {
+      throw ParseError("bad number literal: " + node.text);
+    }
+    return Value(number);
+  }
+  if (type == "b") return Value(node.text == "true");
+  return Value(node.text);
+}
+
+// --- blocks <-> xml ---------------------------------------------------------
+
+XmlNode scriptNode(const Script& script);
+
+XmlNode blockNode(const Block& block) {
+  XmlNode node;
+  node.tag = "block";
+  node.attrs["s"] = block.opcode();
+  for (const Input& input : block.inputs()) {
+    switch (input.kind()) {
+      case InputKind::Literal:
+        node.children.push_back(valueNode(input.literalValue()));
+        break;
+      case InputKind::BlockExpr:
+        node.children.push_back(blockNode(*input.block()));
+        break;
+      case InputKind::ScriptSlot:
+        node.children.push_back(scriptNode(*input.script()));
+        break;
+      case InputKind::Empty: {
+        XmlNode empty;
+        empty.tag = "empty";
+        node.children.push_back(std::move(empty));
+        break;
+      }
+      case InputKind::Collapsed: {
+        XmlNode collapsed;
+        collapsed.tag = "collapsed";
+        node.children.push_back(std::move(collapsed));
+        break;
+      }
+    }
+  }
+  return node;
+}
+
+XmlNode scriptNode(const Script& script) {
+  XmlNode node;
+  node.tag = "script";
+  for (const blocks::BlockPtr& block : script.blocks()) {
+    node.children.push_back(blockNode(*block));
+  }
+  return node;
+}
+
+blocks::ScriptPtr scriptFromNode(const XmlNode& node);
+
+blocks::BlockPtr blockFromNode(const XmlNode& node) {
+  if (node.tag != "block") throw ParseError("expected <block>");
+  const std::string opcode = node.attr("s");
+  if (opcode.empty()) throw ParseError("block without an opcode");
+  std::vector<Input> inputs;
+  for (const XmlNode& child : node.children) {
+    if (child.tag == "block") {
+      inputs.push_back(Input(blockFromNode(child)));
+    } else if (child.tag == "script") {
+      inputs.push_back(Input(scriptFromNode(child)));
+    } else if (child.tag == "empty") {
+      inputs.push_back(Input::empty());
+    } else if (child.tag == "collapsed") {
+      inputs.push_back(Input::collapsed());
+    } else {
+      inputs.push_back(Input(valueFromNode(child)));
+    }
+  }
+  return Block::make(opcode, std::move(inputs));
+}
+
+blocks::ScriptPtr scriptFromNode(const XmlNode& node) {
+  if (node.tag != "script") throw ParseError("expected <script>");
+  std::vector<blocks::BlockPtr> out;
+  for (const XmlNode& child : node.children) {
+    out.push_back(blockFromNode(child));
+  }
+  return Script::make(std::move(out));
+}
+
+XmlNode variablesNode(
+    const std::vector<std::pair<std::string, Value>>& variables) {
+  XmlNode node;
+  node.tag = "variables";
+  for (const auto& [name, value] : variables) {
+    XmlNode var;
+    var.tag = "variable";
+    var.attrs["name"] = name;
+    var.children.push_back(valueNode(value));
+    node.children.push_back(std::move(var));
+  }
+  return node;
+}
+
+std::vector<std::pair<std::string, Value>> variablesFromNode(
+    const XmlNode* node) {
+  std::vector<std::pair<std::string, Value>> out;
+  if (!node) return out;
+  for (const XmlNode* var : node->childrenNamed("variable")) {
+    Value value;
+    if (!var->children.empty()) value = valueFromNode(var->children[0]);
+    out.push_back({var->attr("name"), std::move(value)});
+  }
+  return out;
+}
+
+XmlNode customBlocksNode(const std::vector<vm::CustomBlockDef>& defs) {
+  XmlNode node;
+  node.tag = "customBlocks";
+  for (const vm::CustomBlockDef& def : defs) {
+    XmlNode definition;
+    definition.tag = "definition";
+    definition.attrs["spec"] = def.spec;
+    definition.attrs["type"] =
+        def.type == blocks::BlockType::Reporter    ? "reporter"
+        : def.type == blocks::BlockType::Predicate ? "predicate"
+                                                   : "command";
+    for (const std::string& formal : def.formals) {
+      XmlNode f;
+      f.tag = "formal";
+      f.text = formal;
+      definition.children.push_back(std::move(f));
+    }
+    definition.children.push_back(scriptNode(*def.body));
+    node.children.push_back(std::move(definition));
+  }
+  return node;
+}
+
+std::vector<vm::CustomBlockDef> customBlocksFromNode(const XmlNode* node) {
+  std::vector<vm::CustomBlockDef> out;
+  if (!node) return out;
+  for (const XmlNode* definition : node->childrenNamed("definition")) {
+    vm::CustomBlockDef def;
+    def.spec = definition->attr("spec");
+    const std::string type = definition->attr("type", "command");
+    def.type = type == "reporter"    ? blocks::BlockType::Reporter
+               : type == "predicate" ? blocks::BlockType::Predicate
+                                     : blocks::BlockType::Command;
+    for (const XmlNode* formal : definition->childrenNamed("formal")) {
+      def.formals.push_back(formal->text);
+    }
+    const XmlNode* body = definition->child("script");
+    if (!body) throw ParseError("custom block without a body script");
+    def.body = scriptFromNode(*body);
+    out.push_back(std::move(def));
+  }
+  return out;
+}
+
+}  // namespace
+
+void Project::registerCustomBlocks(blocks::BlockRegistry& registry,
+                                   vm::PrimitiveTable& table,
+                                   blocks::EnvPtr home) const {
+  vm::CustomBlockLibrary library;
+  for (vm::CustomBlockDef def : customBlocks) {
+    def.home = home;
+    library.define(std::move(def));
+  }
+  library.registerInto(registry, table);
+}
+
+void Project::instantiate(stage::Stage& stage) const {
+  for (const auto& [name, value] : globals) {
+    stage.globals()->declare(name, value);
+  }
+  for (const SpriteDef& def : sprites) {
+    stage::Sprite& sprite = stage.addSprite(def.name);
+    sprite.gotoXY(def.x, def.y);
+    sprite.setHeading(def.heading);
+    sprite.setCostume(def.costume);
+    for (const auto& [name, value] : def.variables) {
+      sprite.variables()->declare(name, value);
+    }
+    for (const ScriptPtr& script : def.scripts) {
+      sprite.addScript(script);
+    }
+  }
+}
+
+std::string toXml(const Project& project) {
+  XmlNode root;
+  root.tag = "project";
+  root.attrs["name"] = project.name;
+  root.attrs["app"] = "psnap";
+  root.children.push_back(variablesNode(project.globals));
+  if (!project.customBlocks.empty()) {
+    root.children.push_back(customBlocksNode(project.customBlocks));
+  }
+  XmlNode sprites;
+  sprites.tag = "sprites";
+  for (const SpriteDef& def : project.sprites) {
+    XmlNode sprite;
+    sprite.tag = "sprite";
+    sprite.attrs["name"] = def.name;
+    sprite.attrs["x"] = strings::formatNumber(def.x);
+    sprite.attrs["y"] = strings::formatNumber(def.y);
+    sprite.attrs["heading"] = strings::formatNumber(def.heading);
+    sprite.attrs["costume"] = def.costume;
+    sprite.children.push_back(variablesNode(def.variables));
+    XmlNode scripts;
+    scripts.tag = "scripts";
+    for (const ScriptPtr& script : def.scripts) {
+      scripts.children.push_back(scriptNode(*script));
+    }
+    sprite.children.push_back(std::move(scripts));
+    sprites.children.push_back(std::move(sprite));
+  }
+  root.children.push_back(std::move(sprites));
+  return writeXml(root);
+}
+
+Project fromXml(const std::string& text,
+                const blocks::BlockRegistry& registry) {
+  XmlNode root = parseXml(text);
+  if (root.tag != "project") throw ParseError("expected <project> root");
+  Project project;
+  project.name = root.attr("name", "Untitled");
+  project.globals = variablesFromNode(root.child("variables"));
+  project.customBlocks = customBlocksFromNode(root.child("customBlocks"));
+  // Scripts may invoke the project's own custom blocks: validate against
+  // a registry copy that knows their specs.
+  blocks::BlockRegistry effective = registry;
+  for (const vm::CustomBlockDef& def : project.customBlocks) {
+    blocks::BlockSpec spec;
+    spec.opcode = vm::customOpcode(def.spec);
+    spec.spec = def.spec;
+    spec.category = "custom";
+    spec.type = def.type;
+    effective.add(spec);
+  }
+  for (const vm::CustomBlockDef& def : project.customBlocks) {
+    effective.validate(*def.body);
+  }
+  if (const XmlNode* sprites = root.child("sprites")) {
+    for (const XmlNode* spriteNode : sprites->childrenNamed("sprite")) {
+      SpriteDef def;
+      def.name = spriteNode->attr("name");
+      def.x = std::stod(spriteNode->attr("x", "0"));
+      def.y = std::stod(spriteNode->attr("y", "0"));
+      def.heading = std::stod(spriteNode->attr("heading", "90"));
+      def.costume = spriteNode->attr("costume", "default");
+      def.variables = variablesFromNode(spriteNode->child("variables"));
+      if (const XmlNode* scripts = spriteNode->child("scripts")) {
+        for (const XmlNode* script : scripts->childrenNamed("script")) {
+          ScriptPtr parsed = scriptFromNode(*script);
+          effective.validate(*parsed);
+          def.scripts.push_back(std::move(parsed));
+        }
+      }
+      project.sprites.push_back(std::move(def));
+    }
+  }
+  return project;
+}
+
+std::string scriptToXml(const Script& script) {
+  return writeXml(scriptNode(script));
+}
+
+blocks::ScriptPtr scriptFromXml(const std::string& text,
+                                const blocks::BlockRegistry& registry) {
+  ScriptPtr parsed = scriptFromNode(parseXml(text));
+  registry.validate(*parsed);
+  return parsed;
+}
+
+}  // namespace psnap::project

@@ -1,0 +1,63 @@
+// The serializable project model: what a Snap! "save project" produces.
+//
+// A Project is the static description — sprite definitions, variables,
+// scripts — that can be (de)serialized to XML and instantiated onto a
+// live Stage. Round-tripping a project through XML preserves the full
+// block structure, including rings, empty slots, collapsed optional slots
+// (the parallelForEach mode switch!), C-slots, and list literals.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "blocks/block.hpp"
+#include "stage/stage.hpp"
+#include "vm/custom_blocks.hpp"
+
+namespace psnap::project {
+
+struct SpriteDef {
+  std::string name;
+  double x = 0;
+  double y = 0;
+  double heading = 90;
+  std::string costume = "default";
+  std::vector<std::pair<std::string, blocks::Value>> variables;
+  /// Each script starts with a hat block.
+  std::vector<blocks::ScriptPtr> scripts;
+};
+
+struct Project {
+  std::string name = "Untitled";
+  std::vector<std::pair<std::string, blocks::Value>> globals;
+  std::vector<SpriteDef> sprites;
+  /// BYOB definitions saved with the project (their `home` environments
+  /// are rebound to the stage globals at registration time).
+  std::vector<vm::CustomBlockDef> customBlocks;
+
+  /// Build the sprites, variables, and scripts onto a live stage.
+  void instantiate(stage::Stage& stage) const;
+
+  /// Register the project's custom blocks into a registry/table pair,
+  /// binding their lexical home to `home` (pass the stage globals).
+  void registerCustomBlocks(blocks::BlockRegistry& registry,
+                            vm::PrimitiveTable& table,
+                            blocks::EnvPtr home = nullptr) const;
+};
+
+/// Serialize a project to XML text.
+std::string toXml(const Project& project);
+/// Parse XML text back into a project; validates every block against the
+/// registry. Throws ParseError / BlockError on malformed input.
+Project fromXml(const std::string& text,
+                const blocks::BlockRegistry& registry =
+                    blocks::BlockRegistry::standard());
+
+/// Serialize a single script (used for clipboard-style block exchange).
+std::string scriptToXml(const blocks::Script& script);
+blocks::ScriptPtr scriptFromXml(const std::string& text,
+                                const blocks::BlockRegistry& registry =
+                                    blocks::BlockRegistry::standard());
+
+}  // namespace psnap::project

@@ -1,0 +1,36 @@
+// A minimal XML DOM — just enough for Snap!-style project files: elements
+// with attributes, text content, nesting; entities for & < > " '.
+// No namespaces, comments are skipped, declarations (<?xml…?>) tolerated.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace psnap::project {
+
+struct XmlNode {
+  std::string tag;
+  std::map<std::string, std::string> attrs;
+  std::vector<XmlNode> children;
+  std::string text;  ///< concatenated character data
+
+  /// First child with `tag`, or nullptr.
+  const XmlNode* child(const std::string& tag) const;
+  /// All children with `tag`.
+  std::vector<const XmlNode*> childrenNamed(const std::string& tag) const;
+  /// Attribute value or `fallback`.
+  std::string attr(const std::string& name,
+                   const std::string& fallback = "") const;
+};
+
+/// Parse one document; throws ParseError on malformed input.
+XmlNode parseXml(const std::string& text);
+
+/// Serialize with 2-space indentation.
+std::string writeXml(const XmlNode& node);
+
+/// Escape character data / attribute values.
+std::string xmlEscape(const std::string& text);
+
+}  // namespace psnap::project

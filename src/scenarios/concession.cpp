@@ -1,0 +1,80 @@
+#include "scenarios/concession.hpp"
+
+#include "blocks/builder.hpp"
+#include "core/parallel_blocks.hpp"
+#include "stage/stage.hpp"
+
+namespace psnap::scenarios {
+
+using namespace psnap::build;
+using blocks::BlockRegistry;
+using blocks::Value;
+
+sched::InterferenceModel paperInterference() { return {3, 5}; }
+
+ConcessionResult runConcession(const ConcessionConfig& config) {
+  static const vm::PrimitiveTable prims = core::fullPrimitiveTable();
+  sched::ThreadManager tm(&BlockRegistry::standard(), &prims);
+  tm.setInterference(config.interference);
+  stage::Stage stage(&tm);
+
+  // Globals instrumenting the pour window (the Fig. 7 timer readout).
+  stage.globals()->declare("pourStart", Value(""));
+  stage.globals()->declare("pourEnd", Value(0));
+
+  // The waiting cups, each listening for its fill broadcast.
+  std::vector<In> cupNames;
+  for (size_t i = 1; i <= config.cups; ++i) {
+    const std::string name = "Cup" + std::to_string(i);
+    stage::Sprite& cup = stage.addSprite(name);
+    cup.setCostume("empty");
+    cup.gotoXY(40.0 * double(i), 0);
+    cup.addScript(scriptOf({whenIReceive("fill-" + name),
+                            switchCostume("full")}));
+    cupNames.emplace_back(name);
+  }
+
+  // The pitcher: serve every cup, in parallel or sequentially depending on
+  // the state of the "in parallel" slot (Fig. 8a vs 8b).
+  auto pourBody = scriptOf({
+      doIf(equals(getVar("pourStart"), ""),
+           scriptOf({setVar("pourStart", timer())})),
+      busyWork(config.pourFrames),
+      setVar("pourEnd", timer()),
+      broadcast(join({In("fill-"), In(getVar("cup"))})),
+  });
+  stage::Sprite& pitcher = stage.addSprite("Pitcher");
+  pitcher.setCostume("pitcher");
+  pitcher.addScript(scriptOf({
+      whenGreenFlag(),
+      parallelForEach("cup", listOf(cupNames),
+                      config.parallel ? blank() : collapsed(), pourBody),
+  }));
+
+  stage.greenFlag();
+
+  ConcessionResult result;
+  if (config.captureFrames) {
+    while (!tm.idle() && tm.frameCount() < 100000) {
+      tm.runFrame();
+      result.frames.push_back(stage.renderFrame());
+    }
+  } else {
+    tm.runUntilIdle();
+  }
+
+  result.totalFrames = tm.frameCount();
+  result.errors = tm.errors();
+  for (stage::Sprite* sprite : stage.sprites()) {
+    if (sprite->costume() == "full") ++result.cupsFilled;
+  }
+  const Value& start = stage.globals()->get("pourStart");
+  const Value& end = stage.globals()->get("pourEnd");
+  if (!start.isText() || !start.asText().empty()) {
+    result.pourTimesteps = static_cast<uint64_t>(
+        end.asNumber() - start.asNumber() + 1.0);
+  }
+  return result;
+}
+
+}  // namespace psnap::scenarios

@@ -1,0 +1,58 @@
+// The concession-stand demo (paper Sec. 3.3, Figs. 7–10).
+//
+// A Pitcher sprite serves drinks to waiting Cup sprites; filling one glass
+// takes `pourFrames` timesteps. In parallel mode the parallelForEach block
+// spawns one Pitcher clone per cup and all glasses fill simultaneously
+// (3 timesteps for 3 cups); in sequential mode (the collapsed "in
+// parallel" slot) the single pitcher serves the cups one at a time
+// (9 ideal timesteps, observed as 12 under the paper's browser
+// interference — see InterferenceModel).
+//
+// The script instruments the pour window with the stage timer exactly the
+// way the demo displays it: the first pour records the start timestep,
+// every pour completion records the end, and the reported elapsed time is
+// end − start + 1.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sched/thread_manager.hpp"
+
+namespace psnap::scenarios {
+
+struct ConcessionConfig {
+  bool parallel = true;
+  size_t cups = 3;
+  int pourFrames = 3;  ///< timesteps to fill one glass
+  /// Frames stolen by "other browser tasks". Disabled by default; use
+  /// paperInterference() to reproduce the observed 12-timestep run.
+  sched::InterferenceModel interference = sched::InterferenceModel::none();
+  bool captureFrames = false;  ///< record renderFrame() per timestep
+};
+
+struct ConcessionResult {
+  /// The timer readout: timesteps from first pour to last pour inclusive.
+  uint64_t pourTimesteps = 0;
+  /// Total scheduler frames until the project went idle.
+  uint64_t totalFrames = 0;
+  /// Cups whose costume ended as "full".
+  size_t cupsFilled = 0;
+  /// Optional per-frame textual renders of the stage.
+  std::vector<std::string> frames;
+  /// Scheduler errors, empty on success.
+  std::vector<std::string> errors;
+};
+
+/// The interference phase that reproduces the paper's measurement for the
+/// green-flag-activated concession project: the sequential run observes 12
+/// timesteps (9 ideal + 3 stolen), the parallel run still observes 3.
+/// (The scenario's pours start one frame later than a directly spawned
+/// script, hence the offset differs from InterferenceModel::paperDefault.)
+sched::InterferenceModel paperInterference();
+
+/// Build and run the concession stand; returns the measured timesteps.
+ConcessionResult runConcession(const ConcessionConfig& config);
+
+}  // namespace psnap::scenarios

@@ -1,0 +1,212 @@
+#include "sched/thread_manager.hpp"
+
+#include <algorithm>
+#include <thread>
+
+#include "support/error.hpp"
+
+namespace psnap::sched {
+
+using blocks::BlockPtr;
+using blocks::EnvPtr;
+using blocks::ScriptPtr;
+using vm::Process;
+using vm::ProcessStatus;
+using vm::SpriteApi;
+
+ThreadManager::ThreadManager(const blocks::BlockRegistry* registry,
+                             const vm::PrimitiveTable* primitives)
+    : registry_(registry), primitives_(primitives) {
+  if (!registry_ || !primitives_) {
+    throw Error("ThreadManager requires a registry and primitive table");
+  }
+}
+
+ThreadManager::Task& ThreadManager::spawn(SpriteApi* sprite) {
+  Task task;
+  task.process = std::make_unique<Process>(registry_, primitives_, this,
+                                           sprite);
+  task.status = std::make_shared<ProcessStatus>();
+  task.sprite = sprite;
+  tasks_.push_back(std::move(task));
+  return tasks_.back();
+}
+
+ThreadManager::SpawnResult ThreadManager::spawnScript(ScriptPtr script,
+                                                      EnvPtr env,
+                                                      SpriteApi* sprite) {
+  Task& task = spawn(sprite);
+  task.process->startScript(std::move(script), std::move(env));
+  return {task.process.get(), task.status};
+}
+
+ThreadManager::SpawnResult ThreadManager::spawnExpression(BlockPtr expression,
+                                                          EnvPtr env,
+                                                          SpriteApi* sprite) {
+  Task& task = spawn(sprite);
+  task.process->startExpression(std::move(expression), std::move(env));
+  return {task.process.get(), task.status};
+}
+
+blocks::Value ThreadManager::evaluate(BlockPtr expression, EnvPtr env,
+                                      SpriteApi* sprite,
+                                      uint64_t maxFrames) {
+  SpawnResult handle =
+      spawnExpression(std::move(expression), std::move(env), sprite);
+  runUntilIdle(maxFrames);
+  if (handle.status->errored) {
+    throw Error("evaluate failed: " + handle.status->error);
+  }
+  return handle.status->result;
+}
+
+void ThreadManager::stopProcessesFor(SpriteApi* sprite) {
+  for (Task& task : tasks_) {
+    if (task.sprite == sprite && task.process->runnable()) {
+      task.process->terminate();
+    }
+  }
+}
+
+void ThreadManager::stopAll() {
+  for (Task& task : tasks_) {
+    if (task.process->runnable()) task.process->terminate();
+  }
+}
+
+void ThreadManager::runFrame() {
+  ++frame_;
+  // On a busy-spinning frame loop (e.g. polling a worker job), hand the
+  // CPU to the worker threads periodically; otherwise a single-core host
+  // starves them for a full OS timeslice per poll round.
+  if ((frame_ & 0x3f) == 0) std::this_thread::yield();
+  if (!interference_.steals(frame_)) {
+    // Processes spawned during this frame run starting next frame, so only
+    // iterate over the tasks that existed when the frame began.
+    const size_t count = tasks_.size();
+    for (size_t i = 0; i < count; ++i) {
+      Task& task = tasks_[i];
+      if (task.process->runnable()) {
+        task.process->runSlice(sliceSteps_);
+      }
+    }
+  }
+  now_ += secondsPerFrame_;
+  reapFinished();
+}
+
+uint64_t ThreadManager::runUntilIdle(uint64_t maxFrames) {
+  uint64_t executed = 0;
+  while (!idle()) {
+    if (executed >= maxFrames) {
+      throw Error("scheduler exceeded its frame budget (" +
+                  std::to_string(maxFrames) + " frames)");
+    }
+    runFrame();
+    ++executed;
+  }
+  return executed;
+}
+
+bool ThreadManager::idle() const {
+  return std::none_of(tasks_.begin(), tasks_.end(), [](const Task& task) {
+    return task.process->runnable();
+  });
+}
+
+size_t ThreadManager::runnableCount() const {
+  return static_cast<size_t>(
+      std::count_if(tasks_.begin(), tasks_.end(), [](const Task& task) {
+        return task.process->runnable();
+      }));
+}
+
+std::vector<std::string> ThreadManager::collectSayLog() const {
+  std::vector<std::string> log = finishedSayLog_;
+  for (const Task& task : tasks_) {
+    log.insert(log.end(), task.process->sayLog().begin(),
+               task.process->sayLog().end());
+  }
+  return log;
+}
+
+Process* ThreadManager::findProcess(uint64_t id) {
+  for (Task& task : tasks_) {
+    if (task.process->id() == id) return task.process.get();
+  }
+  return nullptr;
+}
+
+uint64_t ThreadManager::broadcast(const std::string& message) {
+  uint64_t token = nextBroadcastToken_++;
+  std::vector<uint64_t> listeners;
+  if (hooks_.startListeners) {
+    listeners = hooks_.startListeners(message);
+  }
+  broadcastWaits_.emplace(token, std::move(listeners));
+  return token;
+}
+
+bool ThreadManager::broadcastFinished(uint64_t token) const {
+  auto it = broadcastWaits_.find(token);
+  if (it == broadcastWaits_.end()) return true;
+  for (uint64_t id : it->second) {
+    for (const Task& task : tasks_) {
+      if (task.process->id() == id && task.process->runnable()) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+SpriteApi* ThreadManager::makeClone(SpriteApi* original,
+                                    const std::string& targetName) {
+  if (!hooks_.cloneSprite) return nullptr;
+  return hooks_.cloneSprite(original, targetName);
+}
+
+void ThreadManager::removeClone(SpriteApi* clone) {
+  if (!clone) return;
+  stopProcessesFor(clone);
+  clonesToRemove_.push_back(clone);
+}
+
+std::shared_ptr<const ProcessStatus> ThreadManager::launchScript(
+    ScriptPtr script, EnvPtr env, SpriteApi* sprite) {
+  Task& task = spawn(sprite);
+  task.process->startScript(std::move(script), std::move(env));
+  return task.status;
+}
+
+void ThreadManager::reapFinished() {
+  for (Task& task : tasks_) {
+    if (!task.process->finished() || task.status->done) continue;
+    task.status->result = task.process->result();
+    task.status->done = true;
+    if (task.process->errored()) {
+      task.status->errored = true;
+      task.status->error = task.process->error();
+      errors_.push_back(task.process->error());
+    }
+  }
+  // Drop finished tasks (their status objects stay alive through the
+  // shared_ptr held by whoever launched them).
+  while (!tasks_.empty() && tasks_.front().process->finished()) {
+    finishedSayLog_.insert(finishedSayLog_.end(),
+                           tasks_.front().process->sayLog().begin(),
+                           tasks_.front().process->sayLog().end());
+    tasks_.pop_front();
+  }
+  // Physically remove clones whose removal was requested this frame.
+  if (!clonesToRemove_.empty() && hooks_.destroyClone) {
+    for (SpriteApi* clone : clonesToRemove_) {
+      // Guard: only destroy once no runnable process references the clone.
+      stopProcessesFor(clone);
+      hooks_.destroyClone(clone);
+    }
+  }
+  clonesToRemove_.clear();
+}
+
+}  // namespace psnap::sched

@@ -1,0 +1,172 @@
+// The cooperative scheduler: Snap!'s ThreadManager.
+//
+// Snap! executes all active scripts on a single browser thread by
+// multi-tasking: each frame, every runnable process gets a time slice, and
+// processes yield voluntarily (once per loop iteration, at waits, and at
+// the parallel blocks' polling points). The *frame counter* is the
+// "timestep" unit the paper's concession-stand timer displays (Fig. 7/9/10).
+//
+// The scheduler also models the paper's observation that browser
+// interference inflates wall-clock timesteps: the sequential concession
+// stand needs 9 ideal timesteps but was observed at 12 because "other
+// tasks that also execute in the browser" stole frames. InterferenceModel
+// reproduces this deterministically: selected frames are consumed entirely
+// by the interfering task and no user process runs.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "vm/process.hpp"
+
+namespace psnap::sched {
+
+/// Deterministic stand-in for "other tasks in the browser": every
+/// `period`-th frame starting at `offset` is stolen and runs no user
+/// process. Disabled when period == 0.
+///
+/// The defaults (period 3, offset 4) reproduce the paper's measurement:
+/// a 9-frame sequential workload observes frames 4, 7, and 10 stolen and
+/// completes at timestep 12, while the 3-frame parallel workload finishes
+/// before the first theft and still reads 3.
+struct InterferenceModel {
+  uint64_t period = 0;
+  uint64_t offset = 4;
+
+  static InterferenceModel none() { return {0, 0}; }
+  static InterferenceModel paperDefault() { return {3, 4}; }
+
+  bool steals(uint64_t frame) const {
+    return period != 0 && frame >= offset && (frame - offset) % period == 0;
+  }
+};
+
+/// Sprite/clone services the scheduler delegates to the stage (so sched
+/// does not depend on the stage module). All optional: without a stage,
+/// clones are unavailable and broadcasts have no listeners.
+struct StageHooks {
+  /// Clone `original` (or the sprite named `targetName`); the stage starts
+  /// the clone's when-I-start-as-a-clone scripts via spawnScript.
+  std::function<vm::SpriteApi*(vm::SpriteApi*, const std::string&)>
+      cloneSprite;
+  /// Remove a clone sprite from the stage.
+  std::function<void(vm::SpriteApi*)> destroyClone;
+  /// Start all listeners of a broadcast; returns their process ids.
+  std::function<std::vector<uint64_t>(const std::string&)> startListeners;
+};
+
+class ThreadManager : public vm::Host {
+ public:
+  ThreadManager(const blocks::BlockRegistry* registry,
+                const vm::PrimitiveTable* primitives);
+
+  // --- configuration ------------------------------------------------------
+  void setInterference(InterferenceModel model) { interference_ = model; }
+  const InterferenceModel& interference() const { return interference_; }
+  /// Virtual seconds added per frame (default 1.0: one timestep unit).
+  void setSecondsPerFrame(double seconds) { secondsPerFrame_ = seconds; }
+  /// Interpreter steps each process may take per frame.
+  void setSliceSteps(size_t steps) { sliceSteps_ = steps; }
+  void setMaxWorkers(size_t workers) { maxWorkers_ = workers; }
+  void setStageHooks(StageHooks hooks) { hooks_ = std::move(hooks); }
+
+  // --- process management --------------------------------------------------
+  /// The handle returned by spawn*: the process pointer is valid until the
+  /// process finishes and is reaped; the status outlives it and receives
+  /// the final result/error.
+  struct SpawnResult {
+    vm::Process* process;
+    std::shared_ptr<const vm::ProcessStatus> status;
+  };
+
+  /// Start a process running `script`; it receives its first slice on the
+  /// *next* frame (Snap! starts scripts at the following scheduler pass).
+  SpawnResult spawnScript(blocks::ScriptPtr script, blocks::EnvPtr env,
+                          vm::SpriteApi* sprite = nullptr);
+  /// Start a process evaluating a reporter expression.
+  SpawnResult spawnExpression(blocks::BlockPtr expression,
+                              blocks::EnvPtr env,
+                              vm::SpriteApi* sprite = nullptr);
+
+  /// Convenience: spawn an expression, run until idle, return its value.
+  /// Throws Error if the process errored.
+  blocks::Value evaluate(blocks::BlockPtr expression, blocks::EnvPtr env,
+                         vm::SpriteApi* sprite = nullptr,
+                         uint64_t maxFrames = 1'000'000);
+
+  /// Stop every process bound to `sprite` (used when a clone dies).
+  void stopProcessesFor(vm::SpriteApi* sprite);
+  /// Stop everything (the red stop button).
+  void stopAll();
+
+  // --- the frame loop ------------------------------------------------------
+  /// Execute one frame: unless stolen by interference, give every runnable
+  /// process one slice; then advance the virtual clock and reap.
+  void runFrame();
+  /// Run frames until no process is runnable; returns frames executed.
+  /// Throws Error after `maxFrames` (runaway guard).
+  uint64_t runUntilIdle(uint64_t maxFrames = 1'000'000);
+
+  bool idle() const;
+  uint64_t frameCount() const { return frame_; }
+  size_t runnableCount() const;
+  /// Errors of processes that failed, in completion order.
+  const std::vector<std::string>& errors() const { return errors_; }
+  /// Say-log of every process, in spawn order (for assertions).
+  std::vector<std::string> collectSayLog() const;
+
+  /// Look up a process by id (nullptr when finished processes have been
+  /// dropped or the id is unknown).
+  vm::Process* findProcess(uint64_t id);
+
+  // --- vm::Host -------------------------------------------------------------
+  double nowSeconds() const override { return now_; }
+  void resetTimer() override { timerStart_ = now_; }
+  double timerSeconds() const override { return now_ - timerStart_; }
+  uint64_t broadcast(const std::string& message) override;
+  bool broadcastFinished(uint64_t token) const override;
+  vm::SpriteApi* makeClone(vm::SpriteApi* original,
+                           const std::string& targetName) override;
+  void removeClone(vm::SpriteApi* clone) override;
+  std::shared_ptr<const vm::ProcessStatus> launchScript(
+      blocks::ScriptPtr script, blocks::EnvPtr env,
+      vm::SpriteApi* sprite) override;
+  size_t maxWorkers() const override { return maxWorkers_; }
+
+ private:
+  struct Task {
+    std::unique_ptr<vm::Process> process;
+    std::shared_ptr<vm::ProcessStatus> status;
+    vm::SpriteApi* sprite = nullptr;
+  };
+
+  Task& spawn(vm::SpriteApi* sprite);
+  void reapFinished();
+
+  const blocks::BlockRegistry* registry_;
+  const vm::PrimitiveTable* primitives_;
+
+  std::deque<Task> tasks_;
+  std::vector<vm::SpriteApi*> clonesToRemove_;
+  std::unordered_map<uint64_t, std::vector<uint64_t>> broadcastWaits_;
+  uint64_t nextBroadcastToken_ = 1;
+
+  InterferenceModel interference_ = InterferenceModel::none();
+  double secondsPerFrame_ = 1.0;
+  size_t sliceSteps_ = vm::Process::kDefaultSliceSteps;
+  size_t maxWorkers_ = 4;
+  StageHooks hooks_;
+
+  uint64_t frame_ = 0;
+  double now_ = 0;
+  double timerStart_ = 0;
+  std::vector<std::string> errors_;
+  std::vector<std::string> finishedSayLog_;
+};
+
+}  // namespace psnap::sched

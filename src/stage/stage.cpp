@@ -1,0 +1,245 @@
+#include "stage/stage.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/error.hpp"
+#include "support/strings.hpp"
+
+namespace psnap::stage {
+
+using blocks::Environment;
+using blocks::EnvPtr;
+using blocks::ScriptPtr;
+
+namespace {
+constexpr double kPi = 3.14159265358979323846;
+}
+
+Sprite::Sprite(Stage* stage, std::string name)
+    : stage_(stage),
+      name_(std::move(name)),
+      variables_(Environment::make(stage->globals())) {}
+
+void Sprite::moveSteps(double steps) {
+  // Snap! heading: 0 = up, 90 = right; convert to radians accordingly.
+  const double radians = (90.0 - heading_) * kPi / 180.0;
+  x_ += steps * std::cos(radians);
+  y_ += steps * std::sin(radians);
+}
+
+void Sprite::turnBy(double degrees) {
+  heading_ = std::fmod(heading_ + degrees, 360.0);
+  if (heading_ < 0) heading_ += 360.0;
+}
+
+void Sprite::setHeading(double degrees) {
+  heading_ = std::fmod(degrees, 360.0);
+  if (heading_ < 0) heading_ += 360.0;
+}
+
+void Sprite::gotoXY(double x, double y) {
+  x_ = x;
+  y_ = y;
+}
+
+bool Sprite::touching(const std::string& name) const {
+  // Circle collision against the named sprite and its clones; hidden
+  // sprites never touch anything.
+  if (!visible_) return false;
+  for (const auto& other : stage_->sprites_) {
+    if (other.get() == this || !other->visible()) continue;
+    const bool nameMatches =
+        other->name() == name ||
+        (other->isClone() && other->cloneParent_ &&
+         other->cloneParent_->name() == name);
+    if (!nameMatches) continue;
+    const double dx = other->x() - x_;
+    const double dy = other->y() - y_;
+    const double reach = touchRadius_ + other->touchRadius_;
+    if (dx * dx + dy * dy <= reach * reach) return true;
+  }
+  return false;
+}
+
+void Sprite::addScript(ScriptPtr script) {
+  if (!script || script->empty()) {
+    throw Error("a sprite script must contain at least a hat block");
+  }
+  const blocks::Block& hat = *script->at(0);
+  HatScript entry;
+  if (hat.opcode() == "receiveGo") {
+    entry.event = "go";
+  } else if (hat.opcode() == "receiveKey") {
+    entry.event = "key";
+    entry.argument = hat.input(0).literalValue().asText();
+  } else if (hat.opcode() == "receiveMessage") {
+    entry.event = "message";
+    entry.argument = hat.input(0).literalValue().asText();
+  } else if (hat.opcode() == "receiveCloneStart") {
+    entry.event = "clone";
+  } else {
+    throw Error("script must start with a hat block, got " + hat.opcode());
+  }
+  std::vector<blocks::BlockPtr> body(script->blocks().begin() + 1,
+                                     script->blocks().end());
+  entry.body = blocks::Script::make(std::move(body));
+  scripts_.push_back(std::move(entry));
+}
+
+Stage::Stage(sched::ThreadManager* scheduler)
+    : scheduler_(scheduler), globals_(Environment::make()) {
+  if (!scheduler_) throw Error("Stage requires a ThreadManager");
+  sched::StageHooks hooks;
+  hooks.cloneSprite = [this](vm::SpriteApi* original,
+                             const std::string& target) {
+    return cloneHook(original, target);
+  };
+  hooks.destroyClone = [this](vm::SpriteApi* clone) {
+    destroyCloneHook(clone);
+  };
+  hooks.startListeners = [this](const std::string& message) {
+    return broadcastHook(message);
+  };
+  scheduler_->setStageHooks(std::move(hooks));
+}
+
+Sprite& Stage::addSprite(const std::string& name) {
+  if (findSprite(name)) throw Error("duplicate sprite name " + name);
+  sprites_.push_back(std::make_unique<Sprite>(this, name));
+  return *sprites_.back();
+}
+
+Sprite* Stage::findSprite(const std::string& name) {
+  for (auto& sprite : sprites_) {
+    if (sprite->name() == name) return sprite.get();
+  }
+  return nullptr;
+}
+
+std::vector<Sprite*> Stage::sprites() {
+  std::vector<Sprite*> out;
+  out.reserve(sprites_.size());
+  for (auto& sprite : sprites_) out.push_back(sprite.get());
+  return out;
+}
+
+size_t Stage::cloneCount() const {
+  return static_cast<size_t>(
+      std::count_if(sprites_.begin(), sprites_.end(),
+                    [](const auto& s) { return s->isClone(); }));
+}
+
+void Stage::startScript(Sprite& sprite, const ScriptPtr& body) {
+  // Each activation gets a fresh script-variable frame on top of the
+  // sprite's variables.
+  scheduler_->spawnScript(body, Environment::make(sprite.variables()),
+                          &sprite);
+}
+
+void Stage::greenFlag() {
+  for (auto& sprite : sprites_) {
+    for (const Sprite::HatScript& hat : sprite->scripts()) {
+      if (hat.event == "go") startScript(*sprite, hat.body);
+    }
+  }
+}
+
+void Stage::keyPressed(const std::string& key) {
+  for (auto& sprite : sprites_) {
+    for (const Sprite::HatScript& hat : sprite->scripts()) {
+      if (hat.event == "key" && hat.argument == key) {
+        startScript(*sprite, hat.body);
+      }
+    }
+  }
+}
+
+void Stage::stopAll() {
+  scheduler_->stopAll();
+  sprites_.erase(std::remove_if(sprites_.begin(), sprites_.end(),
+                                [](const auto& s) { return s->isClone(); }),
+                 sprites_.end());
+}
+
+Sprite* Stage::makeClone(Sprite* original) {
+  if (!original) throw Error("cannot clone a null sprite");
+  ++cloneCounter_;
+  auto clone = std::make_unique<Sprite>(
+      this, original->name() + "#" + std::to_string(cloneCounter_));
+  clone->isClone_ = true;
+  clone->cloneParent_ = original;
+  clone->x_ = original->x_;
+  clone->y_ = original->y_;
+  clone->heading_ = original->heading_;
+  clone->costume_ = original->costume_;
+  clone->visible_ = original->visible_;
+  clone->touchRadius_ = original->touchRadius_;
+  clone->scripts_ = original->scripts_;
+  // Clones copy the *values* of the parent's sprite-local variables.
+  for (const std::string& name : original->variables_->localNames()) {
+    clone->variables_->declare(name, original->variables_->get(name));
+  }
+  Sprite* raw = clone.get();
+  sprites_.push_back(std::move(clone));
+  for (const Sprite::HatScript& hat : raw->scripts()) {
+    if (hat.event == "clone") startScript(*raw, hat.body);
+  }
+  return raw;
+}
+
+vm::SpriteApi* Stage::cloneHook(vm::SpriteApi* original,
+                                const std::string& targetName) {
+  Sprite* target = nullptr;
+  if (!targetName.empty()) {
+    target = findSprite(targetName);
+    if (!target) throw Error("no sprite named " + targetName + " to clone");
+  } else {
+    target = static_cast<Sprite*>(original);
+    if (!target) throw Error("create clone of myself requires a sprite");
+  }
+  return makeClone(target);
+}
+
+void Stage::destroyCloneHook(vm::SpriteApi* clone) {
+  sprites_.erase(std::remove_if(sprites_.begin(), sprites_.end(),
+                                [clone](const auto& s) {
+                                  return s.get() == clone && s->isClone();
+                                }),
+                 sprites_.end());
+}
+
+std::vector<uint64_t> Stage::broadcastHook(const std::string& message) {
+  std::vector<uint64_t> ids;
+  // Snapshot: broadcasts received by the sprites (and clones) that exist
+  // when the broadcast fires.
+  std::vector<Sprite*> current = sprites();
+  for (Sprite* sprite : current) {
+    for (const Sprite::HatScript& hat : sprite->scripts()) {
+      if (hat.event == "message" && hat.argument == message) {
+        auto handle = scheduler_->spawnScript(
+            hat.body, Environment::make(sprite->variables()), sprite);
+        ids.push_back(handle.process->id());
+      }
+    }
+  }
+  return ids;
+}
+
+std::string Stage::renderFrame() const {
+  std::string out;
+  out += "t=" + strings::formatNumber(scheduler_->timerSeconds()) + "\n";
+  for (const auto& sprite : sprites_) {
+    out += sprite->name() + " @(" + strings::formatNumber(sprite->x()) +
+           "," + strings::formatNumber(sprite->y()) + ") dir " +
+           strings::formatNumber(sprite->heading()) + " costume '" +
+           sprite->costume() + "'";
+    if (!sprite->sayText().empty()) {
+      out += " says \"" + sprite->sayText() + "\"";
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace psnap::stage

@@ -1,0 +1,142 @@
+// The stage: sprites, clones, costumes, say-bubbles, and event dispatch.
+//
+// This is the C++ stand-in for Snap!'s stage area (paper Fig. 2): a project
+// holds sprites, each sprite holds scripts headed by hat blocks, and events
+// (green flag, key presses, broadcasts, clone starts) activate those
+// scripts as concurrent processes on the ThreadManager. Sprite *cloning* is
+// the mechanism the paper's parallelForEach uses to visualize parallelism
+// (the three Pitcher clones of Fig. 9).
+//
+// Rendering is textual: renderFrame() emits one line per sprite with its
+// position, heading, costume, and say-bubble — the experiment's observable
+// is the timer value and sprite states, not pixels.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "blocks/block.hpp"
+#include "blocks/environment.hpp"
+#include "sched/thread_manager.hpp"
+#include "vm/host.hpp"
+
+namespace psnap::stage {
+
+class Stage;
+
+/// A sprite (or a clone of one). Implements the motion/looks surface the
+/// interpreter's primitives target.
+class Sprite : public vm::SpriteApi {
+ public:
+  Sprite(Stage* stage, std::string name);
+
+  // --- vm::SpriteApi -------------------------------------------------------
+  const std::string& name() const override { return name_; }
+  bool isClone() const override { return isClone_; }
+  double x() const override { return x_; }
+  double y() const override { return y_; }
+  double heading() const override { return heading_; }
+  void moveSteps(double steps) override;
+  void turnBy(double degrees) override;
+  void setHeading(double degrees) override;
+  void gotoXY(double x, double y) override;
+  void changeX(double dx) override { x_ += dx; }
+  void changeY(double dy) override { y_ += dy; }
+  void setCostume(const std::string& name) override { costume_ = name; }
+  const std::string& costume() const override { return costume_; }
+  void setVisible(bool visible) override { visible_ = visible; }
+  bool visible() const override { return visible_; }
+  bool touching(const std::string& name) const override;
+  /// Collision radius used by `touching` (default 30 units).
+  void setTouchRadius(double radius) { touchRadius_ = radius; }
+  void sayBubble(const std::string& text) override { sayText_ = text; }
+  void thinkBubble(const std::string& text) override { sayText_ = text; }
+  const blocks::EnvPtr& variables() override { return variables_; }
+
+  // --- scripts ---------------------------------------------------------------
+  /// Attach a script whose first block must be a hat (receiveGo,
+  /// receiveKey, receiveMessage, receiveCloneStart).
+  void addScript(blocks::ScriptPtr script);
+
+  struct HatScript {
+    std::string event;        ///< "go", "key", "message", "clone"
+    std::string argument;     ///< key name / message text
+    blocks::ScriptPtr body;   ///< blocks below the hat
+  };
+  const std::vector<HatScript>& scripts() const { return scripts_; }
+
+  const std::string& sayText() const { return sayText_; }
+  Sprite* cloneParent() const { return cloneParent_; }
+
+ private:
+  friend class Stage;
+
+  Stage* stage_;
+  std::string name_;
+  double x_ = 0;
+  double y_ = 0;
+  double heading_ = 90;  // Snap! convention: 90 = facing right
+  std::string costume_ = "default";
+  std::string sayText_;
+  bool visible_ = true;
+  double touchRadius_ = 30;
+  blocks::EnvPtr variables_;
+  std::vector<HatScript> scripts_;
+  bool isClone_ = false;
+  Sprite* cloneParent_ = nullptr;
+};
+
+/// The project stage: owns the sprites, wires clone/broadcast hooks into
+/// the scheduler, and fires user events.
+class Stage {
+ public:
+  explicit Stage(sched::ThreadManager* scheduler);
+
+  sched::ThreadManager& scheduler() { return *scheduler_; }
+
+  /// Project-global variables (parent scope of every sprite's variables).
+  const blocks::EnvPtr& globals() const { return globals_; }
+
+  Sprite& addSprite(const std::string& name);
+  Sprite* findSprite(const std::string& name);
+  /// All sprites including live clones, in creation order.
+  std::vector<Sprite*> sprites();
+  size_t spriteCount() const { return sprites_.size(); }
+  size_t cloneCount() const;
+
+  // --- events ---------------------------------------------------------------
+  /// The green start flag: activates every receiveGo script of every
+  /// sprite (paper Fig. 3's top script).
+  void greenFlag();
+  /// A key press: activates matching receiveKey scripts (the dragon's
+  /// turn-left/turn-right scripts of Fig. 3).
+  void keyPressed(const std::string& key);
+  /// The red stop button: terminates all processes and removes clones.
+  void stopAll();
+
+  /// Clone `original` and start its when-I-start-as-a-clone scripts. The
+  /// clone copies position, heading, costume, and the *values* of the
+  /// sprite-local variables.
+  Sprite* makeClone(Sprite* original);
+
+  /// Render the current stage state as text, one line per sprite.
+  std::string renderFrame() const;
+
+ private:
+  friend class Sprite;
+
+  vm::SpriteApi* cloneHook(vm::SpriteApi* original,
+                           const std::string& targetName);
+  void destroyCloneHook(vm::SpriteApi* clone);
+  std::vector<uint64_t> broadcastHook(const std::string& message);
+
+  void startScript(Sprite& sprite, const blocks::ScriptPtr& body);
+
+  sched::ThreadManager* scheduler_;
+  blocks::EnvPtr globals_;
+  std::vector<std::unique_ptr<Sprite>> sprites_;
+  uint64_t cloneCounter_ = 0;
+};
+
+}  // namespace psnap::stage

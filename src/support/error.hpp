@@ -1,0 +1,65 @@
+// Error types shared across the psnap libraries.
+//
+// The interpreter follows Snap!'s convention that user-visible failures
+// (wrong input type, index out of range, unknown block) surface as catchable
+// errors rather than crashing the environment, so every library throws a
+// subclass of psnap::Error and the schedulers catch them per process.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace psnap {
+
+/// Base class for all errors raised by the psnap libraries.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// A block was applied to a value of the wrong type (e.g. `item 1 of 7`).
+class TypeError : public Error {
+ public:
+  explicit TypeError(const std::string& what) : Error("type error: " + what) {}
+};
+
+/// A list index was outside [1, length] (Snap! lists are 1-indexed).
+class IndexError : public Error {
+ public:
+  explicit IndexError(const std::string& what)
+      : Error("index error: " + what) {}
+};
+
+/// An opcode was not found in the block registry, or a block was built with
+/// the wrong number of inputs for its spec.
+class BlockError : public Error {
+ public:
+  explicit BlockError(const std::string& what)
+      : Error("block error: " + what) {}
+};
+
+/// A ring that must be pure (worker-transportable) contained an impure or
+/// unsupported block. Mirrors the paper's restriction that Web Worker code
+/// cannot touch the stage.
+class PurityError : public Error {
+ public:
+  explicit PurityError(const std::string& what)
+      : Error("purity error: " + what) {}
+};
+
+/// Code generation could not translate a block to the target language
+/// (no mapping registered, or a dynamic type could not be made static).
+class CodegenError : public Error {
+ public:
+  explicit CodegenError(const std::string& what)
+      : Error("codegen error: " + what) {}
+};
+
+/// Raised for malformed project XML.
+class ParseError : public Error {
+ public:
+  explicit ParseError(const std::string& what)
+      : Error("parse error: " + what) {}
+};
+
+}  // namespace psnap

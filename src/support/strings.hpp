@@ -1,0 +1,47 @@
+// Small string helpers used by the block specs, the code generator, and the
+// workload generators. Kept dependency-free.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace psnap::strings {
+
+/// Split `text` on `sep`, keeping empty fields.
+std::vector<std::string> split(std::string_view text, char sep);
+
+/// Split on any run of whitespace, dropping empty fields (word tokenizer).
+std::vector<std::string> splitWhitespace(std::string_view text);
+
+/// Join `parts` with `sep` between elements.
+std::string join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Trim ASCII whitespace from both ends.
+std::string trim(std::string_view text);
+
+/// True if `text` starts with `prefix`.
+bool startsWith(std::string_view text, std::string_view prefix);
+
+/// True if `text` ends with `suffix`.
+bool endsWith(std::string_view text, std::string_view suffix);
+
+/// Replace every occurrence of `from` in `text` with `to`.
+std::string replaceAll(std::string_view text, std::string_view from,
+                       std::string_view to);
+
+/// Lower-case ASCII copy.
+std::string toLower(std::string_view text);
+
+/// Indent every line of `text` by `spaces` spaces (used by codegen when
+/// substituting a script into a C-slot placeholder).
+std::string indent(std::string_view text, int spaces);
+
+/// Format a double the way Snap! displays it: integers without a decimal
+/// point, otherwise shortest round-trip representation.
+std::string formatNumber(double value);
+
+/// Parse a double; returns false when `text` is not numeric.
+bool parseNumber(std::string_view text, double& out);
+
+}  // namespace psnap::strings

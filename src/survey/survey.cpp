@@ -1,0 +1,154 @@
+#include "survey/survey.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace psnap::survey {
+
+namespace {
+
+/// Apportion `n` into integer counts proportional to `percentages`
+/// (largest remainder / Hamilton method).
+std::vector<size_t> apportion(size_t n,
+                              const std::vector<double>& percentages) {
+  double total = 0;
+  for (double p : percentages) total += p;
+  if (total <= 0) throw Error("apportion: percentages must sum > 0");
+
+  std::vector<size_t> counts(percentages.size(), 0);
+  std::vector<std::pair<double, size_t>> remainders;
+  size_t assigned = 0;
+  for (size_t i = 0; i < percentages.size(); ++i) {
+    double exact = static_cast<double>(n) * percentages[i] / total;
+    counts[i] = static_cast<size_t>(exact);
+    assigned += counts[i];
+    remainders.push_back({exact - static_cast<double>(counts[i]), i});
+  }
+  std::stable_sort(remainders.begin(), remainders.end(),
+                   [](const auto& a, const auto& b) {
+                     return a.first > b.first;
+                   });
+  for (size_t k = 0; assigned < n; ++k, ++assigned) {
+    counts[remainders[k % remainders.size()].second] += 1;
+  }
+  return counts;
+}
+
+}  // namespace
+
+std::vector<Response> generateCohort(size_t n, const Targets& targets,
+                                     uint64_t seed) {
+  if (n == 0) return {};
+  Rng rng(seed);
+
+  auto careerCounts = apportion(
+      n, {targets.careerCs, targets.careerOther, targets.careerNoAnswer});
+  std::vector<Response> cohort;
+  cohort.reserve(n);
+  for (size_t i = 0; i < careerCounts[0]; ++i) {
+    cohort.push_back({Career::ComputerScience, false,
+                      Impression::SameOrNoOpinion});
+  }
+  // The benefit question applies to the Other group.
+  auto benefitCounts = apportion(
+      careerCounts[1],
+      {targets.benefitGivenOther, 100.0 - targets.benefitGivenOther});
+  for (size_t i = 0; i < careerCounts[1]; ++i) {
+    cohort.push_back(
+        {Career::Other, i < benefitCounts[0], Impression::SameOrNoOpinion});
+  }
+  for (size_t i = 0; i < careerCounts[2]; ++i) {
+    cohort.push_back({Career::NoAnswer, false,
+                      Impression::SameOrNoOpinion});
+  }
+
+  // Impressions are distributed across the whole cohort.
+  auto impressionCounts =
+      apportion(n, {targets.impressionMore, targets.impressionLess,
+                    targets.impressionSame});
+  std::vector<Impression> impressions;
+  impressions.reserve(n);
+  for (size_t i = 0; i < impressionCounts[0]; ++i) {
+    impressions.push_back(Impression::MoreFavorable);
+  }
+  for (size_t i = 0; i < impressionCounts[1]; ++i) {
+    impressions.push_back(Impression::LessFavorable);
+  }
+  for (size_t i = 0; i < impressionCounts[2]; ++i) {
+    impressions.push_back(Impression::SameOrNoOpinion);
+  }
+  // Deterministic Fisher–Yates over both columns so the sheets read like
+  // individual respondents rather than sorted stacks.
+  for (size_t i = n; i > 1; --i) {
+    std::swap(impressions[i - 1], impressions[rng.below(i)]);
+  }
+  for (size_t i = 0; i < n; ++i) cohort[i].impression = impressions[i];
+  for (size_t i = n; i > 1; --i) {
+    std::swap(cohort[i - 1], cohort[rng.below(i)]);
+  }
+  return cohort;
+}
+
+Tally tally(const std::vector<Response>& responses) {
+  Tally out;
+  out.respondents = responses.size();
+  if (responses.empty()) return out;
+  size_t cs = 0, other = 0, none = 0, benefit = 0;
+  size_t more = 0, less = 0, same = 0;
+  for (const Response& r : responses) {
+    switch (r.career) {
+      case Career::ComputerScience: ++cs; break;
+      case Career::Other:
+        ++other;
+        if (r.csWouldBenefit) ++benefit;
+        break;
+      case Career::NoAnswer: ++none; break;
+    }
+    switch (r.impression) {
+      case Impression::MoreFavorable: ++more; break;
+      case Impression::LessFavorable: ++less; break;
+      case Impression::SameOrNoOpinion: ++same; break;
+    }
+  }
+  const double n = static_cast<double>(responses.size());
+  out.careerCs = 100.0 * static_cast<double>(cs) / n;
+  out.careerOther = 100.0 * static_cast<double>(other) / n;
+  out.careerNoAnswer = 100.0 * static_cast<double>(none) / n;
+  out.benefitGivenOther =
+      other == 0 ? 0
+                 : 100.0 * static_cast<double>(benefit) /
+                       static_cast<double>(other);
+  out.impressionMore = 100.0 * static_cast<double>(more) / n;
+  out.impressionLess = 100.0 * static_cast<double>(less) / n;
+  out.impressionSame = 100.0 * static_cast<double>(same) / n;
+  return out;
+}
+
+std::string comparisonTable(const Targets& paper, const Tally& measured) {
+  char buf[256];
+  std::string out;
+  out += "question                         paper    measured (n=" +
+         std::to_string(measured.respondents) + ")\n";
+  auto row = [&](const char* label, double p, double m) {
+    std::snprintf(buf, sizeof(buf), "%-30s %5.0f%%      %6.1f%%\n", label, p,
+                  m);
+    out += buf;
+  };
+  row("career: computer science", paper.careerCs, measured.careerCs);
+  row("career: something else", paper.careerOther, measured.careerOther);
+  row("career: no answer", paper.careerNoAnswer, measured.careerNoAnswer);
+  row("CS benefits career (of other)", paper.benefitGivenOther,
+      measured.benefitGivenOther);
+  row("impression: more favorable", paper.impressionMore,
+      measured.impressionMore);
+  row("impression: less favorable", paper.impressionLess,
+      measured.impressionLess);
+  row("impression: same/no opinion", paper.impressionSame,
+      measured.impressionSame);
+  return out;
+}
+
+}  // namespace psnap::survey

@@ -1,0 +1,73 @@
+// The Women in Computing Day survey (paper Sec. 5).
+//
+// The paper tallies a brief written survey of ~100 seventh-grade girls:
+//   * 29% named computer science as a potential career, 54% something
+//     else, 17% gave no answer;
+//   * of those who did NOT pick CS, 57% said CS would benefit their
+//     chosen career;
+//   * 86% left with a more favorable impression of CS, 9% less
+//     favorable, 6% the same / no opinion.
+//
+// A human study cannot be rerun, so this module *simulates* the cohort:
+// it synthesizes individual response records whose aggregate matches a
+// set of target marginals (largest-remainder apportionment, then seeded
+// shuffling), and independently tallies those records back into
+// percentages. The tally code path is exactly what would process real
+// response sheets; only the records are synthetic.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace psnap::survey {
+
+enum class Career { ComputerScience, Other, NoAnswer };
+enum class Impression { MoreFavorable, LessFavorable, SameOrNoOpinion };
+
+/// One respondent's answers. `csWouldBenefit` is only meaningful when the
+/// career answer is Other (the paper's conditional question).
+struct Response {
+  Career career = Career::NoAnswer;
+  bool csWouldBenefit = false;
+  Impression impression = Impression::SameOrNoOpinion;
+};
+
+/// Target aggregate percentages (0–100).
+struct Targets {
+  double careerCs = 29;
+  double careerOther = 54;
+  double careerNoAnswer = 17;
+  double benefitGivenOther = 57;
+  double impressionMore = 86;
+  double impressionLess = 9;
+  double impressionSame = 6;  ///< paper rounds to ~6%
+
+  /// The percentages published in the paper.
+  static Targets paper2016() { return Targets{}; }
+};
+
+/// Aggregate percentages computed from records.
+struct Tally {
+  size_t respondents = 0;
+  double careerCs = 0;
+  double careerOther = 0;
+  double careerNoAnswer = 0;
+  double benefitGivenOther = 0;
+  double impressionMore = 0;
+  double impressionLess = 0;
+  double impressionSame = 0;
+};
+
+/// Synthesize a cohort of `n` responses approximating `targets` (largest-
+/// remainder rounding), shuffled deterministically by `seed`.
+std::vector<Response> generateCohort(size_t n, const Targets& targets,
+                                     uint64_t seed);
+
+/// Count a stack of response sheets.
+Tally tally(const std::vector<Response>& responses);
+
+/// Render a paper-vs-measured comparison table (used by the Sec. 5 bench).
+std::string comparisonTable(const Targets& paper, const Tally& measured);
+
+}  // namespace psnap::survey

@@ -1,0 +1,106 @@
+#include "vm/custom_blocks.hpp"
+
+#include "support/error.hpp"
+
+namespace psnap::vm {
+
+using blocks::Block;
+using blocks::BlockPtr;
+using blocks::BlockRegistry;
+using blocks::BlockSpec;
+using blocks::Input;
+using blocks::Ring;
+using blocks::RingPtr;
+using blocks::Value;
+
+std::string customOpcode(const std::string& spec) {
+  return "custom:" + spec;
+}
+
+void CustomBlockLibrary::define(CustomBlockDef def) {
+  if (!def.body) throw BlockError("custom block needs a body script");
+  bool variadic = false;
+  auto slots = blocks::parseSpecSlots(def.spec, variadic);
+  if (variadic) {
+    throw BlockError("custom blocks do not support variadic specs");
+  }
+  if (slots.size() != def.formals.size()) {
+    throw BlockError("custom block \"" + def.spec + "\" declares " +
+                     std::to_string(slots.size()) + " slots but " +
+                     std::to_string(def.formals.size()) + " formals");
+  }
+  if (has(def.spec)) {
+    throw BlockError("custom block \"" + def.spec + "\" already defined");
+  }
+  defs_.push_back(std::move(def));
+}
+
+bool CustomBlockLibrary::has(const std::string& spec) const {
+  for (const CustomBlockDef& def : defs_) {
+    if (def.spec == spec) return true;
+  }
+  return false;
+}
+
+const CustomBlockDef& CustomBlockLibrary::get(const std::string& spec) const {
+  for (const CustomBlockDef& def : defs_) {
+    if (def.spec == spec) return def;
+  }
+  throw BlockError("no custom block \"" + spec + "\"");
+}
+
+std::vector<std::string> CustomBlockLibrary::specs() const {
+  std::vector<std::string> out;
+  out.reserve(defs_.size());
+  for (const CustomBlockDef& def : defs_) out.push_back(def.spec);
+  return out;
+}
+
+void CustomBlockLibrary::registerInto(BlockRegistry& registry,
+                                      PrimitiveTable& table) const {
+  for (const CustomBlockDef& def : defs_) {
+    BlockSpec spec;
+    spec.opcode = customOpcode(def.spec);
+    spec.spec = def.spec;
+    spec.category = "custom";
+    spec.type = def.type;
+    spec.pure = false;   // bodies may have effects; worker shipping is
+                         // done through rings, not custom calls
+    spec.strict = true;  // arguments evaluate before the body runs
+    registry.add(spec);
+
+    // The body runs as a command-ring call: formals bound in a fresh
+    // frame over the definition's home environment, report unwinds to
+    // the call boundary.
+    RingPtr bodyRing =
+        Ring::command(def.body, def.formals, def.home);
+    const bool isReporter = def.type == blocks::BlockType::Reporter ||
+                            def.type == blocks::BlockType::Predicate;
+    table.add(spec.opcode,
+              [bodyRing, isReporter](Process& p, Context& c) {
+                if (c.phase == 0) {
+                  c.phase = 1;
+                  std::vector<Value> args(c.inputs.begin(),
+                                          c.inputs.end());
+                  p.pushRingCall(bodyRing, std::move(args), c.env);
+                  return;
+                }
+                if (isReporter) {
+                  Value result = c.inputs.size() > c.block->arity()
+                                     ? c.inputs.back()
+                                     : Value();
+                  p.returnValue(std::move(result));
+                } else {
+                  p.finishCommand();
+                }
+              });
+  }
+}
+
+BlockPtr CustomBlockLibrary::call(const std::string& spec,
+                                  std::vector<Input> args) const {
+  (void)get(spec);  // validate existence
+  return Block::make(customOpcode(spec), std::move(args));
+}
+
+}  // namespace psnap::vm

@@ -1,0 +1,65 @@
+// Custom blocks — BYOB ("Build Your Own Blocks", Snap!'s original name;
+// paper Sec. 2: "Snap! allows users to define their own blocks using
+// other blocks, something that Scratch does not support").
+//
+// A custom block is defined by a spec string whose % tokens name its
+// formal parameters — e.g. "double %n" or "average of %values" — plus a
+// body script (for reporters, the body reports via the `report` block).
+// Definitions register a BlockSpec (so instances validate, serialize, and
+// render like primitives) and a handler that calls the body like a ring,
+// binding the formals lexically over the definition environment.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "blocks/registry.hpp"
+#include "vm/process.hpp"
+
+namespace psnap::vm {
+
+/// One custom block definition.
+struct CustomBlockDef {
+  /// Display spec; % tokens become formal parameters, e.g.
+  /// "fibonacci of %n". The derived opcode is "custom:" + spec.
+  std::string spec;
+  blocks::BlockType type = blocks::BlockType::Reporter;
+  /// Formal parameter names, one per % token in `spec` (the visible token
+  /// text is cosmetic; these are the names the body reads).
+  std::vector<std::string> formals;
+  /// The body; reporters use `report` to deliver their value.
+  blocks::ScriptPtr body;
+  /// Lexical home of the definition (usually the stage globals); null
+  /// falls back to the caller's environment.
+  blocks::EnvPtr home;
+};
+
+/// The opcode an instance of `spec` uses.
+std::string customOpcode(const std::string& spec);
+
+/// A library of custom blocks that can be registered into a registry +
+/// primitive-table pair. Definitions may call each other and recurse.
+class CustomBlockLibrary {
+ public:
+  /// Add a definition; throws BlockError when the formal count does not
+  /// match the spec's slot count or the spec is already defined.
+  void define(CustomBlockDef def);
+
+  bool has(const std::string& spec) const;
+  const CustomBlockDef& get(const std::string& spec) const;
+  std::vector<std::string> specs() const;
+
+  /// Register every definition's BlockSpec and handler. Call once per
+  /// (registry, table) pair, after the standard palette is present.
+  void registerInto(blocks::BlockRegistry& registry,
+                    PrimitiveTable& table) const;
+
+  /// Convenience for building an invocation block of a defined spec.
+  blocks::BlockPtr call(const std::string& spec,
+                        std::vector<blocks::Input> args) const;
+
+ private:
+  std::vector<CustomBlockDef> defs_;
+};
+
+}  // namespace psnap::vm

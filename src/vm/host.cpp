@@ -1,0 +1,18 @@
+#include "vm/host.hpp"
+
+#include "support/error.hpp"
+
+namespace psnap::vm {
+
+uint64_t NullHost::broadcast(const std::string& message) {
+  messages_.push_back(message);
+  return static_cast<uint64_t>(messages_.size());
+}
+
+std::shared_ptr<const ProcessStatus> NullHost::launchScript(blocks::ScriptPtr,
+                                                            blocks::EnvPtr,
+                                                            SpriteApi*) {
+  throw Error("NullHost cannot launch processes; use a ThreadManager");
+}
+
+}  // namespace psnap::vm

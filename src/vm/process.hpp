@@ -1,0 +1,224 @@
+// The Process: Snap!'s interpreter as an explicit context-stack machine.
+//
+// Snap! implements concurrency as coroutines over an explicit stack of
+// Context frames — a process runs until it *yields*, and the scheduler
+// interleaves many processes within one frame. The paper's parallelMap
+// primitive (Listing 2) depends on exactly this machinery: it stores its
+// worker job in the current context's input array, pushes a 'doYield'
+// context, and is re-invoked every frame to poll for completion. This
+// class reproduces that machine:
+//
+//   * strict blocks get their inputs evaluated left to right by the
+//     machine, one child context at a time;
+//   * non-strict (control) blocks receive control with whatever inputs
+//     have been evaluated so far and push their own children;
+//   * any handler can push a yield marker, retry itself next frame, or
+//     return a value to its parent context.
+//
+// A Process is single-threaded; true parallelism enters only through the
+// worker pool used by the parallel blocks (src/workers, src/core).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "blocks/block.hpp"
+#include "blocks/environment.hpp"
+#include "blocks/registry.hpp"
+#include "vm/host.hpp"
+
+namespace psnap::vm {
+
+class Process;
+
+/// One frame of the evaluation stack.
+///
+/// Exactly one of `block` / `script` / `isYieldMarker` describes the frame.
+/// The scratch fields (`phase`, `counter`, `deadline`, `token`, `state`)
+/// are owned by the handler of `block` across re-invocations — the same
+/// role `context.inputs[3]` plays in the paper's Listing 2.
+struct Context {
+  const blocks::Block* block = nullptr;
+  const blocks::Script* script = nullptr;
+  size_t pc = 0;  ///< next block index when running a script
+
+  /// Evaluated inputs; handlers may append scratch values past the block's
+  /// declared arity (the Listing 2 idiom).
+  std::vector<blocks::Value> inputs;
+  /// Parallel to `inputs`: true where the input slot was collapsed.
+  std::vector<uint8_t> collapsedFlags;
+
+  blocks::EnvPtr env;
+
+  int phase = 0;
+  long long counter = 0;
+  double deadline = 0;
+  uint64_t token = 0;
+  std::shared_ptr<void> state;
+
+  bool isYieldMarker = false;
+  /// doReport / stop-this-script unwind to the innermost boundary frame.
+  bool callBoundary = false;
+  /// This frame entered a warp; unwinding past it must exit the warp.
+  bool ownsWarp = false;
+
+  /// Keep-alive owners for synthetic AST nodes created at run time.
+  blocks::BlockPtr blockOwner;
+  blocks::ScriptPtr scriptOwner;
+
+  /// Was the input at `index` a collapsed optional slot?
+  bool isCollapsed(size_t index) const {
+    return index < collapsedFlags.size() && collapsedFlags[index] != 0;
+  }
+};
+
+/// A block handler. Invoked when the frame's block is on top of the stack
+/// and (for strict blocks) all declared inputs are evaluated. Must make
+/// progress: push children, return a value, finish, retry-after-yield, or
+/// terminate.
+using Handler = std::function<void(Process&, Context&)>;
+
+/// Opcode → handler table. Separate from the BlockRegistry so extension
+/// modules (parallel blocks, codegen blocks) can register additional
+/// handlers without touching the interpreter.
+class PrimitiveTable {
+ public:
+  void add(const std::string& opcode, Handler handler);
+  const Handler* find(const std::string& opcode) const;
+
+  /// Standard palette handlers (everything in registerStandardSpecs except
+  /// the parallel and codegen blocks, which live in src/core and
+  /// src/codegen).
+  static PrimitiveTable standard();
+
+ private:
+  std::unordered_map<std::string, Handler> handlers_;
+};
+
+void registerStandardPrimitives(PrimitiveTable& table);
+
+/// Why a process is no longer runnable.
+enum class ProcessState { Ready, Done, Errored, Terminated };
+
+class Process {
+ public:
+  Process(const blocks::BlockRegistry* registry,
+          const PrimitiveTable* primitives, Host* host,
+          SpriteApi* sprite = nullptr);
+
+  /// Begin running a command script (an activated Snap! script).
+  void startScript(blocks::ScriptPtr script, blocks::EnvPtr env);
+  /// Begin evaluating a reporter expression; result() holds the value when
+  /// finished.
+  void startExpression(blocks::BlockPtr expression, blocks::EnvPtr env);
+
+  ProcessState state() const { return state_; }
+  bool runnable() const { return state_ == ProcessState::Ready; }
+  bool finished() const { return state_ != ProcessState::Ready; }
+  bool errored() const { return state_ == ProcessState::Errored; }
+  const std::string& error() const { return error_; }
+  const blocks::Value& result() const { return result_; }
+
+  /// Run until the process yields, finishes, or `maxSteps` interpreter
+  /// steps elapse. Returns true if the process is still runnable.
+  bool runSlice(size_t maxSteps = kDefaultSliceSteps);
+
+  /// Drive to completion on the current thread (headless evaluation).
+  /// Throws Error if the process errors, or if `maxTotalSteps` elapse
+  /// (runaway-loop guard).
+  const blocks::Value& runToCompletion(size_t maxTotalSteps = 100'000'000);
+
+  /// Did the last runSlice end in a voluntary yield?
+  bool yielded() const { return yielded_; }
+
+  // --- services for handlers --------------------------------------------
+  Host& host() { return *host_; }
+  SpriteApi* sprite() { return sprite_; }
+  const blocks::BlockRegistry& registry() const { return *registry_; }
+
+  /// Evaluate input slot `index` of `ctx.block`: literals, empty slots and
+  /// collapsed slots deposit immediately; nested blocks push a child frame.
+  void evalInput(Context& ctx, size_t index);
+
+  void pushScript(const blocks::Script* script, blocks::EnvPtr env,
+                  bool boundary = false,
+                  blocks::ScriptPtr owner = nullptr);
+  void pushExpression(const blocks::Block* block, blocks::EnvPtr env,
+                      bool boundary = false, blocks::BlockPtr owner = nullptr);
+  void pushYield();
+
+  /// Pop the current frame and hand `value` to the parent frame.
+  void returnValue(blocks::Value value);
+  /// Pop the current frame with no value (commands).
+  void finishCommand();
+  /// Keep the current frame, schedule a yield, and re-invoke the handler
+  /// next slice (the Listing 2 polling idiom).
+  void retryAfterYield(Context& ctx);
+  /// doReport: unwind to the innermost call boundary, returning `value`.
+  void unwindReport(blocks::Value value);
+  /// stop this script: unwind to the innermost call boundary, no value.
+  void stopThisScript();
+  /// Kill the process outright.
+  void terminate();
+
+  /// Warp nesting (Snap!'s `warp` block): while > 0, yield markers are
+  /// consumed without ending the slice, so the warped body runs to
+  /// completion within one frame.
+  void enterWarp() { ++warpDepth_; }
+  void exitWarp() {
+    if (warpDepth_ > 0) --warpDepth_;
+  }
+  bool warped() const { return warpDepth_ > 0; }
+
+  /// Call a ring with arguments. Pushes a boundary frame; the ring body
+  /// runs under a fresh environment frame binding formals (or implicit
+  /// empty-slot arguments).
+  void pushRingCall(const blocks::RingPtr& ring,
+                    std::vector<blocks::Value> args,
+                    const blocks::EnvPtr& callerEnv);
+
+  /// say/think output log (always appended, also forwarded to the sprite).
+  std::vector<std::string>& sayLog() { return sayLog_; }
+
+  /// Code-mapping target language selected by `map to language` (Sec. 6).
+  std::string codegenLanguage = "C";
+
+  uint64_t id() const { return id_; }
+
+  static constexpr size_t kDefaultSliceSteps = 1'000'000;
+
+ private:
+  void step();
+  void stepScript(Context& ctx);
+  void stepBlock(Context& ctx);
+  void fail(const std::string& message);
+
+  const blocks::BlockRegistry* registry_;
+  const PrimitiveTable* primitives_;
+  Host* host_;
+  SpriteApi* sprite_;
+
+  // A deque, not a vector: handlers keep Context& references into the
+  // stack while pushing child frames, and deque push/pop at the back
+  // never invalidates references to other elements.
+  std::deque<Context> stack_;
+  blocks::ScriptPtr rootScript_;
+  blocks::BlockPtr rootExpression_;
+
+  ProcessState state_ = ProcessState::Done;
+  std::string error_;
+  blocks::Value result_;
+  bool yielded_ = false;
+  bool progress_ = false;  ///< set by any stack mutation within step()
+
+  std::vector<std::string> sayLog_;
+  uint64_t id_;
+  int warpDepth_ = 0;
+};
+
+}  // namespace psnap::vm

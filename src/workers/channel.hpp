@@ -1,0 +1,81 @@
+// A postMessage-style channel between the main thread and workers.
+//
+// HTML5 Web Workers communicate exclusively by message passing with
+// structured-clone semantics (no shared mutable state). Channel<T> is the
+// transport half of that model: a bounded-unbounded MPMC queue with close
+// semantics. The structured-clone half is enforced at the call sites via
+// Value::structuredClone().
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+
+namespace psnap::workers {
+
+template <typename T>
+class Channel {
+ public:
+  Channel() = default;
+  Channel(const Channel&) = delete;
+  Channel& operator=(const Channel&) = delete;
+
+  /// Post a message. Returns false if the channel is closed.
+  bool send(T message) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (closed_) return false;
+      queue_.push_back(std::move(message));
+    }
+    cv_.notify_one();
+    return true;
+  }
+
+  /// Blocking receive; empty optional when the channel is closed and
+  /// drained.
+  std::optional<T> receive() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait(lock, [this] { return closed_ || !queue_.empty(); });
+    if (queue_.empty()) return std::nullopt;
+    T message = std::move(queue_.front());
+    queue_.pop_front();
+    return message;
+  }
+
+  /// Non-blocking receive.
+  std::optional<T> tryReceive() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (queue_.empty()) return std::nullopt;
+    T message = std::move(queue_.front());
+    queue_.pop_front();
+    return message;
+  }
+
+  /// Close: wakes all receivers; pending messages still drain.
+  void close() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      closed_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return closed_;
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return queue_.size();
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<T> queue_;
+  bool closed_ = false;
+};
+
+}  // namespace psnap::workers

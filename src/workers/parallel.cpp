@@ -1,0 +1,185 @@
+#include "workers/parallel.hpp"
+
+#include <algorithm>
+#include <mutex>
+
+#include "support/error.hpp"
+
+namespace psnap::workers {
+
+using blocks::Value;
+
+namespace {
+constexpr size_t kDefaultWorkers = 4;  // the paper's Web Worker default
+}
+
+Parallel::Parallel(const std::vector<Value>& data, ParallelOptions options)
+    : workers_(options.maxWorkers == 0 ? kDefaultWorkers
+                                       : options.maxWorkers),
+      options_(options) {
+  data_.reserve(data.size());
+  for (const Value& v : data) data_.push_back(v.structuredClone());
+  if (options_.chunkSize == 0) options_.chunkSize = 1;
+  perWorker_.reserve(workers_);
+  for (size_t i = 0; i < workers_; ++i) {
+    perWorker_.push_back(std::make_unique<std::atomic<uint64_t>>(0));
+  }
+}
+
+Parallel::Parallel(const blocks::ListPtr& list, ParallelOptions options)
+    : Parallel(list ? list->items() : std::vector<Value>{}, options) {}
+
+Parallel::~Parallel() {
+  for (std::thread& t : threads_) {
+    if (t.joinable()) t.join();
+  }
+}
+
+void Parallel::recordError(const std::string& message) {
+  std::lock_guard<std::mutex> lock(errorMutex_);
+  if (!failedFlag_.exchange(true)) error_ = message;
+}
+
+void Parallel::launch(std::function<void(size_t)> body) {
+  if (launched_.exchange(true)) {
+    throw Error("Parallel: an operation is already running on this object");
+  }
+  running_.store(static_cast<int>(workers_));
+  threads_.reserve(workers_);
+  for (size_t w = 0; w < workers_; ++w) {
+    threads_.emplace_back([this, body, w] {
+      try {
+        body(w);
+      } catch (const std::exception& e) {
+        recordError(e.what());
+      } catch (...) {
+        recordError("unknown worker error");
+      }
+      running_.fetch_sub(1);
+    });
+  }
+}
+
+void Parallel::map(MapFn fn) {
+  const size_t n = data_.size();
+  switch (options_.distribution) {
+    case Distribution::Dynamic: {
+      const size_t chunk = options_.chunkSize;
+      launch([this, fn, n, chunk](size_t w) {
+        while (true) {
+          size_t begin = cursor_.fetch_add(chunk);
+          if (begin >= n) break;
+          size_t end = std::min(begin + chunk, n);
+          for (size_t i = begin; i < end; ++i) {
+            data_[i] = fn(data_[i]);
+            perWorker_[w]->fetch_add(1);
+          }
+        }
+      });
+      break;
+    }
+    case Distribution::Contiguous: {
+      const size_t per = (n + workers_ - 1) / workers_;
+      launch([this, fn, n, per](size_t w) {
+        size_t begin = w * per;
+        size_t end = std::min(begin + per, n);
+        for (size_t i = begin; i < end; ++i) {
+          data_[i] = fn(data_[i]);
+          perWorker_[w]->fetch_add(1);
+        }
+      });
+      break;
+    }
+    case Distribution::BlockCyclic: {
+      const size_t chunk = options_.chunkSize;
+      const size_t stride = chunk * workers_;
+      launch([this, fn, n, chunk, stride](size_t w) {
+        for (size_t base = w * chunk; base < n; base += stride) {
+          size_t end = std::min(base + chunk, n);
+          for (size_t i = base; i < end; ++i) {
+            data_[i] = fn(data_[i]);
+            perWorker_[w]->fetch_add(1);
+          }
+        }
+      });
+      break;
+    }
+  }
+}
+
+void Parallel::reduce(ReduceFn fn) {
+  isReduce_ = true;
+  combiner_ = fn;
+  const size_t n = data_.size();
+  partials_.assign(workers_, Value());
+  const size_t per = (n + workers_ - 1) / workers_;
+  launch([this, fn, n, per](size_t w) {
+    size_t begin = w * per;
+    size_t end = std::min(begin + per, n);
+    if (begin >= end) return;
+    Value acc = data_[begin];
+    perWorker_[w]->fetch_add(1);
+    for (size_t i = begin + 1; i < end; ++i) {
+      acc = fn(acc, data_[i]);
+      perWorker_[w]->fetch_add(1);
+    }
+    partials_[w] = std::move(acc);
+  });
+}
+
+bool Parallel::resolved() const {
+  return launched_.load() && running_.load() == 0;
+}
+
+void Parallel::wait() {
+  if (!launched_.load()) return;
+  if (!joined_) {
+    for (std::thread& t : threads_) {
+      if (t.joinable()) t.join();
+    }
+    joined_ = true;
+    if (isReduce_ && !failedFlag_.load()) {
+      // Combine the per-worker partials in worker order.
+      Value acc;
+      bool first = true;
+      for (Value& partial : partials_) {
+        if (partial.isNothing()) continue;  // worker had an empty range
+        if (first) {
+          acc = std::move(partial);
+          first = false;
+        } else {
+          acc = combiner_(acc, partial);
+        }
+      }
+      data_.clear();
+      if (!first) data_.push_back(std::move(acc));
+    }
+  }
+}
+
+bool Parallel::failed() const { return failedFlag_.load(); }
+
+const std::vector<Value>& Parallel::data() {
+  wait();
+  if (failedFlag_.load()) {
+    throw Error("parallel operation failed: " + error_);
+  }
+  return data_;
+}
+
+std::vector<uint64_t> Parallel::itemsPerWorker() const {
+  std::vector<uint64_t> out;
+  out.reserve(perWorker_.size());
+  for (const auto& counter : perWorker_) out.push_back(counter->load());
+  return out;
+}
+
+uint64_t Parallel::virtualMakespan() const {
+  uint64_t makespan = 0;
+  for (const auto& counter : perWorker_) {
+    makespan = std::max(makespan, counter->load());
+  }
+  return makespan;
+}
+
+}  // namespace psnap::workers

@@ -1,0 +1,131 @@
+// The Parallel.js facade (paper Listing 1):
+//
+//   var p = new Parallel([1,2,3,4], {maxWorkers: 2});
+//   p.map(mydouble);
+//   console.log(p.data);
+//
+// becomes
+//
+//   Parallel p(values, {.maxWorkers = 2});
+//   p.map(mydouble);          // asynchronous: poll p.resolved()
+//   p.wait();
+//   use(p.data());
+//
+// Semantics preserved from the paper:
+//   * data is structured-cloned into the job (workers never share state
+//     with the main thread);
+//   * "if fewer workers are created than there are list elements, the
+//     workers systematically process the remaining elements from the list
+//     until completed" — the default distribution is dynamic
+//     self-scheduling over an atomic cursor;
+//   * completion is observed by polling (the `operation._resolved` flag of
+//     Listing 2), which is exactly how the parallelMap block integrates
+//     with the cooperative scheduler.
+//
+// In addition to wall-clock execution, the facade tracks items-per-worker
+// so benches can report *virtual makespan* (max items on any worker) —
+// the metric that carries the paper's speedup shape on a 1-core host.
+#pragma once
+
+#include <atomic>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "blocks/value.hpp"
+
+namespace psnap::workers {
+
+/// A unary function shipped to workers. Must be thread-safe and must not
+/// touch interpreter state (the core module compiles *pure* rings to this
+/// type, mirroring Listing 2's mappedCode()-to-Function step).
+using MapFn = std::function<blocks::Value(const blocks::Value&)>;
+/// A binary combiner for reduce.
+using ReduceFn =
+    std::function<blocks::Value(const blocks::Value&, const blocks::Value&)>;
+
+/// How list elements are assigned to workers (ablation A2 in DESIGN.md).
+enum class Distribution {
+  Dynamic,     ///< self-scheduling: workers pull the next index (default)
+  Contiguous,  ///< static contiguous chunks of ceil(n/w)
+  BlockCyclic, ///< static round-robin by chunkSize
+};
+
+struct ParallelOptions {
+  /// Number of workers to spawn; 0 uses the default of 4 (the paper:
+  /// "By default, four Web Workers are created").
+  size_t maxWorkers = 0;
+  Distribution distribution = Distribution::Dynamic;
+  /// Chunk granularity for Dynamic and BlockCyclic.
+  size_t chunkSize = 1;
+};
+
+class Parallel {
+ public:
+  /// Clone `data` into the job (structured-clone semantics; throws
+  /// PurityError if a value is not transferable).
+  Parallel(const std::vector<blocks::Value>& data, ParallelOptions options);
+  explicit Parallel(const blocks::ListPtr& list,
+                    ParallelOptions options = {});
+  ~Parallel();
+
+  Parallel(const Parallel&) = delete;
+  Parallel& operator=(const Parallel&) = delete;
+
+  size_t workerCount() const { return workers_; }
+
+  /// Launch an asynchronous parallel map. May be called once per Parallel.
+  void map(MapFn fn);
+
+  /// Launch an asynchronous parallel reduce: workers fold contiguous
+  /// chunks, the caller's wait() combines the partials in order. `fn`
+  /// must be associative for the result to be deterministic.
+  void reduce(ReduceFn fn);
+
+  /// Has the running operation finished? (Listing 2's `_resolved`.)
+  bool resolved() const;
+
+  /// Block until resolved, join the workers, surface any worker error.
+  void wait();
+
+  /// True once resolved if a worker threw; message() holds the first error.
+  bool failed() const;
+  const std::string& errorMessage() const { return error_; }
+
+  /// Result data. map: element-wise results. reduce: a single element.
+  /// Calls wait() internally. Throws Error if the operation failed.
+  const std::vector<blocks::Value>& data();
+
+  /// Items processed by each worker during the last operation.
+  std::vector<uint64_t> itemsPerWorker() const;
+
+  /// Virtual makespan: the maximum number of items any single worker
+  /// processed — the completion time in idealized unit-cost timesteps.
+  uint64_t virtualMakespan() const;
+
+ private:
+  void launch(std::function<void(size_t)> body);
+  void recordError(const std::string& message);
+
+  std::vector<blocks::Value> data_;
+  size_t workers_;
+  ParallelOptions options_;
+
+  std::vector<std::thread> threads_;
+  std::vector<std::unique_ptr<std::atomic<uint64_t>>> perWorker_;
+  std::atomic<size_t> cursor_{0};
+  std::atomic<int> running_{0};
+  std::atomic<bool> launched_{false};
+  std::atomic<bool> failedFlag_{false};
+  std::string error_;
+  std::mutex errorMutex_;
+  std::vector<blocks::Value> partials_;  // reduce intermediates
+  ReduceFn combiner_;                    // for the final sequential fold
+  bool isReduce_ = false;
+  bool joined_ = false;
+};
+
+}  // namespace psnap::workers

@@ -1,0 +1,45 @@
+#include "workers/worker_pool.hpp"
+
+namespace psnap::workers {
+
+WorkerPool::WorkerPool(size_t width)
+    : perWorker_(width == 0 ? 4 : width) {
+  const size_t count = perWorker_.size();
+  threads_.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    threads_.emplace_back([this, i] { workerMain(i); });
+  }
+}
+
+WorkerPool::~WorkerPool() {
+  jobs_.close();
+  for (std::thread& t : threads_) {
+    if (t.joinable()) t.join();
+  }
+}
+
+void WorkerPool::submit(std::function<void()> job) {
+  jobs_.send(std::move(job));
+}
+
+std::vector<uint64_t> WorkerPool::jobsPerWorker() const {
+  std::vector<uint64_t> out;
+  out.reserve(perWorker_.size());
+  for (const auto& counter : perWorker_) out.push_back(counter.load());
+  return out;
+}
+
+WorkerPool& WorkerPool::shared() {
+  static WorkerPool pool(4);
+  return pool;
+}
+
+void WorkerPool::workerMain(size_t index) {
+  while (auto job = jobs_.receive()) {
+    (*job)();
+    perWorker_[index].fetch_add(1);
+    completed_.fetch_add(1);
+  }
+}
+
+}  // namespace psnap::workers

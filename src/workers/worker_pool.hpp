@@ -1,0 +1,51 @@
+// A pool of background threads — the stand-in for a browser's Web Worker
+// slots. Jobs are opaque closures; the pool makes no attempt to share
+// state between them (the Parallel facade clones all data it ships).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <thread>
+#include <vector>
+
+#include "workers/channel.hpp"
+
+namespace psnap::workers {
+
+class WorkerPool {
+ public:
+  /// Spawn `width` worker threads (0 defaults to 4, the paper's default
+  /// Web Worker count).
+  explicit WorkerPool(size_t width = 0);
+  ~WorkerPool();
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  size_t width() const { return threads_.size(); }
+
+  /// Enqueue a job for any worker.
+  void submit(std::function<void()> job);
+
+  /// Jobs completed per worker since construction (for utilization
+  /// reporting in the benches).
+  std::vector<uint64_t> jobsPerWorker() const;
+
+  /// Total jobs completed.
+  uint64_t jobsCompleted() const { return completed_.load(); }
+
+  /// The process-wide default pool (4 workers), created on first use —
+  /// analogous to the browser's worker slots always being available.
+  static WorkerPool& shared();
+
+ private:
+  void workerMain(size_t index);
+
+  Channel<std::function<void()>> jobs_;
+  std::vector<std::thread> threads_;
+  std::vector<std::atomic<uint64_t>> perWorker_;
+  std::atomic<uint64_t> completed_{0};
+};
+
+}  // namespace psnap::workers

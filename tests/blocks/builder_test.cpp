@@ -1,0 +1,97 @@
+#include "blocks/builder.hpp"
+
+#include <gtest/gtest.h>
+
+namespace psnap::build {
+namespace {
+
+TEST(Builder, LiteralConversions) {
+  auto block = sum(1, "2");
+  ASSERT_EQ(block->arity(), 2u);
+  EXPECT_EQ(block->input(0).literalValue().asNumber(), 1);
+  EXPECT_EQ(block->input(1).literalValue().asText(), "2");
+}
+
+TEST(Builder, NestedBlocks) {
+  auto block = sum(1, product(2, 3));
+  EXPECT_TRUE(block->input(1).isBlock());
+  EXPECT_EQ(block->input(1).block()->opcode(), "reportProduct");
+}
+
+TEST(Builder, ListOf) {
+  auto block = listOf({3, 7, 8});
+  EXPECT_EQ(block->opcode(), "reportNewList");
+  EXPECT_EQ(block->arity(), 3u);
+}
+
+TEST(Builder, RingWrapsExpression) {
+  auto r = ring(product(empty(), 10));
+  EXPECT_EQ(r->opcode(), "reifyReporter");
+  EXPECT_TRUE(r->input(0).isBlock());
+  EXPECT_TRUE(r->input(0).block()->input(0).isEmpty());
+}
+
+TEST(Builder, RingWithFormals) {
+  auto r = ring(sum(getVar("a"), getVar("b")), {"a", "b"});
+  ASSERT_EQ(r->arity(), 3u);
+  EXPECT_EQ(r->input(1).literalValue().asText(), "a");
+  EXPECT_EQ(r->input(2).literalValue().asText(), "b");
+}
+
+TEST(Builder, ScriptComposition) {
+  auto s = scriptOf({setVar("x", 1), changeVar("x", 2)});
+  ASSERT_EQ(s->size(), 2u);
+  EXPECT_EQ(s->at(0)->opcode(), "doSetVar");
+}
+
+TEST(Builder, ControlShapes) {
+  auto body = scriptOf({say("hi")});
+  auto loop = repeat(3, body);
+  EXPECT_EQ(loop->opcode(), "doRepeat");
+  EXPECT_TRUE(loop->input(1).isScript());
+  auto branch = doIfElse(equals(1, 1), body, scriptOf({}));
+  EXPECT_EQ(branch->arity(), 3u);
+}
+
+TEST(Builder, ParallelBlocks) {
+  auto pm = parallelMap(ring(product(empty(), 10)), listOf({1, 2}), 4);
+  EXPECT_EQ(pm->opcode(), "reportParallelMap");
+  EXPECT_EQ(pm->input(2).literalValue().asNumber(), 4);
+
+  auto pmDefault = parallelMap(ring(product(empty(), 10)), listOf({1}));
+  EXPECT_TRUE(pmDefault->input(2).isCollapsed());
+
+  auto pf = parallelForEach("cup", listOf({"a", "b"}), blank(),
+                            scriptOf({say(getVar("cup"))}));
+  EXPECT_EQ(pf->opcode(), "doParallelForEach");
+  EXPECT_TRUE(pf->input(2).isLiteral());
+  EXPECT_TRUE(pf->input(2).literalValue().isNothing());
+
+  auto pfSeq = parallelForEach("cup", listOf({"a"}), collapsed(),
+                               scriptOf({}));
+  EXPECT_TRUE(pfSeq->input(2).isCollapsed());
+}
+
+TEST(Builder, MapReduceShape) {
+  auto mr = mapReduce(identityRing(), identityRing(), listOf({1}));
+  EXPECT_EQ(mr->opcode(), "reportMapReduce");
+  EXPECT_EQ(mr->arity(), 3u);
+}
+
+TEST(Builder, DisplayIsReadable) {
+  auto block = sum(3, 4);
+  EXPECT_EQ(block->display(), "(reportSum 3 4)");
+}
+
+TEST(Builder, ValidatesAgainstStandardRegistry) {
+  using blocks::BlockRegistry;
+  auto script = scriptOf({
+      declareVars({"result"}),
+      setVar("result", mapOver(ring(product(empty(), 10)), listOf({3, 7, 8}))),
+      say(getVar("result")),
+  });
+  EXPECT_NO_THROW(BlockRegistry::standard().validate(*script));
+}
+
+}  // namespace
+}  // namespace psnap::build

@@ -1,0 +1,101 @@
+#include "blocks/environment.hpp"
+
+#include "blocks/block.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/error.hpp"
+
+namespace psnap::blocks {
+namespace {
+
+TEST(Environment, DeclareAndGet) {
+  auto env = Environment::make();
+  env->declare("x", Value(5));
+  EXPECT_EQ(env->get("x").asNumber(), 5);
+  EXPECT_TRUE(env->isDeclared("x"));
+  EXPECT_FALSE(env->isDeclared("y"));
+  EXPECT_THROW(env->get("y"), Error);
+}
+
+TEST(Environment, LexicalShadowing) {
+  auto global = Environment::make();
+  global->declare("x", Value(1));
+  auto local = Environment::make(global);
+  local->declare("x", Value(2));
+  EXPECT_EQ(local->get("x").asNumber(), 2);
+  EXPECT_EQ(global->get("x").asNumber(), 1);
+}
+
+TEST(Environment, SetTargetsDeclaringFrame) {
+  auto global = Environment::make();
+  global->declare("x", Value(1));
+  auto local = Environment::make(global);
+  local->set("x", Value(9));
+  EXPECT_EQ(global->get("x").asNumber(), 9);
+}
+
+TEST(Environment, SetUndeclaredGoesGlobal) {
+  auto global = Environment::make();
+  auto mid = Environment::make(global);
+  auto local = Environment::make(mid);
+  local->set("fresh", Value(3));
+  EXPECT_TRUE(global->isDeclared("fresh"));
+  EXPECT_EQ(local->get("fresh").asNumber(), 3);
+}
+
+TEST(Environment, ImplicitArgsPositional) {
+  auto frame = Environment::make();
+  frame->setImplicitArgs({Value(10), Value(20)});
+  EXPECT_EQ(frame->implicitArg(0).asNumber(), 10);
+  EXPECT_EQ(frame->implicitArg(1).asNumber(), 20);
+  EXPECT_THROW(frame->implicitArg(2), Error);
+}
+
+TEST(Environment, SingleImplicitArgFillsAllBlanks) {
+  auto frame = Environment::make();
+  frame->setImplicitArgs({Value(7)});
+  EXPECT_EQ(frame->implicitArg(0).asNumber(), 7);
+  EXPECT_EQ(frame->implicitArg(3).asNumber(), 7);
+}
+
+TEST(Environment, ImplicitArgsSearchUpChain) {
+  auto outer = Environment::make();
+  outer->setImplicitArgs({Value(1)});
+  auto inner = Environment::make(outer);
+  EXPECT_TRUE(inner->hasImplicitArgs());
+  EXPECT_EQ(inner->implicitArg(0).asNumber(), 1);
+}
+
+TEST(Environment, NoImplicitArgsThrows) {
+  auto env = Environment::make();
+  EXPECT_FALSE(env->hasImplicitArgs());
+  EXPECT_THROW(env->implicitArg(0), Error);
+}
+
+TEST(Environment, EmptyImplicitArgListThrows) {
+  auto env = Environment::make();
+  env->setImplicitArgs({});
+  EXPECT_THROW(env->implicitArg(0), Error);
+}
+
+TEST(Environment, OwningRingSearchesChain) {
+  auto expr = Block::make("reportIdentity", {Input::empty()});
+  auto ring = Ring::reporter(expr);
+  auto outer = Environment::make();
+  outer->setOwningRing(ring.get());
+  auto inner = Environment::make(outer);
+  EXPECT_EQ(inner->owningRing(), ring.get());
+  EXPECT_EQ(Environment::make()->owningRing(), nullptr);
+}
+
+TEST(Environment, LocalNames) {
+  auto env = Environment::make();
+  env->declare("a");
+  env->declare("b");
+  auto names = env->localNames();
+  EXPECT_EQ(names.size(), 2u);
+}
+
+}  // namespace
+}  // namespace psnap::blocks

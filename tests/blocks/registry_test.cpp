@@ -1,0 +1,141 @@
+#include "blocks/registry.hpp"
+
+#include <gtest/gtest.h>
+
+#include "blocks/builder.hpp"
+#include "support/error.hpp"
+
+namespace psnap::blocks {
+namespace {
+
+TEST(SpecParsing, Tokens) {
+  bool variadic = false;
+  auto slots = parseSpecSlots("map %repRing over %l", variadic);
+  ASSERT_EQ(slots.size(), 2u);
+  EXPECT_EQ(slots[0].kind, SlotKind::ReporterRing);
+  EXPECT_EQ(slots[1].kind, SlotKind::List);
+  EXPECT_FALSE(variadic);
+}
+
+TEST(SpecParsing, OptionalSlot) {
+  bool variadic = false;
+  auto slots =
+      parseSpecSlots("parallel map %repRing over %l workers: %n?", variadic);
+  ASSERT_EQ(slots.size(), 3u);
+  EXPECT_FALSE(slots[0].optional);
+  EXPECT_TRUE(slots[2].optional);
+}
+
+TEST(SpecParsing, Variadic) {
+  bool variadic = false;
+  auto slots = parseSpecSlots("list %mult", variadic);
+  EXPECT_TRUE(variadic);
+  EXPECT_TRUE(slots.empty());
+}
+
+TEST(SpecParsing, UnknownTokenThrows) {
+  bool variadic = false;
+  EXPECT_THROW(parseSpecSlots("odd %zz", variadic), BlockError);
+}
+
+TEST(Registry, StandardHasCoreOpcodes) {
+  const BlockRegistry& reg = BlockRegistry::standard();
+  for (const char* opcode :
+       {"reportSum", "reportMap", "doForever", "reportParallelMap",
+        "doParallelForEach", "reportMapReduce", "reifyReporter",
+        "reportMappedCode"}) {
+    EXPECT_TRUE(reg.has(opcode)) << opcode;
+  }
+  EXPECT_FALSE(reg.has("noSuchBlock"));
+  EXPECT_THROW(reg.get("noSuchBlock"), BlockError);
+}
+
+TEST(Registry, ParallelBlocksCategorized) {
+  const BlockRegistry& reg = BlockRegistry::standard();
+  EXPECT_EQ(reg.get("reportParallelMap").category, "parallelism");
+  EXPECT_EQ(reg.get("reportParallelMap").type, BlockType::Reporter);
+  EXPECT_FALSE(reg.get("reportParallelMap").pure);
+  EXPECT_TRUE(reg.get("reportSum").pure);
+}
+
+TEST(Registry, ControlBlocksNonStrict) {
+  const BlockRegistry& reg = BlockRegistry::standard();
+  EXPECT_FALSE(reg.get("doForever").strict);
+  EXPECT_FALSE(reg.get("doUntil").strict);
+  EXPECT_TRUE(reg.get("doWait").strict);
+}
+
+TEST(Registry, DuplicateOpcodeThrows) {
+  BlockRegistry reg;
+  BlockSpec spec;
+  spec.opcode = "x";
+  spec.spec = "x";
+  reg.add(spec);
+  EXPECT_THROW(reg.add(spec), BlockError);
+}
+
+TEST(Validate, AcceptsWellFormed) {
+  using namespace psnap::build;
+  const BlockRegistry& reg = BlockRegistry::standard();
+  auto block = parallelMap(ring(product(empty(), 10)), listOf({3, 7, 8}));
+  EXPECT_NO_THROW(reg.validate(*block));
+}
+
+TEST(Validate, RejectsWrongArity) {
+  const BlockRegistry& reg = BlockRegistry::standard();
+  auto bad = Block::make("reportSum", {Input(Value(1))});
+  EXPECT_THROW(reg.validate(*bad), BlockError);
+}
+
+TEST(Validate, RejectsCollapsedMandatorySlot) {
+  const BlockRegistry& reg = BlockRegistry::standard();
+  auto bad = Block::make("reportSum",
+                         {Input(Value(1)), Input::collapsed()});
+  EXPECT_THROW(reg.validate(*bad), BlockError);
+}
+
+TEST(Validate, AcceptsCollapsedOptionalSlot) {
+  using namespace psnap::build;
+  const BlockRegistry& reg = BlockRegistry::standard();
+  auto ok = parallelMap(ring(product(empty(), 10)), listOf({1}), collapsed());
+  EXPECT_NO_THROW(reg.validate(*ok));
+}
+
+TEST(Validate, RejectsScriptInValueSlot) {
+  using namespace psnap::build;
+  const BlockRegistry& reg = BlockRegistry::standard();
+  auto bad = Block::make("reportSum",
+                         {Input(Value(1)), Input(scriptOf({}))});
+  EXPECT_THROW(reg.validate(*bad), BlockError);
+}
+
+TEST(Validate, RecursesIntoNestedBlocks) {
+  const BlockRegistry& reg = BlockRegistry::standard();
+  auto badInner = Block::make("reportSum", {Input(Value(1))});
+  auto outer = Block::make(
+      "reportProduct", {Input(badInner), Input(Value(2))});
+  EXPECT_THROW(reg.validate(*outer), BlockError);
+}
+
+TEST(Render, SubstitutesInputs) {
+  using namespace psnap::build;
+  const BlockRegistry& reg = BlockRegistry::standard();
+  auto block = sum(3, product(2, 5));
+  EXPECT_EQ(reg.render(*block), "(3) + ((2) * (5))");
+}
+
+TEST(Render, EmptySlotShowsBlank) {
+  using namespace psnap::build;
+  const BlockRegistry& reg = BlockRegistry::standard();
+  auto block = product(empty(), 10);
+  EXPECT_EQ(reg.render(*block), "( ) * (10)");
+}
+
+TEST(Registry, OpcodesSorted) {
+  auto ops = BlockRegistry::standard().opcodes();
+  EXPECT_GT(ops.size(), 70u);
+  EXPECT_TRUE(std::is_sorted(ops.begin(), ops.end()));
+}
+
+}  // namespace
+}  // namespace psnap::blocks

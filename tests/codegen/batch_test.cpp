@@ -1,0 +1,179 @@
+// The simulated batch queue: FCFS ordering, EASY backfill, resource
+// accounting, payload execution, and status rendering.
+#include "codegen/batch.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/error.hpp"
+
+namespace psnap::codegen {
+namespace {
+
+JobRequest job(const std::string& name, int nodes, double seconds,
+               std::function<std::string()> payload = nullptr) {
+  JobRequest r;
+  r.name = name;
+  r.nodes = nodes;
+  r.wallSeconds = seconds;
+  r.payload = std::move(payload);
+  return r;
+}
+
+TEST(BatchQueue, SingleJobLifecycle) {
+  BatchQueue queue(4);
+  uint64_t id = queue.submit(job("hello", 2, 10, [] {
+    return std::string("output!");
+  }));
+  EXPECT_EQ(queue.status(id).state, JobState::Running);  // started at once
+  EXPECT_EQ(queue.nodesInUse(), 2);
+  queue.advance(5);
+  EXPECT_EQ(queue.status(id).state, JobState::Running);
+  queue.advance(5);
+  EXPECT_EQ(queue.status(id).state, JobState::Completed);
+  EXPECT_EQ(queue.status(id).output, "output!");
+  EXPECT_TRUE(queue.idle());
+}
+
+TEST(BatchQueue, FcfsOrderingWhenFull) {
+  BatchQueue queue(4);
+  uint64_t a = queue.submit(job("a", 4, 10));
+  uint64_t b = queue.submit(job("b", 4, 10));
+  EXPECT_EQ(queue.status(a).state, JobState::Running);
+  EXPECT_EQ(queue.status(b).state, JobState::Pending);
+  queue.advance(10);
+  EXPECT_EQ(queue.status(a).state, JobState::Completed);
+  EXPECT_EQ(queue.status(b).state, JobState::Running);
+  EXPECT_EQ(queue.status(b).startTime, 10);
+}
+
+TEST(BatchQueue, BackfillSmallJobJumpsAhead) {
+  BatchQueue queue(4);
+  queue.submit(job("big-running", 3, 100));   // leaves 1 free node
+  uint64_t blocked = queue.submit(job("blocked", 4, 10));
+  // A 1-node job finishing before the reservation (t=100) backfills.
+  uint64_t small = queue.submit(job("small", 1, 50));
+  EXPECT_EQ(queue.status(blocked).state, JobState::Pending);
+  EXPECT_EQ(queue.status(small).state, JobState::Running);
+  EXPECT_EQ(queue.nodesInUse(), 4);
+}
+
+TEST(BatchQueue, BackfillNeverDelaysQueueHead) {
+  BatchQueue queue(4);
+  queue.submit(job("big-running", 3, 100));
+  uint64_t blocked = queue.submit(job("blocked", 4, 10));
+  // This 1-node job would run past t=100 and delay the head: must wait.
+  uint64_t tooLong = queue.submit(job("too-long", 1, 200));
+  EXPECT_EQ(queue.status(tooLong).state, JobState::Pending);
+  queue.drain();
+  // Head ran before the long backfill candidate.
+  EXPECT_LT(queue.status(blocked).startTime,
+            queue.status(tooLong).startTime);
+}
+
+TEST(BatchQueue, DrainRunsEverything) {
+  BatchQueue queue(2);
+  std::vector<uint64_t> ids;
+  for (int i = 0; i < 6; ++i) {
+    ids.push_back(queue.submit(job("j" + std::to_string(i), 1, 10)));
+  }
+  double elapsed = queue.drain();
+  EXPECT_EQ(elapsed, 30);  // 6 × 10s jobs on 2 nodes
+  for (uint64_t id : ids) {
+    EXPECT_EQ(queue.status(id).state, JobState::Completed);
+  }
+}
+
+TEST(BatchQueue, PayloadRunsExactlyOnceAtStart) {
+  BatchQueue queue(1);
+  int runs = 0;
+  queue.submit(job("first", 1, 10));
+  uint64_t second = queue.submit(job("second", 1, 10, [&runs] {
+    ++runs;
+    return std::string("done");
+  }));
+  EXPECT_EQ(runs, 0);  // queued, not started
+  queue.advance(10);
+  EXPECT_EQ(runs, 1);
+  queue.drain();
+  EXPECT_EQ(runs, 1);
+  EXPECT_EQ(queue.status(second).output, "done");
+}
+
+TEST(BatchQueue, StrictFcfsModeNeverBackfills) {
+  BatchQueue queue(4, /*enableBackfill=*/false);
+  queue.submit(job("big-running", 3, 100));
+  uint64_t blocked = queue.submit(job("blocked", 4, 10));
+  uint64_t small = queue.submit(job("small", 1, 5));
+  // With backfill disabled, even a trivially-fitting job waits its turn.
+  EXPECT_EQ(queue.status(small).state, JobState::Pending);
+  queue.drain();
+  EXPECT_GE(queue.status(small).startTime,
+            queue.status(blocked).startTime);
+}
+
+TEST(BatchQueue, BackfillImprovesMeanWaitOnMixedTrace) {
+  auto meanWait = [](bool backfill) {
+    BatchQueue queue(4, backfill);
+    std::vector<uint64_t> ids;
+    ids.push_back(queue.submit(job("wide1", 3, 40)));  // leaves 1 node free
+    ids.push_back(queue.submit(job("wide2", 4, 40)));
+    for (int i = 0; i < 4; ++i) {
+      ids.push_back(queue.submit(job("narrow" + std::to_string(i), 1, 10)));
+    }
+    queue.drain();
+    double total = 0;
+    for (uint64_t id : ids) {
+      total += queue.status(id).startTime - queue.status(id).submitTime;
+    }
+    return total / double(ids.size());
+  };
+  EXPECT_LT(meanWait(true), meanWait(false));
+}
+
+TEST(BatchQueue, RejectsImpossibleJobs) {
+  BatchQueue queue(2);
+  EXPECT_THROW(queue.submit(job("huge", 3, 10)), Error);
+  EXPECT_THROW(queue.submit(job("zero", 0, 10)), Error);
+  EXPECT_THROW(queue.submit(job("notime", 1, 0)), Error);
+  EXPECT_THROW(BatchQueue(0), Error);
+}
+
+TEST(BatchQueue, StatusForUnknownIdThrows) {
+  BatchQueue queue(1);
+  EXPECT_THROW(queue.status(99), Error);
+}
+
+TEST(BatchQueue, RenderListsJobs) {
+  BatchQueue queue(2);
+  queue.submit(job("alpha", 2, 5));
+  queue.submit(job("beta", 1, 5));
+  std::string listing = queue.render();
+  EXPECT_NE(listing.find("alpha"), std::string::npos);
+  EXPECT_NE(listing.find("RUNNING"), std::string::npos);
+  EXPECT_NE(listing.find("PENDING"), std::string::npos);
+}
+
+TEST(BatchQueue, UtilizationAccounting) {
+  BatchQueue queue(8);
+  queue.submit(job("a", 3, 10));
+  queue.submit(job("b", 4, 20));
+  EXPECT_EQ(queue.nodesInUse(), 7);
+  queue.advance(10);
+  EXPECT_EQ(queue.nodesInUse(), 4);
+  queue.advance(10);
+  EXPECT_EQ(queue.nodesInUse(), 0);
+}
+
+TEST(BatchQueue, AdvanceStopsAtIntermediateEvents) {
+  // Completion at t=10 frees nodes so the pending job starts at 10, not
+  // at the end of the advance window.
+  BatchQueue queue(1);
+  queue.submit(job("a", 1, 10));
+  uint64_t b = queue.submit(job("b", 1, 10));
+  queue.advance(100);
+  EXPECT_EQ(queue.status(b).startTime, 10);
+  EXPECT_EQ(queue.status(b).endTime, 20);
+}
+
+}  // namespace
+}  // namespace psnap::codegen

@@ -1,0 +1,82 @@
+// The `map to language` and `code of` blocks driven through the VM —
+// the Fig. 16 workflow where the code mapping is part of the script.
+#include "codegen/blocks.hpp"
+
+#include <gtest/gtest.h>
+
+#include "blocks/builder.hpp"
+#include "core/parallel_blocks.hpp"
+#include "sched/thread_manager.hpp"
+#include "support/error.hpp"
+
+namespace psnap::codegen {
+namespace {
+
+using namespace psnap::build;
+using blocks::BlockRegistry;
+using blocks::Environment;
+using blocks::Value;
+
+class CodegenBlocksTest : public ::testing::Test {
+ protected:
+  CodegenBlocksTest() : prims_(core::fullPrimitiveTable()) {
+    registerCodegenPrimitives(prims_);
+  }
+
+  std::string codeFor(const std::string& language, blocks::BlockPtr ringB) {
+    sched::ThreadManager tm(&BlockRegistry::standard(), &prims_);
+    auto env = Environment::make();
+    env->declare("out", Value());
+    auto handle = tm.spawnScript(
+        scriptOf({mapToLanguage(language),
+                  setVar("out", codeOf(std::move(ringB)))}),
+        env);
+    tm.runUntilIdle();
+    if (handle.status->errored) throw Error(handle.status->error);
+    return env->get("out").asText();
+  }
+
+  vm::PrimitiveTable prims_;
+};
+
+TEST_F(CodegenBlocksTest, MapToCAndCodeOf) {
+  EXPECT_EQ(codeFor("C", ring(product(empty(), 10))), "(x * 10)");
+}
+
+TEST_F(CodegenBlocksTest, SwitchingLanguageChangesOutput) {
+  // "if the user wishes to switch from C to JavaScript, the 'map to C'
+  // block is changed to a 'map to JavaScript' block".
+  EXPECT_EQ(codeFor("JavaScript", ring(product(empty(), 10))),
+            "function (x) { return (x * 10); }");
+  EXPECT_EQ(codeFor("Python", ring(product(empty(), 10))),
+            "lambda x: (x * 10)");
+}
+
+TEST_F(CodegenBlocksTest, CommandRingTranslation) {
+  auto body = scriptOf({setVar("n", sum(getVar("n"), 1))});
+  EXPECT_EQ(codeFor("C", ringScript(body)), "n = (n + 1);");
+}
+
+TEST_F(CodegenBlocksTest, DefaultLanguageIsC) {
+  // Without a `map to language` block the process defaults to C.
+  sched::ThreadManager tm(&BlockRegistry::standard(), &prims_);
+  Value v = tm.evaluate(codeOf(ring(sum(empty(), 1))),
+                        Environment::make());
+  EXPECT_EQ(v.asText(), "(x + 1)");
+}
+
+TEST_F(CodegenBlocksTest, UnknownLanguageErrorsAtMapBlock) {
+  sched::ThreadManager tm(&BlockRegistry::standard(), &prims_);
+  auto handle = tm.spawnScript(scriptOf({mapToLanguage("COBOL")}),
+                               Environment::make());
+  tm.runUntilIdle();
+  EXPECT_TRUE(handle.status->errored);
+}
+
+TEST_F(CodegenBlocksTest, CodeOfNonRingErrors) {
+  sched::ThreadManager tm(&BlockRegistry::standard(), &prims_);
+  EXPECT_THROW(tm.evaluate(codeOf(In(5)), Environment::make()), Error);
+}
+
+}  // namespace
+}  // namespace psnap::codegen

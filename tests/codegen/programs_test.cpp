@@ -1,0 +1,207 @@
+// Program emitters + toolchain: the paper's Listings 3–7 compiled with a
+// real gcc and executed, with outputs checked against the interpreter.
+#include "codegen/programs.hpp"
+
+#include <gtest/gtest.h>
+
+#include "blocks/builder.hpp"
+#include "codegen/toolchain.hpp"
+#include "core/parallel_blocks.hpp"
+#include "sched/thread_manager.hpp"
+#include "support/error.hpp"
+#include "support/strings.hpp"
+
+namespace psnap::codegen {
+namespace {
+
+using namespace psnap::build;
+using blocks::BlockRegistry;
+using blocks::Environment;
+using blocks::RingPtr;
+using blocks::Value;
+
+RingPtr evalRing(blocks::BlockPtr reify) {
+  static vm::PrimitiveTable prims = vm::PrimitiveTable::standard();
+  static vm::NullHost host;
+  vm::Process p(&BlockRegistry::standard(), &prims, &host);
+  p.startExpression(std::move(reify), Environment::make());
+  return p.runToCompletion().asRing();
+}
+
+TEST(Programs, HelloListingsShape) {
+  auto seq = helloSequentialC();
+  EXPECT_NE(seq["main.c"].find("int ID = 0;"), std::string::npos);
+  EXPECT_EQ(seq["main.c"].find("#pragma"), std::string::npos);
+  auto omp = helloOpenMP();
+  EXPECT_NE(omp["main.c"].find("#pragma omp parallel"), std::string::npos);
+  EXPECT_NE(omp["main.c"].find("omp_get_thread_num()"), std::string::npos);
+}
+
+TEST(Programs, HelloSequentialRuns) {
+  if (!Toolchain::compilerAvailable()) GTEST_SKIP() << "no gcc";
+  Toolchain tc;
+  auto result = tc.compileAndRun(helloSequentialC(), "hello", false);
+  EXPECT_NE(result.output.find("hello(0)"), std::string::npos);
+  EXPECT_NE(result.output.find("world(0)"), std::string::npos);
+}
+
+TEST(Programs, HelloOpenMPRunsWithThreads) {
+  if (!Toolchain::compilerAvailable()) GTEST_SKIP() << "no gcc";
+  Toolchain tc;
+  auto result = tc.compileAndRun(helloOpenMP(), "hello_omp", true, "",
+                                 "OMP_NUM_THREADS=4");
+  // Four threads each print their id.
+  for (const char* id : {"hello(0)", "hello(1)", "hello(2)", "hello(3)"}) {
+    EXPECT_NE(result.output.find(id), std::string::npos) << id;
+  }
+}
+
+TEST(Programs, MapProgramCListingFiveShape) {
+  auto sources = mapProgramC({3, 7, 8}, 10);
+  const std::string& code = sources.at("main.c");
+  EXPECT_NE(code.find("typedef struct node"), std::string::npos);
+  EXPECT_NE(code.find("void append(int d, node_t *p)"), std::string::npos);
+  EXPECT_NE(code.find("int a[] = {3, 7, 8};"), std::string::npos);
+  EXPECT_NE(code.find("len = (sizeof(a)/sizeof(a[0]));"), std::string::npos);
+  EXPECT_NE(code.find("for (i = 1; i <= len; i++)"), std::string::npos);
+  EXPECT_NE(code.find("append((a[i - 1] * 10), b);"), std::string::npos);
+}
+
+TEST(Programs, MapProgramCMatchesInterpreter) {
+  if (!Toolchain::compilerAvailable()) GTEST_SKIP() << "no gcc";
+  Toolchain tc;
+  auto result = tc.compileAndRun(mapProgramC({3, 7, 8}, 10), "map_c", false);
+  EXPECT_EQ(result.output, "30\n70\n80\n");
+
+  // The interpreter's sequential map (Fig. 4) reports the same values.
+  auto prims = core::fullPrimitiveTable();
+  sched::ThreadManager tm(&BlockRegistry::standard(), &prims);
+  Value v = tm.evaluate(mapOver(ring(product(empty(), 10)),
+                                listOf({3, 7, 8})),
+                        Environment::make());
+  EXPECT_EQ(v.asList()->display(), "[30, 70, 80]");
+}
+
+TEST(Programs, MapProgramOpenMPMatchesSequential) {
+  if (!Toolchain::compilerAvailable()) GTEST_SKIP() << "no gcc";
+  Toolchain tc;
+  auto sources = mapProgramOpenMP({3, 7, 8}, 10);
+  EXPECT_NE(sources["main.c"].find("#pragma omp parallel for"),
+            std::string::npos);
+  auto result = tc.compileAndRun(sources, "map_omp", true, "",
+                                 "OMP_NUM_THREADS=4");
+  EXPECT_EQ(result.output, "30\n70\n80\n");
+}
+
+TEST(Programs, MapProgramDoubleValues) {
+  if (!Toolchain::compilerAvailable()) GTEST_SKIP() << "no gcc";
+  Toolchain tc;
+  auto result =
+      tc.compileAndRun(mapProgramC({1.5, 2.5}, 2), "map_d", false);
+  EXPECT_EQ(result.output, "3\n5\n");
+}
+
+TEST(Programs, KvpHeaderShape) {
+  std::string header = kvpHeader();
+  EXPECT_NE(header.find("#define MAXKEY"), std::string::npos);
+  EXPECT_NE(header.find("typedef struct KVP"), std::string::npos);
+  EXPECT_NE(header.find("float val;"), std::string::npos);
+}
+
+TEST(Programs, MapReduceOpenMPListingShape) {
+  // The climate mapper/reducer of paper Figs. 19–20.
+  auto mapRing = evalRing(
+      ring(quotient(product(5, difference(empty(), 32)), 9)));
+  auto reduceRing = evalRing(
+      ring(quotient(combineUsing(empty(), ring(sum(empty(), empty()))),
+                    lengthOf(empty()))));
+  auto sources = mapReduceOpenMP(mapRing, reduceRing);
+  ASSERT_TRUE(sources.count("kvp.h"));
+  ASSERT_TRUE(sources.count("mapreduce.c"));
+  ASSERT_TRUE(sources.count("main.c"));
+  const std::string& fns = sources.at("mapreduce.c");
+  // Listing 6's generated conversion expression, exactly.
+  EXPECT_NE(fns.find("out->val = ((5 * (in->val - 32)) / 9);"),
+            std::string::npos);
+  EXPECT_NE(fns.find("strncpy (out->key, in->key, MAXKEY);"),
+            std::string::npos);
+  const std::string& driver = sources.at("main.c");
+  EXPECT_NE(driver.find("#pragma omp parallel for"), std::string::npos);
+  EXPECT_NE(driver.find("qsort(midlist"), std::string::npos);
+}
+
+TEST(Programs, MapReduceOpenMPRunsClimateAverage) {
+  if (!Toolchain::compilerAvailable()) GTEST_SKIP() << "no gcc";
+  auto mapRing = evalRing(
+      ring(quotient(product(5, difference(empty(), 32)), 9)));
+  auto reduceRing = evalRing(
+      ring(quotient(combineUsing(empty(), ring(sum(empty(), empty()))),
+                    lengthOf(empty()))));
+  Toolchain tc;
+  // Three readings for one station: 32F, 212F, 50F → 0, 100, 10 C → 36.67.
+  auto result = tc.compileAndRun(mapReduceOpenMP(mapRing, reduceRing),
+                                 "climate", true,
+                                 "usw0001 32\nusw0001 212\nusw0001 50\n",
+                                 "OMP_NUM_THREADS=4");
+  EXPECT_NE(result.output.find("usw0001 36.6667"), std::string::npos)
+      << result.output;
+}
+
+TEST(Programs, MapReduceOpenMPWordCount) {
+  if (!Toolchain::compilerAvailable()) GTEST_SKIP() << "no gcc";
+  // Word count: mapper is the constant 1, reducer counts values.
+  auto mapRing = evalRing(ring(In(1.0)));
+  auto reduceRing = evalRing(ring(lengthOf(empty())));
+  Toolchain tc;
+  auto result = tc.compileAndRun(mapReduceOpenMP(mapRing, reduceRing),
+                                 "wordcount", true,
+                                 "the 0\nquick 0\nthe 0\nfox 0\nthe 0\n",
+                                 "OMP_NUM_THREADS=2");
+  EXPECT_EQ(result.output, "fox 1\nquick 1\nthe 3\n");
+}
+
+TEST(Programs, MapReduceExplicitKeyMapper) {
+  auto mapRing = evalRing(ring(listOf(
+      {In("avgC"), In(quotient(product(5, difference(empty(), 32)), 9))})));
+  auto reduceRing = evalRing(ring(lengthOf(empty())));
+  auto sources = mapReduceOpenMP(mapRing, reduceRing);
+  EXPECT_NE(sources.at("mapreduce.c").find(
+                "strncpy (out->key, \"avgC\", MAXKEY);"),
+            std::string::npos);
+}
+
+TEST(Programs, UnsupportedReducerThrows) {
+  auto mapRing = evalRing(ring(empty()));
+  auto reduceRing = evalRing(ring(splitText(empty(), "x")));
+  EXPECT_THROW(mapReduceOpenMP(mapRing, reduceRing), CodegenError);
+}
+
+TEST(Programs, MakefileListsSources) {
+  auto sources = mapReduceOpenMP(
+      evalRing(ring(empty())),
+      evalRing(ring(lengthOf(empty()))));
+  std::string makefile = makefileFor(sources, true, "mr");
+  EXPECT_NE(makefile.find("-fopenmp"), std::string::npos);
+  EXPECT_NE(makefile.find("main.c"), std::string::npos);
+  EXPECT_NE(makefile.find("mapreduce.c"), std::string::npos);
+  EXPECT_EQ(makefile.find("kvp.h "), std::string::npos);  // headers excluded
+}
+
+TEST(Programs, SlurmScriptOutline) {
+  std::string script = slurmScriptFor("climate", 2, 8, "psnap-climate");
+  EXPECT_NE(script.find("#SBATCH --nodes=2"), std::string::npos);
+  EXPECT_NE(script.find("#SBATCH --ntasks-per-node=8"), std::string::npos);
+  EXPECT_NE(script.find("OMP_NUM_THREADS=8"), std::string::npos);
+  EXPECT_NE(script.find("srun ./climate"), std::string::npos);
+}
+
+TEST(Toolchain, CompileErrorSurfacesDiagnostics) {
+  if (!Toolchain::compilerAvailable()) GTEST_SKIP() << "no gcc";
+  Toolchain tc;
+  SourceSet bad;
+  bad["main.c"] = "int main() { this is not C; }\n";
+  EXPECT_THROW(tc.compile(bad, "bad", false), CodegenError);
+}
+
+}  // namespace
+}  // namespace psnap::codegen

@@ -1,0 +1,177 @@
+// Translator tests: recursive placeholder substitution across all four
+// target languages, slot-kind awareness, and the dynamic→static type
+// inference.
+#include "codegen/translator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "blocks/builder.hpp"
+#include "support/error.hpp"
+
+namespace psnap::codegen {
+namespace {
+
+using namespace psnap::build;
+
+TEST(Mapping, ByNameLookup) {
+  EXPECT_EQ(CodeMapping::byName("C").language, "C");
+  EXPECT_EQ(CodeMapping::byName("openmp c").language, "OpenMP C");
+  EXPECT_EQ(CodeMapping::byName("JavaScript").language, "JavaScript");
+  EXPECT_EQ(CodeMapping::byName("python").language, "Python");
+  EXPECT_THROW(CodeMapping::byName("COBOL"), CodegenError);
+}
+
+TEST(Mapping, LiteralFormatting) {
+  const CodeMapping& c = CodeMapping::c();
+  EXPECT_EQ(c.formatLiteral(blocks::Value(30.0)), "30");
+  EXPECT_EQ(c.formatLiteral(blocks::Value(true)), "1");
+  EXPECT_EQ(c.formatLiteral(blocks::Value("hi")), "\"hi\"");
+  EXPECT_EQ(c.formatLiteral(blocks::Value("a\"b")), "\"a\\\"b\"");
+  const CodeMapping& py = CodeMapping::python();
+  EXPECT_EQ(py.formatLiteral(blocks::Value(true)), "True");
+  EXPECT_EQ(py.formatLiteral(blocks::Value()), "None");
+  auto list = blocks::List::make({blocks::Value(1), blocks::Value(2)});
+  EXPECT_EQ(c.formatLiteral(blocks::Value(list)), "{1, 2}");
+  EXPECT_EQ(py.formatLiteral(blocks::Value(list)), "[1, 2]");
+}
+
+TEST(Mapping, UserTemplateRegistration) {
+  CodeMapping m = CodeMapping::c();
+  m.setTemplate("myBlock", "custom(<#1>)");
+  EXPECT_TRUE(m.hasTemplate("myBlock"));
+  EXPECT_EQ(m.getTemplate("myBlock"), "custom(<#1>)");
+}
+
+TEST(Translator, ArithmeticExpressionC) {
+  Translator t(CodeMapping::c());
+  // (3 + 7) * 10 — nested substitution.
+  EXPECT_EQ(t.mappedCode(*product(sum(3, 7), 10)), "((3 + 7) * 10)");
+}
+
+TEST(Translator, FahrenheitToCelsiusMatchesListingSix) {
+  // The paper's Listing 6 expression: ((5 * (in->val - 32)) / 9).
+  CodeMapping m = CodeMapping::c();
+  m.emptySlotName = "in->val";
+  Translator t(m);
+  EXPECT_EQ(t.mappedCode(*quotient(product(5, difference(empty(), 32)), 9)),
+            "((5 * (in->val - 32)) / 9)");
+}
+
+TEST(Translator, VariableSlotsRenderBareNames) {
+  Translator t(CodeMapping::c());
+  EXPECT_EQ(t.mappedCode(*setVar("total", sum(getVar("total"), 1))),
+            "total = (total + 1);");
+}
+
+TEST(Translator, VariadicSplice) {
+  Translator t(CodeMapping::javascript());
+  EXPECT_EQ(t.mappedCode(*listOf({3, 7, 8})), "[3, 7, 8]");
+  Translator c(CodeMapping::c());
+  EXPECT_EQ(c.mappedCode(*listOf({3, 7, 8})), "{3, 7, 8}");
+}
+
+TEST(Translator, ControlBlocksIndentBodies) {
+  Translator t(CodeMapping::c());
+  std::string code = t.mappedCode(
+      *repeat(3, scriptOf({setVar("n", sum(getVar("n"), 1))})));
+  EXPECT_EQ(code, "for (i = 1; i <= 3; i++) {\n    n = (n + 1);\n}");
+}
+
+TEST(Translator, PythonUsesIndentation) {
+  Translator t(CodeMapping::python());
+  std::string code = t.mappedCode(
+      *repeat(getVar("count"), scriptOf({say(getVar("x"))})));
+  EXPECT_EQ(code, "for __i in range(int(count)):\n    print(x)");
+}
+
+TEST(Translator, RingTranslatesToItsBodyInC) {
+  Translator t(CodeMapping::c());
+  EXPECT_EQ(t.mappedCode(*ring(product(empty(), 10))), "(x * 10)");
+}
+
+TEST(Translator, RingTranslatesToLambdaInJsAndPython) {
+  Translator js(CodeMapping::javascript());
+  EXPECT_EQ(js.mappedCode(*ring(product(empty(), 10))),
+            "function (x) { return (x * 10); }");
+  Translator py(CodeMapping::python());
+  EXPECT_EQ(py.mappedCode(*ring(product(empty(), 10))),
+            "lambda x: (x * 10)");
+}
+
+TEST(Translator, ParallelMapMapsToParallelJsInJavaScript) {
+  Translator js(CodeMapping::javascript());
+  std::string code = js.mappedCode(
+      *parallelMap(ring(product(empty(), 10)), getVar("data"), 2));
+  EXPECT_EQ(code,
+            "new Parallel(data, {maxWorkers: 2})"
+            ".map(function (x) { return (x * 10); }).data");
+}
+
+TEST(Translator, ParallelForEachBecomesOpenMPPragma) {
+  Translator omp(CodeMapping::openmpC());
+  std::string code = omp.mappedCode(*parallelForEach(
+      "item", getVar("data"), blank(), scriptOf({say(getVar("item"))})));
+  EXPECT_NE(code.find("#pragma omp parallel for"), std::string::npos);
+  EXPECT_NE(code.find("double item = data[__k];"), std::string::npos);
+  // The sequential C mapping emits the same loop without the pragma.
+  Translator c(CodeMapping::c());
+  std::string seq = c.mappedCode(*parallelForEach(
+      "item", getVar("data"), blank(), scriptOf({say(getVar("item"))})));
+  EXPECT_EQ(seq.find("#pragma"), std::string::npos);
+}
+
+TEST(Translator, ScriptJoinsStatements) {
+  Translator t(CodeMapping::c());
+  auto script = scriptOf({setVar("a", 1), setVar("b", 2)});
+  EXPECT_EQ(t.mappedCode(*script), "a = 1;\nb = 2;");
+}
+
+TEST(Translator, MissingTemplateThrows) {
+  Translator t(CodeMapping::c());
+  EXPECT_THROW(t.mappedCode(*blk("reportMapReduce",
+                                 {In(identityRing()), In(identityRing()),
+                                  In(listOf({}))})),
+               CodegenError);
+}
+
+TEST(Translator, UnknownPlaceholderIndexThrows) {
+  CodeMapping m = CodeMapping::c();
+  m.setTemplate("reportRound", "round(<#7>)");
+  Translator t(m);
+  EXPECT_THROW(t.mappedCode(*round_(1)), CodegenError);
+}
+
+TEST(TypeInference, Expressions) {
+  EXPECT_EQ(inferType(*sum(1, 2)), CType::Double);
+  EXPECT_EQ(inferType(*equals(1, 2)), CType::Bool);
+  EXPECT_EQ(inferType(*join({In("a"), In("b")})), CType::Text);
+  EXPECT_EQ(inferType(*listOf({1, 2})), CType::DoubleArray);
+  EXPECT_EQ(inferType(*lengthOf(getVar("a"))), CType::Int);
+  EXPECT_EQ(inferType(*round_(2.5)), CType::Int);
+}
+
+TEST(TypeInference, LiteralInputs) {
+  EXPECT_EQ(inferInputType(blocks::Input(blocks::Value(3.0))), CType::Int);
+  EXPECT_EQ(inferInputType(blocks::Input(blocks::Value(3.5))),
+            CType::Double);
+  EXPECT_EQ(inferInputType(blocks::Input(blocks::Value("t"))), CType::Text);
+  EXPECT_EQ(inferInputType(blocks::Input(blocks::Value(false))),
+            CType::Bool);
+}
+
+TEST(TypeInference, DeclarationsUseFirstAssignment) {
+  Translator t(CodeMapping::c());
+  auto script = scriptOf({
+      declareVars({"len", "name", "flag"}),
+      setVar("len", lengthOf(getVar("a"))),
+      setVar("name", "Snap!"),
+      setVar("flag", equals(1, 1)),
+  });
+  std::string decls = t.declarationsFor(*script);
+  EXPECT_NE(decls.find("int len;"), std::string::npos);
+  EXPECT_NE(decls.find("const char * name;"), std::string::npos);
+  EXPECT_NE(decls.find("int flag;"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace psnap::codegen

@@ -1,0 +1,171 @@
+// Workload generators: determinism, distribution shape, reference
+// implementations, CSV round-trips.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/climate.hpp"
+#include "data/corpus.hpp"
+#include "data/csv.hpp"
+#include "support/error.hpp"
+
+namespace psnap::data {
+namespace {
+
+TEST(Corpus, DeterministicPerSeed) {
+  EXPECT_EQ(generateText(100, 20, 7), generateText(100, 20, 7));
+  EXPECT_NE(generateText(100, 20, 7), generateText(100, 20, 8));
+}
+
+TEST(Corpus, WordCountMatchesRequest) {
+  auto words = tokenize(generateText(250, 30, 1));
+  EXPECT_EQ(words.size(), 250u);
+}
+
+TEST(Corpus, ZipfShapeMostFrequentFirstRank) {
+  // Rank-1 word ("the") should dominate a large sample.
+  auto counts = referenceWordCount(generateText(20000, 30, 3));
+  size_t theCount = counts.count("the") ? counts.at("the") : 0;
+  for (const auto& [word, count] : counts) {
+    EXPECT_LE(count, theCount) << word;
+  }
+  // And the sample uses a healthy share of the vocabulary.
+  EXPECT_GE(counts.size(), 20u);
+}
+
+TEST(Corpus, LargeVocabularySynthesizesWords) {
+  auto counts = referenceWordCount(generateText(5000, 200, 5));
+  bool sawSynthetic = false;
+  for (const auto& [word, count] : counts) {
+    if (word[0] == 'w' && word.size() > 1 &&
+        std::isdigit(static_cast<unsigned char>(word[1]))) {
+      sawSynthetic = true;
+    }
+  }
+  EXPECT_TRUE(sawSynthetic);
+}
+
+TEST(Corpus, ReferenceWordCountOnSample) {
+  auto counts = referenceWordCount("the quick the lazy the");
+  EXPECT_EQ(counts.at("the"), 3u);
+  EXPECT_EQ(counts.at("quick"), 1u);
+  EXPECT_EQ(counts.size(), 3u);
+}
+
+TEST(Corpus, TokenizeLowercases) {
+  auto words = tokenize("The QUICK Fox");
+  ASSERT_EQ(words.size(), 3u);
+  EXPECT_EQ(words[0], "the");
+  EXPECT_EQ(words[1], "quick");
+}
+
+TEST(Climate, DeterministicAndComplete) {
+  ClimateConfig config;
+  config.stations = 3;
+  config.firstYear = 2000;
+  config.lastYear = 2004;
+  auto a = generateClimate(config);
+  auto b = generateClimate(config);
+  ASSERT_EQ(a.size(), 3u * 5u * 12u);
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].fahrenheit, b[i].fahrenheit);
+  }
+}
+
+TEST(Climate, FahrenheitToCelsiusAnchors) {
+  EXPECT_EQ(fahrenheitToCelsius(32), 0);
+  EXPECT_EQ(fahrenheitToCelsius(212), 100);
+  EXPECT_NEAR(fahrenheitToCelsius(98.6), 37.0, 1e-12);
+}
+
+TEST(Climate, WarmingTrendVisibleInYearlyMeans) {
+  ClimateConfig config;
+  config.stations = 6;
+  config.firstYear = 1950;
+  config.lastYear = 2010;
+  config.warmingPerDecadeF = 0.5;
+  config.noiseStddevF = 1.0;
+  auto records = generateClimate(config);
+  auto yearly = referenceYearlyMeanCelsius(records);
+  ASSERT_EQ(yearly.size(), 61u);
+  // Average of the last decade exceeds the first decade's.
+  double early = 0, late = 0;
+  for (int i = 0; i < 10; ++i) {
+    early += yearly[static_cast<size_t>(i)].second;
+    late += yearly[yearly.size() - 1 - static_cast<size_t>(i)].second;
+  }
+  EXPECT_GT(late, early + 1.0);  // ≥ ~0.28 C per decade over 5 decades
+}
+
+TEST(Climate, SeasonalCycleWithinAYear) {
+  ClimateConfig config;
+  config.stations = 1;
+  config.firstYear = 2000;
+  config.lastYear = 2000;
+  config.noiseStddevF = 0.0;
+  auto records = generateClimate(config);
+  ASSERT_EQ(records.size(), 12u);
+  double july = records[6].fahrenheit;   // month 7
+  double january = records[0].fahrenheit;
+  EXPECT_GT(july, january);  // northern-hemisphere shaped seasonality
+}
+
+TEST(Climate, ListAndKvpConversions) {
+  ClimateConfig config;
+  config.stations = 1;
+  config.firstYear = 2000;
+  config.lastYear = 2000;
+  auto records = generateClimate(config);
+  auto list = toFahrenheitList(records);
+  EXPECT_EQ(list->length(), records.size());
+  EXPECT_EQ(list->item(1).asNumber(), records[0].fahrenheit);
+  std::string kvp = toKvpText(records);
+  EXPECT_NE(kvp.find("USW00001 "), std::string::npos);
+  std::string keyed = toKvpText(records, "avgC");
+  EXPECT_EQ(keyed.find("USW00001"), std::string::npos);
+  EXPECT_NE(keyed.find("avgC "), std::string::npos);
+}
+
+TEST(Climate, MeanOfEmptyThrows) {
+  EXPECT_THROW(referenceMeanCelsius({}), Error);
+}
+
+TEST(Csv, ParseBasic) {
+  auto rows = parseCsv("a,b,c\n1,2,3\n");
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0][1], "b");
+  EXPECT_EQ(rows[1][2], "3");
+}
+
+TEST(Csv, QuotedFields) {
+  auto rows = parseCsv("\"a,b\",\"say \"\"hi\"\"\"\n");
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0][0], "a,b");
+  EXPECT_EQ(rows[0][1], "say \"hi\"");
+}
+
+TEST(Csv, UnterminatedQuoteThrows) {
+  EXPECT_THROW(parseCsv("\"oops\n"), ParseError);
+}
+
+TEST(Csv, RoundTrip) {
+  std::vector<CsvRow> rows = {{"station", "tempF"},
+                              {"USW00001", "72.5"},
+                              {"has,comma", "say \"hi\""}};
+  auto parsed = parseCsv(writeCsv(rows));
+  EXPECT_EQ(parsed, rows);
+}
+
+TEST(Csv, ListConversionsTypeFields) {
+  auto list = csvToList(parseCsv("USW00001,72.5\nUSW00002,68\n"));
+  ASSERT_EQ(list->length(), 2u);
+  EXPECT_TRUE(list->item(1).asList()->item(1).isText());
+  EXPECT_TRUE(list->item(1).asList()->item(2).isNumber());
+  EXPECT_EQ(list->item(2).asList()->item(2).asNumber(), 68);
+  auto rows = listToCsv(list);
+  EXPECT_EQ(rows[0][0], "USW00001");
+  EXPECT_EQ(rows[0][1], "72.5");
+}
+
+}  // namespace
+}  // namespace psnap::data

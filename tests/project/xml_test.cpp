@@ -1,0 +1,62 @@
+#include "project/xml.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/error.hpp"
+
+namespace psnap::project {
+namespace {
+
+TEST(Xml, ParseSimpleElement) {
+  XmlNode root = parseXml("<a x=\"1\"><b>hi</b><b>ho</b></a>");
+  EXPECT_EQ(root.tag, "a");
+  EXPECT_EQ(root.attr("x"), "1");
+  EXPECT_EQ(root.attr("missing", "d"), "d");
+  ASSERT_EQ(root.children.size(), 2u);
+  EXPECT_EQ(root.children[0].text, "hi");
+  EXPECT_EQ(root.childrenNamed("b").size(), 2u);
+  EXPECT_NE(root.child("b"), nullptr);
+  EXPECT_EQ(root.child("c"), nullptr);
+}
+
+TEST(Xml, SelfClosingAndDeclaration) {
+  XmlNode root = parseXml("<?xml version=\"1.0\"?>\n<a><b/><c/></a>");
+  EXPECT_EQ(root.children.size(), 2u);
+  EXPECT_TRUE(root.children[0].children.empty());
+}
+
+TEST(Xml, EntitiesDecodeAndEncode) {
+  XmlNode root = parseXml("<a t=\"&lt;&amp;&gt;\">x &quot;y&quot;</a>");
+  EXPECT_EQ(root.attr("t"), "<&>");
+  EXPECT_EQ(root.text, "x \"y\"");
+  EXPECT_EQ(xmlEscape("<a & \"b\">"), "&lt;a &amp; &quot;b&quot;&gt;");
+}
+
+TEST(Xml, CommentsSkipped) {
+  XmlNode root = parseXml("<!-- hello --><a><!-- inner --><b/></a>");
+  EXPECT_EQ(root.children.size(), 1u);
+}
+
+TEST(Xml, RoundTrip) {
+  XmlNode root;
+  root.tag = "project";
+  root.attrs["name"] = "demo <1>";
+  XmlNode child;
+  child.tag = "l";
+  child.text = "3 & 4";
+  root.children.push_back(child);
+  XmlNode parsed = parseXml(writeXml(root));
+  EXPECT_EQ(parsed.attr("name"), "demo <1>");
+  EXPECT_EQ(parsed.children[0].text, "3 & 4");
+}
+
+TEST(Xml, MalformedInputs) {
+  EXPECT_THROW(parseXml("<a><b></a>"), ParseError);
+  EXPECT_THROW(parseXml("<a"), ParseError);
+  EXPECT_THROW(parseXml("<a attr=oops></a>"), ParseError);
+  EXPECT_THROW(parseXml("<a>&bogus;</a>"), ParseError);
+  EXPECT_THROW(parseXml("<a><!-- unterminated </a>"), ParseError);
+}
+
+}  // namespace
+}  // namespace psnap::project

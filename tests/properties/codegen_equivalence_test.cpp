@@ -1,0 +1,134 @@
+// Codegen semantic equivalence: randomly generated pure expressions are
+// evaluated by the interpreter AND compiled to C (through the mapping
+// tables) and executed — both must produce the same numbers. This is the
+// strongest check on the paper's translation feature: not just "the text
+// looks right" but "the generated program computes the same function".
+//
+// Expressions are batched into one C program per seed to amortize the
+// gcc invocation.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "blocks/builder.hpp"
+#include "codegen/toolchain.hpp"
+#include "codegen/translator.hpp"
+#include "sched/thread_manager.hpp"
+#include "support/rng.hpp"
+#include "support/strings.hpp"
+#include "tests/properties/generators.hpp"
+
+namespace psnap::codegen {
+namespace {
+
+using namespace psnap::build;
+using blocks::BlockRegistry;
+using blocks::Environment;
+using blocks::Value;
+
+class CodegenEquivalence : public ::testing::TestWithParam<int> {};
+
+TEST_P(CodegenEquivalence, GeneratedCComputesSameValues) {
+  if (!Toolchain::compilerAvailable()) GTEST_SKIP() << "no gcc";
+  Rng rng{uint64_t(GetParam()) * 1013};
+  static vm::PrimitiveTable prims = vm::PrimitiveTable::standard();
+
+  constexpr int kExpressions = 12;
+  const double inputs[] = {-7.0, -1.0, 0.0, 1.0, 3.0, 12.5};
+
+  // Generate expressions; translate each into C with x as parameter.
+  std::vector<blocks::BlockPtr> exprs;
+  CodeMapping mapping = CodeMapping::c();
+  std::string program =
+      "#include <stdio.h>\n#include <math.h>\nint main() {\n"
+      "    double inputs[] = {-7.0, -1.0, 0.0, 1.0, 3.0, 12.5};\n"
+      "    for (int i = 0; i < 6; i++) {\n"
+      "        double x = inputs[i];\n";
+  Translator translator(mapping);
+  for (int e = 0; e < kExpressions; ++e) {
+    exprs.push_back(testgen::randomArithmetic(rng, 3));
+    program += "        printf(\"%.9f\\n\", (double)(" +
+               translator.mappedCode(*exprs.back()) + "));\n";
+  }
+  program += "    }\n    return 0;\n}\n";
+
+  // Compile and run once.
+  Toolchain tc;
+  SourceSet sources;
+  sources["main.c"] = program;
+  auto run = tc.compileAndRun(sources, "exprs", false);
+  auto lines = strings::split(strings::trim(run.output), '\n');
+  ASSERT_EQ(lines.size(), size_t(6 * kExpressions)) << run.output;
+
+  // Compare against the interpreter, expression-major inside input-major.
+  size_t lineIndex = 0;
+  for (double x : inputs) {
+    for (int e = 0; e < kExpressions; ++e, ++lineIndex) {
+      sched::ThreadManager tm(&BlockRegistry::standard(), &prims);
+      Value expected = tm.evaluate(
+          callRing(ring(In(exprs[size_t(e)])), {In(x)}),
+          Environment::make());
+      double compiled = 0;
+      ASSERT_TRUE(strings::parseNumber(lines[lineIndex], compiled))
+          << lines[lineIndex];
+      EXPECT_NEAR(compiled, expected.asNumber(),
+                  1e-6 * std::max(1.0, std::fabs(expected.asNumber())))
+          << "seed=" << GetParam() << " expr=" << e << " x=" << x << "\n"
+          << exprs[size_t(e)]->display();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CodegenEquivalence, ::testing::Range(1, 5));
+
+// Known divergence, kept as a pinned test: an all-integer-literal
+// division translates to C *integer* division (3/6 == 0), while the
+// interpreter computes 0.5 — exactly the dynamic→static type-mapping gap
+// the paper's Sec. 6.3 lists as future work. The property generator
+// avoids it with fractional divisors; this test documents the behaviour.
+TEST(CodegenKnownGaps, IntegerDivisionDiffersFromInterpreter) {
+  if (!Toolchain::compilerAvailable()) GTEST_SKIP() << "no gcc";
+  static vm::PrimitiveTable prims = vm::PrimitiveTable::standard();
+  sched::ThreadManager tm(&BlockRegistry::standard(), &prims);
+  Value interpreted = tm.evaluate(quotient(3, 6), Environment::make());
+  EXPECT_EQ(interpreted.asNumber(), 0.5);
+
+  Translator translator(CodeMapping::c());
+  SourceSet sources;
+  sources["main.c"] =
+      "#include <stdio.h>\nint main() {\n    printf(\"%g\\n\", (double)(" +
+      translator.mappedCode(*quotient(3, 6)) + "));\n    return 0;\n}\n";
+  Toolchain tc;
+  auto run = tc.compileAndRun(sources, "intdiv", false);
+  EXPECT_EQ(strings::trim(run.output), "0");  // C integer division
+}
+
+// JavaScript and Python translations of the same expressions are at least
+// structurally sound: balanced parentheses, no stray placeholders.
+class TextualSanity : public ::testing::TestWithParam<int> {};
+
+TEST_P(TextualSanity, BalancedAndPlaceholderFree) {
+  Rng rng{uint64_t(GetParam()) * 41};
+  for (const CodeMapping* mapping :
+       {&CodeMapping::c(), &CodeMapping::javascript(),
+        &CodeMapping::python()}) {
+    Translator translator(*mapping);
+    for (int trial = 0; trial < 8; ++trial) {
+      auto expr = testgen::randomArithmetic(rng, 4);
+      std::string code = translator.mappedCode(*expr);
+      int depth = 0;
+      for (char ch : code) {
+        if (ch == '(') ++depth;
+        if (ch == ')') --depth;
+        EXPECT_GE(depth, 0);
+      }
+      EXPECT_EQ(depth, 0) << code;
+      EXPECT_EQ(code.find("<#"), std::string::npos) << code;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TextualSanity, ::testing::Range(1, 7));
+
+}  // namespace
+}  // namespace psnap::codegen

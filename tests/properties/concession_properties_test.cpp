@@ -1,0 +1,60 @@
+// Concession-stand timestep laws swept across configuration space:
+// parallel time = pour duration, sequential time = cups × pour duration,
+// and interference can only inflate, never deflate.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "scenarios/concession.hpp"
+
+namespace psnap::scenarios {
+namespace {
+
+class ConcessionLaws
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(ConcessionLaws, TimestepFormulasHold) {
+  const auto [cups, pourFrames] = GetParam();
+  ConcessionResult par = runConcession({.parallel = true,
+                                        .cups = size_t(cups),
+                                        .pourFrames = pourFrames});
+  ConcessionResult seq = runConcession({.parallel = false,
+                                        .cups = size_t(cups),
+                                        .pourFrames = pourFrames});
+  EXPECT_TRUE(par.errors.empty());
+  EXPECT_TRUE(seq.errors.empty());
+  EXPECT_EQ(par.pourTimesteps, uint64_t(pourFrames));
+  EXPECT_EQ(seq.pourTimesteps, uint64_t(cups) * uint64_t(pourFrames));
+  EXPECT_EQ(par.cupsFilled, size_t(cups));
+  EXPECT_EQ(seq.cupsFilled, size_t(cups));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ConcessionLaws,
+    ::testing::Combine(::testing::Values(1, 2, 3, 5, 8),
+                       ::testing::Values(1, 2, 3, 5)));
+
+class InterferenceMonotonicity
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(InterferenceMonotonicity, TheftNeverSpeedsUp) {
+  const auto [period, offset] = GetParam();
+  sched::InterferenceModel model{uint64_t(period), uint64_t(offset)};
+  ConcessionResult clean = runConcession({.parallel = false});
+  ConcessionResult noisy =
+      runConcession({.parallel = false, .interference = model});
+  EXPECT_GE(noisy.pourTimesteps, clean.pourTimesteps)
+      << "period=" << period << " offset=" << offset;
+  // And the parallel run is never slower than the sequential one.
+  ConcessionResult parNoisy =
+      runConcession({.parallel = true, .interference = model});
+  EXPECT_LE(parNoisy.pourTimesteps, noisy.pourTimesteps);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, InterferenceMonotonicity,
+    ::testing::Combine(::testing::Values(2, 3, 4, 7),
+                       ::testing::Values(1, 4, 6)));
+
+}  // namespace
+}  // namespace psnap::scenarios

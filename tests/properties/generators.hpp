@@ -1,0 +1,89 @@
+// Seeded random generators of block expressions and scripts, used by the
+// property suites: every generated AST is valid against the standard
+// registry, pure (worker-shippable), and evaluates without errors by
+// construction (no division by zero, bounded depth).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "blocks/builder.hpp"
+#include "support/rng.hpp"
+
+namespace psnap::testgen {
+
+using namespace psnap::build;
+
+/// A random pure arithmetic expression over one implicit parameter
+/// (empty slots). Guaranteed division-safe: divisors are nonzero
+/// literals.
+inline BlockPtr randomArithmetic(Rng& rng, int depth) {
+  if (depth <= 0) {
+    // Leaf: literal or the parameter.
+    switch (rng.below(3)) {
+      case 0: return identity(empty());
+      case 1: return identity(double(rng.between(-9, 9)));
+      default: return identity(double(rng.between(1, 5)));
+    }
+  }
+  auto sub = [&] { return In(randomArithmetic(rng, depth - 1)); };
+  switch (rng.below(6)) {
+    case 0: return sum(sub(), sub());
+    case 1: return difference(sub(), sub());
+    case 2: return product(sub(), sub());
+    case 3:
+      // Division by a nonzero *fractional* literal: C's static typing
+      // would turn an all-integer division into integer division (the
+      // dynamic->static mapping gap the paper's Sec. 6.3 calls out), so
+      // the generator keeps expressions semantics-stable across targets.
+      return quotient(sub(), double(rng.between(1, 7)) + 0.5);
+    case 4:
+      return ifElseReporter(greaterThan(sub(), 0.0), sub(), sub());
+    default:
+      return sum(product(sub(), 2.0), 1.0);
+  }
+}
+
+/// A random command script over a fixed set of numeric variables
+/// (a, b, c), using set/change/if/repeat — statements every code mapping
+/// supports. Loop trip counts are small literals so scripts terminate
+/// fast.
+inline ScriptPtr randomScript(Rng& rng, int statements, int depth = 2) {
+  std::vector<BlockPtr> blocks;
+  const char* vars[] = {"a", "b", "c"};
+  auto var = [&] { return vars[rng.below(3)]; };
+  auto expr = [&] {
+    // Variable-free arithmetic plus variable reads.
+    if (rng.below(2) == 0) return In(getVar(var()));
+    return In(sum(getVar(var()), double(rng.between(-5, 5))));
+  };
+  for (int i = 0; i < statements; ++i) {
+    switch (rng.below(5)) {
+      case 0:
+        blocks.push_back(setVar(var(), expr()));
+        break;
+      case 1:
+        blocks.push_back(changeVar(var(), double(rng.between(-3, 3))));
+        break;
+      case 2:
+        if (depth > 0) {
+          blocks.push_back(doIf(greaterThan(getVar(var()), 0.0),
+                                randomScript(rng, 2, depth - 1)));
+          break;
+        }
+        [[fallthrough]];
+      case 3:
+        if (depth > 0) {
+          blocks.push_back(repeat(double(rng.between(1, 3)),
+                                  randomScript(rng, 2, depth - 1)));
+          break;
+        }
+        [[fallthrough]];
+      default:
+        blocks.push_back(setVar(var(), product(getVar(var()), 1.0)));
+    }
+  }
+  return scriptOf(std::move(blocks));
+}
+
+}  // namespace psnap::testgen

@@ -1,0 +1,118 @@
+// Opcode parity: for every pure opcode in the palette, a sample
+// expression is evaluated by the interpreter AND by the worker-side pure
+// evaluator (compileRing) — the two execution engines must agree, since
+// parallelMap's correctness rests on that agreement.
+#include <gtest/gtest.h>
+
+#include "blocks/builder.hpp"
+#include "core/parallel_blocks.hpp"
+#include "core/pure_eval.hpp"
+#include "sched/thread_manager.hpp"
+
+namespace psnap::core {
+namespace {
+
+using namespace psnap::build;
+using blocks::BlockRegistry;
+using blocks::Environment;
+using blocks::Value;
+
+struct Sample {
+  const char* opcode;       // documented coverage target
+  blocks::BlockPtr expr;    // expression using the opcode, over one blank
+};
+
+std::vector<Sample> samples() {
+  return {
+      {"reportSum", sum(empty(), 2)},
+      {"reportDifference", difference(empty(), 2)},
+      {"reportProduct", product(empty(), 3)},
+      {"reportQuotient", quotient(empty(), 4)},
+      {"reportModulus", modulus(empty(), 3)},
+      {"reportPower", power(empty(), 2)},
+      {"reportRound", round_(empty())},
+      {"reportMonadic", monadic("abs", empty())},
+      {"reportMonadic", monadic("sqrt", empty())},
+      {"reportMonadic", monadic("atan", empty())},
+      {"reportMonadic", monadic("floor", quotient(empty(), 2.5))},
+      {"reportEquals", equals(empty(), 5)},
+      {"reportLessThan", lessThan(empty(), 5)},
+      {"reportGreaterThan", greaterThan(empty(), 5)},
+      {"reportAnd", and_(greaterThan(empty(), 0), true)},
+      {"reportOr", or_(lessThan(empty(), 0), false)},
+      {"reportNot", not_(equals(empty(), 5))},
+      {"reportIfElse", ifElseReporter(greaterThan(empty(), 0), "pos",
+                                      "nonpos")},
+      {"reportJoinWords", join({In("v="), In(empty())})},
+      {"reportLetter", letter(1, join({In("x"), In(empty())}))},
+      {"reportStringSize", textLength(join({In("n"), In(empty())}))},
+      {"reportUnicode", blk("reportUnicode", {In("A")})},
+      {"reportUnicodeAsLetter", blk("reportUnicodeAsLetter", {In(66)})},
+      {"reportSplit", splitText(join({In("a b "), In(empty())}), " ")},
+      {"reportIsA", isA(empty(), "number")},
+      {"reportIdentity", identity(empty())},
+      {"reportNewList", listOf({In(empty()), In(2)})},
+      {"reportListItem", itemOf(1, listOf({In(empty()), In(2)}))},
+      {"reportListLength", lengthOf(listOf({In(empty()), In(2)}))},
+      {"reportListContainsItem",
+       contains(listOf({1, 2, 3}), empty())},
+      {"reportListIndex", indexOf(empty(), listOf({5, 7, 9}))},
+      {"reportCONS", blk("reportCONS", {In(empty()), In(listOf({1}))})},
+      {"reportCDR", blk("reportCDR", {In(listOf({In(empty()), In(2)}))})},
+      {"reportNumbers", numbersFromTo(1, sum(empty(), 1))},
+      {"reportSorted", sorted(listOf({In(empty()), In(3), In(-1)}))},
+      {"reportMap", mapOver(ring(product(empty(), 2)),
+                            listOf({In(empty()), In(4)}))},
+      {"reportKeep", keepFrom(ring(greaterThan(empty(), 2)),
+                              listOf({In(empty()), In(5)}))},
+      {"reportCombine", combineUsing(listOf({In(empty()), In(4), In(6)}),
+                                     ring(sum(empty(), empty())))},
+      {"evaluate", callRing(ring(sum(empty(), 100)), {In(empty())})},
+  };
+}
+
+class OpcodeParity : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(OpcodeParity, InterpreterAndPureEvaluatorAgree) {
+  Sample sample = samples()[GetParam()];
+  static vm::PrimitiveTable prims = fullPrimitiveTable();
+
+  // Note: inner rings capture their own blanks, so pass a blank-free
+  // argument set — the sample's outermost blanks positionally.
+  for (double x : {1.0, 3.0, 7.0}) {
+    sched::ThreadManager tm(&BlockRegistry::standard(), &prims);
+    blocks::RingPtr ringValue =
+        tm.evaluate(ring(In(sample.expr)), Environment::make()).asRing();
+
+    sched::ThreadManager tm2(&BlockRegistry::standard(), &prims);
+    Value viaInterpreter = tm2.evaluate(
+        callRing(ring(In(sample.expr)), {In(x)}), Environment::make());
+    Value viaPure = compileRing(ringValue)({Value(x)});
+    EXPECT_TRUE(viaPure.equals(viaInterpreter))
+        << sample.opcode << " x=" << x
+        << "\n  interpreter: " << viaInterpreter.display()
+        << "\n  pure:        " << viaPure.display();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPureOpcodes, OpcodeParity,
+                         ::testing::Range<size_t>(0, samples().size()),
+                         [](const ::testing::TestParamInfo<size_t>& info) {
+                           return std::string(samples()[info.param].opcode) +
+                                  "_" + std::to_string(info.param);
+                         });
+
+// Every sample above names a real registered pure opcode — keeps the
+// table honest as the palette grows.
+TEST(OpcodeParityTable, CoversOnlyRegisteredPureOpcodes) {
+  const BlockRegistry& registry = BlockRegistry::standard();
+  for (const Sample& sample : samples()) {
+    ASSERT_TRUE(registry.has(sample.opcode)) << sample.opcode;
+    if (std::string(sample.opcode) != "evaluate") {
+      EXPECT_TRUE(registry.get(sample.opcode).pure) << sample.opcode;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace psnap::core

@@ -1,0 +1,89 @@
+// Serialization properties over randomly generated scripts: XML round
+// trips preserve structure (display equality), and the parsed scripts
+// execute to the same final state as the originals.
+#include <gtest/gtest.h>
+
+#include "blocks/builder.hpp"
+#include "project/project.hpp"
+#include "sched/thread_manager.hpp"
+#include "support/rng.hpp"
+#include "tests/properties/generators.hpp"
+
+namespace psnap::project {
+namespace {
+
+using namespace psnap::build;
+using blocks::BlockRegistry;
+using blocks::Environment;
+using blocks::Value;
+
+class ScriptRoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(ScriptRoundTrip, StructurePreserved) {
+  Rng rng{uint64_t(GetParam())};
+  for (int trial = 0; trial < 5; ++trial) {
+    auto script = testgen::randomScript(rng, 6);
+    auto parsed = scriptFromXml(scriptToXml(*script));
+    EXPECT_EQ(parsed->display(), script->display())
+        << "seed=" << GetParam() << " trial=" << trial;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ScriptRoundTrip, ::testing::Range(1, 13));
+
+class ScriptRoundTripExecution : public ::testing::TestWithParam<int> {};
+
+TEST_P(ScriptRoundTripExecution, ParsedScriptsBehaveIdentically) {
+  Rng rng{uint64_t(GetParam()) * 977};
+  static vm::PrimitiveTable prims = vm::PrimitiveTable::standard();
+
+  auto script = testgen::randomScript(rng, 8);
+  auto parsed = scriptFromXml(scriptToXml(*script));
+
+  auto runIt = [&](const blocks::ScriptPtr& s) {
+    sched::ThreadManager tm(&BlockRegistry::standard(), &prims);
+    auto env = Environment::make();
+    env->declare("a", Value(1));
+    env->declare("b", Value(2));
+    env->declare("c", Value(3));
+    auto handle = tm.spawnScript(s, env);
+    tm.runUntilIdle();
+    EXPECT_FALSE(handle.status->errored) << handle.status->error;
+    return std::tuple{env->get("a").asNumber(), env->get("b").asNumber(),
+                      env->get("c").asNumber()};
+  };
+
+  EXPECT_EQ(runIt(script), runIt(parsed)) << "seed=" << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ScriptRoundTripExecution,
+                         ::testing::Range(1, 17));
+
+// Expressions with rings and empty slots round trip too.
+class RingRoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(RingRoundTrip, RingExpressionsSurvive) {
+  Rng rng{uint64_t(GetParam()) * 31};
+  auto expr = testgen::randomArithmetic(rng, 3);
+  auto script = scriptOf({setVar(
+      "out", mapOver(ring(In(expr)), listOf({1, 2, 3, 4, 5})))});
+  auto parsed = scriptFromXml(scriptToXml(*script));
+  EXPECT_EQ(parsed->display(), script->display());
+
+  static vm::PrimitiveTable prims = vm::PrimitiveTable::standard();
+  auto runIt = [&](const blocks::ScriptPtr& s) {
+    sched::ThreadManager tm(&BlockRegistry::standard(), &prims);
+    auto env = Environment::make();
+    env->declare("out", Value());
+    tm.spawnScript(s, env);
+    tm.runUntilIdle();
+    EXPECT_TRUE(tm.errors().empty());
+    return env->get("out").display();
+  };
+  EXPECT_EQ(runIt(script), runIt(parsed));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RingRoundTrip, ::testing::Range(1, 11));
+
+}  // namespace
+}  // namespace psnap::project

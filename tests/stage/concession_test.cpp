@@ -1,0 +1,91 @@
+// The headline reproduction: the concession stand of paper Sec. 3.3.
+//
+//   * parallel mode: 3 pitcher clones fill 3 cups in 3 timesteps (Fig. 9);
+//   * sequential mode: 9 ideal timesteps;
+//   * sequential mode with browser interference: 12 observed timesteps —
+//     "the difference happened to be 3 timesteps" (Fig. 10 + footnote 5).
+#include "scenarios/concession.hpp"
+
+#include <gtest/gtest.h>
+
+namespace psnap::scenarios {
+namespace {
+
+TEST(Concession, ParallelTakesThreeTimesteps) {
+  ConcessionResult r = runConcession({.parallel = true});
+  EXPECT_TRUE(r.errors.empty());
+  EXPECT_EQ(r.pourTimesteps, 3u);
+  EXPECT_EQ(r.cupsFilled, 3u);
+}
+
+TEST(Concession, SequentialIdealIsNineTimesteps) {
+  ConcessionResult r = runConcession({.parallel = false});
+  EXPECT_TRUE(r.errors.empty());
+  EXPECT_EQ(r.pourTimesteps, 9u);
+  EXPECT_EQ(r.cupsFilled, 3u);
+}
+
+TEST(Concession, SequentialWithInterferenceIsTwelve) {
+  ConcessionResult r = runConcession(
+      {.parallel = false, .interference = paperInterference()});
+  EXPECT_TRUE(r.errors.empty());
+  EXPECT_EQ(r.pourTimesteps, 12u);
+  EXPECT_EQ(r.cupsFilled, 3u);
+}
+
+TEST(Concession, ParallelUnaffectedByInterference) {
+  // The parallel run finishes before the first stolen frame, so its
+  // readout stays at 3 — exactly the asymmetry the paper observed.
+  ConcessionResult r = runConcession(
+      {.parallel = true, .interference = paperInterference()});
+  EXPECT_TRUE(r.errors.empty());
+  EXPECT_EQ(r.pourTimesteps, 3u);
+}
+
+TEST(Concession, SpeedupScalesWithCupCount) {
+  for (size_t cups : {2u, 4u, 6u}) {
+    ConcessionResult par = runConcession({.parallel = true, .cups = cups});
+    ConcessionResult seq = runConcession({.parallel = false, .cups = cups});
+    EXPECT_EQ(par.pourTimesteps, 3u) << cups;
+    EXPECT_EQ(seq.pourTimesteps, 3u * cups) << cups;
+    EXPECT_EQ(par.cupsFilled, cups);
+    EXPECT_EQ(seq.cupsFilled, cups);
+  }
+}
+
+TEST(Concession, PourDurationScales) {
+  ConcessionResult r = runConcession({.parallel = false, .pourFrames = 5});
+  EXPECT_EQ(r.pourTimesteps, 15u);
+}
+
+TEST(Concession, FrameCaptureShowsProgression) {
+  ConcessionResult r = runConcession(
+      {.parallel = true, .captureFrames = true});
+  ASSERT_FALSE(r.frames.empty());
+  // The first frame shows empty cups, the last shows all cups full.
+  EXPECT_NE(r.frames.front().find("costume 'empty'"), std::string::npos);
+  size_t fullCount = 0;
+  const std::string& last = r.frames.back();
+  for (size_t pos = last.find("costume 'full'");
+       pos != std::string::npos;
+       pos = last.find("costume 'full'", pos + 1)) {
+    ++fullCount;
+  }
+  EXPECT_EQ(fullCount, 3u);
+}
+
+TEST(Concession, CloneCountMatchesParallelism) {
+  // During the parallel run, frames show the pitcher clones on stage.
+  ConcessionResult r = runConcession(
+      {.parallel = true, .cups = 3, .captureFrames = true});
+  bool sawClones = false;
+  for (const std::string& frame : r.frames) {
+    if (frame.find("Pitcher#") != std::string::npos) sawClones = true;
+  }
+  EXPECT_TRUE(sawClones);
+  // Clones are gone after the run.
+  EXPECT_EQ(r.frames.back().find("Pitcher#"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace psnap::scenarios

@@ -1,0 +1,122 @@
+// Visibility and touching: the sensing surface behind the water-balloon
+// game (paper Sec. 5's student project).
+#include <gtest/gtest.h>
+
+#include "blocks/builder.hpp"
+#include "core/parallel_blocks.hpp"
+#include "stage/stage.hpp"
+
+namespace psnap::stage {
+namespace {
+
+using namespace psnap::build;
+using blocks::BlockRegistry;
+using blocks::Value;
+
+class SensingTest : public ::testing::Test {
+ protected:
+  SensingTest()
+      : prims_(core::fullPrimitiveTable()),
+        tm_(&BlockRegistry::standard(), &prims_),
+        stage_(&tm_) {}
+
+  vm::PrimitiveTable prims_;
+  sched::ThreadManager tm_;
+  Stage stage_;
+};
+
+TEST_F(SensingTest, TouchingByDistance) {
+  Sprite& a = stage_.addSprite("A");
+  Sprite& b = stage_.addSprite("B");
+  a.gotoXY(0, 0);
+  b.gotoXY(50, 0);  // default radii 30 + 30 = reach 60
+  EXPECT_TRUE(a.touching("B"));
+  EXPECT_TRUE(b.touching("A"));
+  b.gotoXY(100, 0);
+  EXPECT_FALSE(a.touching("B"));
+}
+
+TEST_F(SensingTest, TouchRadiusConfigurable) {
+  Sprite& a = stage_.addSprite("A");
+  Sprite& b = stage_.addSprite("B");
+  b.gotoXY(100, 0);
+  a.setTouchRadius(60);
+  b.setTouchRadius(41);
+  EXPECT_TRUE(a.touching("B"));
+}
+
+TEST_F(SensingTest, HiddenSpritesNeverTouch) {
+  Sprite& a = stage_.addSprite("A");
+  Sprite& b = stage_.addSprite("B");
+  b.gotoXY(10, 0);
+  EXPECT_TRUE(a.touching("B"));
+  b.setVisible(false);
+  EXPECT_FALSE(a.touching("B"));
+  b.setVisible(true);
+  a.setVisible(false);
+  EXPECT_FALSE(a.touching("B"));
+}
+
+TEST_F(SensingTest, ClonesCountAsTheirParentName) {
+  Sprite& a = stage_.addSprite("A");
+  Sprite& b = stage_.addSprite("B");
+  b.gotoXY(1000, 0);  // parent far away
+  Sprite* clone = stage_.makeClone(&b);
+  clone->gotoXY(10, 0);
+  EXPECT_TRUE(a.touching("B"));  // via the clone
+}
+
+TEST_F(SensingTest, SelfIsNeverTouching) {
+  Sprite& a = stage_.addSprite("A");
+  EXPECT_FALSE(a.touching("A"));
+  EXPECT_FALSE(a.touching("Nobody"));
+}
+
+TEST_F(SensingTest, TouchingBlockInScripts) {
+  Sprite& a = stage_.addSprite("A");
+  Sprite& b = stage_.addSprite("B");
+  b.gotoXY(20, 0);
+  a.addScript(scriptOf({whenGreenFlag(),
+                        doIfElse(touching("B"), scriptOf({say("hit")}),
+                                 scriptOf({say("clear")}))}));
+  stage_.greenFlag();
+  tm_.runUntilIdle();
+  EXPECT_EQ(a.sayText(), "hit");
+}
+
+TEST_F(SensingTest, ShowHideBlocks) {
+  Sprite& a = stage_.addSprite("A");
+  a.addScript(scriptOf({whenGreenFlag(), hide()}));
+  stage_.greenFlag();
+  tm_.runUntilIdle();
+  EXPECT_FALSE(a.visible());
+  a.addScript(scriptOf({whenIReceive("reveal"), show()}));
+  tm_.broadcast("reveal");
+  tm_.runUntilIdle();
+  EXPECT_TRUE(a.visible());
+}
+
+TEST_F(SensingTest, FallingCloneCatchScenario) {
+  // A miniature of the water-balloon game: one balloon falls straight
+  // into a basket below it.
+  stage_.globals()->declare("caught", Value(0));
+  Sprite& basket = stage_.addSprite("Basket");
+  basket.gotoXY(0, -100);
+  Sprite& balloon = stage_.addSprite("Balloon");
+  balloon.gotoXY(0, 100);
+  balloon.addScript(scriptOf({
+      whenCloneStarts(),
+      repeatUntil(or_(touching("Basket"),
+                      lessThan(blk("yPosition"), -140.0)),
+                  scriptOf({blk("changeYPosition", {In(-20)})})),
+      doIf(touching("Basket"), scriptOf({changeVar("caught", 1)})),
+      removeClone(),
+  }));
+  stage_.makeClone(&balloon);
+  tm_.runUntilIdle();
+  EXPECT_EQ(stage_.globals()->get("caught").asNumber(), 1);
+  EXPECT_EQ(stage_.cloneCount(), 0u);
+}
+
+}  // namespace
+}  // namespace psnap::stage

@@ -1,0 +1,188 @@
+// Stage semantics: sprites, hats, events, clones, broadcasts, rendering.
+#include "stage/stage.hpp"
+
+#include <gtest/gtest.h>
+
+#include "blocks/builder.hpp"
+#include "core/parallel_blocks.hpp"
+#include "support/error.hpp"
+
+namespace psnap::stage {
+namespace {
+
+using namespace psnap::build;
+using blocks::BlockRegistry;
+using blocks::Value;
+
+class StageTest : public ::testing::Test {
+ protected:
+  StageTest()
+      : prims_(core::fullPrimitiveTable()),
+        tm_(&BlockRegistry::standard(), &prims_),
+        stage_(&tm_) {}
+
+  vm::PrimitiveTable prims_;
+  sched::ThreadManager tm_;
+  Stage stage_;
+};
+
+TEST_F(StageTest, GreenFlagStartsGoScripts) {
+  Sprite& dragon = stage_.addSprite("Dragon");
+  dragon.addScript(scriptOf({whenGreenFlag(), say("rawr")}));
+  stage_.greenFlag();
+  tm_.runUntilIdle();
+  EXPECT_EQ(dragon.sayText(), "rawr");
+}
+
+TEST_F(StageTest, KeyPressTurnsDragon) {
+  // Paper Fig. 3: right arrow turns right 15 degrees, left arrow left 15.
+  Sprite& dragon = stage_.addSprite("Dragon");
+  dragon.addScript(scriptOf({whenKeyPressed("right arrow"),
+                             turnRight(15)}));
+  dragon.addScript(scriptOf({whenKeyPressed("left arrow"),
+                             turnLeftBy(15)}));
+  stage_.keyPressed("right arrow");
+  tm_.runUntilIdle();
+  EXPECT_EQ(dragon.heading(), 105);
+  stage_.keyPressed("left arrow");
+  stage_.keyPressed("left arrow");
+  tm_.runUntilIdle();
+  EXPECT_EQ(dragon.heading(), 75);
+}
+
+TEST_F(StageTest, ConcurrentScriptsOfOneSprite) {
+  // Multiple scripts of the same sprite run concurrently (Sec. 2).
+  Sprite& s = stage_.addSprite("S");
+  s.variables()->declare("a", Value(0));
+  s.addScript(scriptOf({whenGreenFlag(),
+                        repeat(3, scriptOf({changeVar("a", 1)}))}));
+  s.addScript(scriptOf({whenGreenFlag(),
+                        repeat(3, scriptOf({changeVar("a", 10)}))}));
+  stage_.greenFlag();
+  tm_.runUntilIdle();
+  EXPECT_EQ(s.variables()->get("a").asNumber(), 33);
+}
+
+TEST_F(StageTest, MotionBlocks) {
+  Sprite& s = stage_.addSprite("S");
+  s.addScript(scriptOf({whenGreenFlag(), goToXY(10, 20), moveSteps(5),
+                        pointInDirection(0), moveSteps(3)}));
+  stage_.greenFlag();
+  tm_.runUntilIdle();
+  // heading 90 = +x; then heading 0 = +y.
+  EXPECT_NEAR(s.x(), 15, 1e-9);
+  EXPECT_NEAR(s.y(), 23, 1e-9);
+}
+
+TEST_F(StageTest, BroadcastActivatesListeners) {
+  Sprite& a = stage_.addSprite("A");
+  Sprite& b = stage_.addSprite("B");
+  a.addScript(scriptOf({whenGreenFlag(), broadcast("ding")}));
+  b.addScript(scriptOf({whenIReceive("ding"), say("got it")}));
+  stage_.greenFlag();
+  tm_.runUntilIdle();
+  EXPECT_EQ(b.sayText(), "got it");
+}
+
+TEST_F(StageTest, BroadcastAndWaitBlocksUntilListenersFinish) {
+  Sprite& a = stage_.addSprite("A");
+  Sprite& b = stage_.addSprite("B");
+  a.variables()->declare("done", Value(false));
+  a.addScript(scriptOf({whenGreenFlag(), broadcastAndWait("work"),
+                        say("after")}));
+  b.addScript(scriptOf({whenIReceive("work"), busyWork(5)}));
+  stage_.greenFlag();
+  uint64_t frames = tm_.runUntilIdle();
+  EXPECT_GE(frames, 5u);
+  EXPECT_EQ(a.sayText(), "after");
+}
+
+TEST_F(StageTest, ClonesCopyStateAndRunCloneHats) {
+  Sprite& pitcher = stage_.addSprite("Pitcher");
+  pitcher.gotoXY(50, 60);
+  pitcher.setCostume("full");
+  pitcher.variables()->declare("drinks", Value(3));
+  pitcher.addScript(scriptOf({whenCloneStarts(), say("clone alive")}));
+  Sprite* clone = stage_.makeClone(&pitcher);
+  ASSERT_NE(clone, nullptr);
+  EXPECT_TRUE(clone->isClone());
+  EXPECT_EQ(clone->cloneParent(), &pitcher);
+  EXPECT_EQ(clone->x(), 50);
+  EXPECT_EQ(clone->costume(), "full");
+  EXPECT_EQ(clone->variables()->get("drinks").asNumber(), 3);
+  EXPECT_EQ(stage_.cloneCount(), 1u);
+  tm_.runUntilIdle();
+  EXPECT_EQ(clone->sayText(), "clone alive");
+}
+
+TEST_F(StageTest, CloneVariablesAreIndependent) {
+  Sprite& s = stage_.addSprite("S");
+  s.variables()->declare("n", Value(1));
+  Sprite* clone = stage_.makeClone(&s);
+  clone->variables()->set("n", Value(99));
+  EXPECT_EQ(s.variables()->get("n").asNumber(), 1);
+}
+
+TEST_F(StageTest, CreateCloneBlockAndRemoveClone) {
+  Sprite& s = stage_.addSprite("S");
+  s.addScript(scriptOf({whenCloneStarts(), busyWork(2), removeClone()}));
+  s.addScript(scriptOf({whenGreenFlag(), createCloneOf("myself")}));
+  stage_.greenFlag();
+  tm_.runUntilIdle();
+  EXPECT_EQ(stage_.cloneCount(), 0u);  // clone removed itself
+}
+
+TEST_F(StageTest, StopAllRemovesClones) {
+  Sprite& s = stage_.addSprite("S");
+  stage_.makeClone(&s);
+  stage_.makeClone(&s);
+  EXPECT_EQ(stage_.cloneCount(), 2u);
+  stage_.stopAll();
+  EXPECT_EQ(stage_.cloneCount(), 0u);
+  EXPECT_TRUE(tm_.idle());
+}
+
+TEST_F(StageTest, GlobalVariablesSharedAcrossSprites) {
+  stage_.globals()->declare("score", Value(0));
+  Sprite& a = stage_.addSprite("A");
+  Sprite& b = stage_.addSprite("B");
+  a.addScript(scriptOf({whenGreenFlag(), changeVar("score", 5)}));
+  b.addScript(scriptOf({whenGreenFlag(), changeVar("score", 7)}));
+  stage_.greenFlag();
+  tm_.runUntilIdle();
+  EXPECT_EQ(stage_.globals()->get("score").asNumber(), 12);
+}
+
+TEST_F(StageTest, DuplicateSpriteNameThrows) {
+  stage_.addSprite("S");
+  EXPECT_THROW(stage_.addSprite("S"), Error);
+}
+
+TEST_F(StageTest, ScriptWithoutHatThrows) {
+  Sprite& s = stage_.addSprite("S");
+  EXPECT_THROW(s.addScript(scriptOf({say("no hat")})), Error);
+  EXPECT_THROW(s.addScript(scriptOf({})), Error);
+}
+
+TEST_F(StageTest, RenderFrameShowsSpritesAndTimer) {
+  Sprite& s = stage_.addSprite("Cup");
+  s.gotoXY(1, 2);
+  s.setCostume("empty");
+  s.sayBubble("fill me");
+  std::string frame = stage_.renderFrame();
+  EXPECT_NE(frame.find("t=0"), std::string::npos);
+  EXPECT_NE(frame.find("Cup @(1,2)"), std::string::npos);
+  EXPECT_NE(frame.find("costume 'empty'"), std::string::npos);
+  EXPECT_NE(frame.find("says \"fill me\""), std::string::npos);
+}
+
+TEST_F(StageTest, CostumeSwitchBlock) {
+  Sprite& s = stage_.addSprite("Cup");
+  s.addScript(scriptOf({whenGreenFlag(), switchCostume("full")}));
+  stage_.greenFlag();
+  tm_.runUntilIdle();
+  EXPECT_EQ(s.costume(), "full");
+}
+
+}  // namespace
+}  // namespace psnap::stage

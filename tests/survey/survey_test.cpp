@@ -1,0 +1,95 @@
+// The Sec. 5 survey simulation: synthetic cohorts reproduce the paper's
+// published marginals, and the tally path is exact.
+#include "survey/survey.hpp"
+
+#include <gtest/gtest.h>
+
+namespace psnap::survey {
+namespace {
+
+TEST(Survey, CohortSizeAndDeterminism) {
+  auto a = generateCohort(100, Targets::paper2016(), 1);
+  auto b = generateCohort(100, Targets::paper2016(), 1);
+  ASSERT_EQ(a.size(), 100u);
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].career, b[i].career);
+    EXPECT_EQ(a[i].impression, b[i].impression);
+  }
+}
+
+TEST(Survey, PaperMarginalsAtN100) {
+  // With n=100 the apportionment is exact: 29/54/17 and 86/9/6 (the
+  // impression row sums to 101 in the paper due to rounding; largest
+  // remainder assigns the extra point deterministically).
+  auto cohort = generateCohort(100, Targets::paper2016(), 42);
+  Tally t = tally(cohort);
+  EXPECT_NEAR(t.careerCs, 29, 1.0);
+  EXPECT_NEAR(t.careerOther, 54, 1.0);
+  EXPECT_NEAR(t.careerNoAnswer, 17, 1.0);
+  EXPECT_NEAR(t.benefitGivenOther, 57, 2.0);
+  EXPECT_NEAR(t.impressionMore, 86, 1.0);
+  EXPECT_NEAR(t.impressionLess, 9, 1.0);
+  EXPECT_NEAR(t.impressionSame, 6, 1.0);
+}
+
+TEST(Survey, MarginalsConvergeAtLargeN) {
+  Tally t = tally(generateCohort(10000, Targets::paper2016(), 7));
+  EXPECT_NEAR(t.careerCs, 29, 0.2);
+  EXPECT_NEAR(t.benefitGivenOther, 57, 0.2);
+  // The paper's impression rows sum to 101% (rounding); apportionment
+  // normalizes, so the converged share is 86/101.
+  EXPECT_NEAR(t.impressionMore, 100.0 * 86.0 / 101.0, 0.2);
+}
+
+TEST(Survey, BenefitOnlyCountsOtherGroup) {
+  auto cohort = generateCohort(200, Targets::paper2016(), 3);
+  for (const Response& r : cohort) {
+    if (r.career != Career::Other) {
+      EXPECT_FALSE(r.csWouldBenefit);
+    }
+  }
+}
+
+TEST(Survey, EmptyCohort) {
+  EXPECT_TRUE(generateCohort(0, Targets::paper2016(), 1).empty());
+  Tally t = tally({});
+  EXPECT_EQ(t.respondents, 0u);
+  EXPECT_EQ(t.careerCs, 0);
+}
+
+TEST(Survey, CustomTargets) {
+  Targets targets;
+  targets.careerCs = 100;
+  targets.careerOther = 0;
+  targets.careerNoAnswer = 0;
+  auto cohort = generateCohort(50, targets, 9);
+  Tally t = tally(cohort);
+  EXPECT_EQ(t.careerCs, 100);
+  EXPECT_EQ(t.benefitGivenOther, 0);  // nobody in the Other group
+}
+
+TEST(Survey, TallyCountsByHand) {
+  std::vector<Response> responses = {
+      {Career::ComputerScience, false, Impression::MoreFavorable},
+      {Career::Other, true, Impression::MoreFavorable},
+      {Career::Other, false, Impression::LessFavorable},
+      {Career::NoAnswer, false, Impression::SameOrNoOpinion},
+  };
+  Tally t = tally(responses);
+  EXPECT_EQ(t.respondents, 4u);
+  EXPECT_EQ(t.careerCs, 25);
+  EXPECT_EQ(t.careerOther, 50);
+  EXPECT_EQ(t.benefitGivenOther, 50);
+  EXPECT_EQ(t.impressionMore, 50);
+}
+
+TEST(Survey, ComparisonTableMentionsEveryRow) {
+  Tally t = tally(generateCohort(100, Targets::paper2016(), 42));
+  std::string table = comparisonTable(Targets::paper2016(), t);
+  EXPECT_NE(table.find("career: computer science"), std::string::npos);
+  EXPECT_NE(table.find("more favorable"), std::string::npos);
+  EXPECT_NE(table.find("n=100"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace psnap::survey

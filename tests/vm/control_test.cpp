@@ -1,0 +1,263 @@
+// Control-flow and scheduling-behaviour tests: loops yield per iteration,
+// waits respect the virtual clock, report unwinds call boundaries.
+#include <gtest/gtest.h>
+
+#include "blocks/builder.hpp"
+#include "support/error.hpp"
+#include "vm/process.hpp"
+
+namespace psnap::vm {
+namespace {
+
+using namespace psnap::build;
+using blocks::BlockRegistry;
+using blocks::Environment;
+using blocks::EnvPtr;
+using blocks::Value;
+
+class ControlTest : public ::testing::Test {
+ protected:
+  Process makeProcess() {
+    return Process(&BlockRegistry::standard(), &prims_, &host_);
+  }
+
+  /// Run like the scheduler does: one slice per "frame", advancing the
+  /// virtual clock by 1 between slices. Returns the number of frames used.
+  int runFrames(Process& p, int maxFrames = 1000) {
+    int frames = 0;
+    while (p.runnable() && frames < maxFrames) {
+      p.runSlice();
+      ++frames;
+      host_.advance(1.0);
+    }
+    return frames;
+  }
+
+  PrimitiveTable prims_ = PrimitiveTable::standard();
+  NullHost host_;
+};
+
+TEST_F(ControlTest, RepeatRunsBodyNTimes) {
+  auto env = Environment::make();
+  env->declare("n", Value(0));
+  auto p = makeProcess();
+  p.startScript(scriptOf({repeat(5, scriptOf({changeVar("n", 1)}))}), env);
+  runFrames(p);
+  EXPECT_EQ(env->get("n").asNumber(), 5);
+}
+
+TEST_F(ControlTest, RepeatYieldsOncePerIteration) {
+  auto env = Environment::make();
+  auto p = makeProcess();
+  p.startScript(scriptOf({repeat(5, scriptOf({}))}), env);
+  int frames = runFrames(p);
+  // 5 iterations, one yield each; the final frame finishes the block.
+  EXPECT_GE(frames, 5);
+  EXPECT_LE(frames, 6);
+}
+
+TEST_F(ControlTest, RepeatZeroOrNegativeSkipsBody) {
+  auto env = Environment::make();
+  env->declare("n", Value(0));
+  auto p = makeProcess();
+  p.startScript(scriptOf({repeat(0, scriptOf({changeVar("n", 1)})),
+                          repeat(-3, scriptOf({changeVar("n", 1)}))}),
+                env);
+  runFrames(p);
+  EXPECT_EQ(env->get("n").asNumber(), 0);
+}
+
+TEST_F(ControlTest, RepeatCountEvaluatedOnce) {
+  // Mutating the counter variable inside the loop must not change the trip
+  // count (Snap! evaluates the count once).
+  auto env = Environment::make();
+  env->declare("count", Value(3));
+  env->declare("n", Value(0));
+  auto p = makeProcess();
+  p.startScript(scriptOf({repeat(getVar("count"),
+                                 scriptOf({setVar("count", 100),
+                                           changeVar("n", 1)}))}),
+                env);
+  runFrames(p);
+  EXPECT_EQ(env->get("n").asNumber(), 3);
+}
+
+TEST_F(ControlTest, ForeverRunsUntilStopped) {
+  auto env = Environment::make();
+  env->declare("n", Value(0));
+  auto p = makeProcess();
+  p.startScript(scriptOf({forever(scriptOf({changeVar("n", 1)}))}), env);
+  for (int i = 0; i < 10; ++i) {
+    p.runSlice();
+    host_.advance(1.0);
+  }
+  EXPECT_TRUE(p.runnable());
+  EXPECT_EQ(env->get("n").asNumber(), 10);  // one iteration per frame
+  p.terminate();
+  EXPECT_EQ(p.state(), ProcessState::Terminated);
+}
+
+TEST_F(ControlTest, IfBranches) {
+  auto env = Environment::make();
+  env->declare("n", Value(0));
+  auto p = makeProcess();
+  p.startScript(scriptOf({
+                    doIf(greaterThan(3, 2), scriptOf({changeVar("n", 1)})),
+                    doIf(greaterThan(2, 3), scriptOf({changeVar("n", 10)})),
+                    doIfElse(equals(1, 2), scriptOf({changeVar("n", 100)}),
+                             scriptOf({changeVar("n", 1000)})),
+                }),
+                env);
+  runFrames(p);
+  EXPECT_EQ(env->get("n").asNumber(), 1001);
+}
+
+TEST_F(ControlTest, UntilReevaluatesCondition) {
+  auto env = Environment::make();
+  env->declare("n", Value(0));
+  auto p = makeProcess();
+  p.startScript(scriptOf({repeatUntil(equals(getVar("n"), 4),
+                                      scriptOf({changeVar("n", 1)}))}),
+                env);
+  runFrames(p);
+  EXPECT_EQ(env->get("n").asNumber(), 4);
+}
+
+TEST_F(ControlTest, UntilTrueImmediatelySkipsBody) {
+  auto env = Environment::make();
+  env->declare("n", Value(0));
+  auto p = makeProcess();
+  p.startScript(scriptOf({repeatUntil(equals(0, 0),
+                                      scriptOf({changeVar("n", 1)}))}),
+                env);
+  runFrames(p);
+  EXPECT_EQ(env->get("n").asNumber(), 0);
+}
+
+TEST_F(ControlTest, WaitConsumesVirtualTime) {
+  auto env = Environment::make();
+  auto p = makeProcess();
+  p.startScript(scriptOf({wait(3)}), env);
+  int frames = runFrames(p);
+  // Frame 1 arms the deadline (now+3) and yields; the process completes on
+  // the frame where the clock has advanced past it.
+  EXPECT_EQ(frames, 4);
+}
+
+TEST_F(ControlTest, WaitZeroStillYieldsOnce) {
+  auto env = Environment::make();
+  auto p = makeProcess();
+  p.startScript(scriptOf({wait(0)}), env);
+  int frames = runFrames(p);
+  EXPECT_EQ(frames, 2);
+}
+
+TEST_F(ControlTest, WaitUntilPollsEachFrame) {
+  auto env = Environment::make();
+  auto p = makeProcess();
+  p.startScript(scriptOf({waitUntil(greaterThan(timer(), 4.5)), say("go")}),
+                env);
+  host_.resetTimer();
+  runFrames(p);
+  ASSERT_EQ(p.sayLog().size(), 1u);
+}
+
+TEST_F(ControlTest, BusyWorkOccupiesExactFrames) {
+  auto env = Environment::make();
+  auto p = makeProcess();
+  p.startScript(scriptOf({busyWork(3)}), env);
+  int frames = runFrames(p);
+  EXPECT_EQ(frames, 3);  // exactly 3 working frames, no trailing frame
+}
+
+TEST_F(ControlTest, ForEachBindsEachItem) {
+  auto env = Environment::make();
+  env->declare("total", Value(0));
+  auto p = makeProcess();
+  p.startScript(scriptOf({forEach("item", listOf({1, 2, 3}),
+                                  scriptOf({changeVar("total",
+                                                      getVar("item"))}))}),
+                env);
+  runFrames(p);
+  EXPECT_EQ(env->get("total").asNumber(), 6);
+}
+
+TEST_F(ControlTest, ForEachVariableScopedToIteration) {
+  auto env = Environment::make();
+  auto p = makeProcess();
+  p.startScript(scriptOf({forEach("item", listOf({1}), scriptOf({}))}),
+                env);
+  runFrames(p);
+  EXPECT_FALSE(env->isDeclared("item"));
+}
+
+TEST_F(ControlTest, BroadcastReachesHost) {
+  auto p = makeProcess();
+  p.startScript(scriptOf({broadcast("ding")}), Environment::make());
+  runFrames(p);
+  ASSERT_EQ(host_.messages().size(), 1u);
+  EXPECT_EQ(host_.messages()[0], "ding");
+}
+
+TEST_F(ControlTest, BroadcastAndWaitCompletesWithNullHost) {
+  auto p = makeProcess();
+  p.startScript(scriptOf({broadcastAndWait("ding"), say("after")}),
+                Environment::make());
+  runFrames(p);
+  EXPECT_EQ(p.sayLog().size(), 1u);
+}
+
+TEST_F(ControlTest, StopThisEndsScript) {
+  auto env = Environment::make();
+  env->declare("n", Value(0));
+  auto p = makeProcess();
+  p.startScript(scriptOf({changeVar("n", 1), stopThis(),
+                          changeVar("n", 100)}),
+                env);
+  runFrames(p);
+  EXPECT_EQ(env->get("n").asNumber(), 1);
+}
+
+TEST_F(ControlTest, SayForHoldsBubbleForDuration) {
+  auto env = Environment::make();
+  auto p = makeProcess();
+  p.startScript(scriptOf({sayFor("hi", 2), say("done")}), env);
+  int frames = runFrames(p);
+  EXPECT_GE(frames, 3);
+  ASSERT_EQ(p.sayLog().size(), 2u);
+  EXPECT_EQ(p.sayLog()[0], "hi");
+  EXPECT_EQ(p.sayLog()[1], "done");
+}
+
+TEST_F(ControlTest, ErrorInsideLoopFailsProcess) {
+  auto p = makeProcess();
+  p.startScript(scriptOf({repeat(3, scriptOf({say(quotient(1, 0))}))}),
+                Environment::make());
+  while (p.runnable()) p.runSlice();
+  EXPECT_TRUE(p.errored());
+  EXPECT_NE(p.error().find("division by zero"), std::string::npos);
+}
+
+TEST_F(ControlTest, NestedLoopsCountCorrectly) {
+  auto env = Environment::make();
+  env->declare("n", Value(0));
+  auto p = makeProcess();
+  p.startScript(scriptOf({repeat(3, scriptOf({repeat(
+                             4, scriptOf({changeVar("n", 1)}))}))}),
+                env);
+  runFrames(p);
+  EXPECT_EQ(env->get("n").asNumber(), 12);
+}
+
+TEST_F(ControlTest, TimerAndReset) {
+  auto env = Environment::make();
+  auto p = makeProcess();
+  host_.advance(5.0);
+  p.startScript(scriptOf({resetTimer(), wait(2), say(timer())}), env);
+  runFrames(p);
+  ASSERT_EQ(p.sayLog().size(), 1u);
+  EXPECT_GE(Value(p.sayLog()[0]).asNumber(), 2.0);
+}
+
+}  // namespace
+}  // namespace psnap::vm

@@ -1,0 +1,195 @@
+// BYOB: user-defined blocks built from other blocks (paper Sec. 2),
+// including recursion — the feature that makes Snap! "a full-fledged
+// programming language".
+#include "vm/custom_blocks.hpp"
+
+#include <gtest/gtest.h>
+
+#include "blocks/builder.hpp"
+#include "sched/thread_manager.hpp"
+#include "support/error.hpp"
+
+namespace psnap::vm {
+namespace {
+
+using namespace psnap::build;
+using blocks::BlockRegistry;
+using blocks::BlockType;
+using blocks::Environment;
+using blocks::Value;
+
+class CustomBlocksTest : public ::testing::Test {
+ protected:
+  CustomBlocksTest() {
+    registerStandardSpecs(registry_);
+    registerStandardPrimitives(table_);
+  }
+
+  void finish() { library_.registerInto(registry_, table_); }
+
+  Value eval(blocks::BlockPtr expr) {
+    sched::ThreadManager tm(&registry_, &table_);
+    return tm.evaluate(std::move(expr), Environment::make());
+  }
+
+  blocks::BlockRegistry registry_;
+  PrimitiveTable table_;
+  CustomBlockLibrary library_;
+};
+
+TEST_F(CustomBlocksTest, SimpleReporter) {
+  library_.define({.spec = "double %n",
+                   .type = BlockType::Reporter,
+                   .formals = {"n"},
+                   .body = scriptOf({report(product(getVar("n"), 2))})});
+  finish();
+  EXPECT_EQ(eval(library_.call("double %n", {blocks::Input(Value(21))}))
+                .asNumber(),
+            42);
+}
+
+TEST_F(CustomBlocksTest, ReporterComposesWithPrimitives) {
+  library_.define({.spec = "square %n",
+                   .type = BlockType::Reporter,
+                   .formals = {"x"},
+                   .body = scriptOf({report(product(getVar("x"),
+                                                    getVar("x")))})});
+  finish();
+  auto call = library_.call("square %n", {blocks::Input(sum(3, 4))});
+  EXPECT_EQ(eval(In(call).input.block()).asNumber(), 49);
+}
+
+TEST_F(CustomBlocksTest, RecursiveFactorial) {
+  // factorial %n: if n < 2 report 1 else report n * factorial(n-1)
+  auto recursiveCall = blocks::Block::make(
+      customOpcode("factorial %n"),
+      {blocks::Input(difference(getVar("n"), 1))});
+  library_.define(
+      {.spec = "factorial %n",
+       .type = BlockType::Reporter,
+       .formals = {"n"},
+       .body = scriptOf({doIfElse(
+           lessThan(getVar("n"), 2), scriptOf({report(1)}),
+           scriptOf({report(product(getVar("n"), recursiveCall))}))})});
+  finish();
+  EXPECT_EQ(eval(library_.call("factorial %n", {blocks::Input(Value(10))}))
+                .asNumber(),
+            3628800);
+}
+
+TEST_F(CustomBlocksTest, CommandBlockWithEffects) {
+  library_.define(
+      {.spec = "log %s twice",
+       .type = BlockType::Command,
+       .formals = {"msg"},
+       .body = scriptOf({say(getVar("msg")), say(getVar("msg"))})});
+  finish();
+  sched::ThreadManager tm(&registry_, &table_);
+  tm.spawnScript(
+      blocks::Script::make({library_.call(
+          "log %s twice", {blocks::Input(Value("hi"))})}),
+      Environment::make());
+  tm.runUntilIdle();
+  EXPECT_EQ(tm.collectSayLog().size(), 2u);
+}
+
+TEST_F(CustomBlocksTest, CustomBlocksCallEachOther) {
+  library_.define({.spec = "inc %n",
+                   .type = BlockType::Reporter,
+                   .formals = {"n"},
+                   .body = scriptOf({report(sum(getVar("n"), 1))})});
+  auto incCall = blocks::Block::make(customOpcode("inc %n"),
+                                     {blocks::Input(getVar("n"))});
+  library_.define({.spec = "inc twice %n",
+                   .type = BlockType::Reporter,
+                   .formals = {"n"},
+                   .body = scriptOf({report(blocks::Block::make(
+                       customOpcode("inc %n"),
+                       {blocks::Input(incCall)}))})});
+  finish();
+  EXPECT_EQ(eval(library_.call("inc twice %n",
+                               {blocks::Input(Value(40))}))
+                .asNumber(),
+            42);
+}
+
+TEST_F(CustomBlocksTest, ReporterWithoutReportGivesNothing) {
+  library_.define({.spec = "silent %n",
+                   .type = BlockType::Reporter,
+                   .formals = {"n"},
+                   .body = scriptOf({setVar("unused", getVar("n"))})});
+  finish();
+  EXPECT_TRUE(
+      eval(library_.call("silent %n", {blocks::Input(Value(1))}))
+          .isNothing());
+}
+
+TEST_F(CustomBlocksTest, LexicalHomeEnvironment) {
+  auto home = Environment::make();
+  home->declare("base", Value(100));
+  library_.define({.spec = "offset %n",
+                   .type = BlockType::Reporter,
+                   .formals = {"n"},
+                   .body = scriptOf({report(sum(getVar("base"),
+                                                getVar("n")))}),
+                   .home = home});
+  finish();
+  EXPECT_EQ(eval(library_.call("offset %n", {blocks::Input(Value(1))}))
+                .asNumber(),
+            101);
+}
+
+TEST_F(CustomBlocksTest, CustomBlocksWorkInsideHofs) {
+  library_.define({.spec = "triple %n",
+                   .type = BlockType::Reporter,
+                   .formals = {"n"},
+                   .body = scriptOf({report(product(getVar("n"), 3))})});
+  finish();
+  auto call = blocks::Block::make(customOpcode("triple %n"),
+                                  {blocks::Input::empty()});
+  Value v = eval(mapOver(ring(In(call)), listOf({1, 2, 3})));
+  EXPECT_EQ(v.asList()->display(), "[3, 6, 9]");
+}
+
+TEST_F(CustomBlocksTest, DefinitionValidation) {
+  EXPECT_THROW(library_.define({.spec = "bad %n",
+                                .type = BlockType::Reporter,
+                                .formals = {},
+                                .body = scriptOf({})}),
+               BlockError);
+  EXPECT_THROW(library_.define({.spec = "nobody %n",
+                                .type = BlockType::Reporter,
+                                .formals = {"n"},
+                                .body = nullptr}),
+               BlockError);
+  library_.define({.spec = "ok %n",
+                   .type = BlockType::Reporter,
+                   .formals = {"n"},
+                   .body = scriptOf({report(getVar("n"))})});
+  EXPECT_THROW(library_.define({.spec = "ok %n",
+                                .type = BlockType::Reporter,
+                                .formals = {"n"},
+                                .body = scriptOf({report(getVar("n"))})}),
+               BlockError);
+  EXPECT_THROW(library_.call("missing %n", {}), BlockError);
+  EXPECT_TRUE(library_.has("ok %n"));
+  EXPECT_EQ(library_.specs().size(), 1u);
+}
+
+TEST_F(CustomBlocksTest, RegisteredSpecValidatesInstances) {
+  library_.define({.spec = "double %n",
+                   .type = BlockType::Reporter,
+                   .formals = {"n"},
+                   .body = scriptOf({report(product(getVar("n"), 2))})});
+  finish();
+  EXPECT_TRUE(registry_.has("custom:double %n"));
+  EXPECT_EQ(registry_.get("custom:double %n").category, "custom");
+  auto wrongArity = blocks::Block::make("custom:double %n", {});
+  EXPECT_THROW(registry_.validate(*wrongArity), BlockError);
+  // Rendering uses the spec text.
+  auto ok = library_.call("double %n", {blocks::Input(Value(5))});
+  EXPECT_EQ(registry_.render(*ok), "double (5)");
+}
+
+}  // namespace
+}  // namespace psnap::vm

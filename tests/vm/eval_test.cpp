@@ -1,0 +1,204 @@
+// Expression-evaluation tests for the interpreter: operators, lists,
+// variables, and the sequential map of paper Fig. 4.
+#include <gtest/gtest.h>
+
+#include "blocks/builder.hpp"
+#include "support/error.hpp"
+#include "vm/process.hpp"
+
+namespace psnap::vm {
+namespace {
+
+using namespace psnap::build;
+using blocks::BlockRegistry;
+using blocks::Environment;
+using blocks::EnvPtr;
+using blocks::Value;
+
+class EvalTest : public ::testing::Test {
+ protected:
+  Value eval(blocks::BlockPtr expr, EnvPtr env = nullptr) {
+    Process p(&BlockRegistry::standard(), &prims_, &host_);
+    p.startExpression(std::move(expr), env ? env : Environment::make());
+    return p.runToCompletion();
+  }
+
+  Process runScript(blocks::ScriptPtr script, EnvPtr env) {
+    Process p(&BlockRegistry::standard(), &prims_, &host_);
+    p.startScript(std::move(script), std::move(env));
+    p.runToCompletion();
+    return p;
+  }
+
+  PrimitiveTable prims_ = PrimitiveTable::standard();
+  NullHost host_;
+};
+
+TEST_F(EvalTest, Arithmetic) {
+  EXPECT_EQ(eval(sum(3, 4)).asNumber(), 7);
+  EXPECT_EQ(eval(difference(3, 4)).asNumber(), -1);
+  EXPECT_EQ(eval(product(6, 7)).asNumber(), 42);
+  EXPECT_EQ(eval(quotient(7, 2)).asNumber(), 3.5);
+  EXPECT_EQ(eval(modulus(7, 3)).asNumber(), 1);
+  EXPECT_EQ(eval(modulus(-1, 3)).asNumber(), 2);  // sign of divisor
+  EXPECT_EQ(eval(power(2, 10)).asNumber(), 1024);
+  EXPECT_EQ(eval(round_(2.5)).asNumber(), 3);
+}
+
+TEST_F(EvalTest, NestedExpressions) {
+  EXPECT_EQ(eval(sum(product(2, 3), quotient(10, 5))).asNumber(), 8);
+}
+
+TEST_F(EvalTest, TextCoercionInArithmetic) {
+  EXPECT_EQ(eval(sum("3", "4")).asNumber(), 7);
+}
+
+TEST_F(EvalTest, DivisionByZeroErrors) {
+  EXPECT_THROW(eval(quotient(1, 0)), Error);
+}
+
+TEST_F(EvalTest, Monadic) {
+  EXPECT_EQ(eval(monadic("sqrt", 49)).asNumber(), 7);
+  EXPECT_EQ(eval(monadic("abs", -5)).asNumber(), 5);
+  EXPECT_EQ(eval(monadic("floor", 2.9)).asNumber(), 2);
+  EXPECT_NEAR(eval(monadic("sin", 90)).asNumber(), 1.0, 1e-12);
+  EXPECT_THROW(eval(monadic("sqrt", -1)), Error);
+  EXPECT_THROW(eval(monadic("nope", 1)), Error);
+}
+
+TEST_F(EvalTest, Comparisons) {
+  EXPECT_TRUE(eval(equals("30", 30)).asBoolean());
+  EXPECT_TRUE(eval(lessThan(2, 10)).asBoolean());
+  EXPECT_FALSE(eval(lessThan("10", "9")).asBoolean());  // numeric compare
+  EXPECT_TRUE(eval(greaterThan("b", "A")).asBoolean());
+  EXPECT_TRUE(eval(and_(true, true)).asBoolean());
+  EXPECT_FALSE(eval(and_(true, false)).asBoolean());
+  EXPECT_TRUE(eval(or_(false, true)).asBoolean());
+  EXPECT_TRUE(eval(not_(false)).asBoolean());
+}
+
+TEST_F(EvalTest, TextOps) {
+  EXPECT_EQ(eval(join({In("par"), In("allel")})).asText(), "parallel");
+  EXPECT_EQ(eval(letter(2, "snap")).asText(), "n");
+  EXPECT_EQ(eval(letter(9, "snap")).asText(), "");
+  EXPECT_EQ(eval(textLength("snap!")).asNumber(), 5);
+}
+
+TEST_F(EvalTest, SplitWords) {
+  Value v = eval(splitText("the quick brown", "whitespace"));
+  ASSERT_EQ(v.asList()->length(), 3u);
+  EXPECT_EQ(v.asList()->item(2).asText(), "quick");
+}
+
+TEST_F(EvalTest, ListConstruction) {
+  Value v = eval(listOf({3, 7, 8}));
+  EXPECT_EQ(v.asList()->display(), "[3, 7, 8]");
+  EXPECT_EQ(eval(lengthOf(listOf({1, 2}))).asNumber(), 2);
+  EXPECT_EQ(eval(itemOf(2, listOf({"a", "b"}))).asText(), "b");
+  EXPECT_TRUE(eval(contains(listOf({1, 2}), "2")).asBoolean());
+  EXPECT_EQ(eval(indexOf("b", listOf({"a", "b"}))).asNumber(), 2);
+  EXPECT_EQ(eval(indexOf("z", listOf({"a"}))).asNumber(), 0);
+}
+
+TEST_F(EvalTest, NumbersRange) {
+  EXPECT_EQ(eval(numbersFromTo(1, 5)).asList()->length(), 5u);
+  EXPECT_EQ(eval(numbersFromTo(5, 1)).asList()->item(1).asNumber(), 5);
+}
+
+TEST_F(EvalTest, SortedMixed) {
+  Value v = eval(sorted(listOf({3, 1, 2})));
+  EXPECT_EQ(v.asList()->display(), "[1, 2, 3]");
+  Value t = eval(sorted(listOf({"pear", "Apple", "banana"})));
+  EXPECT_EQ(t.asList()->item(1).asText(), "Apple");
+}
+
+// Paper Fig. 4: map (( ) * 10) over (3 7 8) → (30 70 80).
+TEST_F(EvalTest, SequentialMapTimesTen) {
+  Value v = eval(mapOver(ring(product(empty(), 10)), listOf({3, 7, 8})));
+  EXPECT_EQ(v.asList()->display(), "[30, 70, 80]");
+}
+
+TEST_F(EvalTest, MapOverEmptyList) {
+  Value v = eval(mapOver(ring(product(empty(), 10)), listOf({})));
+  EXPECT_TRUE(v.asList()->empty());
+}
+
+TEST_F(EvalTest, KeepFiltersWithPredicate) {
+  Value v = eval(keepFrom(ring(greaterThan(empty(), 2)),
+                          listOf({1, 2, 3, 4})));
+  EXPECT_EQ(v.asList()->display(), "[3, 4]");
+}
+
+TEST_F(EvalTest, CombineFoldsLeft) {
+  Value v = eval(combineUsing(listOf({1, 2, 3, 4}),
+                              ring(sum(empty(), empty()))));
+  EXPECT_EQ(v.asNumber(), 10);
+  EXPECT_EQ(eval(combineUsing(listOf({}), ring(sum(empty(), empty()))))
+                .asNumber(),
+            0);
+  EXPECT_EQ(eval(combineUsing(listOf({9}), ring(sum(empty(), empty()))))
+                .asNumber(),
+            9);
+}
+
+TEST_F(EvalTest, VariablesInScripts) {
+  auto env = Environment::make();
+  auto p = runScript(scriptOf({
+                         declareVars({"x"}),
+                         setVar("x", 5),
+                         changeVar("x", 2),
+                         say(getVar("x")),
+                     }),
+                     env);
+  ASSERT_EQ(p.sayLog().size(), 1u);
+  EXPECT_EQ(p.sayLog()[0], "7");
+}
+
+TEST_F(EvalTest, ListMutationBlocks) {
+  auto env = Environment::make();
+  env->declare("l", Value(blocks::List::make()));
+  runScript(scriptOf({
+                addToList(1, getVar("l")),
+                addToList(2, getVar("l")),
+                insertInList(0, 1, getVar("l")),
+                replaceInList(2, getVar("l"), 99),
+                deleteOfList(3, getVar("l")),
+            }),
+            env);
+  EXPECT_EQ(env->get("l").asList()->display(), "[0, 99]");
+}
+
+TEST_F(EvalTest, IdentityAndIsA) {
+  EXPECT_EQ(eval(identity("x")).asText(), "x");
+  EXPECT_TRUE(eval(isA(listOf({}), "list")).asBoolean());
+  EXPECT_TRUE(eval(isA(1, "number")).asBoolean());
+  EXPECT_FALSE(eval(isA("a", "number")).asBoolean());
+}
+
+TEST_F(EvalTest, ReporterIfElse) {
+  EXPECT_EQ(eval(ifElseReporter(greaterThan(3, 2), "yes", "no")).asText(),
+            "yes");
+}
+
+TEST_F(EvalTest, UnknownOpcodeFailsProcess) {
+  Process p(&BlockRegistry::standard(), &prims_, &host_);
+  p.startExpression(blk("reportSum", {In(1), In(2)}), Environment::make());
+  EXPECT_NO_THROW(p.runToCompletion());
+  Process q(&BlockRegistry::standard(), &prims_, &host_);
+  q.startExpression(blocks::Block::make("noSuchOp"), Environment::make());
+  EXPECT_THROW(q.runToCompletion(), Error);
+  EXPECT_TRUE(q.errored());
+}
+
+TEST_F(EvalTest, MaxWorkersComesFromHost) {
+  EXPECT_EQ(eval(maxWorkers()).asNumber(), 4);  // NullHost reports 4
+}
+
+TEST_F(EvalTest, SayLogCapturesDisplayForm) {
+  auto p = runScript(scriptOf({say(listOf({1, 2}))}), Environment::make());
+  ASSERT_EQ(p.sayLog().size(), 1u);
+  EXPECT_EQ(p.sayLog()[0], "[1, 2]");
+}
+
+}  // namespace
+}  // namespace psnap::vm

@@ -1,0 +1,165 @@
+// Interpreter robustness: slice preemption mid-expression, step budgets,
+// restart, deep nesting, and stack-machine edge cases.
+#include <gtest/gtest.h>
+
+#include "blocks/builder.hpp"
+#include "support/error.hpp"
+#include "vm/process.hpp"
+
+namespace psnap::vm {
+namespace {
+
+using namespace psnap::build;
+using blocks::BlockRegistry;
+using blocks::Environment;
+using blocks::Value;
+
+class ProcessTest : public ::testing::Test {
+ protected:
+  Process make() {
+    return Process(&BlockRegistry::standard(), &prims_, &host_);
+  }
+  PrimitiveTable prims_ = PrimitiveTable::standard();
+  NullHost host_;
+};
+
+TEST_F(ProcessTest, TinySlicesStillComputeCorrectly) {
+  // Preempt after every interpreter step: results must not change.
+  auto p = make();
+  p.startExpression(sum(product(sum(1, 2), sum(3, 4)), quotient(10, 4)),
+                    Environment::make());
+  int slices = 0;
+  while (p.runnable()) {
+    p.runSlice(1);
+    ++slices;
+  }
+  EXPECT_EQ(p.result().asNumber(), 23.5);
+  EXPECT_GT(slices, 5);  // it really was preempted repeatedly
+}
+
+TEST_F(ProcessTest, DeeplyNestedExpression) {
+  blocks::BlockPtr expr = sum(1, 1);
+  for (int i = 0; i < 2000; ++i) expr = sum(expr, 1);
+  auto p = make();
+  p.startExpression(expr, Environment::make());
+  EXPECT_EQ(p.runToCompletion().asNumber(), 2002);
+}
+
+TEST_F(ProcessTest, DeepRingRecursionViaUntil) {
+  // 10k iterations of an until loop against a small slice budget.
+  auto env = Environment::make();
+  env->declare("n", Value(0));
+  auto p = make();
+  p.startScript(scriptOf({repeatUntil(equals(getVar("n"), 10000),
+                                      scriptOf({changeVar("n", 1)}))}),
+                env);
+  while (p.runnable()) p.runSlice(64);
+  EXPECT_EQ(env->get("n").asNumber(), 10000);
+}
+
+TEST_F(ProcessTest, StepBudgetGuardsRunaways) {
+  auto p = make();
+  p.startScript(scriptOf({warp(scriptOf({forever(scriptOf({}))}))}),
+                Environment::make());
+  // Warped forever loop never yields: runToCompletion must hit the guard.
+  EXPECT_THROW(p.runToCompletion(10000), Error);
+}
+
+TEST_F(ProcessTest, RestartAfterCompletion) {
+  auto p = make();
+  p.startExpression(sum(1, 2), Environment::make());
+  EXPECT_EQ(p.runToCompletion().asNumber(), 3);
+  p.startExpression(sum(10, 20), Environment::make());
+  EXPECT_EQ(p.runToCompletion().asNumber(), 30);
+}
+
+TEST_F(ProcessTest, RestartAfterError) {
+  auto p = make();
+  p.startExpression(quotient(1, 0), Environment::make());
+  EXPECT_THROW(p.runToCompletion(), Error);
+  EXPECT_TRUE(p.errored());
+  p.startExpression(sum(2, 2), Environment::make());
+  EXPECT_EQ(p.runToCompletion().asNumber(), 4);
+  EXPECT_FALSE(p.errored());
+}
+
+TEST_F(ProcessTest, TerminateMidRun) {
+  auto env = Environment::make();
+  env->declare("n", Value(0));
+  auto p = make();
+  p.startScript(scriptOf({forever(scriptOf({changeVar("n", 1)}))}), env);
+  p.runSlice();
+  p.runSlice();
+  double before = env->get("n").asNumber();
+  p.terminate();
+  EXPECT_EQ(p.state(), ProcessState::Terminated);
+  EXPECT_FALSE(p.runSlice());  // no further progress
+  EXPECT_EQ(env->get("n").asNumber(), before);
+}
+
+TEST_F(ProcessTest, EmptyScriptFinishesImmediately) {
+  auto p = make();
+  p.startScript(scriptOf({}), Environment::make());
+  p.runSlice();
+  EXPECT_EQ(p.state(), ProcessState::Done);
+}
+
+TEST_F(ProcessTest, ResultOfCommandScriptIsNothing) {
+  auto p = make();
+  p.startScript(scriptOf({say("x")}), Environment::make());
+  p.runToCompletion();
+  EXPECT_TRUE(p.result().isNothing());
+}
+
+TEST_F(ProcessTest, MissingHandlerIsAnError) {
+  PrimitiveTable empty;
+  Process p(&BlockRegistry::standard(), &empty, &host_);
+  p.startExpression(sum(1, 2), Environment::make());
+  EXPECT_THROW(p.runToCompletion(), Error);
+  EXPECT_NE(p.error().find("no handler"), std::string::npos);
+}
+
+TEST_F(ProcessTest, NullDependenciesRejected) {
+  EXPECT_THROW(Process(nullptr, &prims_, &host_), Error);
+  EXPECT_THROW(Process(&BlockRegistry::standard(), nullptr, &host_), Error);
+  EXPECT_THROW(Process(&BlockRegistry::standard(), &prims_, nullptr),
+               Error);
+}
+
+TEST_F(ProcessTest, ProcessIdsAreUnique) {
+  auto a = make();
+  auto b = make();
+  EXPECT_NE(a.id(), b.id());
+}
+
+TEST_F(ProcessTest, YieldFlagReflectsVoluntaryYields) {
+  auto p = make();
+  p.startScript(scriptOf({wait(5)}), Environment::make());
+  p.runSlice();
+  EXPECT_TRUE(p.yielded());
+  host_.advance(10);
+  p.runSlice();
+  EXPECT_EQ(p.state(), ProcessState::Done);
+}
+
+TEST_F(ProcessTest, ErrorMessagesNameTheFailure) {
+  auto p = make();
+  p.startExpression(itemOf(5, listOf({1})), Environment::make());
+  EXPECT_THROW(p.runToCompletion(), Error);
+  EXPECT_NE(p.error().find("item"), std::string::npos);
+}
+
+TEST_F(ProcessTest, ListIdentityAcrossSlicePreemption) {
+  // A list mutated across many tiny slices keeps reference semantics.
+  auto env = Environment::make();
+  auto list = blocks::List::make();
+  env->declare("l", Value(list));
+  auto p = make();
+  p.startScript(
+      scriptOf({repeat(50, scriptOf({addToList(1, getVar("l"))}))}), env);
+  while (p.runnable()) p.runSlice(3);
+  EXPECT_EQ(list->length(), 50u);
+}
+
+}  // namespace
+}  // namespace psnap::vm

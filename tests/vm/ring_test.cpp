@@ -1,0 +1,156 @@
+// First-class procedure (ring) semantics: implicit empty-slot parameters,
+// named formals, lexical capture, report unwinding, command rings.
+#include <gtest/gtest.h>
+
+#include "blocks/builder.hpp"
+#include "support/error.hpp"
+#include "vm/process.hpp"
+
+namespace psnap::vm {
+namespace {
+
+using namespace psnap::build;
+using blocks::BlockRegistry;
+using blocks::Environment;
+using blocks::EnvPtr;
+using blocks::Value;
+
+class RingTest : public ::testing::Test {
+ protected:
+  Value eval(blocks::BlockPtr expr, EnvPtr env = nullptr) {
+    Process p(&BlockRegistry::standard(), &prims_, &host_);
+    p.startExpression(std::move(expr), env ? env : Environment::make());
+    return p.runToCompletion();
+  }
+
+  PrimitiveTable prims_ = PrimitiveTable::standard();
+  NullHost host_;
+};
+
+TEST_F(RingTest, CallWithImplicitParameter) {
+  // call ((  ) * 10) with inputs (7) → 70
+  EXPECT_EQ(eval(callRing(ring(product(empty(), 10)), {In(7)})).asNumber(),
+            70);
+}
+
+TEST_F(RingTest, TwoBlanksGetPositionalArgs) {
+  EXPECT_EQ(
+      eval(callRing(ring(difference(empty(), empty())), {In(10), In(3)}))
+          .asNumber(),
+      7);
+}
+
+TEST_F(RingTest, SingleArgFillsEveryBlank) {
+  // Snap!: one argument fills all blanks.
+  EXPECT_EQ(eval(callRing(ring(product(empty(), empty())), {In(6)}))
+                .asNumber(),
+            36);
+}
+
+TEST_F(RingTest, NamedFormals) {
+  auto r = ring(difference(getVar("a"), getVar("b")), {"a", "b"});
+  EXPECT_EQ(eval(callRing(r, {In(10), In(4)})).asNumber(), 6);
+}
+
+TEST_F(RingTest, MissingFormalArgIsNothing) {
+  auto r = ring(sum(getVar("a"), 0), {"a", "b"});
+  EXPECT_EQ(eval(callRing(r, {In(5)})).asNumber(), 5);
+}
+
+TEST_F(RingTest, EmptyRingIsIdentity) {
+  EXPECT_EQ(eval(callRing(ring(empty()), {In("pass")})).asText(), "pass");
+}
+
+TEST_F(RingTest, LexicalCapture) {
+  // The ring reads `base` from the environment where it was created.
+  auto env = Environment::make();
+  env->declare("base", Value(100));
+  EXPECT_EQ(
+      eval(callRing(ring(sum(getVar("base"), empty())), {In(1)}), env)
+          .asNumber(),
+      101);
+}
+
+TEST_F(RingTest, NestedRingCalls) {
+  // map (call ((  ) * 2) with (  )) over (1 2 3) — a ring calling a ring.
+  auto inner = ring(product(empty(), 2));
+  auto outer = ring(callRing(inner, {In(empty())}));
+  EXPECT_EQ(eval(mapOver(outer, listOf({1, 2, 3}))).asList()->display(),
+            "[2, 4, 6]");
+}
+
+TEST_F(RingTest, CommandRingRunsScript) {
+  auto env = Environment::make();
+  env->declare("log", Value(blocks::List::make()));
+  auto body = scriptOf({addToList(getVar("x"), getVar("log"))});
+  Process p(&BlockRegistry::standard(), &prims_, &host_);
+  p.startScript(
+      scriptOf({runRing(ringScript(body, {"x"}), {In("hello")})}), env);
+  p.runToCompletion();
+  EXPECT_EQ(env->get("log").asList()->display(), "[hello]");
+}
+
+TEST_F(RingTest, CommandRingReportsValueThroughRun) {
+  // report inside a command ring unwinds only the ring call.
+  auto env = Environment::make();
+  env->declare("after", Value(0));
+  auto body = scriptOf({report(42)});
+  Process p(&BlockRegistry::standard(), &prims_, &host_);
+  p.startScript(scriptOf({runRing(ringScript(body)),
+                          setVar("after", 1)}),
+                env);
+  p.runToCompletion();
+  EXPECT_EQ(env->get("after").asNumber(), 1);
+}
+
+TEST_F(RingTest, ReporterRingWithReportBlockViaEvaluate) {
+  auto body = scriptOf({doIfElse(greaterThan(getVar("x"), 0),
+                                 scriptOf({report("positive")}),
+                                 scriptOf({report("non-positive")}))});
+  auto r = ringScript(body, {"x"});
+  EXPECT_EQ(eval(callRing(r, {In(5)})).asText(), "positive");
+  EXPECT_EQ(eval(callRing(r, {In(-5)})).asText(), "non-positive");
+}
+
+TEST_F(RingTest, RingsAreFirstClassValues) {
+  auto env = Environment::make();
+  env->declare("f", Value());
+  Process p(&BlockRegistry::standard(), &prims_, &host_);
+  p.startScript(scriptOf({setVar("f", ring(sum(empty(), 1))),
+                          setVar("result",
+                                 callRing(getVar("f"), {In(41)}))}),
+                env);
+  p.runToCompletion();
+  EXPECT_EQ(env->get("result").asNumber(), 42);
+}
+
+TEST_F(RingTest, RingsComposeWithHofs) {
+  auto env = Environment::make();
+  env->declare("makeAdder", Value());
+  // keep(>2) then map(*10): nested HOF calls through rings.
+  Value v = eval(mapOver(ring(product(empty(), 10)),
+                         keepFrom(ring(greaterThan(empty(), 2)),
+                                  listOf({1, 2, 3, 4}))),
+                 env);
+  EXPECT_EQ(v.asList()->display(), "[30, 40]");
+}
+
+TEST_F(RingTest, EmptySlotOutsideRingErrors) {
+  Process p(&BlockRegistry::standard(), &prims_, &host_);
+  p.startExpression(sum(empty(), 1), Environment::make());
+  EXPECT_THROW(p.runToCompletion(), Error);
+  EXPECT_TRUE(p.errored());
+}
+
+TEST_F(RingTest, CallingNonRingErrors) {
+  EXPECT_THROW(eval(callRing(In(5), {In(1)})), Error);
+}
+
+TEST_F(RingTest, EvaluateCommandRingReportsNothing) {
+  auto body = scriptOf({});
+  Value v = eval(callRing(ringScript(body), {}));
+  EXPECT_TRUE(v.isNothing());
+}
+
+}  // namespace
+}  // namespace psnap::vm

@@ -1,0 +1,115 @@
+// Snap!'s `warp` block: the C-slot body runs without yielding, so loops
+// that would normally take one frame per iteration complete in a single
+// frame — and warp nesting/unwinding restores normal scheduling.
+#include <gtest/gtest.h>
+
+#include "blocks/builder.hpp"
+#include "sched/thread_manager.hpp"
+#include "support/error.hpp"
+#include "vm/process.hpp"
+
+namespace psnap::vm {
+namespace {
+
+using namespace psnap::build;
+using blocks::BlockRegistry;
+using blocks::Environment;
+using blocks::Value;
+
+class WarpTest : public ::testing::Test {
+ protected:
+  WarpTest() : prims_(PrimitiveTable::standard()) {}
+  PrimitiveTable prims_;
+};
+
+TEST_F(WarpTest, LoopCompletesInOneFrame) {
+  sched::ThreadManager tm(&BlockRegistry::standard(), &prims_);
+  auto env = Environment::make();
+  env->declare("n", Value(0));
+  tm.spawnScript(
+      scriptOf({warp(scriptOf({repeat(100,
+                                      scriptOf({changeVar("n", 1)}))}))}),
+      env);
+  uint64_t frames = tm.runUntilIdle();
+  EXPECT_EQ(env->get("n").asNumber(), 100);
+  EXPECT_EQ(frames, 1u);
+}
+
+TEST_F(WarpTest, UnwarpedLoopTakesOneFramePerIteration) {
+  sched::ThreadManager tm(&BlockRegistry::standard(), &prims_);
+  auto env = Environment::make();
+  env->declare("n", Value(0));
+  tm.spawnScript(scriptOf({repeat(100, scriptOf({changeVar("n", 1)}))}),
+                 env);
+  EXPECT_GE(tm.runUntilIdle(), 100u);
+}
+
+TEST_F(WarpTest, SchedulingResumesAfterWarp) {
+  sched::ThreadManager tm(&BlockRegistry::standard(), &prims_);
+  auto env = Environment::make();
+  env->declare("n", Value(0));
+  tm.spawnScript(
+      scriptOf({warp(scriptOf({repeat(10, scriptOf({changeVar("n", 1)}))})),
+                repeat(10, scriptOf({changeVar("n", 1)}))}),
+      env);
+  uint64_t frames = tm.runUntilIdle();
+  EXPECT_EQ(env->get("n").asNumber(), 20);
+  // Warped part: 1 frame; unwarped part: ~10 frames.
+  EXPECT_GE(frames, 10u);
+  EXPECT_LE(frames, 12u);
+}
+
+TEST_F(WarpTest, NestedWarps) {
+  sched::ThreadManager tm(&BlockRegistry::standard(), &prims_);
+  auto env = Environment::make();
+  env->declare("n", Value(0));
+  tm.spawnScript(
+      scriptOf({warp(scriptOf({
+          warp(scriptOf({repeat(5, scriptOf({changeVar("n", 1)}))})),
+          repeat(5, scriptOf({changeVar("n", 1)})),
+      }))}),
+      env);
+  EXPECT_EQ(tm.runUntilIdle(), 1u);
+  EXPECT_EQ(env->get("n").asNumber(), 10);
+}
+
+TEST_F(WarpTest, StopThisInsideWarpRestoresScheduling) {
+  sched::ThreadManager tm(&BlockRegistry::standard(), &prims_);
+  auto env = Environment::make();
+  env->declare("n", Value(0));
+  // A command-ring call inside the warp stops itself; the warp frame
+  // unwinds and the process must not stay warped afterwards.
+  auto body = scriptOf({stopThis()});
+  tm.spawnScript(
+      scriptOf({warp(scriptOf({runRing(ringScript(body))})),
+                repeat(5, scriptOf({changeVar("n", 1)}))}),
+      env);
+  uint64_t frames = tm.runUntilIdle();
+  EXPECT_EQ(env->get("n").asNumber(), 5);
+  EXPECT_GE(frames, 5u);  // the trailing loop yields per iteration again
+}
+
+TEST_F(WarpTest, ErrorInsideWarpFailsCleanly) {
+  sched::ThreadManager tm(&BlockRegistry::standard(), &prims_);
+  auto handle = tm.spawnScript(
+      scriptOf({warp(scriptOf({say(quotient(1, 0))}))}),
+      Environment::make());
+  tm.runUntilIdle();
+  EXPECT_TRUE(handle.status->errored);
+}
+
+TEST_F(WarpTest, ForEachInsideWarpIsAtomic) {
+  sched::ThreadManager tm(&BlockRegistry::standard(), &prims_);
+  auto env = Environment::make();
+  env->declare("sum", Value(0));
+  tm.spawnScript(
+      scriptOf({warp(scriptOf({forEach(
+          "x", numbersFromTo(1, 50),
+          scriptOf({changeVar("sum", getVar("x"))}))}))}),
+      env);
+  EXPECT_EQ(tm.runUntilIdle(), 1u);
+  EXPECT_EQ(env->get("sum").asNumber(), 1275);
+}
+
+}  // namespace
+}  // namespace psnap::vm

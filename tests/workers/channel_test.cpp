@@ -1,0 +1,73 @@
+#include "workers/channel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace psnap::workers {
+namespace {
+
+TEST(Channel, SendReceiveInOrder) {
+  Channel<int> ch;
+  ch.send(1);
+  ch.send(2);
+  ch.send(3);
+  EXPECT_EQ(ch.size(), 3u);
+  EXPECT_EQ(*ch.receive(), 1);
+  EXPECT_EQ(*ch.receive(), 2);
+  EXPECT_EQ(*ch.receive(), 3);
+}
+
+TEST(Channel, TryReceiveEmpty) {
+  Channel<int> ch;
+  EXPECT_FALSE(ch.tryReceive().has_value());
+  ch.send(9);
+  EXPECT_EQ(*ch.tryReceive(), 9);
+}
+
+TEST(Channel, CloseRejectsNewSends) {
+  Channel<int> ch;
+  ch.send(1);
+  ch.close();
+  EXPECT_TRUE(ch.closed());
+  EXPECT_FALSE(ch.send(2));
+  // Pending messages still drain.
+  EXPECT_EQ(*ch.receive(), 1);
+  EXPECT_FALSE(ch.receive().has_value());
+}
+
+TEST(Channel, BlockingReceiveWakesOnSend) {
+  Channel<int> ch;
+  std::thread producer([&ch] { ch.send(42); });
+  EXPECT_EQ(*ch.receive(), 42);
+  producer.join();
+}
+
+TEST(Channel, BlockingReceiveWakesOnClose) {
+  Channel<int> ch;
+  std::thread closer([&ch] { ch.close(); });
+  EXPECT_FALSE(ch.receive().has_value());
+  closer.join();
+}
+
+TEST(Channel, CrossThreadThroughput) {
+  Channel<int> ch;
+  constexpr int kCount = 10000;
+  std::thread producer([&ch] {
+    for (int i = 0; i < kCount; ++i) ch.send(i);
+    ch.close();
+  });
+  int received = 0;
+  long long sum = 0;
+  while (auto v = ch.receive()) {
+    ++received;
+    sum += *v;
+  }
+  producer.join();
+  EXPECT_EQ(received, kCount);
+  EXPECT_EQ(sum, static_cast<long long>(kCount) * (kCount - 1) / 2);
+}
+
+}  // namespace
+}  // namespace psnap::workers
