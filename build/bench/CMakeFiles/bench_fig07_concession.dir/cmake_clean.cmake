@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig07_concession.dir/bench_fig07_concession.cpp.o"
+  "CMakeFiles/bench_fig07_concession.dir/bench_fig07_concession.cpp.o.d"
+  "bench_fig07_concession"
+  "bench_fig07_concession.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig07_concession.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

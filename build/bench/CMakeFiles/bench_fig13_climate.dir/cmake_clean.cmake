@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_climate.dir/bench_fig13_climate.cpp.o"
+  "CMakeFiles/bench_fig13_climate.dir/bench_fig13_climate.cpp.o.d"
+  "bench_fig13_climate"
+  "bench_fig13_climate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_climate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

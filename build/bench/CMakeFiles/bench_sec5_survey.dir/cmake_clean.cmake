@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec5_survey.dir/bench_sec5_survey.cpp.o"
+  "CMakeFiles/bench_sec5_survey.dir/bench_sec5_survey.cpp.o.d"
+  "bench_sec5_survey"
+  "bench_sec5_survey.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec5_survey.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

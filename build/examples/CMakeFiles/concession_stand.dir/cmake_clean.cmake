@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/concession_stand.dir/concession_stand.cpp.o"
+  "CMakeFiles/concession_stand.dir/concession_stand.cpp.o.d"
+  "concession_stand"
+  "concession_stand.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/concession_stand.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

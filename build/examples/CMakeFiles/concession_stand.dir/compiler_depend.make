@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for concession_stand.
+# This may be replaced when dependencies are built.

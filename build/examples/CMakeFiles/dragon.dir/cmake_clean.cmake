@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dragon.dir/dragon.cpp.o"
+  "CMakeFiles/dragon.dir/dragon.cpp.o.d"
+  "dragon"
+  "dragon.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dragon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

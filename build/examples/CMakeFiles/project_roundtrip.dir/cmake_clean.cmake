@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/project_roundtrip.dir/project_roundtrip.cpp.o"
+  "CMakeFiles/project_roundtrip.dir/project_roundtrip.cpp.o.d"
+  "project_roundtrip"
+  "project_roundtrip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/project_roundtrip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

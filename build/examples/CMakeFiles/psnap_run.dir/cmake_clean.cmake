@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psnap_run.dir/psnap_run.cpp.o"
+  "CMakeFiles/psnap_run.dir/psnap_run.cpp.o.d"
+  "psnap_run"
+  "psnap_run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psnap_run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/water_balloons.dir/water_balloons.cpp.o"
+  "CMakeFiles/water_balloons.dir/water_balloons.cpp.o.d"
+  "water_balloons"
+  "water_balloons.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/water_balloons.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

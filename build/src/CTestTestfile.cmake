@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("support")
+subdirs("blocks")
+subdirs("vm")
+subdirs("sched")
+subdirs("stage")
+subdirs("workers")
+subdirs("mapreduce")
+subdirs("core")
+subdirs("scenarios")
+subdirs("codegen")
+subdirs("project")
+subdirs("data")
+subdirs("survey")

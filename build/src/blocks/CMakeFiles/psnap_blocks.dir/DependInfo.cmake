@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/blocks/block.cpp" "src/blocks/CMakeFiles/psnap_blocks.dir/block.cpp.o" "gcc" "src/blocks/CMakeFiles/psnap_blocks.dir/block.cpp.o.d"
+  "/root/repo/src/blocks/builder.cpp" "src/blocks/CMakeFiles/psnap_blocks.dir/builder.cpp.o" "gcc" "src/blocks/CMakeFiles/psnap_blocks.dir/builder.cpp.o.d"
+  "/root/repo/src/blocks/environment.cpp" "src/blocks/CMakeFiles/psnap_blocks.dir/environment.cpp.o" "gcc" "src/blocks/CMakeFiles/psnap_blocks.dir/environment.cpp.o.d"
+  "/root/repo/src/blocks/registry.cpp" "src/blocks/CMakeFiles/psnap_blocks.dir/registry.cpp.o" "gcc" "src/blocks/CMakeFiles/psnap_blocks.dir/registry.cpp.o.d"
+  "/root/repo/src/blocks/value.cpp" "src/blocks/CMakeFiles/psnap_blocks.dir/value.cpp.o" "gcc" "src/blocks/CMakeFiles/psnap_blocks.dir/value.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/psnap_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

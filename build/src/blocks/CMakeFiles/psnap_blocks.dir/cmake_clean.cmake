@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psnap_blocks.dir/block.cpp.o"
+  "CMakeFiles/psnap_blocks.dir/block.cpp.o.d"
+  "CMakeFiles/psnap_blocks.dir/builder.cpp.o"
+  "CMakeFiles/psnap_blocks.dir/builder.cpp.o.d"
+  "CMakeFiles/psnap_blocks.dir/environment.cpp.o"
+  "CMakeFiles/psnap_blocks.dir/environment.cpp.o.d"
+  "CMakeFiles/psnap_blocks.dir/registry.cpp.o"
+  "CMakeFiles/psnap_blocks.dir/registry.cpp.o.d"
+  "CMakeFiles/psnap_blocks.dir/value.cpp.o"
+  "CMakeFiles/psnap_blocks.dir/value.cpp.o.d"
+  "libpsnap_blocks.a"
+  "libpsnap_blocks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psnap_blocks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/codegen/batch.cpp" "src/codegen/CMakeFiles/psnap_codegen.dir/batch.cpp.o" "gcc" "src/codegen/CMakeFiles/psnap_codegen.dir/batch.cpp.o.d"
+  "/root/repo/src/codegen/blocks.cpp" "src/codegen/CMakeFiles/psnap_codegen.dir/blocks.cpp.o" "gcc" "src/codegen/CMakeFiles/psnap_codegen.dir/blocks.cpp.o.d"
+  "/root/repo/src/codegen/mapping.cpp" "src/codegen/CMakeFiles/psnap_codegen.dir/mapping.cpp.o" "gcc" "src/codegen/CMakeFiles/psnap_codegen.dir/mapping.cpp.o.d"
+  "/root/repo/src/codegen/programs.cpp" "src/codegen/CMakeFiles/psnap_codegen.dir/programs.cpp.o" "gcc" "src/codegen/CMakeFiles/psnap_codegen.dir/programs.cpp.o.d"
+  "/root/repo/src/codegen/toolchain.cpp" "src/codegen/CMakeFiles/psnap_codegen.dir/toolchain.cpp.o" "gcc" "src/codegen/CMakeFiles/psnap_codegen.dir/toolchain.cpp.o.d"
+  "/root/repo/src/codegen/translator.cpp" "src/codegen/CMakeFiles/psnap_codegen.dir/translator.cpp.o" "gcc" "src/codegen/CMakeFiles/psnap_codegen.dir/translator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/blocks/CMakeFiles/psnap_blocks.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/psnap_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/psnap_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psnap_codegen.dir/batch.cpp.o"
+  "CMakeFiles/psnap_codegen.dir/batch.cpp.o.d"
+  "CMakeFiles/psnap_codegen.dir/blocks.cpp.o"
+  "CMakeFiles/psnap_codegen.dir/blocks.cpp.o.d"
+  "CMakeFiles/psnap_codegen.dir/mapping.cpp.o"
+  "CMakeFiles/psnap_codegen.dir/mapping.cpp.o.d"
+  "CMakeFiles/psnap_codegen.dir/programs.cpp.o"
+  "CMakeFiles/psnap_codegen.dir/programs.cpp.o.d"
+  "CMakeFiles/psnap_codegen.dir/toolchain.cpp.o"
+  "CMakeFiles/psnap_codegen.dir/toolchain.cpp.o.d"
+  "CMakeFiles/psnap_codegen.dir/translator.cpp.o"
+  "CMakeFiles/psnap_codegen.dir/translator.cpp.o.d"
+  "libpsnap_codegen.a"
+  "libpsnap_codegen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psnap_codegen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

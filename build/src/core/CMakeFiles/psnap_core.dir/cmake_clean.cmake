@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psnap_core.dir/parallel_blocks.cpp.o"
+  "CMakeFiles/psnap_core.dir/parallel_blocks.cpp.o.d"
+  "CMakeFiles/psnap_core.dir/pure_eval.cpp.o"
+  "CMakeFiles/psnap_core.dir/pure_eval.cpp.o.d"
+  "libpsnap_core.a"
+  "libpsnap_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psnap_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

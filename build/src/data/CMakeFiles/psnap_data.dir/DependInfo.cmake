@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/climate.cpp" "src/data/CMakeFiles/psnap_data.dir/climate.cpp.o" "gcc" "src/data/CMakeFiles/psnap_data.dir/climate.cpp.o.d"
+  "/root/repo/src/data/corpus.cpp" "src/data/CMakeFiles/psnap_data.dir/corpus.cpp.o" "gcc" "src/data/CMakeFiles/psnap_data.dir/corpus.cpp.o.d"
+  "/root/repo/src/data/csv.cpp" "src/data/CMakeFiles/psnap_data.dir/csv.cpp.o" "gcc" "src/data/CMakeFiles/psnap_data.dir/csv.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/blocks/CMakeFiles/psnap_blocks.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/psnap_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

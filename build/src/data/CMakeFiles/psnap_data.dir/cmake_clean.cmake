@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psnap_data.dir/climate.cpp.o"
+  "CMakeFiles/psnap_data.dir/climate.cpp.o.d"
+  "CMakeFiles/psnap_data.dir/corpus.cpp.o"
+  "CMakeFiles/psnap_data.dir/corpus.cpp.o.d"
+  "CMakeFiles/psnap_data.dir/csv.cpp.o"
+  "CMakeFiles/psnap_data.dir/csv.cpp.o.d"
+  "libpsnap_data.a"
+  "libpsnap_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psnap_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

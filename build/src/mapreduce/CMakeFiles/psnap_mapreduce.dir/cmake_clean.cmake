@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psnap_mapreduce.dir/engine.cpp.o"
+  "CMakeFiles/psnap_mapreduce.dir/engine.cpp.o.d"
+  "libpsnap_mapreduce.a"
+  "libpsnap_mapreduce.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psnap_mapreduce.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

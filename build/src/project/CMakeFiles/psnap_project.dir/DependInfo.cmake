@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/project/project.cpp" "src/project/CMakeFiles/psnap_project.dir/project.cpp.o" "gcc" "src/project/CMakeFiles/psnap_project.dir/project.cpp.o.d"
+  "/root/repo/src/project/xml.cpp" "src/project/CMakeFiles/psnap_project.dir/xml.cpp.o" "gcc" "src/project/CMakeFiles/psnap_project.dir/xml.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/stage/CMakeFiles/psnap_stage.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/psnap_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/psnap_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/blocks/CMakeFiles/psnap_blocks.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/psnap_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

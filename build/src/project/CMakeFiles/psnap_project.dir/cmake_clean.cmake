@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psnap_project.dir/project.cpp.o"
+  "CMakeFiles/psnap_project.dir/project.cpp.o.d"
+  "CMakeFiles/psnap_project.dir/xml.cpp.o"
+  "CMakeFiles/psnap_project.dir/xml.cpp.o.d"
+  "libpsnap_project.a"
+  "libpsnap_project.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psnap_project.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psnap_scenarios.dir/concession.cpp.o"
+  "CMakeFiles/psnap_scenarios.dir/concession.cpp.o.d"
+  "libpsnap_scenarios.a"
+  "libpsnap_scenarios.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psnap_scenarios.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

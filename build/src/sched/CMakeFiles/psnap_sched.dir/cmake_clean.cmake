@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psnap_sched.dir/thread_manager.cpp.o"
+  "CMakeFiles/psnap_sched.dir/thread_manager.cpp.o.d"
+  "libpsnap_sched.a"
+  "libpsnap_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psnap_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

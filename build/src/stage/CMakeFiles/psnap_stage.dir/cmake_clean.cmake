@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psnap_stage.dir/stage.cpp.o"
+  "CMakeFiles/psnap_stage.dir/stage.cpp.o.d"
+  "libpsnap_stage.a"
+  "libpsnap_stage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psnap_stage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

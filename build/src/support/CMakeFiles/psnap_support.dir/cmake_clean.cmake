@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psnap_support.dir/error.cpp.o"
+  "CMakeFiles/psnap_support.dir/error.cpp.o.d"
+  "CMakeFiles/psnap_support.dir/rng.cpp.o"
+  "CMakeFiles/psnap_support.dir/rng.cpp.o.d"
+  "CMakeFiles/psnap_support.dir/strings.cpp.o"
+  "CMakeFiles/psnap_support.dir/strings.cpp.o.d"
+  "libpsnap_support.a"
+  "libpsnap_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psnap_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psnap_survey.dir/survey.cpp.o"
+  "CMakeFiles/psnap_survey.dir/survey.cpp.o.d"
+  "libpsnap_survey.a"
+  "libpsnap_survey.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psnap_survey.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vm/custom_blocks.cpp" "src/vm/CMakeFiles/psnap_vm.dir/custom_blocks.cpp.o" "gcc" "src/vm/CMakeFiles/psnap_vm.dir/custom_blocks.cpp.o.d"
+  "/root/repo/src/vm/host.cpp" "src/vm/CMakeFiles/psnap_vm.dir/host.cpp.o" "gcc" "src/vm/CMakeFiles/psnap_vm.dir/host.cpp.o.d"
+  "/root/repo/src/vm/primitives.cpp" "src/vm/CMakeFiles/psnap_vm.dir/primitives.cpp.o" "gcc" "src/vm/CMakeFiles/psnap_vm.dir/primitives.cpp.o.d"
+  "/root/repo/src/vm/process.cpp" "src/vm/CMakeFiles/psnap_vm.dir/process.cpp.o" "gcc" "src/vm/CMakeFiles/psnap_vm.dir/process.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/blocks/CMakeFiles/psnap_blocks.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/psnap_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

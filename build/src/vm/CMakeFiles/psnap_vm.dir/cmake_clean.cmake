@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psnap_vm.dir/custom_blocks.cpp.o"
+  "CMakeFiles/psnap_vm.dir/custom_blocks.cpp.o.d"
+  "CMakeFiles/psnap_vm.dir/host.cpp.o"
+  "CMakeFiles/psnap_vm.dir/host.cpp.o.d"
+  "CMakeFiles/psnap_vm.dir/primitives.cpp.o"
+  "CMakeFiles/psnap_vm.dir/primitives.cpp.o.d"
+  "CMakeFiles/psnap_vm.dir/process.cpp.o"
+  "CMakeFiles/psnap_vm.dir/process.cpp.o.d"
+  "libpsnap_vm.a"
+  "libpsnap_vm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psnap_vm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

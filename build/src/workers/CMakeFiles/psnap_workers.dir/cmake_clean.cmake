@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psnap_workers.dir/parallel.cpp.o"
+  "CMakeFiles/psnap_workers.dir/parallel.cpp.o.d"
+  "CMakeFiles/psnap_workers.dir/worker_pool.cpp.o"
+  "CMakeFiles/psnap_workers.dir/worker_pool.cpp.o.d"
+  "libpsnap_workers.a"
+  "libpsnap_workers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psnap_workers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_project.dir/project/custom_blocks_xml_test.cpp.o"
+  "CMakeFiles/test_project.dir/project/custom_blocks_xml_test.cpp.o.d"
+  "CMakeFiles/test_project.dir/project/project_test.cpp.o"
+  "CMakeFiles/test_project.dir/project/project_test.cpp.o.d"
+  "CMakeFiles/test_project.dir/project/xml_test.cpp.o"
+  "CMakeFiles/test_project.dir/project/xml_test.cpp.o.d"
+  "test_project"
+  "test_project.pdb"
+  "test_project[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_project.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

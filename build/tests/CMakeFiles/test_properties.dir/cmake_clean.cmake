@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_properties.dir/properties/codegen_equivalence_test.cpp.o"
+  "CMakeFiles/test_properties.dir/properties/codegen_equivalence_test.cpp.o.d"
+  "CMakeFiles/test_properties.dir/properties/concession_properties_test.cpp.o"
+  "CMakeFiles/test_properties.dir/properties/concession_properties_test.cpp.o.d"
+  "CMakeFiles/test_properties.dir/properties/mapreduce_properties_test.cpp.o"
+  "CMakeFiles/test_properties.dir/properties/mapreduce_properties_test.cpp.o.d"
+  "CMakeFiles/test_properties.dir/properties/opcode_parity_test.cpp.o"
+  "CMakeFiles/test_properties.dir/properties/opcode_parity_test.cpp.o.d"
+  "CMakeFiles/test_properties.dir/properties/parallel_equivalence_test.cpp.o"
+  "CMakeFiles/test_properties.dir/properties/parallel_equivalence_test.cpp.o.d"
+  "CMakeFiles/test_properties.dir/properties/xml_roundtrip_test.cpp.o"
+  "CMakeFiles/test_properties.dir/properties/xml_roundtrip_test.cpp.o.d"
+  "test_properties"
+  "test_properties.pdb"
+  "test_properties[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sched/thread_manager_test.cpp" "tests/CMakeFiles/test_sched.dir/sched/thread_manager_test.cpp.o" "gcc" "tests/CMakeFiles/test_sched.dir/sched/thread_manager_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/codegen/CMakeFiles/psnap_codegen.dir/DependInfo.cmake"
+  "/root/repo/build/src/project/CMakeFiles/psnap_project.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/psnap_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/survey/CMakeFiles/psnap_survey.dir/DependInfo.cmake"
+  "/root/repo/build/src/scenarios/CMakeFiles/psnap_scenarios.dir/DependInfo.cmake"
+  "/root/repo/build/src/stage/CMakeFiles/psnap_stage.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/psnap_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/psnap_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/psnap_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/mapreduce/CMakeFiles/psnap_mapreduce.dir/DependInfo.cmake"
+  "/root/repo/build/src/workers/CMakeFiles/psnap_workers.dir/DependInfo.cmake"
+  "/root/repo/build/src/blocks/CMakeFiles/psnap_blocks.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/psnap_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_stage.dir/stage/concession_test.cpp.o"
+  "CMakeFiles/test_stage.dir/stage/concession_test.cpp.o.d"
+  "CMakeFiles/test_stage.dir/stage/sensing_test.cpp.o"
+  "CMakeFiles/test_stage.dir/stage/sensing_test.cpp.o.d"
+  "CMakeFiles/test_stage.dir/stage/stage_test.cpp.o"
+  "CMakeFiles/test_stage.dir/stage/stage_test.cpp.o.d"
+  "test_stage"
+  "test_stage.pdb"
+  "test_stage[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_stage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

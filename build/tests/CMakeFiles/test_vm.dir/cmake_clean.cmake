@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_vm.dir/vm/control_test.cpp.o"
+  "CMakeFiles/test_vm.dir/vm/control_test.cpp.o.d"
+  "CMakeFiles/test_vm.dir/vm/custom_blocks_test.cpp.o"
+  "CMakeFiles/test_vm.dir/vm/custom_blocks_test.cpp.o.d"
+  "CMakeFiles/test_vm.dir/vm/eval_test.cpp.o"
+  "CMakeFiles/test_vm.dir/vm/eval_test.cpp.o.d"
+  "CMakeFiles/test_vm.dir/vm/for_loop_test.cpp.o"
+  "CMakeFiles/test_vm.dir/vm/for_loop_test.cpp.o.d"
+  "CMakeFiles/test_vm.dir/vm/process_test.cpp.o"
+  "CMakeFiles/test_vm.dir/vm/process_test.cpp.o.d"
+  "CMakeFiles/test_vm.dir/vm/ring_test.cpp.o"
+  "CMakeFiles/test_vm.dir/vm/ring_test.cpp.o.d"
+  "CMakeFiles/test_vm.dir/vm/warp_test.cpp.o"
+  "CMakeFiles/test_vm.dir/vm/warp_test.cpp.o.d"
+  "test_vm"
+  "test_vm.pdb"
+  "test_vm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_vm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

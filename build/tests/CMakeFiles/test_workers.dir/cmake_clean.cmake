@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_workers.dir/workers/channel_test.cpp.o"
+  "CMakeFiles/test_workers.dir/workers/channel_test.cpp.o.d"
+  "CMakeFiles/test_workers.dir/workers/parallel_test.cpp.o"
+  "CMakeFiles/test_workers.dir/workers/parallel_test.cpp.o.d"
+  "test_workers"
+  "test_workers.pdb"
+  "test_workers[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_workers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
