@@ -101,18 +101,19 @@ std::vector<const Input*> collectEmptySlots(const Script& root) {
   return out;
 }
 
-size_t countEmptySlots(const Ring& ring) {
-  if (ring.kind() == RingKind::Reporter) {
-    return collectEmptySlots(*ring.expression()).size();
-  }
-  return collectEmptySlots(*ring.script()).size();
+size_t countEmptySlots(const Ring& ring) { return ring.emptySlots().size(); }
+
+const std::vector<const Input*>& Ring::emptySlots() const {
+  std::call_once(emptySlotsOnce_, [this] {
+    emptySlots_ = kind() == RingKind::Reporter
+                      ? collectEmptySlots(*expression())
+                      : collectEmptySlots(*script());
+  });
+  return emptySlots_;
 }
 
 size_t emptySlotOrdinal(const Ring& ring, const Input* slot) {
-  std::vector<const Input*> slots =
-      ring.kind() == RingKind::Reporter
-          ? collectEmptySlots(*ring.expression())
-          : collectEmptySlots(*ring.script());
+  const std::vector<const Input*>& slots = ring.emptySlots();
   for (size_t i = 0; i < slots.size(); ++i) {
     if (slots[i] == slot) return i;
   }

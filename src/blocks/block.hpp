@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "blocks/opcodes.hpp"
 #include "blocks/value.hpp"
 
 namespace psnap::blocks {
@@ -94,10 +95,16 @@ class Input {
 };
 
 /// An immutable block instance: opcode plus filled input slots.
+///
+/// The opcode is interned at construction, so every later consumer — the
+/// VM step loop, the pure evaluator, the translator — dispatches on the
+/// cached dense id without hashing the opcode string again.
 class Block {
  public:
   Block(std::string opcode, std::vector<Input> inputs)
-      : opcode_(std::move(opcode)), inputs_(std::move(inputs)) {}
+      : opcode_(std::move(opcode)),
+        opcodeId_(internOpcode(opcode_)),
+        inputs_(std::move(inputs)) {}
 
   static BlockPtr make(std::string opcode, std::vector<Input> inputs = {}) {
     return std::make_shared<const Block>(std::move(opcode),
@@ -105,6 +112,9 @@ class Block {
   }
 
   const std::string& opcode() const { return opcode_; }
+  OpcodeId opcodeId() const { return opcodeId_; }
+  /// Is this block the given builtin?
+  bool is(Op op) const { return opcodeId_ == id(op); }
   const std::vector<Input>& inputs() const { return inputs_; }
   size_t arity() const { return inputs_.size(); }
   const Input& input(size_t index) const { return inputs_.at(index); }
@@ -114,6 +124,7 @@ class Block {
 
  private:
   std::string opcode_;
+  OpcodeId opcodeId_;
   std::vector<Input> inputs_;
 };
 

@@ -4,33 +4,60 @@
 
 namespace psnap::blocks {
 
+Environment::Slot* Environment::findLocal(const std::string& name) {
+  if (locals_.size() <= kSmallFrame) {
+    for (Slot& slot : locals_) {
+      if (slot.name == name) return &slot;
+    }
+    return nullptr;
+  }
+  auto it = index_.find(name);
+  return it == index_.end() ? nullptr : &locals_[it->second];
+}
+
+const Environment::Slot* Environment::findLocal(
+    const std::string& name) const {
+  return const_cast<Environment*>(this)->findLocal(name);
+}
+
 void Environment::declare(const std::string& name, Value initial) {
-  vars_[name] = std::move(initial);
+  if (Slot* slot = findLocal(name)) {
+    slot->value = std::move(initial);
+    return;
+  }
+  locals_.push_back(Slot{name, std::move(initial)});
+  if (locals_.size() == kSmallFrame + 1) {
+    // Crossed the linear-scan threshold: build the index for all slots.
+    for (size_t i = 0; i < locals_.size(); ++i) index_[locals_[i].name] = i;
+  } else if (locals_.size() > kSmallFrame + 1) {
+    index_[name] = locals_.size() - 1;
+  }
 }
 
 bool Environment::isDeclared(const std::string& name) const {
-  if (vars_.count(name) != 0) return true;
+  if (findLocal(name)) return true;
   return parent_ && parent_->isDeclared(name);
 }
 
 const Value& Environment::get(const std::string& name) const {
-  auto it = vars_.find(name);
-  if (it != vars_.end()) return it->second;
-  if (parent_) return parent_->get(name);
+  const Environment* frame = this;
+  while (frame) {
+    if (const Slot* slot = frame->findLocal(name)) return slot->value;
+    frame = frame->parent_.get();
+  }
   throw Error("a variable of name '" + name + "' does not exist");
 }
 
 void Environment::set(const std::string& name, Value value) {
   Environment* frame = this;
-  while (frame) {
-    auto it = frame->vars_.find(name);
-    if (it != frame->vars_.end()) {
-      it->second = std::move(value);
+  while (true) {
+    if (Slot* slot = frame->findLocal(name)) {
+      slot->value = std::move(value);
       return;
     }
     if (!frame->parent_) {
       // Root frame: declare globally.
-      frame->vars_[name] = std::move(value);
+      frame->declare(name, std::move(value));
       return;
     }
     frame = frame->parent_.get();
@@ -71,8 +98,8 @@ const Value& Environment::implicitArg(size_t ordinal) const {
 
 std::vector<std::string> Environment::localNames() const {
   std::vector<std::string> names;
-  names.reserve(vars_.size());
-  for (const auto& [name, value] : vars_) names.push_back(name);
+  names.reserve(locals_.size());
+  for (const Slot& slot : locals_) names.push_back(slot.name);
   return names;
 }
 

@@ -63,8 +63,24 @@ class Environment {
   std::vector<std::string> localNames() const;
 
  private:
+  struct Slot {
+    std::string name;
+    Value value;
+  };
+
+  /// Frames this small are scanned linearly — almost every frame holds a
+  /// handful of script variables or ring formals, and a short scan over a
+  /// contiguous vector beats hashing the name. Larger frames build and
+  /// maintain `index_` on the side.
+  static constexpr size_t kSmallFrame = 8;
+
+  Slot* findLocal(const std::string& name);
+  const Slot* findLocal(const std::string& name) const;
+
   EnvPtr parent_;
-  std::unordered_map<std::string, Value> vars_;
+  std::vector<Slot> locals_;
+  /// name → locals_ index; populated only once locals_ outgrows kSmallFrame.
+  std::unordered_map<std::string, size_t> index_;
   std::optional<std::vector<Value>> implicitArgs_;
   const Ring* owningRing_ = nullptr;
 };

@@ -1,0 +1,101 @@
+#include "blocks/opcodes.hpp"
+
+#include <deque>
+#include <mutex>
+#include <shared_mutex>
+#include <unordered_map>
+
+#include "support/error.hpp"
+
+namespace psnap::blocks {
+
+namespace {
+
+struct StringHash {
+  using is_transparent = void;
+  size_t operator()(std::string_view s) const {
+    return std::hash<std::string_view>{}(s);
+  }
+};
+
+struct StringEq {
+  using is_transparent = void;
+  bool operator()(std::string_view a, std::string_view b) const {
+    return a == b;
+  }
+};
+
+/// The process-wide opcode pool. Append-only: ids are never reused, so a
+/// raced lookup can at worst miss a brand-new opcode and retry under the
+/// write lock.
+class Interner {
+ public:
+  Interner() {
+#define PSNAP_OPCODE_SEED(name, str) names_.emplace_back(str);
+    PSNAP_FOR_EACH_BUILTIN_OPCODE(PSNAP_OPCODE_SEED)
+#undef PSNAP_OPCODE_SEED
+    for (OpcodeId i = 0; i < names_.size(); ++i) ids_.emplace(names_[i], i);
+  }
+
+  OpcodeId intern(std::string_view opcode) {
+    {
+      std::shared_lock lock(mutex_);
+      auto it = ids_.find(opcode);
+      if (it != ids_.end()) return it->second;
+    }
+    std::unique_lock lock(mutex_);
+    auto it = ids_.find(opcode);
+    if (it != ids_.end()) return it->second;
+    const OpcodeId fresh = static_cast<OpcodeId>(names_.size());
+    names_.emplace_back(opcode);
+    ids_.emplace(names_.back(), fresh);
+    return fresh;
+  }
+
+  OpcodeId lookup(std::string_view opcode) const {
+    std::shared_lock lock(mutex_);
+    auto it = ids_.find(opcode);
+    return it == ids_.end() ? kInvalidOpcodeId : it->second;
+  }
+
+  const std::string& name(OpcodeId id) const {
+    std::shared_lock lock(mutex_);
+    if (id >= names_.size()) {
+      throw BlockError("opcode id " + std::to_string(id) +
+                       " was never interned");
+    }
+    return names_[id];
+  }
+
+  size_t size() const {
+    std::shared_lock lock(mutex_);
+    return names_.size();
+  }
+
+ private:
+  mutable std::shared_mutex mutex_;
+  // A deque so `name()` references stay valid as the pool grows.
+  std::deque<std::string> names_;
+  std::unordered_map<std::string, OpcodeId, StringHash, StringEq> ids_;
+};
+
+Interner& pool() {
+  static Interner interner;
+  return interner;
+}
+
+}  // namespace
+
+OpcodeId internOpcode(std::string_view opcode) {
+  return pool().intern(opcode);
+}
+
+OpcodeId lookupOpcode(std::string_view opcode) {
+  return pool().lookup(opcode);
+}
+
+const std::string& opcodeName(OpcodeId id) { return pool().name(id); }
+
+size_t internedOpcodeCount() { return pool().size(); }
+
+}  // namespace psnap::blocks

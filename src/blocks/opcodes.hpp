@@ -1,0 +1,174 @@
+// Opcode interning: the dense integer identity behind every opcode string.
+//
+// Every layer that used to key on opcode *strings* — the registry, the
+// primitive handler table, the VM step loop, the worker-side pure
+// evaluator, and the code-mapping tables — now keys on an OpcodeId, a
+// small dense integer assigned by a process-wide interner. Strings remain
+// the construction and serialization surface (builder DSL, XML projects);
+// ids are the execution surface. A Block interns its opcode once at
+// construction, so a validated script dispatches forever after with zero
+// string hashing (the cost the paper's Listing 2 poll-and-yield loop
+// multiplies by millions of interpreter steps).
+//
+// The standard palette is pre-interned in a fixed order, so builtin ids
+// are compile-time constants (`Op::reportSum` …) and hot dispatchers can
+// use a plain `switch` — a dense jump table — instead of chained string
+// comparisons. Custom blocks and test-only opcodes intern on first use
+// and get ids past `Op::BuiltinCount`.
+//
+// Thread-safety: worker threads construct blocks (e.g. the pure
+// evaluator's reified identity wrappers), so interning takes a shared
+// mutex; the overwhelmingly common case — an already-interned opcode — is
+// a read-locked hash lookup, and dispatch itself never touches the
+// interner at all.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace psnap::blocks {
+
+/// Dense opcode identity. Stable for the lifetime of the process; ids are
+/// never reused, and registry/table copies agree on them by construction.
+using OpcodeId = uint32_t;
+
+inline constexpr OpcodeId kInvalidOpcodeId = 0xffffffffu;
+
+// The standard palette in registration order (registerStandardSpecs).
+// X(enumerator, "opcode string") — the enumerator usually matches the
+// string; `__foreachDriver` needs a distinct spelling because identifiers
+// with leading double underscores are reserved.
+#define PSNAP_FOR_EACH_BUILTIN_OPCODE(X)                   \
+  /* operators */                                          \
+  X(reportSum, "reportSum")                                \
+  X(reportDifference, "reportDifference")                  \
+  X(reportProduct, "reportProduct")                        \
+  X(reportQuotient, "reportQuotient")                      \
+  X(reportModulus, "reportModulus")                        \
+  X(reportPower, "reportPower")                            \
+  X(reportRound, "reportRound")                            \
+  X(reportMonadic, "reportMonadic")                        \
+  X(reportRandom, "reportRandom")                          \
+  X(reportEquals, "reportEquals")                          \
+  X(reportLessThan, "reportLessThan")                      \
+  X(reportGreaterThan, "reportGreaterThan")                \
+  X(reportAnd, "reportAnd")                                \
+  X(reportOr, "reportOr")                                  \
+  X(reportNot, "reportNot")                                \
+  X(reportIfElse, "reportIfElse")                          \
+  X(reportJoinWords, "reportJoinWords")                    \
+  X(reportLetter, "reportLetter")                          \
+  X(reportStringSize, "reportStringSize")                  \
+  X(reportUnicode, "reportUnicode")                        \
+  X(reportUnicodeAsLetter, "reportUnicodeAsLetter")        \
+  X(reportSplit, "reportSplit")                            \
+  X(reportIsA, "reportIsA")                                \
+  X(reportIdentity, "reportIdentity")                      \
+  /* rings */                                              \
+  X(reifyReporter, "reifyReporter")                        \
+  X(reifyScript, "reifyScript")                            \
+  /* variables */                                          \
+  X(reportGetVar, "reportGetVar")                          \
+  X(doSetVar, "doSetVar")                                  \
+  X(doChangeVar, "doChangeVar")                            \
+  X(doDeclareVariables, "doDeclareVariables")              \
+  /* lists */                                              \
+  X(reportNewList, "reportNewList")                        \
+  X(reportListItem, "reportListItem")                      \
+  X(reportListLength, "reportListLength")                  \
+  X(reportListContainsItem, "reportListContainsItem")      \
+  X(reportListIndex, "reportListIndex")                    \
+  X(reportCONS, "reportCONS")                              \
+  X(reportCDR, "reportCDR")                                \
+  X(reportNumbers, "reportNumbers")                        \
+  X(reportSorted, "reportSorted")                          \
+  X(doAddToList, "doAddToList")                            \
+  X(doDeleteFromList, "doDeleteFromList")                  \
+  X(doInsertInList, "doInsertInList")                      \
+  X(doReplaceInList, "doReplaceInList")                    \
+  /* higher-order functions */                             \
+  X(reportMap, "reportMap")                                \
+  X(reportKeep, "reportKeep")                              \
+  X(reportCombine, "reportCombine")                        \
+  X(doForEach, "doForEach")                                \
+  /* control */                                            \
+  X(doForever, "doForever")                                \
+  X(doRepeat, "doRepeat")                                  \
+  X(doFor, "doFor")                                        \
+  X(doIf, "doIf")                                          \
+  X(doIfElse, "doIfElse")                                  \
+  X(doUntil, "doUntil")                                    \
+  X(doWaitUntil, "doWaitUntil")                            \
+  X(doWait, "doWait")                                      \
+  X(doWarp, "doWarp")                                      \
+  X(doYield, "doYield")                                    \
+  X(doBusyWork, "doBusyWork")                              \
+  X(doReport, "doReport")                                  \
+  X(doStopThis, "doStopThis")                              \
+  X(doBroadcast, "doBroadcast")                            \
+  X(doBroadcastAndWait, "doBroadcastAndWait")              \
+  X(evaluate, "evaluate")                                  \
+  X(doRun, "doRun")                                        \
+  X(receiveGo, "receiveGo")                                \
+  X(receiveKey, "receiveKey")                              \
+  X(receiveMessage, "receiveMessage")                      \
+  X(receiveCloneStart, "receiveCloneStart")                \
+  X(createClone, "createClone")                            \
+  X(removeClone, "removeClone")                            \
+  /* looks / motion / sensing */                           \
+  X(bubble, "bubble")                                      \
+  X(doSayFor, "doSayFor")                                  \
+  X(doThink, "doThink")                                    \
+  X(doSwitchToCostume, "doSwitchToCostume")                \
+  X(show, "show")                                          \
+  X(hide, "hide")                                          \
+  X(reportTouchingSprite, "reportTouchingSprite")          \
+  X(reportCostumeName, "reportCostumeName")                \
+  X(forward, "forward")                                    \
+  X(turn, "turn")                                          \
+  X(turnLeft, "turnLeft")                                  \
+  X(setHeading, "setHeading")                              \
+  X(gotoXY, "gotoXY")                                      \
+  X(changeXPosition, "changeXPosition")                    \
+  X(changeYPosition, "changeYPosition")                    \
+  X(xPosition, "xPosition")                                \
+  X(yPosition, "yPosition")                                \
+  X(direction, "direction")                                \
+  X(getTimer, "getTimer")                                  \
+  X(doResetTimer, "doResetTimer")                          \
+  /* the paper's parallel blocks */                        \
+  X(reportParallelMap, "reportParallelMap")                \
+  X(doParallelForEach, "doParallelForEach")                \
+  X(reportMapReduce, "reportMapReduce")                    \
+  X(reportMaxWorkers, "reportMaxWorkers")                  \
+  X(foreachDriver, "__foreachDriver")                      \
+  /* code mapping */                                       \
+  X(doMapToCode, "doMapToCode")                            \
+  X(reportMappedCode, "reportMappedCode")
+
+/// Compile-time-constant ids for the standard palette. `BuiltinCount` is
+/// the first id handed out to a dynamically interned opcode.
+enum class Op : OpcodeId {
+#define PSNAP_OPCODE_ENUMERATOR(name, str) name,
+  PSNAP_FOR_EACH_BUILTIN_OPCODE(PSNAP_OPCODE_ENUMERATOR)
+#undef PSNAP_OPCODE_ENUMERATOR
+  BuiltinCount
+};
+
+constexpr OpcodeId id(Op op) { return static_cast<OpcodeId>(op); }
+inline constexpr size_t kBuiltinOpcodeCount = id(Op::BuiltinCount);
+
+/// Intern `opcode`, assigning a fresh id on first sight. Thread-safe.
+OpcodeId internOpcode(std::string_view opcode);
+
+/// Lookup without interning: kInvalidOpcodeId when never interned.
+OpcodeId lookupOpcode(std::string_view opcode);
+
+/// The string an id was interned from. Throws BlockError on a bad id.
+const std::string& opcodeName(OpcodeId id);
+
+/// Number of distinct opcodes interned so far (>= kBuiltinOpcodeCount).
+size_t internedOpcodeCount();
+
+}  // namespace psnap::blocks

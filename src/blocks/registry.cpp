@@ -68,22 +68,28 @@ std::vector<SlotSpec> parseSpecSlots(const std::string& spec,
 }
 
 void BlockRegistry::add(BlockSpec spec) {
-  if (specs_.count(spec.opcode) != 0) {
+  const OpcodeId opId = internOpcode(spec.opcode);
+  if (specOf(opId) != nullptr) {
     throw BlockError("duplicate opcode " + spec.opcode);
   }
   if (spec.slots.empty()) {
     spec.slots = parseSpecSlots(spec.spec, spec.variadic);
   }
-  specs_.emplace(spec.opcode, std::move(spec));
+  spec.id = opId;
+  if (opId >= byId_.size()) byId_.resize(opId + 1, -1);
+  byId_[opId] = static_cast<int32_t>(store_.size());
+  auto pos = std::lower_bound(sortedOpcodes_.begin(), sortedOpcodes_.end(),
+                              spec.opcode);
+  sortedOpcodes_.insert(pos, spec.opcode);
+  store_.push_back(std::move(spec));
 }
 
 bool BlockRegistry::has(const std::string& opcode) const {
-  return specs_.count(opcode) != 0;
+  return find(opcode) != nullptr;
 }
 
 const BlockSpec* BlockRegistry::find(const std::string& opcode) const {
-  auto it = specs_.find(opcode);
-  return it == specs_.end() ? nullptr : &it->second;
+  return specOf(lookupOpcode(opcode));
 }
 
 const BlockSpec& BlockRegistry::get(const std::string& opcode) const {
@@ -92,8 +98,16 @@ const BlockSpec& BlockRegistry::get(const std::string& opcode) const {
   return *spec;
 }
 
+OpcodeId BlockRegistry::idOf(const std::string& opcode) const {
+  const BlockSpec* spec = find(opcode);
+  if (!spec) throw BlockError("unknown opcode " + opcode);
+  return spec->id;
+}
+
 void BlockRegistry::validate(const Block& block) const {
-  const BlockSpec& spec = get(block.opcode());
+  const BlockSpec* found = specOf(block.opcodeId());
+  if (!found) throw BlockError("unknown opcode " + block.opcode());
+  const BlockSpec& spec = *found;
   const size_t fixed = spec.slots.size();
   if (block.arity() < spec.minArity() ||
       (!spec.variadic && block.arity() > fixed)) {
@@ -131,14 +145,6 @@ void BlockRegistry::validate(const Script& script) const {
   for (const BlockPtr& block : script.blocks()) validate(*block);
 }
 
-std::vector<std::string> BlockRegistry::opcodes() const {
-  std::vector<std::string> out;
-  out.reserve(specs_.size());
-  for (const auto& [opcode, spec] : specs_) out.push_back(opcode);
-  std::sort(out.begin(), out.end());
-  return out;
-}
-
 namespace {
 
 std::string renderInput(const BlockRegistry& registry, const Input& input) {
@@ -167,7 +173,7 @@ std::string renderInput(const BlockRegistry& registry, const Input& input) {
 }  // namespace
 
 std::string BlockRegistry::render(const Block& block) const {
-  const BlockSpec* spec = find(block.opcode());
+  const BlockSpec* spec = specOf(block.opcodeId());
   if (!spec) return block.display();
   std::string out;
   size_t nextInput = 0;

@@ -22,12 +22,13 @@
 // "in parallel" input of parallelForEach, Fig. 8 of the paper).
 #pragma once
 
+#include <deque>
 #include <functional>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "blocks/block.hpp"
+#include "blocks/opcodes.hpp"
 
 namespace psnap::blocks {
 
@@ -61,6 +62,8 @@ struct BlockSpec {
   bool strict = true;
   std::vector<SlotSpec> slots;  ///< parsed from `spec`
   bool variadic = false;        ///< spec ended with %mult
+  /// Interned id, filled by BlockRegistry::add().
+  OpcodeId id = kInvalidOpcodeId;
 
   /// Number of mandatory slots (non-optional, non-variadic).
   size_t minArity() const;
@@ -87,14 +90,26 @@ class BlockRegistry {
   /// Lookup; throws BlockError when the opcode is unknown.
   const BlockSpec& get(const std::string& opcode) const;
 
+  /// The interned id of a registered opcode; throws BlockError when the
+  /// opcode is not registered here.
+  OpcodeId idOf(const std::string& opcode) const;
+  /// Spec lookup by interned id — the zero-hash dispatch path. Returns
+  /// nullptr when no spec with that id is registered in *this* registry.
+  const BlockSpec* specOf(OpcodeId id) const {
+    if (id >= byId_.size()) return nullptr;
+    const int32_t slot = byId_[id];
+    return slot < 0 ? nullptr : &store_[static_cast<size_t>(slot)];
+  }
+
   /// Check a block instance against its spec: arity, collapsed slots only
   /// where optional, C-slots only in CScript positions. Recurses into
   /// nested blocks and scripts. Throws BlockError on violation.
   void validate(const Block& block) const;
   void validate(const Script& script) const;
 
-  /// All registered opcodes, sorted (stable iteration for tests/docs).
-  std::vector<std::string> opcodes() const;
+  /// All registered opcodes, sorted. The sorted vector is maintained
+  /// incrementally by add(), not rebuilt per call.
+  const std::vector<std::string>& opcodes() const { return sortedOpcodes_; }
 
   /// Render a block instance as the user would read it: the spec text with
   /// slot tokens replaced by the rendered inputs.
@@ -105,7 +120,12 @@ class BlockRegistry {
   static const BlockRegistry& standard();
 
  private:
-  std::unordered_map<std::string, BlockSpec> specs_;
+  // Value-semantic storage: copying a registry (projects clone the
+  // standard palette before adding custom blocks) copies the index
+  // vectors verbatim, and the global ids stay valid in the copy.
+  std::deque<BlockSpec> store_;        ///< registration order
+  std::vector<int32_t> byId_;          ///< OpcodeId → store_ index, -1 absent
+  std::vector<std::string> sortedOpcodes_;
 };
 
 /// Populate `registry` with the standard palette (exposed separately so

@@ -16,6 +16,7 @@
 #pragma once
 
 #include <memory>
+#include <mutex>
 #include <string>
 #include <variant>
 #include <vector>
@@ -27,6 +28,7 @@ class Ring;
 class Block;
 class Script;
 class Environment;
+class Input;
 
 using ListPtr = std::shared_ptr<List>;
 using RingPtr = std::shared_ptr<Ring>;
@@ -180,12 +182,21 @@ class Ring {
   const std::vector<std::string>& formals() const { return formals_; }
   const EnvPtr& captured() const { return captured_; }
 
+  /// The body's empty slots in pre-order — the implicit-parameter
+  /// sequence. Computed once and cached: resolving a blank's ordinal is on
+  /// the hot path of every empty-slot evaluation in the VM and the pure
+  /// evaluator, and the body is immutable. Thread-safe (workers share
+  /// rings).
+  const std::vector<const Input*>& emptySlots() const;
+
  private:
   RingKind kind_;
   BlockPtr expression_;
   ScriptPtr script_;
   std::vector<std::string> formals_;
   EnvPtr captured_;
+  mutable std::once_flag emptySlotsOnce_;
+  mutable std::vector<const Input*> emptySlots_;
 };
 
 }  // namespace psnap::blocks

@@ -50,20 +50,54 @@ std::string CodeMapping::formatLiteral(const Value& value) const {
   return "";
 }
 
+CodeMapping& CodeMapping::operator=(const CodeMapping& other) {
+  if (this == &other) return *this;
+  language = other.language;
+  emptySlotName = other.emptySlotName;
+  statementSuffix = other.statementSuffix;
+  indentWidth = other.indentWidth;
+  lineComment = other.lineComment;
+  quoteTexts = other.quoteTexts;
+  templates_ = other.templates_;
+  rebuildIdTable();
+  return *this;
+}
+
+void CodeMapping::rebuildIdTable() {
+  byId_.clear();
+  for (const auto& [opcode, text] : templates_) {
+    const blocks::OpcodeId opId = blocks::internOpcode(opcode);
+    if (opId >= byId_.size()) byId_.resize(opId + 1, nullptr);
+    byId_[opId] = &text;
+  }
+}
+
 void CodeMapping::setTemplate(const std::string& opcode, std::string text) {
-  templates[opcode] = std::move(text);
+  const blocks::OpcodeId opId = blocks::internOpcode(opcode);
+  auto [it, inserted] = templates_.insert_or_assign(opcode, std::move(text));
+  if (opId >= byId_.size()) byId_.resize(opId + 1, nullptr);
+  byId_[opId] = &it->second;
 }
 
 bool CodeMapping::hasTemplate(const std::string& opcode) const {
-  return templates.count(opcode) != 0;
+  return findTemplate(blocks::lookupOpcode(opcode)) != nullptr;
 }
 
 const std::string& CodeMapping::getTemplate(const std::string& opcode) const {
-  auto it = templates.find(opcode);
-  if (it == templates.end()) {
+  const std::string* text = findTemplate(blocks::lookupOpcode(opcode));
+  if (!text) {
     throw CodegenError("no " + language + " mapping for block " + opcode);
   }
-  return it->second;
+  return *text;
+}
+
+const std::string& CodeMapping::getTemplate(blocks::OpcodeId id) const {
+  const std::string* text = findTemplate(id);
+  if (!text) {
+    throw CodegenError("no " + language + " mapping for block " +
+                       blocks::opcodeName(id));
+  }
+  return *text;
 }
 
 namespace {
@@ -73,49 +107,52 @@ namespace {
 void addCommonCFamily(CodeMapping& m) {
   m.statementSuffix = "";
   m.lineComment = "//";
-  auto& t = m.templates;
+  auto set = [&m](const char* op, const char* tmpl) {
+    m.setTemplate(op, tmpl);
+  };
   // operators
-  t["reportSum"] = "(<#1> + <#2>)";
-  t["reportDifference"] = "(<#1> - <#2>)";
-  t["reportProduct"] = "(<#1> * <#2>)";
-  t["reportQuotient"] = "(<#1> / <#2>)";
-  t["reportModulus"] = "fmod(<#1>, <#2>)";
-  t["reportPower"] = "pow(<#1>, <#2>)";
-  t["reportRound"] = "round(<#1>)";
-  t["reportEquals"] = "(<#1> == <#2>)";
-  t["reportLessThan"] = "(<#1> < <#2>)";
-  t["reportGreaterThan"] = "(<#1> > <#2>)";
-  t["reportAnd"] = "(<#1> && <#2>)";
-  t["reportOr"] = "(<#1> || <#2>)";
-  t["reportNot"] = "(!<#1>)";
-  t["reportIfElse"] = "(<#1> ? <#2> : <#3>)";
-  t["reportIdentity"] = "<#1>";
+  set("reportSum", "(<#1> + <#2>)");
+  set("reportDifference", "(<#1> - <#2>)");
+  set("reportProduct", "(<#1> * <#2>)");
+  set("reportQuotient", "(<#1> / <#2>)");
+  set("reportModulus", "fmod(<#1>, <#2>)");
+  set("reportPower", "pow(<#1>, <#2>)");
+  set("reportRound", "round(<#1>)");
+  set("reportEquals", "(<#1> == <#2>)");
+  set("reportLessThan", "(<#1> < <#2>)");
+  set("reportGreaterThan", "(<#1> > <#2>)");
+  set("reportAnd", "(<#1> && <#2>)");
+  set("reportOr", "(<#1> || <#2>)");
+  set("reportNot", "(!<#1>)");
+  set("reportIfElse", "(<#1> ? <#2> : <#3>)");
+  set("reportIdentity", "<#1>");
   // variables
-  t["reportGetVar"] = "<#1>";
-  t["doSetVar"] = "<#1> = <#2>;";
-  t["doChangeVar"] = "<#1> += <#2>;";
-  t["doDeclareVariables"] = "";  // handled by the declaration emitter
+  set("reportGetVar", "<#1>");
+  set("doSetVar", "<#1> = <#2>;");
+  set("doChangeVar", "<#1> += <#2>;");
+  set("doDeclareVariables", "");  // handled by the declaration emitter
   // lists (C arrays)
-  t["reportNewList"] = "{<#*>}";
-  t["reportListItem"] = "<#2>[(int)(<#1>) - 1]";
-  t["reportListLength"] = "(sizeof(<#1>)/sizeof(<#1>[0]))";
+  set("reportNewList", "{<#*>}");
+  set("reportListItem", "<#2>[(int)(<#1>) - 1]");
+  set("reportListLength", "(sizeof(<#1>)/sizeof(<#1>[0]))");
   // control
-  t["doRepeat"] = "for (i = 1; i <= <#1>; i++) {\n<#2>\n}";
-  t["doFor"] =
+  set("doRepeat", "for (i = 1; i <= <#1>; i++) {\n<#2>\n}");
+  set("doFor",
       "for (int <#1> = (int)(<#2>); <#1> <= (int)(<#3>); <#1>++) "
-      "{\n<#4>\n}";
-  t["doIf"] = "if (<#1>) {\n<#2>\n}";
-  t["doIfElse"] = "if (<#1>) {\n<#2>\n} else {\n<#3>\n}";
-  t["doUntil"] = "while (!(<#1>)) {\n<#2>\n}";
-  t["doForever"] = "while (1) {\n<#1>\n}";
-  t["doForEach"] =
+      "{\n<#4>\n}");
+  set("doIf", "if (<#1>) {\n<#2>\n}");
+  set("doIfElse", "if (<#1>) {\n<#2>\n} else {\n<#3>\n}");
+  set("doUntil", "while (!(<#1>)) {\n<#2>\n}");
+  set("doForever", "while (1) {\n<#1>\n}");
+  set("doForEach",
       "for (int __k = 0; __k < (int)(sizeof(<#2>)/sizeof(<#2>[0])); "
-      "__k++) {\n    double <#1> = <#2>[__k];\n<#3>\n}";
-  t["doWait"] = "sleep((unsigned)(<#1>));";
-  t["doAddToList"] = "append(<#1>, <#2>);";
+      "__k++) {\n    double <#1> = <#2>[__k];\n<#3>\n}");
+  set("doWait", "sleep((unsigned)(<#1>));");
+  set("doAddToList", "append(<#1>, <#2>);");
   // looks
-  t["bubble"] = "printf(\"%g\\n\", (double)(<#1>));";
-  t["doSayFor"] = "printf(\"%g\\n\", (double)(<#1>)); sleep((unsigned)(<#2>));";
+  set("bubble", "printf(\"%g\\n\", (double)(<#1>));");
+  set("doSayFor",
+      "printf(\"%g\\n\", (double)(<#1>)); sleep((unsigned)(<#2>));");
 }
 
 CodeMapping makeC() {
@@ -123,9 +160,10 @@ CodeMapping makeC() {
   m.language = "C";
   addCommonCFamily(m);
   // Sequential C runs the parallel blocks serially.
-  m.templates["doParallelForEach"] =
-      "for (int __k = 0; __k < (int)(sizeof(<#2>)/sizeof(<#2>[0])); "
-      "__k++) {\n    double <#1> = <#2>[__k];\n<#4>\n}";
+  m.setTemplate("doParallelForEach",
+                "for (int __k = 0; __k < "
+                "(int)(sizeof(<#2>)/sizeof(<#2>[0])); "
+                "__k++) {\n    double <#1> = <#2>[__k];\n<#4>\n}");
   return m;
 }
 
@@ -134,10 +172,11 @@ CodeMapping makeOpenMP() {
   m.language = "OpenMP C";
   addCommonCFamily(m);
   // The payoff of Sec. 6: the parallel block becomes an OpenMP pragma.
-  m.templates["doParallelForEach"] =
-      "#pragma omp parallel for\n"
-      "for (int __k = 0; __k < (int)(sizeof(<#2>)/sizeof(<#2>[0])); "
-      "__k++) {\n    double <#1> = <#2>[__k];\n<#4>\n}";
+  m.setTemplate("doParallelForEach",
+                "#pragma omp parallel for\n"
+                "for (int __k = 0; __k < "
+                "(int)(sizeof(<#2>)/sizeof(<#2>[0])); "
+                "__k++) {\n    double <#1> = <#2>[__k];\n<#4>\n}");
   return m;
 }
 
@@ -145,48 +184,49 @@ CodeMapping makeJavaScript() {
   CodeMapping m;
   m.language = "JavaScript";
   m.lineComment = "//";
-  auto& t = m.templates;
-  t["reportSum"] = "(<#1> + <#2>)";
-  t["reportDifference"] = "(<#1> - <#2>)";
-  t["reportProduct"] = "(<#1> * <#2>)";
-  t["reportQuotient"] = "(<#1> / <#2>)";
-  t["reportModulus"] = "(((<#1> % <#2>) + <#2>) % <#2>)";
-  t["reportPower"] = "Math.pow(<#1>, <#2>)";
-  t["reportRound"] = "Math.round(<#1>)";
-  t["reportEquals"] = "(<#1> == <#2>)";
-  t["reportLessThan"] = "(<#1> < <#2>)";
-  t["reportGreaterThan"] = "(<#1> > <#2>)";
-  t["reportAnd"] = "(<#1> && <#2>)";
-  t["reportOr"] = "(<#1> || <#2>)";
-  t["reportNot"] = "(!<#1>)";
-  t["reportIfElse"] = "(<#1> ? <#2> : <#3>)";
-  t["reportIdentity"] = "<#1>";
-  t["reportJoinWords"] = "[<#*>].join(\"\")";
-  t["reportGetVar"] = "<#1>";
-  t["doSetVar"] = "<#1> = <#2>;";
-  t["doChangeVar"] = "<#1> += <#2>;";
-  t["doDeclareVariables"] = "var <#*>;";
-  t["reportNewList"] = "[<#*>]";
-  t["reportListItem"] = "<#2>[(<#1>) - 1]";
-  t["reportListLength"] = "<#1>.length";
-  t["reportMap"] = "<#2>.map(<#1>)";
-  t["reportKeep"] = "<#2>.filter(<#1>)";
-  t["doRepeat"] = "for (let __i = 0; __i < <#1>; __i++) {\n<#2>\n}";
-  t["doFor"] = "for (let <#1> = <#2>; <#1> <= <#3>; <#1>++) {\n<#4>\n}";
-  t["doIf"] = "if (<#1>) {\n<#2>\n}";
-  t["doIfElse"] = "if (<#1>) {\n<#2>\n} else {\n<#3>\n}";
-  t["doUntil"] = "while (!(<#1>)) {\n<#2>\n}";
-  t["doForever"] = "while (true) {\n<#1>\n}";
-  t["doForEach"] = "for (const <#1> of <#2>) {\n<#3>\n}";
-  t["bubble"] = "console.log(<#1>);";
-  t["doAddToList"] = "<#2>.push(<#1>);";
-  t["doWait"] = "// wait <#1> s";
-  t["reifyReporter"] = "function (x) { return <#1>; }";
+  auto set = [&m](const char* op, const char* tmpl) {
+    m.setTemplate(op, tmpl);
+  };
+  set("reportSum", "(<#1> + <#2>)");
+  set("reportDifference", "(<#1> - <#2>)");
+  set("reportProduct", "(<#1> * <#2>)");
+  set("reportQuotient", "(<#1> / <#2>)");
+  set("reportModulus", "(((<#1> % <#2>) + <#2>) % <#2>)");
+  set("reportPower", "Math.pow(<#1>, <#2>)");
+  set("reportRound", "Math.round(<#1>)");
+  set("reportEquals", "(<#1> == <#2>)");
+  set("reportLessThan", "(<#1> < <#2>)");
+  set("reportGreaterThan", "(<#1> > <#2>)");
+  set("reportAnd", "(<#1> && <#2>)");
+  set("reportOr", "(<#1> || <#2>)");
+  set("reportNot", "(!<#1>)");
+  set("reportIfElse", "(<#1> ? <#2> : <#3>)");
+  set("reportIdentity", "<#1>");
+  set("reportJoinWords", "[<#*>].join(\"\")");
+  set("reportGetVar", "<#1>");
+  set("doSetVar", "<#1> = <#2>;");
+  set("doChangeVar", "<#1> += <#2>;");
+  set("doDeclareVariables", "var <#*>;");
+  set("reportNewList", "[<#*>]");
+  set("reportListItem", "<#2>[(<#1>) - 1]");
+  set("reportListLength", "<#1>.length");
+  set("reportMap", "<#2>.map(<#1>)");
+  set("reportKeep", "<#2>.filter(<#1>)");
+  set("doRepeat", "for (let __i = 0; __i < <#1>; __i++) {\n<#2>\n}");
+  set("doFor", "for (let <#1> = <#2>; <#1> <= <#3>; <#1>++) {\n<#4>\n}");
+  set("doIf", "if (<#1>) {\n<#2>\n}");
+  set("doIfElse", "if (<#1>) {\n<#2>\n} else {\n<#3>\n}");
+  set("doUntil", "while (!(<#1>)) {\n<#2>\n}");
+  set("doForever", "while (true) {\n<#1>\n}");
+  set("doForEach", "for (const <#1> of <#2>) {\n<#3>\n}");
+  set("bubble", "console.log(<#1>);");
+  set("doAddToList", "<#2>.push(<#1>);");
+  set("doWait", "// wait <#1> s");
+  set("reifyReporter", "function (x) { return <#1>; }");
   // Paper Listing 1: the block maps onto Parallel.js.
-  t["reportParallelMap"] =
-      "new Parallel(<#2>, {maxWorkers: <#3>}).map(<#1>).data";
-  t["doParallelForEach"] =
-      "<#2>.forEach(function (<#1>) {\n<#4>\n});";
+  set("reportParallelMap",
+      "new Parallel(<#2>, {maxWorkers: <#3>}).map(<#1>).data");
+  set("doParallelForEach", "<#2>.forEach(function (<#1>) {\n<#4>\n});");
   return m;
 }
 
@@ -195,46 +235,47 @@ CodeMapping makePython() {
   m.language = "Python";
   m.lineComment = "#";
   m.statementSuffix = "";
-  auto& t = m.templates;
-  t["reportSum"] = "(<#1> + <#2>)";
-  t["reportDifference"] = "(<#1> - <#2>)";
-  t["reportProduct"] = "(<#1> * <#2>)";
-  t["reportQuotient"] = "(<#1> / <#2>)";
-  t["reportModulus"] = "(<#1> % <#2>)";
-  t["reportPower"] = "(<#1> ** <#2>)";
-  t["reportRound"] = "round(<#1>)";
-  t["reportEquals"] = "(<#1> == <#2>)";
-  t["reportLessThan"] = "(<#1> < <#2>)";
-  t["reportGreaterThan"] = "(<#1> > <#2>)";
-  t["reportAnd"] = "(<#1> and <#2>)";
-  t["reportOr"] = "(<#1> or <#2>)";
-  t["reportNot"] = "(not <#1>)";
-  t["reportIfElse"] = "(<#2> if <#1> else <#3>)";
-  t["reportIdentity"] = "<#1>";
-  t["reportJoinWords"] = "\"\".join(str(__s) for __s in [<#*>])";
-  t["reportGetVar"] = "<#1>";
-  t["doSetVar"] = "<#1> = <#2>";
-  t["doChangeVar"] = "<#1> += <#2>";
-  t["doDeclareVariables"] = "";
-  t["reportNewList"] = "[<#*>]";
-  t["reportListItem"] = "<#2>[int(<#1>) - 1]";
-  t["reportListLength"] = "len(<#1>)";
-  t["reportMap"] = "[(<#1>)(__e) for __e in <#2>]";
-  t["reportKeep"] = "[__e for __e in <#2> if (<#1>)(__e)]";
-  t["doRepeat"] = "for __i in range(int(<#1>)):\n<#2>";
-  t["doFor"] = "for <#1> in range(int(<#2>), int(<#3>) + 1):\n<#4>";
-  t["doIf"] = "if <#1>:\n<#2>";
-  t["doIfElse"] = "if <#1>:\n<#2>\nelse:\n<#3>";
-  t["doUntil"] = "while not (<#1>):\n<#2>";
-  t["doForever"] = "while True:\n<#1>";
-  t["doForEach"] = "for <#1> in <#2>:\n<#3>";
-  t["bubble"] = "print(<#1>)";
-  t["doAddToList"] = "<#2>.append(<#1>)";
-  t["doWait"] = "time.sleep(<#1>)";
-  t["reifyReporter"] = "lambda x: <#1>";
-  t["reportParallelMap"] =
-      "multiprocessing.Pool(<#3>).map(<#1>, <#2>)";
-  t["doParallelForEach"] = "for <#1> in <#2>:\n<#4>";
+  auto set = [&m](const char* op, const char* tmpl) {
+    m.setTemplate(op, tmpl);
+  };
+  set("reportSum", "(<#1> + <#2>)");
+  set("reportDifference", "(<#1> - <#2>)");
+  set("reportProduct", "(<#1> * <#2>)");
+  set("reportQuotient", "(<#1> / <#2>)");
+  set("reportModulus", "(<#1> % <#2>)");
+  set("reportPower", "(<#1> ** <#2>)");
+  set("reportRound", "round(<#1>)");
+  set("reportEquals", "(<#1> == <#2>)");
+  set("reportLessThan", "(<#1> < <#2>)");
+  set("reportGreaterThan", "(<#1> > <#2>)");
+  set("reportAnd", "(<#1> and <#2>)");
+  set("reportOr", "(<#1> or <#2>)");
+  set("reportNot", "(not <#1>)");
+  set("reportIfElse", "(<#2> if <#1> else <#3>)");
+  set("reportIdentity", "<#1>");
+  set("reportJoinWords", "\"\".join(str(__s) for __s in [<#*>])");
+  set("reportGetVar", "<#1>");
+  set("doSetVar", "<#1> = <#2>");
+  set("doChangeVar", "<#1> += <#2>");
+  set("doDeclareVariables", "");
+  set("reportNewList", "[<#*>]");
+  set("reportListItem", "<#2>[int(<#1>) - 1]");
+  set("reportListLength", "len(<#1>)");
+  set("reportMap", "[(<#1>)(__e) for __e in <#2>]");
+  set("reportKeep", "[__e for __e in <#2> if (<#1>)(__e)]");
+  set("doRepeat", "for __i in range(int(<#1>)):\n<#2>");
+  set("doFor", "for <#1> in range(int(<#2>), int(<#3>) + 1):\n<#4>");
+  set("doIf", "if <#1>:\n<#2>");
+  set("doIfElse", "if <#1>:\n<#2>\nelse:\n<#3>");
+  set("doUntil", "while not (<#1>):\n<#2>");
+  set("doForever", "while True:\n<#1>");
+  set("doForEach", "for <#1> in <#2>:\n<#3>");
+  set("bubble", "print(<#1>)");
+  set("doAddToList", "<#2>.append(<#1>)");
+  set("doWait", "time.sleep(<#1>)");
+  set("reifyReporter", "lambda x: <#1>");
+  set("reportParallelMap", "multiprocessing.Pool(<#3>).map(<#1>, <#2>)");
+  set("doParallelForEach", "for <#1> in <#2>:\n<#4>");
   return m;
 }
 

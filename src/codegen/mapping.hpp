@@ -12,18 +12,24 @@
 
 #include <string>
 #include <unordered_map>
+#include <vector>
 
+#include "blocks/opcodes.hpp"
 #include "blocks/value.hpp"
 
 namespace psnap::codegen {
 
 /// Target-language description driving the translator.
 struct CodeMapping {
-  std::string language;
+  CodeMapping() = default;
+  // The id table points into this mapping's own template storage, so
+  // copies rebuild it. Moves transfer the map nodes and keep it valid.
+  CodeMapping(const CodeMapping& other) { *this = other; }
+  CodeMapping& operator=(const CodeMapping& other);
+  CodeMapping(CodeMapping&&) = default;
+  CodeMapping& operator=(CodeMapping&&) = default;
 
-  /// opcode → template with <#N> placeholders. A missing opcode is a
-  /// CodegenError at translation time.
-  std::unordered_map<std::string, std::string> templates;
+  std::string language;
 
   /// Name substituted for an empty slot (the ring's implicit parameter) —
   /// the `aContext.inputs[0]` parameter name of paper Listing 2.
@@ -46,10 +52,17 @@ struct CodeMapping {
 
   /// Register (or override) the template for an opcode — the user-facing
   /// extension point ("code mappings for new textual languages can easily
-  /// be specified").
+  /// be specified"). Strings are the construction surface; the translator
+  /// resolves templates by the block's interned id.
   void setTemplate(const std::string& opcode, std::string text);
   bool hasTemplate(const std::string& opcode) const;
   const std::string& getTemplate(const std::string& opcode) const;
+
+  /// Id-keyed lookups used by the translator's hot path.
+  bool hasTemplate(blocks::OpcodeId id) const {
+    return findTemplate(id) != nullptr;
+  }
+  const std::string& getTemplate(blocks::OpcodeId id) const;
 
   // Built-in mappings.
   static const CodeMapping& c();
@@ -60,6 +73,20 @@ struct CodeMapping {
   /// Lookup by name ("C", "OpenMP C", "JavaScript", "Python";
   /// case-insensitive). Throws CodegenError for unknown languages.
   static const CodeMapping& byName(const std::string& name);
+
+ private:
+  const std::string* findTemplate(blocks::OpcodeId id) const {
+    return id < byId_.size() ? byId_[id] : nullptr;
+  }
+  void rebuildIdTable();
+
+  /// opcode string → template with <#N> placeholders (construction and
+  /// user-extension path). A missing opcode is a CodegenError at
+  /// translation time.
+  std::unordered_map<std::string, std::string> templates_;
+  /// OpcodeId → template, pointing into `templates_` values (stable:
+  /// unordered_map never moves its nodes). Nullptr marks no template.
+  std::vector<const std::string*> byId_;
 };
 
 }  // namespace psnap::codegen

@@ -12,6 +12,7 @@ using blocks::Block;
 using blocks::BlockRegistry;
 using blocks::Input;
 using blocks::InputKind;
+using blocks::Op;
 using blocks::Ring;
 using blocks::RingKind;
 using blocks::Script;
@@ -51,30 +52,44 @@ CType inferInputType(const Input& input) {
 }
 
 CType inferType(const Block& block) {
-  static const std::unordered_map<std::string, CType> byOpcode = {
-      {"reportSum", CType::Double},      {"reportDifference", CType::Double},
-      {"reportProduct", CType::Double},  {"reportQuotient", CType::Double},
-      {"reportModulus", CType::Double},  {"reportPower", CType::Double},
-      {"reportRound", CType::Int},       {"reportMonadic", CType::Double},
-      {"reportRandom", CType::Double},   {"reportEquals", CType::Bool},
-      {"reportLessThan", CType::Bool},   {"reportGreaterThan", CType::Bool},
-      {"reportAnd", CType::Bool},        {"reportOr", CType::Bool},
-      {"reportNot", CType::Bool},        {"reportJoinWords", CType::Text},
-      {"reportLetter", CType::Text},     {"reportStringSize", CType::Int},
-      {"reportListLength", CType::Int},  {"reportNewList", CType::DoubleArray},
-      {"reportNumbers", CType::DoubleArray},
-      {"reportSorted", CType::DoubleArray},
-      {"reportMap", CType::DoubleArray},
-      {"reportParallelMap", CType::DoubleArray},
-      {"reportListItem", CType::Double},
-      {"getTimer", CType::Double},
-  };
-  auto it = byOpcode.find(block.opcode());
-  if (it != byOpcode.end()) return it->second;
-  if (block.opcode() == "reportIfElse" && block.arity() == 3) {
-    return inferInputType(block.input(1));
+  switch (static_cast<Op>(block.opcodeId())) {
+    case Op::reportSum:
+    case Op::reportDifference:
+    case Op::reportProduct:
+    case Op::reportQuotient:
+    case Op::reportModulus:
+    case Op::reportPower:
+    case Op::reportMonadic:
+    case Op::reportRandom:
+    case Op::reportListItem:
+    case Op::getTimer:
+      return CType::Double;
+    case Op::reportRound:
+    case Op::reportStringSize:
+    case Op::reportListLength:
+      return CType::Int;
+    case Op::reportEquals:
+    case Op::reportLessThan:
+    case Op::reportGreaterThan:
+    case Op::reportAnd:
+    case Op::reportOr:
+    case Op::reportNot:
+      return CType::Bool;
+    case Op::reportJoinWords:
+    case Op::reportLetter:
+      return CType::Text;
+    case Op::reportNewList:
+    case Op::reportNumbers:
+    case Op::reportSorted:
+    case Op::reportMap:
+    case Op::reportParallelMap:
+      return CType::DoubleArray;
+    case Op::reportIfElse:
+      if (block.arity() == 3) return inferInputType(block.input(1));
+      return CType::Unknown;
+    default:
+      return CType::Unknown;
   }
-  return CType::Unknown;
 }
 
 Translator::Translator(const CodeMapping& mapping,
@@ -101,7 +116,7 @@ std::string Translator::renderInput(const Input& input) const {
 std::string Translator::substitute(const std::string& text,
                                    const Block& block) const {
   // Variable slots render as bare identifiers rather than quoted strings.
-  const blocks::BlockSpec* spec = registry_->find(block.opcode());
+  const blocks::BlockSpec* spec = registry_->specOf(block.opcodeId());
   auto renderAt = [&](size_t index) -> std::string {
     const Input& input = block.input(index);
     if (spec && index < spec->slots.size() &&
@@ -155,14 +170,14 @@ std::string Translator::mappedCode(const Block& block) const {
   // Rings translate to their body (Listing 2 translates the ringed
   // expression, not the ring wrapper), unless the language maps rings to
   // first-class functions (JavaScript/Python lambdas).
-  if (block.opcode() == "reifyReporter" &&
-      !mapping_->hasTemplate("reifyReporter")) {
+  if (block.is(Op::reifyReporter) &&
+      !mapping_->hasTemplate(blocks::id(Op::reifyReporter))) {
     if (block.arity() == 0 || block.input(0).isEmpty()) {
       return mapping_->emptySlotName;
     }
     return renderInput(block.input(0));
   }
-  return substitute(mapping_->getTemplate(block.opcode()), block);
+  return substitute(mapping_->getTemplate(block.opcodeId()), block);
 }
 
 std::string Translator::mappedCode(const Script& script) const {
@@ -181,9 +196,9 @@ std::string Translator::mappedCode(const Ring& ring) const {
     // Languages with first-class functions wrap the body in a lambda
     // (their reifyReporter template); C-family targets emit the bare
     // expression, exactly like Listing 2's mappedCode().
-    if (mapping_->hasTemplate("reifyReporter")) {
-      return strings::replaceAll(mapping_->getTemplate("reifyReporter"),
-                                 "<#1>", body);
+    if (mapping_->hasTemplate(blocks::id(Op::reifyReporter))) {
+      return strings::replaceAll(
+          mapping_->getTemplate(blocks::id(Op::reifyReporter)), "<#1>", body);
     }
     return body;
   }
@@ -196,12 +211,12 @@ std::string Translator::declarationsFor(const Script& script) const {
   std::unordered_map<std::string, CType> types;
   std::function<void(const Script&)> walk = [&](const Script& s) {
     for (const blocks::BlockPtr& block : s.blocks()) {
-      if (block->opcode() == "doDeclareVariables") {
+      if (block->is(Op::doDeclareVariables)) {
         for (const Input& input : block->inputs()) {
           names.push_back(input.literalValue().asText());
         }
       }
-      if (block->opcode() == "doSetVar" && block->arity() == 2 &&
+      if (block->is(Op::doSetVar) && block->arity() == 2 &&
           block->input(0).isLiteral()) {
         const std::string name = block->input(0).literalValue().asText();
         if (types.count(name) == 0) {

@@ -15,6 +15,7 @@ using blocks::Input;
 using blocks::InputKind;
 using blocks::List;
 using blocks::ListPtr;
+using blocks::Op;
 using blocks::Ring;
 using blocks::RingKind;
 using blocks::RingPtr;
@@ -118,245 +119,271 @@ bool lessThanValues(const Value& a, const Value& b) {
 }
 
 Value evalPure(const Block& block, const PureFrame& frame) {
-  const std::string& op = block.opcode();
+  // Dispatch on the block's cached interned id: the two switches below
+  // compile to dense jump tables, replacing the pre-refactor chain of
+  // string comparisons. Ids past Op::BuiltinCount (custom blocks) fall to
+  // the default case and raise PurityError, as the string chain did.
+  const Op op = static_cast<Op>(block.opcodeId());
 
   // Variable access and ring construction need the frame, so handle them
   // before generic input evaluation.
-  if (op == "reportGetVar") {
-    return lookupVariable(block.input(0).literalValue().asText(), frame);
-  }
-  if (op == "reifyReporter") {
-    BlockPtr expression;
-    if (block.arity() == 0 || block.input(0).isEmpty()) {
-      static const BlockPtr identityTemplate =
-          Block::make("reportIdentity", {Input::empty()});
-      expression = identityTemplate;
-    } else if (block.input(0).isLiteral()) {
-      expression = Block::make("reportIdentity",
-                               {Input(block.input(0).literalValue())});
-    } else {
-      expression = block.input(0).block();
+  switch (op) {
+    case Op::reportGetVar:
+      return lookupVariable(block.input(0).literalValue().asText(), frame);
+    case Op::reifyReporter: {
+      BlockPtr expression;
+      if (block.arity() == 0 || block.input(0).isEmpty()) {
+        static const BlockPtr identityTemplate =
+            Block::make("reportIdentity", {Input::empty()});
+        expression = identityTemplate;
+      } else if (block.input(0).isLiteral()) {
+        expression = Block::make("reportIdentity",
+                                 {Input(block.input(0).literalValue())});
+      } else {
+        expression = block.input(0).block();
+      }
+      std::vector<std::string> formals;
+      for (size_t i = 1; i < block.arity(); ++i) {
+        formals.push_back(block.input(i).literalValue().asText());
+      }
+      // The returned ring carries no captured environment; name resolution
+      // happens through the PureFrame chain when it is called immediately
+      // (combine/map/evaluate). Escaping rings lose their defining frame.
+      return Value(Ring::reporter(expression, std::move(formals)));
     }
-    std::vector<std::string> formals;
-    for (size_t i = 1; i < block.arity(); ++i) {
-      formals.push_back(block.input(i).literalValue().asText());
-    }
-    // The returned ring carries no captured environment; name resolution
-    // happens through the PureFrame chain when it is called immediately
-    // (combine/map/evaluate). Escaping rings lose their defining frame.
-    return Value(Ring::reporter(expression, std::move(formals)));
+    default:
+      break;
   }
 
-  // Strictly evaluate all inputs.
-  std::vector<Value> in;
-  in.reserve(block.arity());
-  for (const Input& input : block.inputs()) {
-    in.push_back(evalInput(input, frame));
+  // Strictly evaluate all inputs; small arities (almost all blocks) use a
+  // stack buffer instead of a heap vector.
+  constexpr size_t kStackInputs = 8;
+  const size_t n = block.arity();
+  Value stackBuf[kStackInputs];
+  std::vector<Value> heapBuf;
+  Value* in;
+  if (n <= kStackInputs) {
+    in = stackBuf;
+  } else {
+    heapBuf.resize(n);
+    in = heapBuf.data();
   }
+  for (size_t i = 0; i < n; ++i) in[i] = evalInput(block.input(i), frame);
 
-  // --- arithmetic -----------------------------------------------------------
-  if (op == "reportSum") return Value(in[0].asNumber() + in[1].asNumber());
-  if (op == "reportDifference") {
-    return Value(in[0].asNumber() - in[1].asNumber());
-  }
-  if (op == "reportProduct") {
-    return Value(in[0].asNumber() * in[1].asNumber());
-  }
-  if (op == "reportQuotient") {
-    double d = in[1].asNumber();
-    if (d == 0) throw Error("division by zero");
-    return Value(in[0].asNumber() / d);
-  }
-  if (op == "reportModulus") {
-    double d = in[1].asNumber();
-    if (d == 0) throw Error("modulus by zero");
-    double r = std::fmod(in[0].asNumber(), d);
-    if (r != 0 && ((r < 0) != (d < 0))) r += d;
-    return Value(r);
-  }
-  if (op == "reportPower") {
-    return Value(std::pow(in[0].asNumber(), in[1].asNumber()));
-  }
-  if (op == "reportRound") return Value(std::round(in[0].asNumber()));
-  if (op == "reportMonadic") {
-    const std::string fn = psnap::strings::toLower(in[0].asText());
-    const double x = in[1].asNumber();
-    if (fn == "sqrt") {
-      if (x < 0) throw Error("sqrt of a negative number");
-      return Value(std::sqrt(x));
+  switch (op) {
+    // --- arithmetic ---------------------------------------------------------
+    case Op::reportSum:
+      return Value(in[0].asNumber() + in[1].asNumber());
+    case Op::reportDifference:
+      return Value(in[0].asNumber() - in[1].asNumber());
+    case Op::reportProduct:
+      return Value(in[0].asNumber() * in[1].asNumber());
+    case Op::reportQuotient: {
+      double d = in[1].asNumber();
+      if (d == 0) throw Error("division by zero");
+      return Value(in[0].asNumber() / d);
     }
-    if (fn == "abs") return Value(std::fabs(x));
-    if (fn == "floor") return Value(std::floor(x));
-    if (fn == "ceiling") return Value(std::ceil(x));
-    if (fn == "sin") return Value(std::sin(x * kPi / 180.0));
-    if (fn == "cos") return Value(std::cos(x * kPi / 180.0));
-    if (fn == "tan") return Value(std::tan(x * kPi / 180.0));
-    if (fn == "asin") return Value(std::asin(x) * 180.0 / kPi);
-    if (fn == "acos") return Value(std::acos(x) * 180.0 / kPi);
-    if (fn == "atan") return Value(std::atan(x) * 180.0 / kPi);
-    if (fn == "ln") {
-      if (x <= 0) throw Error("ln of a non-positive number");
-      return Value(std::log(x));
+    case Op::reportModulus: {
+      double d = in[1].asNumber();
+      if (d == 0) throw Error("modulus by zero");
+      double r = std::fmod(in[0].asNumber(), d);
+      if (r != 0 && ((r < 0) != (d < 0))) r += d;
+      return Value(r);
     }
-    if (fn == "log") {
-      if (x <= 0) throw Error("log of a non-positive number");
-      return Value(std::log10(x));
+    case Op::reportPower:
+      return Value(std::pow(in[0].asNumber(), in[1].asNumber()));
+    case Op::reportRound:
+      return Value(std::round(in[0].asNumber()));
+    case Op::reportMonadic: {
+      const std::string fn = psnap::strings::toLower(in[0].asText());
+      const double x = in[1].asNumber();
+      if (fn == "sqrt") {
+        if (x < 0) throw Error("sqrt of a negative number");
+        return Value(std::sqrt(x));
+      }
+      if (fn == "abs") return Value(std::fabs(x));
+      if (fn == "floor") return Value(std::floor(x));
+      if (fn == "ceiling") return Value(std::ceil(x));
+      if (fn == "sin") return Value(std::sin(x * kPi / 180.0));
+      if (fn == "cos") return Value(std::cos(x * kPi / 180.0));
+      if (fn == "tan") return Value(std::tan(x * kPi / 180.0));
+      if (fn == "asin") return Value(std::asin(x) * 180.0 / kPi);
+      if (fn == "acos") return Value(std::acos(x) * 180.0 / kPi);
+      if (fn == "atan") return Value(std::atan(x) * 180.0 / kPi);
+      if (fn == "ln") {
+        if (x <= 0) throw Error("ln of a non-positive number");
+        return Value(std::log(x));
+      }
+      if (fn == "log") {
+        if (x <= 0) throw Error("log of a non-positive number");
+        return Value(std::log10(x));
+      }
+      if (fn == "e^") return Value(std::exp(x));
+      if (fn == "10^") return Value(std::pow(10.0, x));
+      throw Error("unknown monadic function \"" + fn + "\" in worker code");
     }
-    if (fn == "e^") return Value(std::exp(x));
-    if (fn == "10^") return Value(std::pow(10.0, x));
-    throw Error("unknown monadic function \"" + fn + "\" in worker code");
-  }
 
-  // --- comparison / logic ----------------------------------------------------
-  if (op == "reportEquals") return Value(in[0].equals(in[1]));
-  if (op == "reportLessThan") return Value(lessThanValues(in[0], in[1]));
-  if (op == "reportGreaterThan") return Value(lessThanValues(in[1], in[0]));
-  if (op == "reportAnd") return Value(in[0].asBoolean() && in[1].asBoolean());
-  if (op == "reportOr") return Value(in[0].asBoolean() || in[1].asBoolean());
-  if (op == "reportNot") return Value(!in[0].asBoolean());
-  if (op == "reportIfElse") return in[0].asBoolean() ? in[1] : in[2];
-  if (op == "reportIsA") {
-    const std::string type = psnap::strings::toLower(in[1].asText());
-    const char* actual = blocks::valueKindName(in[0].kind());
-    return Value(type == actual ||
-                 (type == "nothing" && in[0].isNothing()));
-  }
-  if (op == "reportIdentity") return in[0];
+    // --- comparison / logic -------------------------------------------------
+    case Op::reportEquals:
+      return Value(in[0].equals(in[1]));
+    case Op::reportLessThan:
+      return Value(lessThanValues(in[0], in[1]));
+    case Op::reportGreaterThan:
+      return Value(lessThanValues(in[1], in[0]));
+    case Op::reportAnd:
+      return Value(in[0].asBoolean() && in[1].asBoolean());
+    case Op::reportOr:
+      return Value(in[0].asBoolean() || in[1].asBoolean());
+    case Op::reportNot:
+      return Value(!in[0].asBoolean());
+    case Op::reportIfElse:
+      return in[0].asBoolean() ? in[1] : in[2];
+    case Op::reportIsA: {
+      const std::string type = psnap::strings::toLower(in[1].asText());
+      const char* actual = blocks::valueKindName(in[0].kind());
+      return Value(type == actual ||
+                   (type == "nothing" && in[0].isNothing()));
+    }
+    case Op::reportIdentity:
+      return in[0];
 
-  // --- text ------------------------------------------------------------------
-  if (op == "reportJoinWords") {
-    std::string out;
-    for (const Value& v : in) out += v.asText();
-    return Value(out);
-  }
-  if (op == "reportLetter") {
-    const std::string text = in[1].asText();
-    long long index = in[0].asInteger();
-    if (index < 1 || static_cast<size_t>(index) > text.size()) {
-      return Value(std::string());
+    // --- text ---------------------------------------------------------------
+    case Op::reportJoinWords: {
+      std::string out;
+      for (size_t i = 0; i < n; ++i) out += in[i].asText();
+      return Value(out);
     }
-    return Value(std::string(1, text[static_cast<size_t>(index - 1)]));
-  }
-  if (op == "reportStringSize") return Value(in[0].asText().size());
-  if (op == "reportUnicode") {
-    const std::string text = in[0].asText();
-    if (text.empty()) throw Error("unicode of empty text");
-    return Value(static_cast<double>(static_cast<unsigned char>(text[0])));
-  }
-  if (op == "reportUnicodeAsLetter") {
-    return Value(std::string(1, static_cast<char>(in[0].asInteger() & 0xff)));
-  }
-  if (op == "reportSplit") {
-    const std::string text = in[0].asText();
-    const std::string sep = in[1].asText();
-    auto out = List::make();
-    std::vector<std::string> parts;
-    if (sep == "whitespace" || sep == "word" || sep.empty()) {
-      parts = psnap::strings::splitWhitespace(text);
-    } else if (sep == "letter") {
-      for (char ch : text) parts.emplace_back(1, ch);
-    } else if (sep == "line") {
-      parts = psnap::strings::split(text, '\n');
-    } else if (sep.size() == 1) {
-      parts = psnap::strings::split(text, sep[0]);
-    } else {
-      throw Error("multi-character split is unsupported in worker code");
+    case Op::reportLetter: {
+      const std::string text = in[1].asText();
+      long long index = in[0].asInteger();
+      if (index < 1 || static_cast<size_t>(index) > text.size()) {
+        return Value(std::string());
+      }
+      return Value(std::string(1, text[static_cast<size_t>(index - 1)]));
     }
-    for (std::string& part : parts) out->add(Value(std::move(part)));
-    return Value(out);
-  }
+    case Op::reportStringSize:
+      return Value(in[0].asText().size());
+    case Op::reportUnicode: {
+      const std::string text = in[0].asText();
+      if (text.empty()) throw Error("unicode of empty text");
+      return Value(static_cast<double>(static_cast<unsigned char>(text[0])));
+    }
+    case Op::reportUnicodeAsLetter:
+      return Value(
+          std::string(1, static_cast<char>(in[0].asInteger() & 0xff)));
+    case Op::reportSplit: {
+      const std::string text = in[0].asText();
+      const std::string sep = in[1].asText();
+      auto out = List::make();
+      std::vector<std::string> parts;
+      if (sep == "whitespace" || sep == "word" || sep.empty()) {
+        parts = psnap::strings::splitWhitespace(text);
+      } else if (sep == "letter") {
+        for (char ch : text) parts.emplace_back(1, ch);
+      } else if (sep == "line") {
+        parts = psnap::strings::split(text, '\n');
+      } else if (sep.size() == 1) {
+        parts = psnap::strings::split(text, sep[0]);
+      } else {
+        throw Error("multi-character split is unsupported in worker code");
+      }
+      for (std::string& part : parts) out->add(Value(std::move(part)));
+      return Value(out);
+    }
 
-  // --- lists -------------------------------------------------------------------
-  if (op == "reportNewList") {
-    auto list = List::make();
-    for (const Value& v : in) list->add(v);
-    return Value(list);
-  }
-  if (op == "reportListItem") {
-    return in[1].asList()->item(static_cast<size_t>(in[0].asInteger()));
-  }
-  if (op == "reportListLength") return Value(in[0].asList()->length());
-  if (op == "reportListContainsItem") {
-    return Value(in[0].asList()->contains(in[1]));
-  }
-  if (op == "reportListIndex") {
-    const ListPtr& list = in[1].asList();
-    for (size_t i = 1; i <= list->length(); ++i) {
-      if (list->item(i).equals(in[0])) return Value(i);
+    // --- lists --------------------------------------------------------------
+    case Op::reportNewList: {
+      auto list = List::make();
+      for (size_t i = 0; i < n; ++i) list->add(in[i]);
+      return Value(list);
     }
-    return Value(0);
-  }
-  if (op == "reportCONS") {
-    auto out = List::make();
-    out->add(in[0]);
-    for (const Value& v : in[1].asList()->items()) out->add(v);
-    return Value(out);
-  }
-  if (op == "reportCDR") {
-    const ListPtr& list = in[0].asList();
-    if (list->empty()) throw Error("all but first of empty list");
-    auto out = List::make();
-    for (size_t i = 2; i <= list->length(); ++i) out->add(list->item(i));
-    return Value(out);
-  }
-  if (op == "reportNumbers") {
-    long long lo = in[0].asInteger();
-    long long hi = in[1].asInteger();
-    auto out = List::make();
-    if (lo <= hi) {
-      for (long long v = lo; v <= hi; ++v) out->add(Value(v));
-    } else {
-      for (long long v = lo; v >= hi; --v) out->add(Value(v));
+    case Op::reportListItem:
+      return in[1].asList()->item(static_cast<size_t>(in[0].asInteger()));
+    case Op::reportListLength:
+      return Value(in[0].asList()->length());
+    case Op::reportListContainsItem:
+      return Value(in[0].asList()->contains(in[1]));
+    case Op::reportListIndex: {
+      const ListPtr& list = in[1].asList();
+      for (size_t i = 1; i <= list->length(); ++i) {
+        if (list->item(i).equals(in[0])) return Value(i);
+      }
+      return Value(0);
     }
-    return Value(out);
-  }
-  if (op == "reportSorted") {
-    auto out = List::make(in[0].asList()->items());
-    std::stable_sort(out->items().begin(), out->items().end(),
-                     lessThanValues);
-    return Value(out);
-  }
+    case Op::reportCONS: {
+      auto out = List::make();
+      out->add(in[0]);
+      for (const Value& v : in[1].asList()->items()) out->add(v);
+      return Value(out);
+    }
+    case Op::reportCDR: {
+      const ListPtr& list = in[0].asList();
+      if (list->empty()) throw Error("all but first of empty list");
+      auto out = List::make();
+      for (size_t i = 2; i <= list->length(); ++i) out->add(list->item(i));
+      return Value(out);
+    }
+    case Op::reportNumbers: {
+      long long lo = in[0].asInteger();
+      long long hi = in[1].asInteger();
+      auto out = List::make();
+      if (lo <= hi) {
+        for (long long v = lo; v <= hi; ++v) out->add(Value(v));
+      } else {
+        for (long long v = lo; v >= hi; --v) out->add(Value(v));
+      }
+      return Value(out);
+    }
+    case Op::reportSorted: {
+      auto out = List::make(in[0].asList()->items());
+      std::stable_sort(out->items().begin(), out->items().end(),
+                       lessThanValues);
+      return Value(out);
+    }
 
-  // --- higher-order functions --------------------------------------------------
-  if (op == "reportMap") {
-    const RingPtr& fn = in[0].asRing();
-    auto out = List::make();
-    for (const Value& item : in[1].asList()->items()) {
-      out->add(callPureRing(fn, {item}, frame));
+    // --- higher-order functions ---------------------------------------------
+    case Op::reportMap: {
+      const RingPtr& fn = in[0].asRing();
+      auto out = List::make();
+      for (const Value& item : in[1].asList()->items()) {
+        out->add(callPureRing(fn, {item}, frame));
+      }
+      return Value(out);
     }
-    return Value(out);
-  }
-  if (op == "reportKeep") {
-    const RingPtr& pred = in[0].asRing();
-    auto out = List::make();
-    for (const Value& item : in[1].asList()->items()) {
-      if (callPureRing(pred, {item}, frame).asBoolean()) out->add(item);
+    case Op::reportKeep: {
+      const RingPtr& pred = in[0].asRing();
+      auto out = List::make();
+      for (const Value& item : in[1].asList()->items()) {
+        if (callPureRing(pred, {item}, frame).asBoolean()) out->add(item);
+      }
+      return Value(out);
     }
-    return Value(out);
-  }
-  if (op == "reportCombine") {
-    const ListPtr& list = in[0].asList();
-    const RingPtr& fn = in[1].asRing();
-    if (list->empty()) return Value(0);
-    Value acc = list->item(1);
-    for (size_t i = 2; i <= list->length(); ++i) {
-      acc = callPureRing(fn, {acc, list->item(i)}, frame);
+    case Op::reportCombine: {
+      const ListPtr& list = in[0].asList();
+      const RingPtr& fn = in[1].asRing();
+      if (list->empty()) return Value(0);
+      Value acc = list->item(1);
+      for (size_t i = 2; i <= list->length(); ++i) {
+        acc = callPureRing(fn, {acc, list->item(i)}, frame);
+      }
+      return acc;
     }
-    return acc;
-  }
-  if (op == "evaluate") {
-    const RingPtr& fn = in[0].asRing();
-    std::vector<Value> args(in.begin() + 1, in.end());
-    return callPureRing(fn, std::move(args), frame);
-  }
+    case Op::evaluate: {
+      const RingPtr& fn = in[0].asRing();
+      std::vector<Value> args(in + 1, in + n);
+      return callPureRing(fn, std::move(args), frame);
+    }
 
-  throw PurityError("block " + op + " cannot run inside a worker");
+    default:
+      throw PurityError("block " + block.opcode() +
+                        " cannot run inside a worker");
+  }
 }
 
 /// Collect every variable name the body reads.
 void collectVariableReads(const Block& block,
                           std::vector<std::string>& names) {
-  if (block.opcode() == "reportGetVar" && block.arity() == 1 &&
+  if (block.is(Op::reportGetVar) && block.arity() == 1 &&
       block.input(0).isLiteral()) {
     names.push_back(block.input(0).literalValue().asText());
   }
@@ -373,12 +400,12 @@ void collectVariableReads(const Block& block,
 void checkPurity(const Block& block, const BlockRegistry& registry,
                  std::string& offender) {
   if (!offender.empty()) return;
-  const blocks::BlockSpec* spec = registry.find(block.opcode());
+  const blocks::BlockSpec* spec = registry.specOf(block.opcodeId());
   if (!spec) {
     offender = block.opcode();
     return;
   }
-  if (!spec->pure && block.opcode() != "evaluate") {
+  if (!spec->pure && !block.is(Op::evaluate)) {
     offender = block.opcode();
     return;
   }

@@ -21,15 +21,24 @@ using blocks::ScriptPtr;
 using blocks::Value;
 
 void PrimitiveTable::add(const std::string& opcode, Handler handler) {
-  if (handlers_.count(opcode) != 0) {
+  const blocks::OpcodeId opId = blocks::internOpcode(opcode);
+  if (opId < byId_.size() && byId_[opId]) {
     throw BlockError("duplicate handler for opcode " + opcode);
   }
-  handlers_.emplace(opcode, std::move(handler));
+  if (opId >= byId_.size()) byId_.resize(opId + 1);
+  byId_[opId] = std::move(handler);
 }
 
 const Handler* PrimitiveTable::find(const std::string& opcode) const {
-  auto it = handlers_.find(opcode);
-  return it == handlers_.end() ? nullptr : &it->second;
+  return findById(blocks::lookupOpcode(opcode));
+}
+
+std::vector<blocks::OpcodeId> PrimitiveTable::registeredIds() const {
+  std::vector<blocks::OpcodeId> ids;
+  for (blocks::OpcodeId i = 0; i < byId_.size(); ++i) {
+    if (byId_[i]) ids.push_back(i);
+  }
+  return ids;
 }
 
 PrimitiveTable PrimitiveTable::standard() {
@@ -147,12 +156,57 @@ void Process::stepScript(Context& ctx) {
 
 void Process::stepBlock(Context& ctx) {
   const Block& block = *ctx.block;
-  const blocks::BlockSpec& spec = registry_->get(block.opcode());
-  if (spec.strict && ctx.inputs.size() < block.arity()) {
-    evalInput(ctx, ctx.inputs.size());
+  if (dispatchMode_ == DispatchMode::ByString) {
+    // Reference path: the pre-interning machine, verbatim. Hashes the
+    // opcode string for the spec and again for the handler, and deposits
+    // one input per interpreter step.
+    const blocks::BlockSpec& spec = registry_->get(block.opcode());
+    if (spec.strict && ctx.inputs.size() < block.arity()) {
+      evalInput(ctx, ctx.inputs.size());
+      return;
+    }
+    const Handler* handler = primitives_->find(block.opcode());
+    if (!handler) {
+      throw BlockError("no handler registered for opcode " + block.opcode());
+    }
+    (*handler)(*this, ctx);
     return;
   }
-  const Handler* handler = primitives_->find(block.opcode());
+
+  const blocks::OpcodeId opId = block.opcodeId();
+  const blocks::BlockSpec* spec = registry_->specOf(opId);
+  if (!spec) throw BlockError("unknown opcode " + block.opcode());
+  if (spec->strict && ctx.inputs.size() < block.arity()) {
+    if (ctx.inputs.empty()) {
+      ctx.inputs.reserve(block.arity());
+      ctx.collapsedFlags.reserve(block.arity());
+    }
+    // Deposit consecutive immediate inputs (literals, blanks, collapsed
+    // slots) in this one step; a nested expression needs a child frame, so
+    // stop there and resume after it returns its value. One exception: a
+    // bare variable read (`reportGetVar` with a literal name) is evaluated
+    // inline — its handler would only call env->get and return, so the
+    // child frame is pure overhead on the hottest reporter there is.
+    do {
+      const size_t index = ctx.inputs.size();
+      const Input& input = block.input(index);
+      if (input.isBlock()) {
+        const Block& nested = *input.block();
+        if (nested.is(blocks::Op::reportGetVar) && nested.arity() == 1 &&
+            nested.input(0).isLiteral() && ctx.env) {
+          ctx.inputs.push_back(
+              ctx.env->get(nested.input(0).literalValue().asText()));
+          ctx.collapsedFlags.push_back(0);
+          progress_ = true;
+          continue;
+        }
+        pushExpression(&nested, ctx.env);
+        return;
+      }
+      evalInput(ctx, index);
+    } while (ctx.inputs.size() < block.arity());
+  }
+  const Handler* handler = primitives_->findById(opId);
   if (!handler) {
     throw BlockError("no handler registered for opcode " + block.opcode());
   }

@@ -85,11 +85,22 @@ using Handler = std::function<void(Process&, Context&)>;
 
 /// Opcode → handler table. Separate from the BlockRegistry so extension
 /// modules (parallel blocks, codegen blocks) can register additional
-/// handlers without touching the interpreter.
+/// handlers without touching the interpreter. Internally a flat vector
+/// indexed by interned OpcodeId: the hot-path lookup is a bounds check and
+/// an array load, no string hashing.
 class PrimitiveTable {
  public:
   void add(const std::string& opcode, Handler handler);
   const Handler* find(const std::string& opcode) const;
+
+  /// Handler lookup by interned id (an empty slot means no handler).
+  const Handler* findById(blocks::OpcodeId id) const {
+    if (id >= byId_.size() || !byId_[id]) return nullptr;
+    return &byId_[id];
+  }
+
+  /// Every id with a registered handler, ascending.
+  std::vector<blocks::OpcodeId> registeredIds() const;
 
   /// Standard palette handlers (everything in registerStandardSpecs except
   /// the parallel and codegen blocks, which live in src/core and
@@ -97,13 +108,25 @@ class PrimitiveTable {
   static PrimitiveTable standard();
 
  private:
-  std::unordered_map<std::string, Handler> handlers_;
+  /// OpcodeId → handler; a default-constructed (empty) std::function marks
+  /// an absent entry.
+  std::vector<Handler> byId_;
 };
 
 void registerStandardPrimitives(PrimitiveTable& table);
 
 /// Why a process is no longer runnable.
 enum class ProcessState { Ready, Done, Errored, Terminated };
+
+/// How stepBlock resolves a block's spec and handler.
+///
+/// ById is the production path: the block's cached OpcodeId indexes
+/// directly into the registry and primitive table, and consecutive
+/// immediate inputs (literals, blanks, collapsed slots) are deposited in
+/// one interpreter step. ByString preserves the pre-interning behaviour —
+/// hash the opcode string twice per dispatch, one input per step — as a
+/// live reference configuration for benchmarking and parity tests.
+enum class DispatchMode { ById, ByString };
 
 class Process {
  public:
@@ -135,6 +158,11 @@ class Process {
 
   /// Did the last runSlice end in a voluntary yield?
   bool yielded() const { return yielded_; }
+
+  /// Select spec/handler resolution (default ById; ByString is the
+  /// string-hashing reference path kept for benchmark comparison).
+  void setDispatchMode(DispatchMode mode) { dispatchMode_ = mode; }
+  DispatchMode dispatchMode() const { return dispatchMode_; }
 
   // --- services for handlers --------------------------------------------
   Host& host() { return *host_; }
@@ -219,6 +247,7 @@ class Process {
   std::vector<std::string> sayLog_;
   uint64_t id_;
   int warpDepth_ = 0;
+  DispatchMode dispatchMode_ = DispatchMode::ById;
 };
 
 }  // namespace psnap::vm

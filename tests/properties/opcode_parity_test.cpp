@@ -4,10 +4,18 @@
 // parallelMap's correctness rests on that agreement.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <set>
+#include <string>
+
 #include "blocks/builder.hpp"
+#include "blocks/opcodes.hpp"
 #include "core/parallel_blocks.hpp"
 #include "core/pure_eval.hpp"
 #include "sched/thread_manager.hpp"
+#include "support/rng.hpp"
+#include "tests/properties/generators.hpp"
+#include "vm/process.hpp"
 
 namespace psnap::core {
 namespace {
@@ -110,6 +118,136 @@ TEST(OpcodeParityTable, CoversOnlyRegisteredPureOpcodes) {
     ASSERT_TRUE(registry.has(sample.opcode)) << sample.opcode;
     if (std::string(sample.opcode) != "evaluate") {
       EXPECT_TRUE(registry.get(sample.opcode).pure) << sample.opcode;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Dispatch-table integrity: the interned-id tables (registry, primitive
+// table) must agree with each other and with the string surface.
+// ---------------------------------------------------------------------------
+
+// Specs that intentionally have no primitive handler: hat blocks are
+// matched by the stage's event dispatcher and the code-mapping pair is
+// expanded by the code generator, so none of them ever reach
+// Process::stepBlock.
+const std::set<std::string>& handlerlessOpcodes() {
+  static const std::set<std::string> kHandlerless = {
+      "doMapToCode",       "reportMappedCode", "receiveCloneStart",
+      "receiveGo",         "receiveKey",       "receiveMessage",
+  };
+  return kHandlerless;
+}
+
+TEST(DispatchTables, HandlersAndSpecsAgreeById) {
+  const BlockRegistry& registry = BlockRegistry::standard();
+  vm::PrimitiveTable prims = fullPrimitiveTable();
+
+  // Every registered handler id names a registered spec, and the spec
+  // carries that same id.
+  for (blocks::OpcodeId opId : prims.registeredIds()) {
+    const blocks::BlockSpec* spec = registry.specOf(opId);
+    ASSERT_NE(spec, nullptr) << blocks::opcodeName(opId);
+    EXPECT_EQ(spec->id, opId) << spec->opcode;
+  }
+
+  // Every spec either has a handler under its id or is on the known
+  // handlerless list — no opcode silently falls through both tables.
+  for (const std::string& opcode : registry.opcodes()) {
+    const blocks::OpcodeId opId = registry.idOf(opcode);
+    if (prims.findById(opId) == nullptr) {
+      EXPECT_TRUE(handlerlessOpcodes().count(opcode))
+          << opcode << " has a spec but no handler";
+    } else {
+      EXPECT_FALSE(handlerlessOpcodes().count(opcode))
+          << opcode << " gained a handler; update handlerlessOpcodes()";
+    }
+  }
+}
+
+TEST(DispatchTables, IdOfAndSpecOfRoundTripForEveryOpcode) {
+  const BlockRegistry& registry = BlockRegistry::standard();
+  const std::vector<std::string>& opcodes = registry.opcodes();
+  EXPECT_TRUE(std::is_sorted(opcodes.begin(), opcodes.end()));
+
+  for (const std::string& opcode : opcodes) {
+    const blocks::OpcodeId opId = registry.idOf(opcode);
+    ASSERT_NE(opId, blocks::kInvalidOpcodeId) << opcode;
+    EXPECT_EQ(blocks::lookupOpcode(opcode), opId) << opcode;
+    EXPECT_EQ(blocks::opcodeName(opId), opcode);
+    const blocks::BlockSpec* spec = registry.specOf(opId);
+    ASSERT_NE(spec, nullptr) << opcode;
+    EXPECT_EQ(spec->opcode, opcode);
+    EXPECT_EQ(spec->id, opId);
+    // Blocks constructed with this opcode intern to the same id.
+    EXPECT_EQ(blk(opcode)->opcodeId(), opId) << opcode;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Dispatch parity: the id-dispatch fast path and the string-dispatch
+// reference path must be observationally identical on random programs.
+// ---------------------------------------------------------------------------
+
+Value runExpression(vm::DispatchMode mode, const blocks::BlockPtr& expr) {
+  static vm::PrimitiveTable prims = fullPrimitiveTable();
+  vm::NullHost host;
+  vm::Process p(&BlockRegistry::standard(), &prims, &host);
+  p.setDispatchMode(mode);
+  p.startExpression(expr, Environment::make());
+  return p.runToCompletion();
+}
+
+void runScript(vm::DispatchMode mode, const blocks::ScriptPtr& script,
+               const blocks::EnvPtr& env) {
+  static vm::PrimitiveTable prims = fullPrimitiveTable();
+  vm::NullHost host;
+  vm::Process p(&BlockRegistry::standard(), &prims, &host);
+  p.setDispatchMode(mode);
+  p.startScript(script, env);
+  p.runToCompletion();
+}
+
+TEST(DispatchParity, RandomExpressionsAgreeAcrossDispatchModes) {
+  for (uint64_t seed = 1; seed <= 25; ++seed) {
+    Rng rng(seed);
+    blocks::BlockPtr expr = testgen::randomArithmetic(rng, 4);
+    for (double x : {1.0, 3.0, 7.0}) {
+      blocks::BlockPtr call = callRing(ring(In(expr)), {In(x)});
+      Value byId = runExpression(vm::DispatchMode::ById, call);
+      Value byString = runExpression(vm::DispatchMode::ByString, call);
+      EXPECT_TRUE(byId.equals(byString))
+          << "seed=" << seed << " x=" << x << "\n  expr:     "
+          << expr->display() << "\n  byId:     " << byId.display()
+          << "\n  byString: " << byString.display();
+    }
+  }
+}
+
+TEST(DispatchParity, RandomScriptsAgreeAcrossDispatchModes) {
+  for (uint64_t seed = 1; seed <= 25; ++seed) {
+    auto initial = [&](const blocks::EnvPtr& env) {
+      env->declare("a", Value(double(seed)));
+      env->declare("b", Value(-3.0));
+      env->declare("c", Value(0.5));
+    };
+    Rng rngA(seed);
+    blocks::ScriptPtr script = testgen::randomScript(rngA, 8);
+
+    blocks::EnvPtr envById = Environment::make();
+    initial(envById);
+    runScript(vm::DispatchMode::ById, script, envById);
+
+    blocks::EnvPtr envByString = Environment::make();
+    initial(envByString);
+    runScript(vm::DispatchMode::ByString, script, envByString);
+
+    for (const char* name : {"a", "b", "c"}) {
+      EXPECT_TRUE(envById->get(name).equals(envByString->get(name)))
+          << "seed=" << seed << " var=" << name
+          << "\n  byId:     " << envById->get(name).display()
+          << "\n  byString: " << envByString->get(name).display()
+          << "\n  script:\n" << script->display();
     }
   }
 }
