@@ -1,15 +1,23 @@
 #!/usr/bin/env bash
-# Full pre-merge check: build and test the release and asan presets.
+# Full pre-merge check: build and test the release, asan, and tsan
+# presets.
 #
 # Usage: scripts/check.sh [preset...]
-#   With no arguments, runs both presets. Pass `release` or `asan` to
-#   run just one. Build trees land in build-<preset>/ (gitignored).
+#   With no arguments, runs all three presets. Pass `release`, `asan`,
+#   or `tsan` to run a subset. Build trees land in build-<preset>/
+#   (gitignored).
 #
 # The asan test preset sets ASAN_OPTIONS=detect_leaks=0: rings are
 # shared_ptr closures over their defining environment, so storing a ring
 # into a variable of that environment forms a reference cycle (Snap!
 # itself relies on the JS garbage collector here). ASan/UBSan error
 # detection stays fully on; only end-of-process leak accounting is off.
+#
+# The tsan preset builds and runs only the concurrency-bearing suites
+# (test_workers, test_mapreduce, test_sched) — the interpreter suites
+# are single-threaded and would just multiply the ~10x tsan slowdown.
+# src/workers and src/mapreduce also compile with -Werror in every
+# preset, so the substrate stays warning-clean by contract.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -17,7 +25,7 @@ cd "$(dirname "$0")/.."
 jobs=$(nproc 2>/dev/null || echo 2)
 presets=("$@")
 if [ ${#presets[@]} -eq 0 ]; then
-  presets=(release asan)
+  presets=(release asan tsan)
 fi
 
 for preset in "${presets[@]}"; do

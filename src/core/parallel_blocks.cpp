@@ -37,6 +37,12 @@ bool slotIsDefault(const Context& c, size_t index) {
 
 // ---------------------------------------------------------------------------
 // reportParallelMap — the faithful translation of paper Listing 2.
+//
+// The Parallel handle is now backed by the shared WorkerPool (chunk tasks
+// in a TaskGroup instead of per-op threads), but the Listing-2 contract
+// this poll loop relies on is unchanged: map() returns immediately after
+// submission, resolved() is a lock-free flag read, and the process
+// re-polls from the scheduler's yield loop until the workers finish.
 // ---------------------------------------------------------------------------
 void parallelMapHandler(Process& p, Context& c, ParallelBlockOptions opts) {
   // First invocation: all three declared inputs are evaluated; build the
@@ -167,7 +173,8 @@ void parallelForEachHandler(Process& p, Context& c) {
 }
 
 // ---------------------------------------------------------------------------
-// reportMapReduce — Fig. 11/13.
+// reportMapReduce — Fig. 11/13. The Job pipeline is one pooled task (not
+// a dedicated thread); this handler polls it exactly like Listing 2.
 // ---------------------------------------------------------------------------
 void mapReduceHandler(Process& p, Context& c) {
   if (!c.state) {

@@ -1,15 +1,21 @@
 #include "mapreduce/engine.hpp"
 
 #include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <utility>
 
 #include "support/error.hpp"
 #include "support/strings.hpp"
+#include "workers/worker_pool.hpp"
 
 namespace psnap::mr {
 
 using blocks::List;
 using blocks::ListPtr;
 using blocks::Value;
+using workers::TaskGroup;
+using workers::WorkerPool;
 
 namespace {
 
@@ -20,20 +26,174 @@ bool looksNumeric(const Value& v) {
   return strings::parseNumber(v.asText(), out);
 }
 
-bool keyLess(const Value& a, const Value& b) {
-  if (looksNumeric(a) && looksNumeric(b)) return a.asNumber() < b.asNumber();
-  return strings::toLower(a.display()) < strings::toLower(b.display());
+// A pair's sort key, computed once during the shuffle instead of once per
+// comparison (the seed re-ran parseNumber/toLower/display inside the
+// stable_sort comparator). `shard` is the key's hash bucket; keys that
+// the comparator treats as equivalent always share a shard, which is what
+// makes the sharded grouping emit the same order as a global sort (the
+// ordering proof is in DESIGN.md, "Executor architecture").
+struct SortKey {
+  double num = 0;
+  size_t shard = 0;
+  bool numeric = false;
+  std::string folded;  // toLower(display), the textual ordering rank
+};
+
+SortKey makeKey(const Value& key, size_t shardCount) {
+  SortKey k;
+  k.numeric = looksNumeric(key);
+  if (k.numeric) k.num = key.asNumber();
+  k.folded = strings::toLower(key.display());
+  const size_t hash = k.numeric ? std::hash<double>{}(k.num)
+                                : std::hash<std::string>{}(k.folded);
+  k.shard = hash % shardCount;
+  return k;
 }
 
-/// Normalize one map result into a [key, value] pair.
+/// Exactly the seed comparator's semantics, over precomputed ranks.
+bool keyLess(const SortKey& a, const SortKey& b) {
+  if (a.numeric && b.numeric) return a.num < b.num;
+  return a.folded < b.folded;
+}
+
+/// Normalize one map result into a [key, value] pair. Runs inside the
+/// map phase (on workers), so malformed pairs surface as map errors —
+/// the seed's separate serial validation pass over all pairs is gone.
 Value toPair(const Value& item, const Value& mapped) {
   if (mapped.isList() && mapped.asList()->length() == 2) {
+    const Value& key = mapped.asList()->item(1);
+    if (!key.isTransferable()) {
+      throw Error(
+          "mapReduce: explicit [key, value] pair has a non-transferable "
+          "key of kind '" +
+          std::string(blocks::valueKindName(key.kind())) +
+          "'; keys must be cloneable (no rings)");
+    }
     return mapped;  // explicit [key, value]
   }
   auto pair = List::make();
   pair->add(item);
   pair->add(mapped);
   return Value(pair);
+}
+
+/// The shuffle: sort pairs by key and group equal keys, sharded.
+///
+///   A. slice tasks precompute every pair's SortKey and bin pair indices
+///      by shard (bins stay in ascending index order);
+///   B. shard tasks stable-sort their shard's indices by key and group
+///      adjacent equal keys into [key, valuesList] entries;
+///   C. the caller merges the per-shard sorted group lists; keys never
+///      tie across shards (equivalent keys share a shard by
+///      construction), so this is a strict W-way merge.
+///
+/// Output order is byte-identical to the seed's global
+/// stable_sort + adjacent grouping. Small inputs run single-sharded on
+/// the calling thread — same code path with shardCount = 1.
+std::vector<Value> shuffleAndGroup(const std::vector<Value>& pairs,
+                                   size_t width, bool onCaller) {
+  const size_t n = pairs.size();
+  std::vector<Value> out;
+  if (n == 0) return out;
+  const size_t shardCount =
+      (onCaller || n < 256) ? 1 : std::max<size_t>(1, width);
+
+  // --- A: precompute keys, bin indices by shard ---------------------------
+  std::vector<SortKey> keys(n);
+  // binned[slice][shard]: pair indices, ascending within each bin.
+  std::vector<std::vector<std::vector<uint32_t>>> binned(
+      shardCount,
+      std::vector<std::vector<uint32_t>>(shardCount));
+  const size_t per = (n + shardCount - 1) / shardCount;
+  auto keySlice = [&](size_t slice) {
+    const size_t begin = slice * per;
+    const size_t end = std::min(begin + per, n);
+    for (size_t i = begin; i < end; ++i) {
+      keys[i] = makeKey(pairs[i].asList()->item(1), shardCount);
+      binned[slice][keys[i].shard].push_back(uint32_t(i));
+    }
+  };
+
+  // --- B: per shard, sort + group -----------------------------------------
+  std::vector<std::vector<Value>> groups(shardCount);
+  std::vector<std::vector<const SortKey*>> heads(shardCount);
+  auto groupShard = [&](size_t shard) {
+    std::vector<uint32_t> indices;
+    for (size_t slice = 0; slice < shardCount; ++slice) {
+      const auto& bin = binned[slice][shard];
+      indices.insert(indices.end(), bin.begin(), bin.end());
+    }
+    // Slices cover ascending contiguous ranges, so `indices` is already
+    // ascending; stable_sort therefore keeps equal keys in original pair
+    // order — the stability the seed's global sort provided.
+    std::stable_sort(indices.begin(), indices.end(),
+                     [&keys](uint32_t a, uint32_t b) {
+                       return keyLess(keys[a], keys[b]);
+                     });
+    for (uint32_t index : indices) {
+      const Value& key = pairs[index].asList()->item(1);
+      const Value& value = pairs[index].asList()->item(2);
+      if (!groups[shard].empty() &&
+          groups[shard].back().asList()->item(1).equals(key)) {
+        groups[shard].back().asList()->item(2).asList()->add(value);
+      } else {
+        auto group = List::make();
+        group->add(key);
+        group->add(Value(List::make({value})));
+        groups[shard].push_back(Value(group));
+        heads[shard].push_back(&keys[index]);
+      }
+    }
+  };
+
+  if (shardCount == 1) {
+    keySlice(0);
+    groupShard(0);
+    return std::move(groups[0]);
+  }
+
+  WorkerPool& pool = WorkerPool::shared();
+  {
+    std::vector<TaskGroup::Task> tasks;
+    tasks.reserve(shardCount);
+    for (size_t s = 0; s < shardCount; ++s) {
+      tasks.push_back([&keySlice](size_t slice) { keySlice(slice); });
+    }
+    auto phase = std::make_shared<TaskGroup>(std::move(tasks));
+    pool.submit(phase);
+    phase->wait();
+    phase->rethrowIfError();
+  }
+  {
+    std::vector<TaskGroup::Task> tasks;
+    tasks.reserve(shardCount);
+    for (size_t s = 0; s < shardCount; ++s) {
+      tasks.push_back([&groupShard](size_t shard) { groupShard(shard); });
+    }
+    auto phase = std::make_shared<TaskGroup>(std::move(tasks));
+    pool.submit(phase);
+    phase->wait();
+    phase->rethrowIfError();
+  }
+
+  // --- C: merge the sorted shard group lists ------------------------------
+  size_t total = 0;
+  std::vector<size_t> cursor(shardCount, 0);
+  for (const auto& g : groups) total += g.size();
+  out.reserve(total);
+  while (out.size() < total) {
+    size_t best = shardCount;
+    for (size_t s = 0; s < shardCount; ++s) {
+      if (cursor[s] >= groups[s].size()) continue;
+      if (best == shardCount ||
+          keyLess(*heads[s][cursor[s]], *heads[best][cursor[best]])) {
+        best = s;
+      }
+    }
+    out.push_back(std::move(groups[best][cursor[best]]));
+    ++cursor[best];
+  }
+  return out;
 }
 
 }  // namespace
@@ -47,11 +207,12 @@ ListPtr run(const ListPtr& input, const MapFn& mapFn,
   if (!input) throw Error("mapReduce: null input list");
   Stats local;
   local.inputItems = input->length();
+  const size_t width = options.workers == 0 ? 4 : options.workers;
 
   // --- map phase -------------------------------------------------------------
   std::vector<Value> pairs;
-  pairs.reserve(input->length());
   if (options.sequential) {
+    pairs.reserve(input->length());
     for (const Value& item : input->items()) {
       pairs.push_back(toPair(item, mapFn(item)));
     }
@@ -60,37 +221,13 @@ ListPtr run(const ListPtr& input, const MapFn& mapFn,
     workers::Parallel job(input->items(),
                           {.maxWorkers = options.workers});
     job.map([mapFn](const Value& item) { return toPair(item, mapFn(item)); });
-    pairs = job.data();  // waits; throws on worker error
+    pairs = job.takeData();  // waits; throws on worker error
     local.mapMakespan = job.virtualMakespan();
   }
 
-  // --- shuffle: sort by key ----------------------------------------------------
-  for (const Value& pair : pairs) {
-    if (!pair.isList() || pair.asList()->length() != 2) {
-      throw Error("mapReduce: map result is not a [key, value] pair");
-    }
-  }
-  std::stable_sort(pairs.begin(), pairs.end(),
-                   [](const Value& a, const Value& b) {
-                     return keyLess(a.asList()->item(1),
-                                    b.asList()->item(1));
-                   });
-
-  // --- group consecutive equal keys ---------------------------------------------
-  std::vector<Value> groups;  // each: [key, valuesList]
-  for (const Value& pair : pairs) {
-    const Value& key = pair.asList()->item(1);
-    const Value& value = pair.asList()->item(2);
-    if (!groups.empty() &&
-        groups.back().asList()->item(1).equals(key)) {
-      groups.back().asList()->item(2).asList()->add(value);
-    } else {
-      auto group = List::make();
-      group->add(key);
-      group->add(Value(List::make({value})));
-      groups.push_back(Value(group));
-    }
-  }
+  // --- shuffle: sharded sort-by-key + grouping --------------------------------
+  std::vector<Value> groups =
+      shuffleAndGroup(pairs, width, options.sequential);
   local.distinctKeys = groups.size();
 
   // --- reduce phase ---------------------------------------------------------------
@@ -108,7 +245,7 @@ ListPtr run(const ListPtr& input, const MapFn& mapFn,
   } else {
     workers::Parallel job(groups, {.maxWorkers = options.workers});
     job.map(reduceGroup);
-    reduced = job.data();
+    reduced = job.takeData();
     local.reduceMakespan = job.virtualMakespan();
   }
 
@@ -117,9 +254,13 @@ ListPtr run(const ListPtr& input, const MapFn& mapFn,
 }
 
 Job::Job(ListPtr input, MapFn mapFn, ReduceFn reduceFn, Options options) {
-  thread_ = std::thread([this, input = std::move(input),
-                         mapFn = std::move(mapFn),
-                         reduceFn = std::move(reduceFn), options] {
+  // One pipeline task on the shared pool — no dedicated thread. The
+  // pipeline's own Parallel ops nest on the same pool; their waits drain
+  // unclaimed chunk tasks on this worker, so the pool never wedges.
+  std::vector<TaskGroup::Task> tasks;
+  tasks.push_back([this, input = std::move(input),
+                   mapFn = std::move(mapFn),
+                   reduceFn = std::move(reduceFn), options](size_t) {
     try {
       result_ = run(input, mapFn, reduceFn, options, &stats_);
     } catch (const std::exception& e) {
@@ -131,10 +272,10 @@ Job::Job(ListPtr input, MapFn mapFn, ReduceFn reduceFn, Options options) {
     }
     done_.store(true);
   });
+  group_ = std::make_shared<TaskGroup>(std::move(tasks));
+  WorkerPool::shared().submit(group_);
 }
 
-Job::~Job() {
-  if (thread_.joinable()) thread_.join();
-}
+Job::~Job() { group_->wait(); }
 
 }  // namespace psnap::mr

@@ -25,11 +25,11 @@
 #include <functional>
 #include <memory>
 #include <string>
-#include <thread>
 #include <vector>
 
 #include "blocks/value.hpp"
 #include "workers/parallel.hpp"
+#include "workers/task_group.hpp"
 
 namespace psnap::mr {
 
@@ -64,10 +64,10 @@ blocks::ListPtr run(const blocks::ListPtr& input, const MapFn& mapFn,
 ReduceFn identityReduce();
 
 /// An asynchronous MapReduce job for integration with the cooperative
-/// scheduler: the whole pipeline runs on one background thread (which
-/// fans out to workers internally) and the block primitive polls
-/// resolved() from its yield loop, exactly like Listing 2 polls its
-/// Parallel job.
+/// scheduler: the whole pipeline runs as one task on the shared
+/// WorkerPool (fanning out to further pool tasks internally) and the
+/// block primitive polls resolved() from its yield loop, exactly like
+/// Listing 2 polls its Parallel job.
 class Job {
  public:
   Job(blocks::ListPtr input, MapFn mapFn, ReduceFn reduceFn,
@@ -85,7 +85,7 @@ class Job {
   const Stats& stats() const { return stats_; }
 
  private:
-  std::thread thread_;
+  std::shared_ptr<workers::TaskGroup> group_;
   std::atomic<bool> done_{false};
   std::atomic<bool> failed_{false};
   std::string error_;

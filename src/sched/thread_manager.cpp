@@ -4,6 +4,7 @@
 #include <thread>
 
 #include "support/error.hpp"
+#include "workers/worker_pool.hpp"
 
 namespace psnap::sched {
 
@@ -77,9 +78,18 @@ void ThreadManager::stopAll() {
 void ThreadManager::runFrame() {
   ++frame_;
   // On a busy-spinning frame loop (e.g. polling a worker job), hand the
-  // CPU to the worker threads periodically; otherwise a single-core host
-  // starves them for a full OS timeslice per poll round.
-  if ((frame_ & 0x3f) == 0) std::this_thread::yield();
+  // CPU to the worker threads; otherwise a single-core host starves them
+  // for a full OS timeslice per poll round. The pool knows whether any
+  // task is queued or running, so pure-interpreter workloads (concession
+  // stand, survey) skip the yield syscall entirely, while frames that
+  // poll an unresolved parallel handle yield every pass — the pooled
+  // workers resolve it sooner and the poll loop burns fewer frames.
+  // Frame accounting is unaffected: yields don't consume frames.
+  if (workers::WorkerPool::shared().busy()) {
+    std::this_thread::yield();
+  } else if ((frame_ & 0xff) == 0) {
+    std::this_thread::yield();
+  }
   if (!interference_.steals(frame_)) {
     // Processes spawned during this frame run starting next frame, so only
     // iterate over the tasks that existed when the frame began.

@@ -4,6 +4,7 @@
 #include <mutex>
 
 #include "support/error.hpp"
+#include "workers/worker_pool.hpp"
 
 namespace psnap::workers {
 
@@ -11,28 +12,59 @@ using blocks::Value;
 
 namespace {
 constexpr size_t kDefaultWorkers = 4;  // the paper's Web Worker default
-}
+// Below this input size a serial clone-in beats the group round trip.
+constexpr size_t kParallelCloneThreshold = 1024;
+}  // namespace
 
 Parallel::Parallel(const std::vector<Value>& data, ParallelOptions options)
     : workers_(options.maxWorkers == 0 ? kDefaultWorkers
                                        : options.maxWorkers),
-      options_(options) {
-  data_.reserve(data.size());
-  for (const Value& v : data) data_.push_back(v.structuredClone());
+      options_(options),
+      perWorker_(options.maxWorkers == 0 ? kDefaultWorkers
+                                         : options.maxWorkers) {
   if (options_.chunkSize == 0) options_.chunkSize = 1;
-  perWorker_.reserve(workers_);
-  for (size_t i = 0; i < workers_; ++i) {
-    perWorker_.push_back(std::make_unique<std::atomic<uint64_t>>(0));
-  }
+  cloneIn(data);
 }
 
 Parallel::Parallel(const blocks::ListPtr& list, ParallelOptions options)
     : Parallel(list ? list->items() : std::vector<Value>{}, options) {}
 
 Parallel::~Parallel() {
-  for (std::thread& t : threads_) {
-    if (t.joinable()) t.join();
+  // Chunk tasks capture `this`; they must finish before the object dies.
+  if (group_) group_->wait();
+}
+
+void Parallel::cloneIn(const std::vector<Value>& source) {
+  const size_t n = source.size();
+  WorkerPool& pool = WorkerPool::shared();
+  if (n < kParallelCloneThreshold) {
+    data_.reserve(n);
+    for (const Value& v : source) data_.push_back(v.structuredClone());
+    return;
   }
+  // Parallel clone-in: slice tasks clone directly into the preallocated
+  // snapshot. The constructor still blocks until the snapshot is complete
+  // (isolation is anchored at construction time), but the copy itself
+  // runs at pool width, with the calling thread claiming slices too.
+  data_.resize(n);
+  const size_t slices = pool.width();
+  const size_t per = (n + slices - 1) / slices;
+  std::vector<TaskGroup::Task> tasks;
+  tasks.reserve(slices);
+  for (size_t s = 0; s < slices; ++s) {
+    const size_t begin = s * per;
+    const size_t end = std::min(begin + per, n);
+    if (begin >= end) break;
+    tasks.push_back([this, &source, begin, end](size_t) {
+      for (size_t i = begin; i < end; ++i) {
+        data_[i] = source[i].structuredClone();
+      }
+    });
+  }
+  auto clone = std::make_shared<TaskGroup>(std::move(tasks));
+  pool.submit(clone);
+  clone->wait();
+  clone->rethrowIfError();  // PurityError surfaces with its real type
 }
 
 void Parallel::recordError(const std::string& message) {
@@ -40,24 +72,25 @@ void Parallel::recordError(const std::string& message) {
   if (!failedFlag_.exchange(true)) error_ = message;
 }
 
-void Parallel::launch(std::function<void(size_t)> body) {
+void Parallel::launch(std::function<void(size_t)> body, size_t taskCount) {
   if (launched_.exchange(true)) {
     throw Error("Parallel: an operation is already running on this object");
   }
-  running_.store(static_cast<int>(workers_));
-  threads_.reserve(workers_);
-  for (size_t w = 0; w < workers_; ++w) {
-    threads_.emplace_back([this, body, w] {
+  std::vector<TaskGroup::Task> tasks;
+  tasks.reserve(taskCount);
+  for (size_t w = 0; w < taskCount; ++w) {
+    tasks.push_back([this, body](size_t index) {
       try {
-        body(w);
+        body(index);
       } catch (const std::exception& e) {
         recordError(e.what());
       } catch (...) {
         recordError("unknown worker error");
       }
-      running_.fetch_sub(1);
     });
   }
+  group_ = std::make_shared<TaskGroup>(std::move(tasks));
+  WorkerPool::shared().submit(group_);
 }
 
 void Parallel::map(MapFn fn) {
@@ -65,43 +98,64 @@ void Parallel::map(MapFn fn) {
   switch (options_.distribution) {
     case Distribution::Dynamic: {
       const size_t chunk = options_.chunkSize;
-      launch([this, fn, n, chunk](size_t w) {
-        while (true) {
-          size_t begin = cursor_.fetch_add(chunk);
-          if (begin >= n) break;
-          size_t end = std::min(begin + chunk, n);
-          for (size_t i = begin; i < end; ++i) {
-            data_[i] = fn(data_[i]);
-            perWorker_[w]->fetch_add(1);
-          }
-        }
-      });
+      // Only as many chunk tasks as there are chunks to claim; idle
+      // logical workers keep their zero itemsPerWorker slot.
+      const size_t taskCount =
+          std::min(workers_, (n + chunk - 1) / chunk);
+      launch(
+          [this, fn, n, chunk](size_t w) {
+            while (true) {
+              size_t begin = cursor_.fetch_add(chunk);
+              if (begin >= n) break;
+              size_t end = std::min(begin + chunk, n);
+              uint64_t local = 0;
+              for (size_t i = begin; i < end; ++i) {
+                data_[i] = fn(data_[i]);
+                ++local;
+              }
+              perWorker_[w].items.fetch_add(local,
+                                            std::memory_order_relaxed);
+            }
+          },
+          taskCount);
       break;
     }
     case Distribution::Contiguous: {
       const size_t per = (n + workers_ - 1) / workers_;
-      launch([this, fn, n, per](size_t w) {
-        size_t begin = w * per;
-        size_t end = std::min(begin + per, n);
-        for (size_t i = begin; i < end; ++i) {
-          data_[i] = fn(data_[i]);
-          perWorker_[w]->fetch_add(1);
-        }
-      });
+      const size_t taskCount = per == 0 ? 0 : (n + per - 1) / per;
+      launch(
+          [this, fn, n, per](size_t w) {
+            size_t begin = w * per;
+            size_t end = std::min(begin + per, n);
+            uint64_t local = 0;
+            for (size_t i = begin; i < end; ++i) {
+              data_[i] = fn(data_[i]);
+              ++local;
+            }
+            perWorker_[w].items.fetch_add(local, std::memory_order_relaxed);
+          },
+          taskCount);
       break;
     }
     case Distribution::BlockCyclic: {
       const size_t chunk = options_.chunkSize;
       const size_t stride = chunk * workers_;
-      launch([this, fn, n, chunk, stride](size_t w) {
-        for (size_t base = w * chunk; base < n; base += stride) {
-          size_t end = std::min(base + chunk, n);
-          for (size_t i = base; i < end; ++i) {
-            data_[i] = fn(data_[i]);
-            perWorker_[w]->fetch_add(1);
-          }
-        }
-      });
+      const size_t taskCount =
+          std::min(workers_, (n + chunk - 1) / chunk);
+      launch(
+          [this, fn, n, chunk, stride](size_t w) {
+            for (size_t base = w * chunk; base < n; base += stride) {
+              size_t end = std::min(base + chunk, n);
+              uint64_t local = 0;
+              for (size_t i = base; i < end; ++i) {
+                data_[i] = fn(data_[i]);
+                ++local;
+              }
+              perWorker_[w].items.fetch_add(local,
+                                            std::memory_order_relaxed);
+            }
+          },
+          taskCount);
       break;
     }
   }
@@ -113,30 +167,32 @@ void Parallel::reduce(ReduceFn fn) {
   const size_t n = data_.size();
   partials_.assign(workers_, Value());
   const size_t per = (n + workers_ - 1) / workers_;
-  launch([this, fn, n, per](size_t w) {
-    size_t begin = w * per;
-    size_t end = std::min(begin + per, n);
-    if (begin >= end) return;
-    Value acc = data_[begin];
-    perWorker_[w]->fetch_add(1);
-    for (size_t i = begin + 1; i < end; ++i) {
-      acc = fn(acc, data_[i]);
-      perWorker_[w]->fetch_add(1);
-    }
-    partials_[w] = std::move(acc);
-  });
+  const size_t taskCount = per == 0 ? 0 : (n + per - 1) / per;
+  launch(
+      [this, fn, n, per](size_t w) {
+        size_t begin = w * per;
+        size_t end = std::min(begin + per, n);
+        if (begin >= end) return;
+        Value acc = data_[begin];
+        uint64_t local = 1;
+        for (size_t i = begin + 1; i < end; ++i) {
+          acc = fn(acc, data_[i]);
+          ++local;
+        }
+        perWorker_[w].items.fetch_add(local, std::memory_order_relaxed);
+        partials_[w] = std::move(acc);
+      },
+      taskCount);
 }
 
 bool Parallel::resolved() const {
-  return launched_.load() && running_.load() == 0;
+  return launched_.load() && group_ && group_->done();
 }
 
 void Parallel::wait() {
   if (!launched_.load()) return;
   if (!joined_) {
-    for (std::thread& t : threads_) {
-      if (t.joinable()) t.join();
-    }
+    group_->wait();
     joined_ = true;
     if (isReduce_ && !failedFlag_.load()) {
       // Combine the per-worker partials in worker order.
@@ -167,17 +223,25 @@ const std::vector<Value>& Parallel::data() {
   return data_;
 }
 
+std::vector<Value> Parallel::takeData() {
+  data();  // wait + error check
+  return std::move(data_);
+}
+
 std::vector<uint64_t> Parallel::itemsPerWorker() const {
   std::vector<uint64_t> out;
   out.reserve(perWorker_.size());
-  for (const auto& counter : perWorker_) out.push_back(counter->load());
+  for (const CounterSlot& slot : perWorker_) {
+    out.push_back(slot.items.load(std::memory_order_relaxed));
+  }
   return out;
 }
 
 uint64_t Parallel::virtualMakespan() const {
   uint64_t makespan = 0;
-  for (const auto& counter : perWorker_) {
-    makespan = std::max(makespan, counter->load());
+  for (const CounterSlot& slot : perWorker_) {
+    makespan =
+        std::max(makespan, slot.items.load(std::memory_order_relaxed));
   }
   return makespan;
 }

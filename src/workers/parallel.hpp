@@ -22,6 +22,15 @@
 //     Listing 2), which is exactly how the parallelMap block integrates
 //     with the cooperative scheduler.
 //
+// Execution substrate: operations no longer spawn threads. Each logical
+// worker becomes one chunk task in a TaskGroup submitted to the shared
+// WorkerPool, so op launch costs a queue push instead of maxWorkers
+// thread spawns, and wait() joins by draining the group (running
+// unclaimed chunks on the calling thread) instead of std::thread::join.
+// Logical workers are decoupled from pool width: maxWorkers = 16 still
+// yields 16 chunk tasks (and 16 itemsPerWorker slots) however many OS
+// threads the pool owns.
+//
 // In addition to wall-clock execution, the facade tracks items-per-worker
 // so benches can report *virtual makespan* (max items on any worker) —
 // the metric that carries the paper's speedup shape on a 1-core host.
@@ -32,10 +41,10 @@
 #include <memory>
 #include <mutex>
 #include <string>
-#include <thread>
 #include <vector>
 
 #include "blocks/value.hpp"
+#include "workers/task_group.hpp"
 
 namespace psnap::workers {
 
@@ -55,18 +64,21 @@ enum class Distribution {
 };
 
 struct ParallelOptions {
-  /// Number of workers to spawn; 0 uses the default of 4 (the paper:
+  /// Number of logical workers; 0 uses the default of 4 (the paper:
   /// "By default, four Web Workers are created").
   size_t maxWorkers = 0;
   Distribution distribution = Distribution::Dynamic;
-  /// Chunk granularity for Dynamic and BlockCyclic.
+  /// Chunk granularity for Dynamic and BlockCyclic (0 normalizes to 1).
   size_t chunkSize = 1;
 };
 
 class Parallel {
  public:
   /// Clone `data` into the job (structured-clone semantics; throws
-  /// PurityError if a value is not transferable).
+  /// PurityError if a value is not transferable). Large inputs are cloned
+  /// by parallel slice tasks on the pool; the snapshot is still taken
+  /// before the constructor returns, so later mutation of the source
+  /// never leaks into the job.
   Parallel(const std::vector<blocks::Value>& data, ParallelOptions options);
   explicit Parallel(const blocks::ListPtr& list,
                     ParallelOptions options = {});
@@ -88,7 +100,8 @@ class Parallel {
   /// Has the running operation finished? (Listing 2's `_resolved`.)
   bool resolved() const;
 
-  /// Block until resolved, join the workers, surface any worker error.
+  /// Block until resolved (draining unclaimed chunk tasks on this
+  /// thread), surface any worker error.
   void wait();
 
   /// True once resolved if a worker threw; message() holds the first error.
@@ -99,7 +112,12 @@ class Parallel {
   /// Calls wait() internally. Throws Error if the operation failed.
   const std::vector<blocks::Value>& data();
 
-  /// Items processed by each worker during the last operation.
+  /// Move the result out instead of copying (the MapReduce engine's
+  /// phases hand multi-thousand-element vectors between stages). Same
+  /// wait/throw behaviour as data(); the Parallel is spent afterwards.
+  std::vector<blocks::Value> takeData();
+
+  /// Items processed by each logical worker during the last operation.
   std::vector<uint64_t> itemsPerWorker() const;
 
   /// Virtual makespan: the maximum number of items any single worker
@@ -107,17 +125,25 @@ class Parallel {
   uint64_t virtualMakespan() const;
 
  private:
-  void launch(std::function<void(size_t)> body);
+  // One counter slot per logical worker, cache-line padded: workers flush
+  // a chunk's item count with one relaxed add instead of a per-item
+  // fetch_add into a shared array.
+  struct alignas(64) CounterSlot {
+    std::atomic<uint64_t> items{0};
+  };
+
+  void cloneIn(const std::vector<blocks::Value>& source);
+  /// Submit `taskCount` chunk tasks running `body(logicalWorker)`.
+  void launch(std::function<void(size_t)> body, size_t taskCount);
   void recordError(const std::string& message);
 
   std::vector<blocks::Value> data_;
   size_t workers_;
   ParallelOptions options_;
 
-  std::vector<std::thread> threads_;
-  std::vector<std::unique_ptr<std::atomic<uint64_t>>> perWorker_;
+  std::shared_ptr<TaskGroup> group_;
+  std::vector<CounterSlot> perWorker_;
   std::atomic<size_t> cursor_{0};
-  std::atomic<int> running_{0};
   std::atomic<bool> launched_{false};
   std::atomic<bool> failedFlag_{false};
   std::string error_;

@@ -1,0 +1,104 @@
+// A batch of tasks with a completion handle — the unit of work the
+// persistent WorkerPool executes on behalf of a Parallel operation.
+//
+// The design point that makes nested pooled work deadlock-free: tasks are
+// *claimed* from the group (an atomic cursor), not assigned to specific
+// threads. Pool workers claim tasks through runner closures, and any
+// thread blocked in wait() first drains every unclaimed task itself.
+// After the drain, the only outstanding tasks are ones actively executing
+// on other threads, so blocking on the condition variable cannot deadlock
+// — even when the waiter is itself a pool worker (mr::Job runs its whole
+// pipeline on the pool and waits on child groups from inside it).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+namespace psnap::workers {
+
+class TaskGroup {
+ public:
+  /// A task body; the argument is the task's index within the group.
+  using Task = std::function<void(size_t)>;
+
+  explicit TaskGroup(std::vector<Task> tasks)
+      : tasks_(std::move(tasks)), pending_(tasks_.size()) {
+    if (tasks_.empty()) doneFlag_ = true;
+  }
+
+  TaskGroup(const TaskGroup&) = delete;
+  TaskGroup& operator=(const TaskGroup&) = delete;
+
+  size_t size() const { return tasks_.size(); }
+
+  /// Claim and run one unclaimed task on the calling thread. Returns
+  /// false once every task has been claimed (not necessarily finished).
+  bool runOne() {
+    const size_t index = next_.fetch_add(1, std::memory_order_relaxed);
+    if (index >= tasks_.size()) return false;
+    try {
+      tasks_[index](index);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (!error_) error_ = std::current_exception();
+    }
+    if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        doneFlag_ = true;
+      }
+      cv_.notify_all();
+    }
+    return true;
+  }
+
+  /// All tasks finished? Lock-free — this is what the cooperative
+  /// scheduler's poll loop (Listing 2's `_resolved`) reads every frame.
+  bool done() const {
+    return pending_.load(std::memory_order_acquire) == 0;
+  }
+
+  /// Drain unclaimed tasks on the calling thread, then block until the
+  /// claimed-but-running remainder completes. Never throws; task
+  /// exceptions are captured (see error()).
+  void wait() {
+    while (runOne()) {
+    }
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait(lock, [this] { return doneFlag_; });
+  }
+
+  /// First exception thrown by a task (null when all tasks were clean).
+  /// Meaningful once done().
+  std::exception_ptr error() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return error_;
+  }
+
+  /// Rethrow the captured exception, if any (call after wait()).
+  void rethrowIfError() {
+    std::exception_ptr error;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      error = error_;
+    }
+    if (error) std::rethrow_exception(error);
+  }
+
+ private:
+  std::vector<Task> tasks_;
+  std::atomic<size_t> next_{0};
+  std::atomic<size_t> pending_;
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  bool doneFlag_ = false;          // guarded by mutex_ (cv predicate)
+  std::exception_ptr error_;       // guarded by mutex_
+};
+
+}  // namespace psnap::workers
