@@ -1,0 +1,313 @@
+// Value-plane benchmark: the perf trajectory for the copy-on-write value
+// representation (COW value-plane PR). Workloads, each emitted as a
+// machine-readable row of BENCH_value.json:
+//
+//   * clone/flat_numbers/n=<k>  — structuredClone/s of a flat numeric list
+//                                 (O(1) buffer share vs eager deep copy).
+//   * clone/flat_text/n=<k>     — same, list of 64-byte texts (shared
+//                                 immutable TextRep vs per-string copies).
+//   * clone/nested_pairs/n=<k>  — list of [text, number] pairs: the spine
+//                                 is rebuilt, leaf buffers/texts shared.
+//   * entry/parallel_text/n=<k> — a full Parallel constructor (clone-in):
+//                                 the worker-boundary cost the paper's
+//                                 Listing 1 pays before map() starts.
+//   * equals/num_text           — numeric-text equality (the seed parsed
+//                                 both sides twice; now once, cached).
+//   * equals/longtext_ci        — case-insensitive text equality (the seed
+//                                 allocated two toLower copies per compare).
+//   * asNumber/longtext         — repeated coercion of one long text value
+//                                 (cached parse on the shared rep).
+//
+// The clone/entry workloads also run against `legacyClone`, a faithful
+// replica of the seed's eager structured clone (fresh buffers, fresh
+// string bytes, element-wise recursion), so the seed-vs-new comparison
+// regenerates on any checkout. The equals/asNumber rows additionally
+// report heap allocations per repetition (a global operator-new counter;
+// only meaningful for these single-threaded rows — the seed's hot
+// comparisons allocated, the COW plane's must not). Usage:
+//
+//   bench_value_plane [--variant NAME] [--out FILE.json] [--quick|--smoke]
+//
+// `--smoke` shrinks sizes ~1000x and the measurement window to ~20 ms so
+// `scripts/check.sh --bench-smoke` can exercise every code path cheaply.
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <new>
+#include <string>
+#include <vector>
+
+#include "blocks/value.hpp"
+#include "support/rng.hpp"
+#include "workers/parallel.hpp"
+
+// ---------------------------------------------------------------------------
+// Allocation counter: every scalar/array operator new in the binary bumps
+// one relaxed atomic. The array and sized-delete forms default to these.
+// ---------------------------------------------------------------------------
+namespace {
+std::atomic<uint64_t> g_allocs{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+
+namespace {
+
+using psnap::Rng;
+using psnap::blocks::List;
+using psnap::blocks::ListPtr;
+using psnap::blocks::Value;
+using Clock = std::chrono::steady_clock;
+
+double secondsSince(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+// -------------------------------------------------------------------------
+// legacyClone: the seed's eager structured clone. Fresh List nodes with
+// fresh buffers, fresh string bytes for every text, element-wise
+// recursion — the cost model the COW snapshot replaces.
+// -------------------------------------------------------------------------
+Value legacyClone(const Value& v) {
+  if (v.isList()) {
+    const ListPtr& src = v.asList();
+    auto out = List::make();
+    out->reserve(src->length());
+    for (const Value& item : src->items()) out->add(legacyClone(item));
+    return Value(out);
+  }
+  if (v.isText()) return Value(std::string(v.textView()));
+  return v;
+}
+
+struct Row {
+  std::string bench;
+  double rate = 0;      // primary metric, unit-tagged below
+  std::string unit;
+  double seconds = 0;   // total measured wall time
+  uint64_t reps = 0;
+  double allocsPerRep = -1;  // heap allocations per rep; -1 = not tracked
+};
+
+// Run `body` repeatedly until ~minSeconds elapsed. `trackAllocs` also
+// divides the operator-new delta by reps (single-threaded rows only).
+template <typename F>
+Row timed(const std::string& name, const std::string& unit, double perRep,
+          double minSeconds, bool trackAllocs, F body) {
+  body();  // warm-up: first rep pays lazy caches / pool creation
+  uint64_t reps = 0;
+  const uint64_t allocs0 = g_allocs.load(std::memory_order_relaxed);
+  auto start = Clock::now();
+  double elapsed = 0;
+  do {
+    body();
+    ++reps;
+    elapsed = secondsSince(start);
+  } while (elapsed < minSeconds);
+  Row row;
+  row.bench = name;
+  row.unit = unit;
+  row.seconds = elapsed;
+  row.reps = reps;
+  row.rate = perRep * double(reps) / elapsed;
+  if (trackAllocs) {
+    const uint64_t allocs1 = g_allocs.load(std::memory_order_relaxed);
+    row.allocsPerRep = double(allocs1 - allocs0) / double(reps);
+  }
+  return row;
+}
+
+ListPtr flatNumbers(size_t n) {
+  auto list = List::make();
+  list->reserve(n);
+  for (size_t i = 0; i < n; ++i) list->add(Value(double(i)));
+  return list;
+}
+
+ListPtr flatTexts(size_t n) {
+  Rng rng(99);
+  auto list = List::make();
+  list->reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    std::string text(64, 'x');
+    for (char& c : text) c = char('a' + rng.below(26));
+    list->add(Value(std::move(text)));
+  }
+  return list;
+}
+
+ListPtr nestedPairs(size_t n) {
+  auto list = List::make();
+  list->reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    list->add(Value(List::make(
+        {Value("key-with-some-padding-" + std::to_string(i % 1024)),
+         Value(double(i))})));
+  }
+  return list;
+}
+
+uint64_t g_sink = 0;  // defeats clone elision without atomics in the loop
+
+Row benchClone(const std::string& shape, const ListPtr& list, bool legacy,
+               double minSeconds) {
+  const Value source(list);
+  const std::string name = std::string(legacy ? "legacy_" : "") + "clone/" +
+                           shape + "/n=" + std::to_string(list->length());
+  return timed(name, "clones/s", 1.0, minSeconds, /*trackAllocs=*/false, [&] {
+    Value clone = legacy ? legacyClone(source) : source.structuredClone();
+    g_sink += clone.asList()->length();
+  });
+}
+
+Row benchParallelEntry(const ListPtr& list, bool legacy, double minSeconds) {
+  const std::string name = std::string(legacy ? "legacy_" : "") +
+                           "entry/parallel_text/n=" +
+                           std::to_string(list->length());
+  return timed(name, "ops/s", 1.0, minSeconds, /*trackAllocs=*/false, [&] {
+    if (legacy) {
+      std::vector<Value> data;
+      data.reserve(list->length());
+      for (const Value& v : list->items()) data.push_back(legacyClone(v));
+      g_sink += data.size();
+    } else {
+      psnap::workers::Parallel p(list, {.maxWorkers = 4});
+      g_sink += p.workerCount();
+    }
+  });
+}
+
+Row benchEqualsNumText(double minSeconds) {
+  const Value text("3.14159");
+  const Value number(3.14159);
+  return timed("equals/num_text", "cmp/s", 1.0, minSeconds,
+               /*trackAllocs=*/true, [&] {
+                 g_sink += text.equals(number) ? 1 : 0;
+               });
+}
+
+Row benchEqualsLongTextCi(double minSeconds) {
+  const std::string base(100, 'q');
+  Value a(base + "SUFFIXCASE");
+  Value b(base + "suffixCASE");
+  return timed("equals/longtext_ci", "cmp/s", 1.0, minSeconds,
+               /*trackAllocs=*/true, [&] {
+                 g_sink += a.equals(b) ? 1 : 0;
+               });
+}
+
+Row benchAsNumberLongText(double minSeconds) {
+  // > 15 bytes so it lives in a shared TextRep with a cached parse.
+  const Value v("        31415.926535897932        ");
+  return timed("asNumber/longtext", "coercions/s", 1.0, minSeconds,
+               /*trackAllocs=*/true, [&] {
+                 g_sink += uint64_t(v.asNumber());
+               });
+}
+
+void writeJson(const std::string& path, const std::string& variant,
+               const std::vector<Row>& rows) {
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) {
+    std::fprintf(stderr, "cannot open %s\n", path.c_str());
+    std::exit(1);
+  }
+  std::fprintf(f, "{\n  \"bench\": \"bench_value_plane\",\n");
+  std::fprintf(f, "  \"variant\": \"%s\",\n  \"rows\": [\n", variant.c_str());
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    std::fprintf(f,
+                 "    {\"name\": \"%s\", \"rate\": %.1f, \"unit\": \"%s\", "
+                 "\"reps\": %llu, \"seconds\": %.3f",
+                 r.bench.c_str(), r.rate, r.unit.c_str(),
+                 static_cast<unsigned long long>(r.reps), r.seconds);
+    if (r.allocsPerRep >= 0) {
+      std::fprintf(f, ", \"allocs_per_rep\": %.2f", r.allocsPerRep);
+    }
+    std::fprintf(f, "}%s\n", i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string variant = "new";
+  std::string out = "BENCH_value.json";
+  double minSeconds = 0.4;
+  size_t scale = 1;  // divides workload sizes in smoke mode
+  for (int i = 1; i < argc; ++i) {
+    if (!std::strcmp(argv[i], "--variant") && i + 1 < argc) {
+      variant = argv[++i];
+    } else if (!std::strcmp(argv[i], "--out") && i + 1 < argc) {
+      out = argv[++i];
+    } else if (!std::strcmp(argv[i], "--quick")) {
+      minSeconds = 0.1;
+    } else if (!std::strcmp(argv[i], "--smoke")) {
+      minSeconds = 0.02;
+      scale = 1000;
+    }
+  }
+
+  const size_t big = 1'000'000 / scale;
+  const size_t mid = 100'000 / scale;
+
+  std::vector<Row> rows;
+  {
+    ListPtr list = flatNumbers(big);
+    rows.push_back(benchClone("flat_numbers", list, /*legacy=*/false,
+                              minSeconds));
+    rows.push_back(benchClone("flat_numbers", list, /*legacy=*/true,
+                              minSeconds));
+  }
+  {
+    ListPtr list = flatTexts(mid);
+    rows.push_back(benchClone("flat_text", list, /*legacy=*/false,
+                              minSeconds));
+    rows.push_back(benchClone("flat_text", list, /*legacy=*/true,
+                              minSeconds));
+  }
+  {
+    ListPtr list = nestedPairs(mid);
+    rows.push_back(benchClone("nested_pairs", list, /*legacy=*/false,
+                              minSeconds));
+    rows.push_back(benchClone("nested_pairs", list, /*legacy=*/true,
+                              minSeconds));
+  }
+  rows.push_back(benchEqualsNumText(minSeconds));
+  rows.push_back(benchEqualsLongTextCi(minSeconds));
+  rows.push_back(benchAsNumberLongText(minSeconds));
+  {
+    ListPtr list = flatTexts(mid);
+    rows.push_back(benchParallelEntry(list, /*legacy=*/false, minSeconds));
+    rows.push_back(benchParallelEntry(list, /*legacy=*/true, minSeconds));
+  }
+
+  std::printf("%-34s %16s %12s %8s %10s\n", "bench", "rate", "unit", "reps",
+              "allocs/rep");
+  for (const Row& r : rows) {
+    if (r.allocsPerRep >= 0) {
+      std::printf("%-34s %16.1f %12s %8llu %10.2f\n", r.bench.c_str(),
+                  r.rate, r.unit.c_str(),
+                  static_cast<unsigned long long>(r.reps), r.allocsPerRep);
+    } else {
+      std::printf("%-34s %16.1f %12s %8llu %10s\n", r.bench.c_str(), r.rate,
+                  r.unit.c_str(), static_cast<unsigned long long>(r.reps),
+                  "-");
+    }
+  }
+  writeJson(out, variant, rows);
+  std::printf("wrote %s (variant=%s)\n", out.c_str(), variant.c_str());
+  if (g_sink == uint64_t(-1)) std::abort();  // keep the sink observable
+  return 0;
+}

@@ -7,6 +7,13 @@
 #   or `tsan` to run a subset. Build trees land in build-<preset>/
 #   (gitignored).
 #
+# Usage: scripts/check.sh --bench-smoke
+#   Builds the release preset and runs every bench_* binary at a tiny
+#   size (gbench benches get --benchmark_min_time=0.01; the custom-main
+#   benches get their --quick/--smoke modes). Fails if any bench
+#   crashes or exits non-zero — a cheap guard that the measured code
+#   paths still run, without caring about the numbers.
+#
 # The asan test preset sets ASAN_OPTIONS=detect_leaks=0: rings are
 # shared_ptr closures over their defining environment, so storing a ring
 # into a variable of that environment forms a reference cycle (Snap!
@@ -23,6 +30,37 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 jobs=$(nproc 2>/dev/null || echo 2)
+
+if [ "${1:-}" = "--bench-smoke" ]; then
+  cmake --preset release
+  cmake --build --preset release -j "${jobs}"
+  scratch=$(mktemp -d)
+  trap 'rm -rf "${scratch}"' EXIT
+  status=0
+  for bin in build-release/bench/bench_*; do
+    [ -x "${bin}" ] || continue
+    name=$(basename "${bin}")
+    case "${name}" in
+      bench_parallel_substrate)
+        args=(--quick --out "${scratch}/${name}.json") ;;
+      bench_value_plane)
+        args=(--smoke --out "${scratch}/${name}.json") ;;
+      *)
+        args=(--benchmark_min_time=0.01) ;;
+    esac
+    echo "== bench smoke: ${name} =="
+    if ! "${bin}" "${args[@]}" > "${scratch}/${name}.log" 2>&1; then
+      echo "!! ${name} failed; last lines:"
+      tail -n 20 "${scratch}/${name}.log"
+      status=1
+    fi
+  done
+  if [ "${status}" -eq 0 ]; then
+    echo "== bench smoke green =="
+  fi
+  exit "${status}"
+fi
+
 presets=("$@")
 if [ ${#presets[@]} -eq 0 ]; then
   presets=(release asan tsan)

@@ -1,5 +1,6 @@
 #include "blocks/value.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "support/error.hpp"
@@ -19,34 +20,142 @@ const char* valueKindName(ValueKind kind) {
   return "unknown";
 }
 
+// ---------------------------------------------------------------------------
+// TextRep — shared immutable payload with lazy, thread-safe caches.
+// ---------------------------------------------------------------------------
+
+TextRep::Numeric TextRep::numeric(double& out) const {
+  uint8_t state = numericState_.load(std::memory_order_acquire);
+  if (state == uint8_t(Numeric::Unknown)) {
+    double parsed = 0;
+    Numeric computed;
+    if (strings::parseNumber(text_, parsed)) {
+      computed = Numeric::Parsed;
+    } else if (strings::isBlank(text_)) {
+      computed = Numeric::BlankZero;
+      parsed = 0;
+    } else {
+      computed = Numeric::No;
+    }
+    // Publish value before state; racing writers store identical bytes.
+    numericValue_.store(parsed, std::memory_order_relaxed);
+    numericState_.store(uint8_t(computed), std::memory_order_release);
+    state = uint8_t(computed);
+  }
+  out = numericValue_.load(std::memory_order_relaxed);
+  return Numeric(state);
+}
+
+uint64_t TextRep::loweredHash() const {
+  if (hashState_.load(std::memory_order_acquire) == 0) {
+    loweredHash_.store(strings::hashLowered(text_),
+                       std::memory_order_relaxed);
+    hashState_.store(1, std::memory_order_release);
+  }
+  return loweredHash_.load(std::memory_order_relaxed);
+}
+
+// ---------------------------------------------------------------------------
+// Value
+// ---------------------------------------------------------------------------
+
+namespace {
+constexpr size_t kSmallTextCap = 15;
+}  // namespace
+
+Value::Value(std::string text) {
+  if (text.size() <= kSmallTextCap) {
+    SmallText small;
+    std::memcpy(small.bytes, text.data(), text.size());
+    small.size = uint8_t(text.size());
+    v_ = small;
+  } else {
+    v_ = TextPtr(std::make_shared<TextRep>(std::move(text)));
+  }
+}
+
+Value::Value(std::string_view text) {
+  if (text.size() <= kSmallTextCap) {
+    SmallText small;
+    std::memcpy(small.bytes, text.data(), text.size());
+    small.size = uint8_t(text.size());
+    v_ = small;
+  } else {
+    v_ = TextPtr(std::make_shared<TextRep>(std::string(text)));
+  }
+}
+
 ValueKind Value::kind() const {
   switch (v_.index()) {
     case 0: return ValueKind::Nothing;
     case 1: return ValueKind::Number;
     case 2: return ValueKind::Boolean;
-    case 3: return ValueKind::Text;
-    case 4: return ValueKind::ListRef;
+    case 3:
+    case 4: return ValueKind::Text;
+    case 5: return ValueKind::ListRef;
     default: return ValueKind::RingRef;
   }
 }
 
+std::string_view Value::textView() const {
+  if (const SmallText* small = std::get_if<SmallText>(&v_)) {
+    return std::string_view(small->bytes, small->size);
+  }
+  if (const TextPtr* rep = std::get_if<TextPtr>(&v_)) {
+    return (*rep)->text();
+  }
+  throw TypeError(std::string("expecting text but getting a ") +
+                  valueKindName(kind()));
+}
+
+bool Value::numericValue(double& out) const {
+  switch (v_.index()) {
+    case 1:  // Number
+      out = std::get<double>(v_);
+      return true;
+    case 3:  // SmallText: parsing <= 15 bytes is allocation-free and cheap
+      return strings::parseNumber(textView(), out);
+    case 4:  // TextPtr: classified once, then a cache read
+      return std::get<TextPtr>(v_)->numeric(out) ==
+             TextRep::Numeric::Parsed;
+    default:
+      return false;
+  }
+}
+
+uint64_t Value::loweredHash() const {
+  if (const TextPtr* rep = std::get_if<TextPtr>(&v_)) {
+    return (*rep)->loweredHash();
+  }
+  return strings::hashLowered(textView());
+}
+
 double Value::asNumber() const {
-  switch (kind()) {
-    case ValueKind::Number:
+  switch (v_.index()) {
+    case 1:
       return std::get<double>(v_);
-    case ValueKind::Boolean:
+    case 2:
       return std::get<bool>(v_) ? 1.0 : 0.0;
-    case ValueKind::Text: {
+    case 3: {
+      const std::string_view text = textView();
       double parsed = 0;
-      if (strings::parseNumber(std::get<std::string>(v_), parsed)) {
-        return parsed;
-      }
+      if (strings::parseNumber(text, parsed)) return parsed;
       // Snap! treats empty text as 0 in arithmetic contexts.
-      if (strings::trim(std::get<std::string>(v_)).empty()) return 0.0;
+      if (strings::isBlank(text)) return 0.0;
       throw TypeError("expecting a number but getting text \"" +
-                      std::get<std::string>(v_) + "\"");
+                      std::string(text) + "\"");
     }
-    case ValueKind::Nothing:
+    case 4: {
+      double parsed = 0;
+      switch (std::get<TextPtr>(v_)->numeric(parsed)) {
+        case TextRep::Numeric::Parsed: return parsed;
+        case TextRep::Numeric::BlankZero: return 0.0;
+        default:
+          throw TypeError("expecting a number but getting text \"" +
+                          std::get<TextPtr>(v_)->text() + "\"");
+      }
+    }
+    case 0:
       return 0.0;
     default:
       throw TypeError(std::string("expecting a number but getting a ") +
@@ -61,11 +170,12 @@ long long Value::asInteger() const {
 }
 
 std::string Value::asText() const {
-  switch (kind()) {
-    case ValueKind::Nothing: return "";
-    case ValueKind::Number: return strings::formatNumber(std::get<double>(v_));
-    case ValueKind::Boolean: return std::get<bool>(v_) ? "true" : "false";
-    case ValueKind::Text: return std::get<std::string>(v_);
+  switch (v_.index()) {
+    case 0: return "";
+    case 1: return strings::formatNumber(std::get<double>(v_));
+    case 2: return std::get<bool>(v_) ? "true" : "false";
+    case 3:
+    case 4: return std::string(textView());
     default:
       throw TypeError(std::string("expecting text but getting a ") +
                       valueKindName(kind()));
@@ -73,18 +183,11 @@ std::string Value::asText() const {
 }
 
 bool Value::asBoolean() const {
-  switch (kind()) {
-    case ValueKind::Boolean:
-      return std::get<bool>(v_);
-    case ValueKind::Text: {
-      const std::string lowered =
-          strings::toLower(std::get<std::string>(v_));
-      if (lowered == "true") return true;
-      if (lowered == "false") return false;
-      break;
-    }
-    default:
-      break;
+  if (isBoolean()) return std::get<bool>(v_);
+  if (isText()) {
+    const std::string_view text = textView();
+    if (strings::equalsIgnoreCase(text, "true")) return true;
+    if (strings::equalsIgnoreCase(text, "false")) return false;
   }
   throw TypeError(std::string("expecting a boolean but getting a ") +
                   valueKindName(kind()));
@@ -106,23 +209,6 @@ const RingPtr& Value::asRing() const {
   return std::get<RingPtr>(v_);
 }
 
-namespace {
-
-bool looksNumeric(const Value& value) {
-  switch (value.kind()) {
-    case ValueKind::Number:
-      return true;
-    case ValueKind::Text: {
-      double parsed = 0;
-      return strings::parseNumber(value.asText(), parsed);
-    }
-    default:
-      return false;
-  }
-}
-
-}  // namespace
-
 bool Value::equals(const Value& other) const {
   // Lists: deep structural equality.
   if (isList() || other.isList()) {
@@ -141,12 +227,31 @@ bool Value::equals(const Value& other) const {
     }
     return false;
   }
-  // Snap! compares numerically whenever both sides look numeric…
-  if (looksNumeric(*this) && looksNumeric(other)) {
-    return asNumber() == other.asNumber();
+  // Snap! compares numerically whenever both sides look numeric — each
+  // side is parsed at most once (and long text not even that, its parse
+  // is cached on the shared rep)…
+  double a = 0;
+  double b = 0;
+  if (numericValue(a) && other.numericValue(b)) return a == b;
+  // …and case-insensitively otherwise. Text-vs-text is allocation-free;
+  // the mixed-kind fallback renders the non-text side first.
+  std::string leftOwned;
+  std::string rightOwned;
+  std::string_view left;
+  std::string_view right;
+  if (isText()) {
+    left = textView();
+  } else {
+    leftOwned = asText();
+    left = leftOwned;
   }
-  // …and case-insensitively otherwise.
-  return strings::toLower(asText()) == strings::toLower(other.asText());
+  if (other.isText()) {
+    right = other.textView();
+  } else {
+    rightOwned = other.asText();
+    right = rightOwned;
+  }
+  return strings::equalsIgnoreCase(left, right);
 }
 
 std::string Value::display() const {
@@ -163,12 +268,8 @@ bool Value::isTransferable() const {
   switch (kind()) {
     case ValueKind::RingRef:
       return false;
-    case ValueKind::ListRef: {
-      for (const Value& item : asList()->items()) {
-        if (!item.isTransferable()) return false;
-      }
-      return true;
-    }
+    case ValueKind::ListRef:
+      return asList()->isTransferable();
     default:
       return true;
   }
@@ -178,93 +279,287 @@ Value Value::structuredClone() const {
   switch (kind()) {
     case ValueKind::RingRef:
       throw PurityError("rings cannot be structured-cloned to a worker");
-    case ValueKind::ListRef: {
-      auto copy = List::make();
-      copy->items().reserve(asList()->length());
-      for (const Value& item : asList()->items()) {
-        copy->add(item.structuredClone());
-      }
-      return Value(copy);
-    }
+    case ValueKind::ListRef:
+      return Value(asList()->snapshotClone());
     default:
+      // Scalars are values; text is immutable and shared (copying the
+      // handle is the clone).
       return *this;
   }
 }
 
-const Value& List::item(size_t index1) const {
-  if (index1 < 1 || index1 > items_.size()) {
-    throw IndexError("item " + std::to_string(index1) + " of a list of " +
-                     std::to_string(items_.size()));
+// ---------------------------------------------------------------------------
+// List — COW core.
+// ---------------------------------------------------------------------------
+
+List::List(std::vector<Value> items) {
+  if (!items.empty()) {
+    buf_ = std::make_shared<Buffer>(std::move(items));
   }
-  return items_[index1 - 1];
 }
 
-Value& List::item(size_t index1) {
-  if (index1 < 1 || index1 > items_.size()) {
-    throw IndexError("item " + std::to_string(index1) + " of a list of " +
-                     std::to_string(items_.size()));
-  }
-  return items_[index1 - 1];
+const List::Buffer& List::emptyBuffer() {
+  static const Buffer empty;
+  return empty;
 }
+
+void List::detachForWrite() {
+  if (buf_ && buf_.use_count() > 1) {
+    // The buffer is held by a pending snapshot (or this node is one).
+    // Shared buffers are sublist-free by construction — snapshotClone
+    // rebuilds any buffer containing ListRefs — so this shallow copy is
+    // the full deferred deep copy: scalars copy, texts bump a refcount.
+    buf_ = std::make_shared<Buffer>(*buf_);
+  }
+  version_.fetch_add(1, std::memory_order_relaxed);
+}
+
+List::Buffer& List::writable() {
+  detachForWrite();
+  if (!buf_) buf_ = std::make_shared<Buffer>();
+  return *buf_;
+}
+
+const Value& List::item(size_t index1) const {
+  const Buffer& items = this->items();
+  if (index1 < 1 || index1 > items.size()) {
+    throw IndexError("item " + std::to_string(index1) + " of a list of " +
+                     std::to_string(items.size()));
+  }
+  return items[index1 - 1];
+}
+
+void List::add(Value value) { writable().push_back(std::move(value)); }
 
 void List::insertAt(size_t index1, Value value) {
-  if (index1 < 1 || index1 > items_.size() + 1) {
+  if (index1 < 1 || index1 > length() + 1) {
     throw IndexError("insert at " + std::to_string(index1) +
-                     " of a list of " + std::to_string(items_.size()));
+                     " of a list of " + std::to_string(length()));
   }
-  items_.insert(items_.begin() + static_cast<ptrdiff_t>(index1 - 1),
-                std::move(value));
+  Buffer& items = writable();
+  items.insert(items.begin() + static_cast<ptrdiff_t>(index1 - 1),
+               std::move(value));
 }
 
 void List::replaceAt(size_t index1, Value value) {
-  item(index1) = std::move(value);
+  if (index1 < 1 || index1 > length()) {
+    throw IndexError("item " + std::to_string(index1) + " of a list of " +
+                     std::to_string(length()));
+  }
+  writable()[index1 - 1] = std::move(value);
 }
 
 void List::removeAt(size_t index1) {
-  if (index1 < 1 || index1 > items_.size()) {
+  if (index1 < 1 || index1 > length()) {
     throw IndexError("delete " + std::to_string(index1) + " of a list of " +
-                     std::to_string(items_.size()));
+                     std::to_string(length()));
   }
-  items_.erase(items_.begin() + static_cast<ptrdiff_t>(index1 - 1));
+  Buffer& items = writable();
+  items.erase(items.begin() + static_cast<ptrdiff_t>(index1 - 1));
 }
 
+void List::clear() {
+  version_.fetch_add(1, std::memory_order_relaxed);
+  if (buf_ && buf_.use_count() > 1) {
+    buf_.reset();  // the snapshot keeps the old buffer; we become empty
+  } else if (buf_) {
+    buf_->clear();
+  }
+}
+
+void List::reserve(size_t capacity) { writable().reserve(capacity); }
+
+std::vector<Value>& List::mutableItems() { return writable(); }
+
 bool List::contains(const Value& probe) const {
-  for (const Value& item : items_) {
+  for (const Value& item : items()) {
     if (item.equals(probe)) return true;
   }
   return false;
 }
 
 bool List::deepEquals(const List& other) const {
-  if (items_.size() != other.items_.size()) return false;
-  for (size_t i = 0; i < items_.size(); ++i) {
-    if (!items_[i].equals(other.items_[i])) return false;
+  std::vector<const List*> path;
+  return deepEqualsGuarded(other, path);
+}
+
+bool List::deepEqualsGuarded(const List& other,
+                             std::vector<const List*>& path) const {
+  const Buffer& mine = items();
+  const Buffer& theirs = other.items();
+  if (mine.size() != theirs.size()) return false;
+  if (this == &other) return true;
+  if (std::find(path.begin(), path.end(), this) != path.end()) {
+    throw TypeError("cannot compare cyclic lists");
   }
+  path.push_back(this);
+  for (size_t i = 0; i < mine.size(); ++i) {
+    const Value& a = mine[i];
+    const Value& b = theirs[i];
+    bool same;
+    if (a.isList() && b.isList()) {
+      same = a.asList()->deepEqualsGuarded(*b.asList(), path);
+    } else {
+      same = a.equals(b);
+    }
+    if (!same) {
+      path.pop_back();
+      return false;
+    }
+  }
+  path.pop_back();
   return true;
 }
 
 ListPtr List::deepCopy() const {
+  std::vector<const List*> path;
+  return deepCopyGuarded(path);
+}
+
+ListPtr List::deepCopyGuarded(std::vector<const List*>& path) const {
+  if (std::find(path.begin(), path.end(), this) != path.end()) {
+    throw TypeError("cannot deep-copy a cyclic list");
+  }
+  path.push_back(this);
   auto copy = List::make();
-  copy->items().reserve(items_.size());
-  for (const Value& item : items_) {
-    if (item.isList()) {
-      copy->add(Value(item.asList()->deepCopy()));
-    } else {
-      copy->add(item);
+  const Buffer& source = items();
+  if (!source.empty()) {
+    Buffer& target = copy->writable();
+    target.reserve(source.size());
+    for (const Value& item : source) {
+      if (item.isList()) {
+        target.push_back(Value(item.asList()->deepCopyGuarded(path)));
+      } else {
+        target.push_back(item);
+      }
     }
   }
+  path.pop_back();
   return copy;
 }
 
 std::string List::display() const {
-  std::string out = "[";
-  for (size_t i = 0; i < items_.size(); ++i) {
-    if (i != 0) out += ", ";
-    out += items_[i].display();
-  }
-  out += "]";
+  std::string out;
+  std::vector<const List*> path;
+  displayGuarded(out, path);
   return out;
 }
+
+void List::displayGuarded(std::string& out,
+                          std::vector<const List*>& path) const {
+  if (std::find(path.begin(), path.end(), this) != path.end()) {
+    out += "(cyclic list)";
+    return;
+  }
+  path.push_back(this);
+  out += "[";
+  const Buffer& source = items();
+  for (size_t i = 0; i < source.size(); ++i) {
+    if (i != 0) out += ", ";
+    if (source[i].isList()) {
+      source[i].asList()->displayGuarded(out, path);
+    } else {
+      out += source[i].display();
+    }
+  }
+  out += "]";
+  path.pop_back();
+}
+
+List::FlatAudit List::flatAudit() const {
+  if (!buf_) return FlatAudit::Shareable;
+  const uint64_t version = version_.load(std::memory_order_relaxed);
+  const uint64_t cached = auditWord_.load(std::memory_order_acquire);
+  if ((cached >> 2) == version + 1) return FlatAudit(cached & 3u);
+  FlatAudit audit = FlatAudit::Shareable;
+  for (const Value& item : *buf_) {
+    if (item.isList()) {
+      audit = FlatAudit::HasSublists;
+      break;
+    }
+    if (item.isRing()) audit = FlatAudit::HasRings;
+  }
+  auditWord_.store(((version + 1) << 2) | uint64_t(audit),
+                   std::memory_order_release);
+  return audit;
+}
+
+bool List::isTransferable() const {
+  std::vector<const List*> path;
+  return transferableGuarded(path);
+}
+
+bool List::transferableGuarded(std::vector<const List*>& path) const {
+  switch (flatAudit()) {
+    case FlatAudit::Shareable: return true;
+    case FlatAudit::HasRings: return false;
+    default: break;
+  }
+  if (std::find(path.begin(), path.end(), this) != path.end()) {
+    return false;  // cyclic lists cannot be structured-cloned
+  }
+  path.push_back(this);
+  for (const Value& item : *buf_) {
+    if (item.isRing() ||
+        (item.isList() && !item.asList()->transferableGuarded(path))) {
+      path.pop_back();
+      return false;
+    }
+  }
+  path.pop_back();
+  return true;
+}
+
+ListPtr List::snapshotClone() const {
+  std::vector<const List*> path;
+  return snapshotCloneGuarded(path);
+}
+
+ListPtr List::snapshotCloneGuarded(std::vector<const List*>& path) const {
+  auto clone = std::make_shared<List>();
+  switch (flatAudit()) {
+    case FlatAudit::Shareable: {
+      // O(1): the snapshot shares the buffer; whichever side mutates
+      // first pays for the copy at its detach gate.
+      clone->buf_ = buf_;
+      // Seed the clone's audit cache — its buffer is known shareable.
+      clone->auditWord_.store((uint64_t(1) << 2) |
+                                  uint64_t(FlatAudit::Shareable),
+                              std::memory_order_release);
+      return clone;
+    }
+    case FlatAudit::HasRings:
+      throw PurityError("rings cannot be structured-cloned to a worker");
+    default:
+      break;
+  }
+  // Nested: rebuild the spine with fresh nodes so no mutable List object
+  // is reachable from both the live tree and the snapshot; leaf buffers
+  // and texts are shared.
+  if (std::find(path.begin(), path.end(), this) != path.end()) {
+    throw PurityError("cannot structured-clone a cyclic list");
+  }
+  path.push_back(this);
+  auto buffer = std::make_shared<Buffer>();
+  buffer->reserve(buf_->size());
+  for (const Value& item : *buf_) {
+    if (item.isList()) {
+      buffer->push_back(Value(item.asList()->snapshotCloneGuarded(path)));
+    } else if (item.isRing()) {
+      path.pop_back();
+      throw PurityError("rings cannot be structured-cloned to a worker");
+    } else {
+      buffer->push_back(item);
+    }
+  }
+  path.pop_back();
+  clone->buf_ = std::move(buffer);
+  return clone;
+}
+
+// ---------------------------------------------------------------------------
+// Ring
+// ---------------------------------------------------------------------------
 
 Ring::Ring(RingKind kind, BlockPtr expression, ScriptPtr script,
            std::vector<std::string> formals, EnvPtr captured)

@@ -13,11 +13,29 @@
 //
 // Value equality follows Snap!: values that look numeric compare
 // numerically, and text comparison is case-insensitive.
+//
+// Representation (the copy-on-write value plane; invariants in DESIGN.md,
+// "Value plane"):
+//
+//  * Text is immutable. Short texts (<= 15 bytes) live inline in the
+//    Value; longer texts are a `shared_ptr<const TextRep>` carrying the
+//    string plus lazily computed caches (numeric parse, lowered hash), so
+//    copying a text Value is a refcount bump and numeric coercion or
+//    case-insensitive hashing never re-reads the bytes twice.
+//  * A List owns a shared item buffer. `structuredClone` of a flat
+//    (sublist-free) list is O(1): the clone is a new List sharing the
+//    buffer. Every mutator funnels through a detach gate that copies the
+//    buffer first when it is shared, so the deep copy is deferred to the
+//    first mutation of either side and never observed semantically.
 #pragma once
 
+#include <atomic>
+#include <cstdint>
+#include <cstring>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <string_view>
 #include <variant>
 #include <vector>
 
@@ -42,6 +60,42 @@ enum class ValueKind { Nothing, Number, Boolean, Text, ListRef, RingRef };
 /// Human-readable name of a ValueKind (for error messages).
 const char* valueKindName(ValueKind kind);
 
+/// The shared, immutable payload of a long text value. The string never
+/// changes after construction; the caches are computed lazily and are
+/// thread-safe (snapshot transfer shares TextReps across workers).
+class TextRep {
+ public:
+  /// How the text behaves in a numeric context (Snap! coercion rules).
+  enum class Numeric : uint8_t {
+    Unknown = 0,   ///< not classified yet
+    Parsed = 1,    ///< numeric-looking; value() holds the parse
+    BlankZero = 2, ///< empty/whitespace: 0 in arithmetic, non-numeric in =
+    No = 3,        ///< coercion throws, comparison is textual
+  };
+
+  explicit TextRep(std::string text) : text_(std::move(text)) {}
+  TextRep(const TextRep&) = delete;
+  TextRep& operator=(const TextRep&) = delete;
+
+  const std::string& text() const { return text_; }
+
+  /// Classify (once) and return the cached numeric interpretation;
+  /// `out` receives the parsed value for Parsed/BlankZero.
+  Numeric numeric(double& out) const;
+
+  /// Cached strings::hashLowered(text()).
+  uint64_t loweredHash() const;
+
+ private:
+  std::string text_;
+  mutable std::atomic<uint8_t> numericState_{0};
+  mutable std::atomic<double> numericValue_{0};
+  mutable std::atomic<uint8_t> hashState_{0};
+  mutable std::atomic<uint64_t> loweredHash_{0};
+};
+
+using TextPtr = std::shared_ptr<const TextRep>;
+
 /// A dynamically typed Snap! value.
 class Value {
  public:
@@ -53,19 +107,20 @@ class Value {
   Value(long long n) : v_(double(n)) {}              // NOLINT(runtime/explicit)
   Value(size_t number) : v_(double(number)) {}       // NOLINT(runtime/explicit)
   Value(bool flag) : v_(flag) {}                     // NOLINT(runtime/explicit)
-  Value(std::string text) : v_(std::move(text)) {}   // NOLINT(runtime/explicit)
-  Value(const char* text) : v_(std::string(text)) {} // NOLINT(runtime/explicit)
+  Value(std::string text);                           // NOLINT(runtime/explicit)
+  Value(std::string_view text);                      // NOLINT(runtime/explicit)
+  Value(const char* text) : Value(std::string_view(text)) {} // NOLINT
   Value(ListPtr list) : v_(std::move(list)) {}       // NOLINT(runtime/explicit)
   Value(RingPtr ring) : v_(std::move(ring)) {}       // NOLINT(runtime/explicit)
 
   ValueKind kind() const;
 
-  bool isNothing() const { return kind() == ValueKind::Nothing; }
-  bool isNumber() const { return kind() == ValueKind::Number; }
-  bool isBoolean() const { return kind() == ValueKind::Boolean; }
-  bool isText() const { return kind() == ValueKind::Text; }
-  bool isList() const { return kind() == ValueKind::ListRef; }
-  bool isRing() const { return kind() == ValueKind::RingRef; }
+  bool isNothing() const { return v_.index() == 0; }
+  bool isNumber() const { return v_.index() == 1; }
+  bool isBoolean() const { return v_.index() == 2; }
+  bool isText() const { return v_.index() == 3 || v_.index() == 4; }
+  bool isList() const { return v_.index() == 5; }
+  bool isRing() const { return v_.index() == 6; }
 
   /// Number coercion per Snap!: numbers pass through, numeric-looking text
   /// parses, booleans are 1/0, everything else throws TypeError.
@@ -77,6 +132,19 @@ class Value {
   /// Text coercion: numbers render via strings::formatNumber, booleans as
   /// "true"/"false", nothing as "". Lists/rings throw TypeError.
   std::string asText() const;
+
+  /// Zero-copy view of a Text value's bytes (valid while this Value is
+  /// alive and unmodified). Throws TypeError for non-text values.
+  std::string_view textView() const;
+
+  /// Snap! "looks numeric" probe: true for numbers and numeric-looking
+  /// text, with the parse delivered through `out` (cached for long text,
+  /// so equality/coercion never parses the same payload twice).
+  bool numericValue(double& out) const;
+
+  /// Case-insensitive hash of a Text value (strings::hashLowered), cached
+  /// for long text. Throws TypeError for non-text values.
+  uint64_t loweredHash() const;
 
   /// Boolean coercion: booleans pass through; the texts "true"/"false"
   /// coerce; everything else throws TypeError.
@@ -97,63 +165,139 @@ class Value {
   /// lists render as bracketed element lists.
   std::string display() const;
 
-  /// True if the value can be sent to a worker (no rings; lists recursively
-  /// cloneable). Mirrors the structured-clone restriction on Web Workers.
+  /// True if the value can be sent to a worker (no rings, no cyclic
+  /// lists). Mirrors the structured-clone restriction on Web Workers.
   bool isTransferable() const;
 
-  /// Deep copy for transferring to/from a worker ("structured clone").
+  /// Isolated copy for transferring to/from a worker ("structured
+  /// clone"). Semantically a deep copy; physically an O(1) frozen
+  /// snapshot for flat lists and shared-immutable text, with the real
+  /// copy deferred to the first mutation of either side.
   /// Throws PurityError when !isTransferable().
   Value structuredClone() const;
 
  private:
-  std::variant<std::monostate, double, bool, std::string, ListPtr, RingPtr>
+  /// Inline storage for short text: copying it is a 16-byte move, and the
+  /// common case (words, numbers-as-text, flags) never allocates.
+  struct SmallText {
+    char bytes[15];
+    uint8_t size;
+  };
+
+  std::variant<std::monostate, double, bool, SmallText, TextPtr, ListPtr,
+               RingPtr>
       v_;
 };
 
 /// A first-class, 1-indexed Snap! list with reference semantics (share the
 /// ListPtr to share the object).
+///
+/// COW core: the item buffer is held through a shared_ptr and may be
+/// shared with snapshot clones ("frozen" by virtue of every mutator
+/// detaching first). Invariant: a buffer is only ever shared between
+/// List objects when it contains no ListRef elements (snapshotClone
+/// rebuilds buffers that do), so a shallow buffer copy at detach time is
+/// a complete deep copy. The version stamp increments on every mutation
+/// and keys the cached transfer audit.
 class List {
  public:
   List() = default;
-  explicit List(std::vector<Value> items) : items_(std::move(items)) {}
+  explicit List(std::vector<Value> items);
 
   static ListPtr make() { return std::make_shared<List>(); }
   static ListPtr make(std::vector<Value> items) {
     return std::make_shared<List>(std::move(items));
   }
 
-  size_t length() const { return items_.size(); }
-  bool empty() const { return items_.empty(); }
+  size_t length() const { return buf_ ? buf_->size() : 0; }
+  bool empty() const { return length() == 0; }
 
   /// 1-indexed access; throws IndexError when out of range.
   const Value& item(size_t index1) const;
-  Value& item(size_t index1);
 
-  void add(Value value) { items_.push_back(std::move(value)); }
+  void add(Value value);
   /// Insert at 1-indexed position (1 = front, length+1 = back).
   void insertAt(size_t index1, Value value);
   /// Replace the item at a 1-indexed position.
   void replaceAt(size_t index1, Value value);
   /// Remove at 1-indexed position.
   void removeAt(size_t index1);
-  void clear() { items_.clear(); }
+  void clear();
+  void reserve(size_t capacity);
 
   /// True if any element `equals` the probe (Snap! `contains`).
   bool contains(const Value& probe) const;
 
-  const std::vector<Value>& items() const { return items_; }
-  std::vector<Value>& items() { return items_; }
+  const std::vector<Value>& items() const {
+    return buf_ ? *buf_ : emptyBuffer();
+  }
 
-  /// Deep structural equality (used by Value::equals).
+  /// Mutable access to the item buffer. Detaches any shared snapshot
+  /// first and bumps the version stamp; the caller must be the only
+  /// thread touching this List while holding the reference.
+  std::vector<Value>& mutableItems();
+
+  /// Deep structural equality (used by Value::equals). Throws TypeError
+  /// on self-referential lists instead of recursing forever.
   bool deepEquals(const List& other) const;
 
-  /// Deep copy (shared sublists are duplicated).
+  /// Deep copy (shared sublists are duplicated). Throws TypeError on
+  /// self-referential lists.
   ListPtr deepCopy() const;
 
   std::string display() const;
 
+  /// True when the whole tree is ring-free and acyclic.
+  bool isTransferable() const;
+
+  /// Structured clone by snapshot: flat lists share their buffer (O(1)),
+  /// nested lists rebuild only the spine (fresh List nodes, shared leaf
+  /// buffers and texts). Throws PurityError on rings or cycles.
+  ListPtr snapshotClone() const;
+
+  /// Mutation counter (monotonic). Test/diagnostic hook for the COW gate.
+  uint64_t version() const {
+    return version_.load(std::memory_order_relaxed);
+  }
+
+  /// True when this list and `other` currently share one item buffer
+  /// (i.e. a pending snapshot has not detached yet). Test hook.
+  bool sharesBufferWith(const List& other) const {
+    return buf_ && buf_ == other.buf_;
+  }
+
  private:
-  std::vector<Value> items_;
+  using Buffer = std::vector<Value>;
+
+  /// What one scan of the *own* buffer (not sublists) established; cached
+  /// against the version stamp. Sound because a buffer's own element
+  /// kinds can only change through this List's mutators.
+  enum class FlatAudit : uint8_t {
+    Unknown = 0,
+    Shareable = 1,   ///< no sublists, no rings: buffer may be shared as-is
+    HasSublists = 2, ///< recursion required (never cached deeper)
+    HasRings = 3,    ///< not transferable
+  };
+
+  static const Buffer& emptyBuffer();
+  FlatAudit flatAudit() const;
+  /// Copy the buffer if a snapshot still shares it, then bump version.
+  void detachForWrite();
+  Buffer& writable();
+  bool transferableGuarded(std::vector<const List*>& path) const;
+  ListPtr snapshotCloneGuarded(std::vector<const List*>& path) const;
+  bool deepEqualsGuarded(const List& other,
+                         std::vector<const List*>& path) const;
+  ListPtr deepCopyGuarded(std::vector<const List*>& path) const;
+  void displayGuarded(std::string& out,
+                      std::vector<const List*>& path) const;
+
+  friend class Value;
+
+  std::shared_ptr<Buffer> buf_;  // null means empty
+  std::atomic<uint64_t> version_{0};
+  /// Packed audit cache: ((version + 1) << 2) | FlatAudit; 0 = unset.
+  mutable std::atomic<uint64_t> auditWord_{0};
 };
 
 /// Whether a ring wraps a reporter expression or a command script.

@@ -77,7 +77,7 @@ void parallelMapHandler(Process& p, Context& c, ParallelBlockOptions opts) {
   if (job->failed()) {
     throw Error("parallel map failed: " + job->errorMessage());
   }
-  p.returnValue(Value(List::make(job->data())));
+  p.returnValue(Value(List::make(job->takeData())));
 }
 
 // ---------------------------------------------------------------------------

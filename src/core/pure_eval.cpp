@@ -105,17 +105,15 @@ Value callPureRing(const RingPtr& ring, std::vector<Value> args,
   return evalPure(*ring->expression(), frame);
 }
 
-bool looksNumeric(const Value& v) {
-  if (v.isNumber()) return true;
-  if (!v.isText()) return false;
-  double out;
-  return psnap::strings::parseNumber(v.asText(), out);
-}
-
 bool lessThanValues(const Value& a, const Value& b) {
-  if (looksNumeric(a) && looksNumeric(b)) return a.asNumber() < b.asNumber();
-  return psnap::strings::toLower(a.display()) <
-         psnap::strings::toLower(b.display());
+  double an, bn;
+  if (a.numericValue(an) && b.numericValue(bn)) return an < bn;
+  std::string leftOwned, rightOwned;
+  const std::string_view left =
+      a.isText() ? a.textView() : std::string_view(leftOwned = a.display());
+  const std::string_view right =
+      b.isText() ? b.textView() : std::string_view(rightOwned = b.display());
+  return psnap::strings::compareIgnoreCase(left, right) < 0;
 }
 
 Value evalPure(const Block& block, const PureFrame& frame) {
@@ -336,8 +334,8 @@ Value evalPure(const Block& block, const PureFrame& frame) {
     }
     case Op::reportSorted: {
       auto out = List::make(in[0].asList()->items());
-      std::stable_sort(out->items().begin(), out->items().end(),
-                       lessThanValues);
+      auto& items = out->mutableItems();
+      std::stable_sort(items.begin(), items.end(), lessThanValues);
       return Value(out);
     }
 

@@ -88,7 +88,7 @@ std::vector<std::pair<int, double>> referenceYearlyMeanCelsius(
 blocks::ListPtr toFahrenheitList(
     const std::vector<TemperatureRecord>& records) {
   auto list = blocks::List::make();
-  list->items().reserve(records.size());
+  list->reserve(records.size());
   for (const TemperatureRecord& record : records) {
     list->add(blocks::Value(record.fahrenheit));
   }

@@ -19,33 +19,49 @@ using workers::WorkerPool;
 
 namespace {
 
-bool looksNumeric(const Value& v) {
-  if (v.isNumber()) return true;
-  if (!v.isText()) return false;
-  double out;
-  return strings::parseNumber(v.asText(), out);
-}
-
 // A pair's sort key, computed once during the shuffle instead of once per
 // comparison (the seed re-ran parseNumber/toLower/display inside the
 // stable_sort comparator). `shard` is the key's hash bucket; keys that
 // the comparator treats as equivalent always share a shard, which is what
 // makes the sharded grouping emit the same order as a global sort (the
 // ordering proof is in DESIGN.md, "Executor architecture").
+//
+// The textual rank is not materialized for text keys: `key` is a cheap
+// COW handle whose bytes are compared case-insensitively on the fly
+// (strings::compareIgnoreCase orders exactly like the seed's
+// toLower-then-< over unsigned bytes), and the shard hash comes from the
+// cached lowered hash on the shared text rep. Only non-text keys still
+// build a folded display string.
 struct SortKey {
+  Value key;           // refcount-bump copy keeps the text bytes alive
   double num = 0;
   size_t shard = 0;
   bool numeric = false;
-  std::string folded;  // toLower(display), the textual ordering rank
+  std::string folded;  // toLower(display), only for non-text keys
 };
+
+std::string_view rankOf(const SortKey& k) {
+  return k.key.isText() ? k.key.textView() : std::string_view(k.folded);
+}
 
 SortKey makeKey(const Value& key, size_t shardCount) {
   SortKey k;
-  k.numeric = looksNumeric(key);
-  if (k.numeric) k.num = key.asNumber();
-  k.folded = strings::toLower(key.display());
-  const size_t hash = k.numeric ? std::hash<double>{}(k.num)
-                                : std::hash<std::string>{}(k.folded);
+  k.numeric = key.numericValue(k.num);
+  // The textual rank stays reachable even for numeric keys — a numeric
+  // key compared against a non-numeric one falls back to text order.
+  if (key.isText()) {
+    k.key = key;
+  } else {
+    k.folded = strings::toLower(key.display());
+  }
+  uint64_t hash;
+  if (k.numeric) {
+    hash = std::hash<double>{}(k.num);
+  } else if (key.isText()) {
+    hash = key.loweredHash();  // cached on the shared rep for long text
+  } else {
+    hash = strings::hashLowered(k.folded);
+  }
   k.shard = hash % shardCount;
   return k;
 }
@@ -53,7 +69,7 @@ SortKey makeKey(const Value& key, size_t shardCount) {
 /// Exactly the seed comparator's semantics, over precomputed ranks.
 bool keyLess(const SortKey& a, const SortKey& b) {
   if (a.numeric && b.numeric) return a.num < b.num;
-  return a.folded < b.folded;
+  return strings::compareIgnoreCase(rankOf(a), rankOf(b)) < 0;
 }
 
 /// Normalize one map result into a [key, value] pair. Runs inside the

@@ -5,6 +5,7 @@
 #include <charconv>
 #include <cmath>
 #include <cstdio>
+#include <cstring>
 #include <sstream>
 
 namespace psnap::strings {
@@ -100,6 +101,46 @@ std::string toLower(std::string_view text) {
   return out;
 }
 
+bool isBlank(std::string_view text) {
+  for (char c : text) {
+    if (!std::isspace(static_cast<unsigned char>(c))) return false;
+  }
+  return true;
+}
+
+bool equalsIgnoreCase(std::string_view a, std::string_view b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(a[i])) !=
+        std::tolower(static_cast<unsigned char>(b[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+int compareIgnoreCase(std::string_view a, std::string_view b) {
+  const size_t n = std::min(a.size(), b.size());
+  for (size_t i = 0; i < n; ++i) {
+    const int ca = std::tolower(static_cast<unsigned char>(a[i]));
+    const int cb = std::tolower(static_cast<unsigned char>(b[i]));
+    if (ca != cb) return ca < cb ? -1 : 1;
+  }
+  if (a.size() == b.size()) return 0;
+  return a.size() < b.size() ? -1 : 1;
+}
+
+uint64_t hashLowered(std::string_view text) {
+  // FNV-1a over lowered bytes.
+  uint64_t hash = 1469598103934665603ull;
+  for (char c : text) {
+    hash ^= static_cast<uint64_t>(
+        std::tolower(static_cast<unsigned char>(c)));
+    hash *= 1099511628211ull;
+  }
+  return hash;
+}
+
 std::string indent(std::string_view text, int spaces) {
   const std::string pad(static_cast<size_t>(spaces), ' ');
   std::string out;
@@ -140,12 +181,35 @@ std::string formatNumber(double value) {
 }
 
 bool parseNumber(std::string_view text, double& out) {
-  std::string trimmed = trim(text);
+  // Trim as a view; real numbers fit the stack buffer, so the hot path
+  // never touches the heap (strtod needs NUL termination, so the bytes
+  // are copied somewhere either way).
+  size_t begin = 0;
+  size_t end = text.size();
+  while (begin < end &&
+         std::isspace(static_cast<unsigned char>(text[begin]))) {
+    ++begin;
+  }
+  while (end > begin &&
+         std::isspace(static_cast<unsigned char>(text[end - 1]))) {
+    --end;
+  }
+  const std::string_view trimmed = text.substr(begin, end - begin);
   if (trimmed.empty()) return false;
-  const char* begin = trimmed.c_str();
-  char* end = nullptr;
-  double value = std::strtod(begin, &end);
-  if (end != begin + trimmed.size()) return false;
+  char stack[64];
+  std::string heap;
+  const char* cstr;
+  if (trimmed.size() < sizeof(stack)) {
+    std::memcpy(stack, trimmed.data(), trimmed.size());
+    stack[trimmed.size()] = '\0';
+    cstr = stack;
+  } else {
+    heap.assign(trimmed);
+    cstr = heap.c_str();
+  }
+  char* parseEnd = nullptr;
+  double value = std::strtod(cstr, &parseEnd);
+  if (parseEnd != cstr + trimmed.size()) return false;
   out = value;
   return true;
 }

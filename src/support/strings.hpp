@@ -2,6 +2,7 @@
 // workload generators. Kept dependency-free.
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -32,6 +33,20 @@ std::string replaceAll(std::string_view text, std::string_view from,
 
 /// Lower-case ASCII copy.
 std::string toLower(std::string_view text);
+
+/// True if `text` is empty or all ASCII whitespace (no allocation).
+bool isBlank(std::string_view text);
+
+/// Case-insensitive (ASCII) equality without building lowered copies.
+bool equalsIgnoreCase(std::string_view a, std::string_view b);
+
+/// Three-way case-insensitive (ASCII) comparison. Orders exactly like
+/// `toLower(a) <=> toLower(b)` over unsigned bytes, without allocating.
+int compareIgnoreCase(std::string_view a, std::string_view b);
+
+/// FNV-1a hash over the lowered (ASCII) bytes of `text`. Equal up to case
+/// means equal hash; used for case-insensitive sharding.
+uint64_t hashLowered(std::string_view text);
 
 /// Indent every line of `text` by `spaces` spaces (used by codegen when
 /// substituting a script into a C-slot placeholder).

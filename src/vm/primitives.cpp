@@ -58,14 +58,14 @@ SpriteApi& requireSprite(Process& p, const char* opcode) {
 // Snap! ordering: numeric when both sides look numeric, else
 // case-insensitive text.
 bool lessThanValues(const Value& a, const Value& b) {
-  auto numeric = [](const Value& v) {
-    if (v.isNumber()) return true;
-    if (!v.isText()) return false;
-    double out;
-    return strings::parseNumber(v.asText(), out);
-  };
-  if (numeric(a) && numeric(b)) return a.asNumber() < b.asNumber();
-  return strings::toLower(a.display()) < strings::toLower(b.display());
+  double an, bn;
+  if (a.numericValue(an) && b.numericValue(bn)) return an < bn;
+  std::string leftOwned, rightOwned;
+  const std::string_view left =
+      a.isText() ? a.textView() : std::string_view(leftOwned = a.display());
+  const std::string_view right =
+      b.isText() ? b.textView() : std::string_view(rightOwned = b.display());
+  return strings::compareIgnoreCase(left, right) < 0;
 }
 
 // ---------------------------------------------------------------------------
@@ -327,8 +327,8 @@ void registerLists(PrimitiveTable& t) {
         }));
   t.add("reportSorted", reporter([](const std::vector<Value>& in) {
           auto out = List::make(in[0].asList()->items());
-          std::stable_sort(out->items().begin(), out->items().end(),
-                           lessThanValues);
+          auto& items = out->mutableItems();
+          std::stable_sort(items.begin(), items.end(), lessThanValues);
           return Value(out);
         }));
   t.add("doAddToList", command([](Process&, const std::vector<Value>& in) {

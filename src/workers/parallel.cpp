@@ -12,8 +12,6 @@ using blocks::Value;
 
 namespace {
 constexpr size_t kDefaultWorkers = 4;  // the paper's Web Worker default
-// Below this input size a serial clone-in beats the group round trip.
-constexpr size_t kParallelCloneThreshold = 1024;
 }  // namespace
 
 Parallel::Parallel(const std::vector<Value>& data, ParallelOptions options)
@@ -35,36 +33,14 @@ Parallel::~Parallel() {
 }
 
 void Parallel::cloneIn(const std::vector<Value>& source) {
-  const size_t n = source.size();
-  WorkerPool& pool = WorkerPool::shared();
-  if (n < kParallelCloneThreshold) {
-    data_.reserve(n);
-    for (const Value& v : source) data_.push_back(v.structuredClone());
-    return;
-  }
-  // Parallel clone-in: slice tasks clone directly into the preallocated
-  // snapshot. The constructor still blocks until the snapshot is complete
-  // (isolation is anchored at construction time), but the copy itself
-  // runs at pool width, with the calling thread claiming slices too.
-  data_.resize(n);
-  const size_t slices = pool.width();
-  const size_t per = (n + slices - 1) / slices;
-  std::vector<TaskGroup::Task> tasks;
-  tasks.reserve(slices);
-  for (size_t s = 0; s < slices; ++s) {
-    const size_t begin = s * per;
-    const size_t end = std::min(begin + per, n);
-    if (begin >= end) break;
-    tasks.push_back([this, &source, begin, end](size_t) {
-      for (size_t i = begin; i < end; ++i) {
-        data_[i] = source[i].structuredClone();
-      }
-    });
-  }
-  auto clone = std::make_shared<TaskGroup>(std::move(tasks));
-  pool.submit(clone);
-  clone->wait();
-  clone->rethrowIfError();  // PurityError surfaces with its real type
+  // Snapshot transfer: structuredClone is a scalar copy / refcount bump
+  // per element (lists take an O(1) frozen buffer snapshot, text is
+  // shared-immutable), so the seed's parallel clone pass — slice tasks
+  // deep-copying on the pool — is gone entirely. Isolation is still
+  // anchored at construction time: later mutation of the source detaches
+  // at the COW gate and never reaches this job, and vice versa.
+  data_.reserve(source.size());
+  for (const Value& v : source) data_.push_back(v.structuredClone());
 }
 
 void Parallel::recordError(const std::string& message) {

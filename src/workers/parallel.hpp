@@ -75,9 +75,11 @@ struct ParallelOptions {
 class Parallel {
  public:
   /// Clone `data` into the job (structured-clone semantics; throws
-  /// PurityError if a value is not transferable). Large inputs are cloned
-  /// by parallel slice tasks on the pool; the snapshot is still taken
-  /// before the constructor returns, so later mutation of the source
+  /// PurityError if a value is not transferable). Physically this is a
+  /// COW snapshot — flat lists share their item buffer, text shares its
+  /// immutable rep — so entry costs O(elements) refcount bumps instead
+  /// of a deep copy. The snapshot is anchored before the constructor
+  /// returns: later mutation of the source detaches at the COW gate and
   /// never leaks into the job.
   Parallel(const std::vector<blocks::Value>& data, ParallelOptions options);
   explicit Parallel(const blocks::ListPtr& list,
