@@ -14,6 +14,15 @@
 #   crashes or exits non-zero — a cheap guard that the measured code
 #   paths still run, without caring about the numbers.
 #
+# Usage: scripts/check.sh --chaos [seed...]
+#   Builds the asan and tsan presets and sweeps the seeded chaos suite
+#   (GTEST_FILTER='Chaos*' in test_workers) under both sanitizers, once
+#   per seed (default seeds: 11 23 97; each run also covers the suite's
+#   built-in seeds 1/7/42 via PSNAP_CHAOS_SEED). This is the fault
+#   model's gate: injected task throws, worker stalls, transfer
+#   failures, and pool saturation must converge — exact results or typed
+#   substrate errors — with no data race or memory error underneath.
+#
 # The asan test preset sets ASAN_OPTIONS=detect_leaks=0: rings are
 # shared_ptr closures over their defining environment, so storing a ring
 # into a variable of that environment forms a reference cycle (Snap!
@@ -59,6 +68,27 @@ if [ "${1:-}" = "--bench-smoke" ]; then
     echo "== bench smoke green =="
   fi
   exit "${status}"
+fi
+
+if [ "${1:-}" = "--chaos" ]; then
+  shift
+  seeds=("$@")
+  if [ ${#seeds[@]} -eq 0 ]; then
+    seeds=(11 23 97)
+  fi
+  for preset in asan tsan; do
+    cmake --preset "${preset}"
+    cmake --build --preset "${preset}" -j "${jobs}" --target test_workers
+    for seed in "${seeds[@]}"; do
+      echo "== chaos: ${preset}, seed ${seed} =="
+      # Same leak-accounting stance as the asan ctest preset (see header).
+      ASAN_OPTIONS=detect_leaks=0 PSNAP_CHAOS_SEED="${seed}" \
+        "build-${preset}/tests/test_workers" \
+        --gtest_filter='Chaos*'
+    done
+  done
+  echo "== chaos sweep green: seeds ${seeds[*]} under asan + tsan =="
+  exit 0
 fi
 
 presets=("$@")

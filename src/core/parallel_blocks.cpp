@@ -2,12 +2,14 @@
 
 #include <algorithm>
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "core/pure_eval.hpp"
 #include "mapreduce/engine.hpp"
 #include "support/error.hpp"
 #include "vm/host.hpp"
+#include "workers/stats.hpp"
 
 namespace psnap::core {
 
@@ -22,10 +24,26 @@ using vm::Process;
 
 namespace {
 
+/// Items mapped per slice on the sequential fallback path — the block
+/// stays cooperative (other processes keep running) while it works off
+/// the list without the worker substrate.
+constexpr size_t kFallbackSliceItems = 256;
+
 /// State stashed in the context across yields for doParallelForEach.
 struct ForEachJob {
   std::vector<std::shared_ptr<const vm::ProcessStatus>> statuses;
   std::vector<vm::SpriteApi*> clones;
+};
+
+/// State stashed in the context across yields for reportParallelMap:
+/// either a live worker-substrate job, or the sequential fallback's
+/// cursor after a degrade.
+struct MapJob {
+  std::shared_ptr<workers::Parallel> parallel;  // null once degraded
+  workers::MapFn fn;
+  ListPtr source;
+  std::vector<Value> out;  // fallback results, filled slice by slice
+  size_t next = 0;         // fallback cursor (0-based)
 };
 
 /// Resolve the optional worker/parallelism slot: collapsed or blank means
@@ -33,6 +51,24 @@ struct ForEachJob {
 bool slotIsDefault(const Context& c, size_t index) {
   return c.isCollapsed(index) || c.inputs[index].isNothing() ||
          (c.inputs[index].isText() && c.inputs[index].asText().empty());
+}
+
+/// Rethrow a worker-side failure so the process error message carries the
+/// block name and the error keeps its class (a TypeError from the ring
+/// stays a TypeError; a deadline trip stays a TimeoutError).
+[[noreturn]] void failBlock(const char* blockName, ErrorClass errorClass,
+                            const std::string& message) {
+  throwAsClass(errorClass,
+               std::string(blockName) + " failed: " +
+                   stripClassPrefix(errorClass, message));
+}
+
+/// Move `job` onto the sequential fallback path (substrate unusable) and
+/// account for the downgrade.
+void degradeMapJob(MapJob& job) {
+  job.parallel.reset();
+  workers::substrateStats().downgrades.fetch_add(1,
+                                                 std::memory_order_relaxed);
 }
 
 // ---------------------------------------------------------------------------
@@ -43,6 +79,13 @@ bool slotIsDefault(const Context& c, size_t index) {
 // this poll loop relies on is unchanged: map() returns immediately after
 // submission, resolved() is a lock-free flag read, and the process
 // re-polls from the scheduler's yield loop until the workers finish.
+//
+// Degradation: a transient substrate failure — at construction (the
+// transfer fault), at launch (pool refused), after the run (retries
+// exhausted, clone-out fault) — collapses the block to the sequential
+// fallback, which maps kFallbackSliceItems per slice across yields so the
+// scheduler stays live. The fallback path has no fault points, so every
+// chaos scenario converges.
 // ---------------------------------------------------------------------------
 void parallelMapHandler(Process& p, Context& c, ParallelBlockOptions opts) {
   // First invocation: all three declared inputs are evaluated; build the
@@ -56,12 +99,24 @@ void parallelMapHandler(Process& p, Context& c, ParallelBlockOptions opts) {
                                    1, c.inputs[2].asInteger()));
     // body = 'return ' + expression.mappedCode(); — here: compile the
     // ring into a thread-safe pure function.
-    auto fn = compileUnary(ring, p.registry());
-    auto job = std::make_shared<workers::Parallel>(
-        list, workers::ParallelOptions{.maxWorkers = workerCount,
-                                       .distribution = opts.distribution,
-                                       .chunkSize = opts.chunkSize});
-    job->map(fn);
+    auto job = std::make_shared<MapJob>();
+    job->fn = compileUnary(ring, p.registry());
+    job->source = list;
+    workers::ParallelOptions parOptions;
+    parOptions.maxWorkers = workerCount;
+    parOptions.distribution = opts.distribution;
+    parOptions.chunkSize = opts.chunkSize;
+    parOptions.maxRetries = opts.maxRetries;
+    parOptions.deadlineSeconds = opts.deadlineSeconds;
+    parOptions.allowDegrade = opts.allowDegrade;
+    try {
+      job->parallel = std::make_shared<workers::Parallel>(list, parOptions);
+      job->parallel->map(job->fn);
+    } catch (const SubstrateError&) {
+      // Clone-in refused (transfer fault): fall back before launch.
+      if (!opts.allowDegrade) throw;
+      degradeMapJob(*job);
+    }
     c.state = job;
     // this.pushContext('doYield'); this.pushContext();
     p.retryAfterYield(c);
@@ -69,15 +124,48 @@ void parallelMapHandler(Process& p, Context& c, ParallelBlockOptions opts) {
   }
   // Subsequent invocations: check whether the workers are done; if so,
   // return the resulting array.
-  auto job = std::static_pointer_cast<workers::Parallel>(c.state);
-  if (!job->resolved()) {
+  auto job = std::static_pointer_cast<MapJob>(c.state);
+  if (job->parallel) {
+    if (!job->parallel->resolved()) {
+      p.retryAfterYield(c);
+      return;
+    }
+    if (job->parallel->failed()) {
+      const ErrorClass errorClass = job->parallel->errorClass();
+      if (errorClass != ErrorClass::Substrate || !opts.allowDegrade) {
+        failBlock("parallel map", errorClass,
+                  job->parallel->errorMessage());
+      }
+      // Retries exhausted on the substrate: collapse and restart
+      // sequentially — the handler still owns the pristine input list.
+      degradeMapJob(*job);
+      p.retryAfterYield(c);
+      return;
+    }
+    try {
+      p.returnValue(Value(List::make(job->parallel->takeData())));
+    } catch (const SubstrateError&) {
+      // Clone-out refused (transfer fault) on an otherwise clean run.
+      if (!opts.allowDegrade) throw;
+      degradeMapJob(*job);
+      p.retryAfterYield(c);
+    }
+    return;
+  }
+  // Sequential fallback: one cooperative slice of the list per frame.
+  // User-script errors from fn propagate as usual (they are
+  // deterministic — the parallel path would have hit them too).
+  const size_t n = job->source->length();
+  const size_t end = std::min(n, job->next + kFallbackSliceItems);
+  job->out.reserve(n);
+  for (; job->next < end; ++job->next) {
+    job->out.push_back(job->fn(job->source->item(job->next + 1)));
+  }
+  if (job->next < n) {
     p.retryAfterYield(c);
     return;
   }
-  if (job->failed()) {
-    throw Error("parallel map failed: " + job->errorMessage());
-  }
-  p.returnValue(Value(List::make(job->takeData())));
+  p.returnValue(Value(List::make(std::move(job->out))));
 }
 
 // ---------------------------------------------------------------------------
@@ -92,7 +180,10 @@ void parallelForEachHandler(Process& p, Context& c) {
 
   // Sequential mode: the parallelism slot is collapsed (Fig. 8b). Behave
   // exactly like forEach: the single sprite serves every item in turn.
-  if (c.isCollapsed(2)) {
+  // `phase == 2` marks a degraded entry — the host could not launch
+  // sibling processes, so the parallel request collapsed to this path
+  // (same semantics, one server) and the downgrade was recorded.
+  if (c.isCollapsed(2) || c.phase == 2 || c.counter > 0) {
     const ListPtr& list = c.inputs[1].asList();
     if (static_cast<size_t>(c.counter) >= list->length()) {
       p.finishCommand();
@@ -135,7 +226,9 @@ void parallelForEachHandler(Process& p, Context& c) {
       for (size_t i = j + 1; i <= n; i += clones) {
         chunk->add(list->item(i));
       }
-      // The system spawns clones of the sprite to serve the items.
+      // The system spawns clones of the sprite to serve the items. A null
+      // clone only degrades the *visualization* — the chunk still runs as
+      // its own cooperative process on the original sprite.
       vm::SpriteApi* clone = p.host().makeClone(p.sprite(), "");
       if (clone) job->clones.push_back(clone);
 
@@ -148,8 +241,23 @@ void parallelForEachHandler(Process& p, Context& c) {
       auto script = blocks::Script::make(
           {driver, Block::make("removeClone")});
       auto env = blocks::Environment::make(c.env);
-      job->statuses.push_back(
-          p.host().launchScript(script, env, clone ? clone : p.sprite()));
+      try {
+        job->statuses.push_back(
+            p.host().launchScript(script, env, clone ? clone : p.sprite()));
+      } catch (const std::exception&) {
+        // The host cannot run sibling processes at all (headless
+        // NullHost). Only the first launch can degrade — later chunks are
+        // already running and a sequential restart would double-serve
+        // their items. Collapse to the single-server sequential mode
+        // (phase == 2 marks the degraded entry) and record the downgrade.
+        if (j != 0) throw;
+        if (clone) p.host().removeClone(clone);
+        workers::substrateStats().downgrades.fetch_add(
+            1, std::memory_order_relaxed);
+        c.phase = 2;
+        p.retryAfterYield(c);
+        return;
+      }
     }
     c.state = job;
     p.retryAfterYield(c);
@@ -174,9 +282,12 @@ void parallelForEachHandler(Process& p, Context& c) {
 
 // ---------------------------------------------------------------------------
 // reportMapReduce — Fig. 11/13. The Job pipeline is one pooled task (not
-// a dedicated thread); this handler polls it exactly like Listing 2.
+// a dedicated thread); this handler polls it exactly like Listing 2. The
+// engine owns its degradation (mr::run reruns sequentially on transient
+// substrate failure; the Job drains inline if the pool refuses the
+// pipeline task), so the handler only relays the typed failure.
 // ---------------------------------------------------------------------------
-void mapReduceHandler(Process& p, Context& c) {
+void mapReduceHandler(Process& p, Context& c, ParallelBlockOptions opts) {
   if (!c.state) {
     const RingPtr& mapRing = c.inputs[0].asRing();
     const RingPtr& reduceRing = c.inputs[1].asRing();
@@ -186,9 +297,12 @@ void mapReduceHandler(Process& p, Context& c) {
     mr::ReduceFn reduceFn = [reduceCompiled](const ListPtr& values) {
       return reduceCompiled({Value(values)});
     };
-    auto job = std::make_shared<mr::Job>(
-        list, mapFn, reduceFn,
-        mr::Options{.workers = p.host().maxWorkers()});
+    mr::Options mrOptions;
+    mrOptions.workers = p.host().maxWorkers();
+    mrOptions.maxRetries = opts.maxRetries;
+    mrOptions.deadlineSeconds = opts.deadlineSeconds;
+    mrOptions.allowDegrade = opts.allowDegrade;
+    auto job = std::make_shared<mr::Job>(list, mapFn, reduceFn, mrOptions);
     c.state = job;
     p.retryAfterYield(c);
     return;
@@ -199,7 +313,7 @@ void mapReduceHandler(Process& p, Context& c) {
     return;
   }
   if (job->failed()) {
-    throw Error("mapReduce failed: " + job->errorMessage());
+    failBlock("mapReduce", job->errorClass(), job->errorMessage());
   }
   p.returnValue(Value(job->result()));
 }
@@ -212,7 +326,9 @@ void registerParallelPrimitives(vm::PrimitiveTable& table,
     parallelMapHandler(p, c, options);
   });
   table.add("doParallelForEach", parallelForEachHandler);
-  table.add("reportMapReduce", mapReduceHandler);
+  table.add("reportMapReduce", [options](Process& p, Context& c) {
+    mapReduceHandler(p, c, options);
+  });
   // The per-clone chunk driver shares doForEach's iteration logic.
   const vm::Handler* forEach = table.find("doForEach");
   if (!forEach) {

@@ -13,6 +13,15 @@
 //     mode runs the body sequentially like forEach.
 //   * reportMapReduce — Fig. 11–13: compiles both rings and runs the
 //     MapReduce engine on a background thread, polling for completion.
+//
+// Fault model (DESIGN.md, "Fault model"): these handlers are the
+// outermost rung of the degradation ladder. When the worker substrate
+// fails transiently — launch refused, transfer fault, chunk retries
+// exhausted — the blocks complete the script's work anyway by collapsing
+// to a sequential path that runs in slices across yields (the C++
+// realisation of the paper's collapsed "in parallel" slot). User-script
+// errors and deadline/cancellation trips never degrade; they fail the
+// process with their error class preserved in the message.
 #pragma once
 
 #include "vm/process.hpp"
@@ -24,6 +33,13 @@ namespace psnap::core {
 struct ParallelBlockOptions {
   workers::Distribution distribution = workers::Distribution::Dynamic;
   size_t chunkSize = 1;
+  /// Per-chunk substrate-error retries inside worker jobs.
+  int maxRetries = 2;
+  /// Wall-clock budget per parallel block invocation; 0 means none.
+  /// Expiry fails the block with a timeout-classed error.
+  double deadlineSeconds = 0;
+  /// Permit the sequential fallback when the substrate fails.
+  bool allowDegrade = true;
 };
 
 /// Register reportParallelMap, doParallelForEach, reportMapReduce, and the

@@ -6,7 +6,9 @@
 #include <utility>
 
 #include "support/error.hpp"
+#include "support/fault.hpp"
 #include "support/strings.hpp"
+#include "workers/stats.hpp"
 #include "workers/worker_pool.hpp"
 
 namespace psnap::mr {
@@ -106,8 +108,15 @@ Value toPair(const Value& item, const Value& mapped) {
 /// Output order is byte-identical to the seed's global
 /// stable_sort + adjacent grouping. Small inputs run single-sharded on
 /// the calling thread — same code path with shardCount = 1.
+///
+/// Shuffle tasks append into shared per-slice bins, so they are NOT
+/// retryable in place (a rerun would double-bin); a substrate failure
+/// here propagates out and run()'s outer ladder rung re-executes the
+/// whole pipeline sequentially. The task-throw fault point therefore
+/// wraps the *task* bodies, never the sequential shardCount == 1 path.
 std::vector<Value> shuffleAndGroup(const std::vector<Value>& pairs,
-                                   size_t width, bool onCaller) {
+                                   size_t width, bool onCaller,
+                                   const CancelTokenPtr& token) {
   const size_t n = pairs.size();
   std::vector<Value> out;
   if (n == 0) return out;
@@ -173,9 +182,12 @@ std::vector<Value> shuffleAndGroup(const std::vector<Value>& pairs,
     std::vector<TaskGroup::Task> tasks;
     tasks.reserve(shardCount);
     for (size_t s = 0; s < shardCount; ++s) {
-      tasks.push_back([&keySlice](size_t slice) { keySlice(slice); });
+      tasks.push_back([&keySlice](size_t slice) {
+        fault::inject(fault::Point::TaskThrow);
+        keySlice(slice);
+      });
     }
-    auto phase = std::make_shared<TaskGroup>(std::move(tasks));
+    auto phase = std::make_shared<TaskGroup>(std::move(tasks), token);
     pool.submit(phase);
     phase->wait();
     phase->rethrowIfError();
@@ -184,9 +196,12 @@ std::vector<Value> shuffleAndGroup(const std::vector<Value>& pairs,
     std::vector<TaskGroup::Task> tasks;
     tasks.reserve(shardCount);
     for (size_t s = 0; s < shardCount; ++s) {
-      tasks.push_back([&groupShard](size_t shard) { groupShard(shard); });
+      tasks.push_back([&groupShard](size_t shard) {
+        fault::inject(fault::Point::TaskThrow);
+        groupShard(shard);
+      });
     }
-    auto phase = std::make_shared<TaskGroup>(std::move(tasks));
+    auto phase = std::make_shared<TaskGroup>(std::move(tasks), token);
     pool.submit(phase);
     phase->wait();
     phase->rethrowIfError();
@@ -212,6 +227,65 @@ std::vector<Value> shuffleAndGroup(const std::vector<Value>& pairs,
   return out;
 }
 
+/// One pipeline pass, either parallel or sequential. Throws on failure
+/// (with the original exception type); run() owns the degradation
+/// decision.
+ListPtr runOnce(const ListPtr& input, const MapFn& mapFn,
+                const ReduceFn& reduceFn, const Options& options,
+                bool sequential, const CancelTokenPtr& token,
+                Stats& local) {
+  const size_t width = options.workers == 0 ? 4 : options.workers;
+
+  workers::ParallelOptions phaseOptions;
+  phaseOptions.maxWorkers = options.workers;
+  phaseOptions.maxRetries = options.maxRetries;
+  // The pipeline deadline lives in `token`; the phase Parallels must not
+  // degrade internally (this function owns the outer ladder rung).
+  phaseOptions.allowDegrade = false;
+  phaseOptions.cancel = token;
+
+  // --- map phase -------------------------------------------------------------
+  std::vector<Value> pairs;
+  if (sequential) {
+    pairs.reserve(input->length());
+    for (const Value& item : input->items()) {
+      pairs.push_back(toPair(item, mapFn(item)));
+    }
+    local.mapMakespan = input->length();
+  } else {
+    workers::Parallel job(input->items(), phaseOptions);
+    job.map([mapFn](const Value& item) { return toPair(item, mapFn(item)); });
+    pairs = job.takeData();  // waits; throws on worker error
+    local.mapMakespan = job.virtualMakespan();
+  }
+
+  // --- shuffle: sharded sort-by-key + grouping --------------------------------
+  std::vector<Value> groups =
+      shuffleAndGroup(pairs, width, sequential, token);
+  local.distinctKeys = groups.size();
+
+  // --- reduce phase ---------------------------------------------------------------
+  auto reduceGroup = [reduceFn](const Value& group) {
+    auto out = List::make();
+    out->add(group.asList()->item(1));
+    out->add(reduceFn(group.asList()->item(2).asList()));
+    return Value(out);
+  };
+  std::vector<Value> reduced;
+  if (sequential) {
+    reduced.reserve(groups.size());
+    for (const Value& group : groups) reduced.push_back(reduceGroup(group));
+    local.reduceMakespan = groups.size();
+  } else {
+    workers::Parallel job(groups, phaseOptions);
+    job.map(reduceGroup);
+    reduced = job.takeData();
+    local.reduceMakespan = job.virtualMakespan();
+  }
+
+  return List::make(std::move(reduced));
+}
+
 }  // namespace
 
 ReduceFn identityReduce() {
@@ -223,50 +297,43 @@ ListPtr run(const ListPtr& input, const MapFn& mapFn,
   if (!input) throw Error("mapReduce: null input list");
   Stats local;
   local.inputItems = input->length();
-  const size_t width = options.workers == 0 ? 4 : options.workers;
 
-  // --- map phase -------------------------------------------------------------
-  std::vector<Value> pairs;
-  if (options.sequential) {
-    pairs.reserve(input->length());
-    for (const Value& item : input->items()) {
-      pairs.push_back(toPair(item, mapFn(item)));
-    }
-    local.mapMakespan = input->length();
+  // One token spans the whole pipeline, so map, shuffle and reduce share
+  // a single wall-clock budget instead of each phase getting its own.
+  CancelTokenPtr token;
+  if (options.deadlineSeconds > 0) {
+    token = CancelToken::withDeadline(options.deadlineSeconds,
+                                      options.cancel);
   } else {
-    workers::Parallel job(input->items(),
-                          {.maxWorkers = options.workers});
-    job.map([mapFn](const Value& item) { return toPair(item, mapFn(item)); });
-    pairs = job.takeData();  // waits; throws on worker error
-    local.mapMakespan = job.virtualMakespan();
+    token = options.cancel;  // may be null
   }
 
-  // --- shuffle: sharded sort-by-key + grouping --------------------------------
-  std::vector<Value> groups =
-      shuffleAndGroup(pairs, width, options.sequential);
-  local.distinctKeys = groups.size();
-
-  // --- reduce phase ---------------------------------------------------------------
-  auto reduceGroup = [reduceFn](const Value& group) {
-    auto out = List::make();
-    out->add(group.asList()->item(1));
-    out->add(reduceFn(group.asList()->item(2).asList()));
-    return Value(out);
-  };
-  std::vector<Value> reduced;
+  ListPtr out;
   if (options.sequential) {
-    reduced.reserve(groups.size());
-    for (const Value& group : groups) reduced.push_back(reduceGroup(group));
-    local.reduceMakespan = groups.size();
+    out = runOnce(input, mapFn, reduceFn, options, true, token, local);
   } else {
-    workers::Parallel job(groups, {.maxWorkers = options.workers});
-    job.map(reduceGroup);
-    reduced = job.takeData();
-    local.reduceMakespan = job.virtualMakespan();
+    try {
+      out = runOnce(input, mapFn, reduceFn, options, false, token, local);
+    } catch (...) {
+      std::exception_ptr error = std::current_exception();
+      // Only a *transient* substrate failure earns the sequential rerun.
+      // Timeout/Cancelled must not (a rerun after a blown deadline only
+      // blows it further) and user-script errors are deterministic.
+      if (!options.allowDegrade ||
+          classifyError(error) != ErrorClass::Substrate) {
+        std::rethrow_exception(error);
+      }
+      workers::substrateStats().downgrades.fetch_add(
+          1, std::memory_order_relaxed);
+      local = Stats{};
+      local.inputItems = input->length();
+      local.degraded = true;
+      out = runOnce(input, mapFn, reduceFn, options, true, token, local);
+    }
   }
 
   if (stats) *stats = local;
-  return List::make(std::move(reduced));
+  return out;
 }
 
 Job::Job(ListPtr input, MapFn mapFn, ReduceFn reduceFn, Options options) {
@@ -279,17 +346,49 @@ Job::Job(ListPtr input, MapFn mapFn, ReduceFn reduceFn, Options options) {
                    reduceFn = std::move(reduceFn), options](size_t) {
     try {
       result_ = run(input, mapFn, reduceFn, options, &stats_);
-    } catch (const std::exception& e) {
-      error_ = e.what();
-      failed_.store(true);
+      if (stats_.degraded) {
+        degraded_.store(true, std::memory_order_release);
+      }
     } catch (...) {
-      error_ = "unknown mapReduce error";
-      failed_.store(true);
+      errorPtr_ = std::current_exception();
+      errorClass_ = classifyError(errorPtr_);
+      try {
+        std::rethrow_exception(errorPtr_);
+      } catch (const std::exception& e) {
+        error_ = e.what();
+      } catch (...) {
+        error_ = "unknown mapReduce error";
+      }
+      failed_.store(true, std::memory_order_release);
     }
-    done_.store(true);
+    done_.store(true, std::memory_order_release);
   });
   group_ = std::make_shared<TaskGroup>(std::move(tasks));
-  WorkerPool::shared().submit(group_);
+  try {
+    WorkerPool::shared().submit(group_);
+  } catch (const SubstrateError&) {
+    // The pool cannot take even the pipeline task. Run it inline on the
+    // constructor's thread — the caller's poll loop then sees an already
+    // resolved job. With degradation forbidden, surface the launch
+    // failure as the job's error instead (the poll contract stays: jobs
+    // fail, constructors do not throw).
+    if (options.allowDegrade) {
+      degraded_.store(true, std::memory_order_release);
+      workers::substrateStats().downgrades.fetch_add(
+          1, std::memory_order_relaxed);
+      group_->wait();
+    } else {
+      errorPtr_ = std::current_exception();
+      errorClass_ = classifyError(errorPtr_);
+      try {
+        std::rethrow_exception(errorPtr_);
+      } catch (const std::exception& e) {
+        error_ = e.what();
+      }
+      failed_.store(true, std::memory_order_release);
+      done_.store(true, std::memory_order_release);
+    }
+  }
 }
 
 Job::~Job() { group_->wait(); }

@@ -16,18 +16,31 @@
 //   * The output is the sorted list of [key, reduced] pairs — exactly the
 //     word-count readout of paper Fig. 12.
 //
+// Fault model: the pipeline owns its input, so it sits on the outermost
+// rung of the degradation ladder (parallel.hpp) — when the parallel path
+// dies with a *transient* substrate error (retries exhausted, shuffle
+// task lost), run() re-executes the whole pipeline sequentially and
+// reports Stats::degraded. Deadline expiry and cancellation do NOT
+// degrade (a sequential rerun after a blown deadline would only blow it
+// further); they surface as TimeoutError / CancelledError. User-script
+// errors from the map/reduce functions are deterministic and always
+// propagate with their original type.
+//
 // "Although conceptually simple, MapReduce implementations can be quite
 // complex to set up and use. Fortunately, these details are hidden in the
 // implementation of the MapReduce block" — this file is those details.
 #pragma once
 
 #include <atomic>
+#include <exception>
 #include <functional>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "blocks/value.hpp"
+#include "support/cancel.hpp"
+#include "support/error.hpp"
 #include "workers/parallel.hpp"
 #include "workers/task_group.hpp"
 
@@ -44,6 +57,16 @@ struct Options {
   /// Run phases sequentially on the caller thread (for the sequential
   /// baseline rows of the benches).
   bool sequential = false;
+  /// Per-chunk retries inside the phase Parallels (substrate errors
+  /// only; see ParallelOptions::maxRetries).
+  int maxRetries = 2;
+  /// Wall-clock budget for the whole pipeline (map + shuffle + reduce);
+  /// 0 means none. Expiry fails the run with TimeoutError.
+  double deadlineSeconds = 0;
+  /// Permit the sequential rerun after a transient substrate failure.
+  bool allowDegrade = true;
+  /// External cancellation for the whole pipeline.
+  CancelTokenPtr cancel;
 };
 
 struct Stats {
@@ -51,6 +74,8 @@ struct Stats {
   size_t distinctKeys = 0;
   uint64_t mapMakespan = 0;     ///< virtual: max items mapped by one worker
   uint64_t reduceMakespan = 0;  ///< virtual: max groups reduced by one worker
+  /// True when the run completed through the sequential fallback.
+  bool degraded = false;
 };
 
 /// Run a complete MapReduce synchronously. Returns the sorted list of
@@ -67,7 +92,9 @@ ReduceFn identityReduce();
 /// scheduler: the whole pipeline runs as one task on the shared
 /// WorkerPool (fanning out to further pool tasks internally) and the
 /// block primitive polls resolved() from its yield loop, exactly like
-/// Listing 2 polls its Parallel job.
+/// Listing 2 polls its Parallel job. If the pool cannot accept the
+/// pipeline task at all, the job degrades: the pipeline runs inline on
+/// the constructing thread (resolved() is true on return).
 class Job {
  public:
   Job(blocks::ListPtr input, MapFn mapFn, ReduceFn reduceFn,
@@ -77,9 +104,18 @@ class Job {
   Job(const Job&) = delete;
   Job& operator=(const Job&) = delete;
 
-  bool resolved() const { return done_.load(); }
-  bool failed() const { return failed_.load(); }
+  bool resolved() const { return done_.load(std::memory_order_acquire); }
+  bool failed() const { return failed_.load(std::memory_order_acquire); }
   const std::string& errorMessage() const { return error_; }
+  /// The failure's class tag (None while clean). Meaningful once resolved.
+  ErrorClass errorClass() const { return errorClass_; }
+  /// The original exception (null while clean). Meaningful once resolved.
+  const std::exception_ptr& error() const { return errorPtr_; }
+  /// Did the pipeline complete through a sequential fallback (either the
+  /// inline launch degrade or run()'s internal rerun)?
+  bool wasDegraded() const {
+    return degraded_.load(std::memory_order_acquire);
+  }
   /// Valid once resolved and not failed.
   const blocks::ListPtr& result() const { return result_; }
   const Stats& stats() const { return stats_; }
@@ -88,7 +124,10 @@ class Job {
   std::shared_ptr<workers::TaskGroup> group_;
   std::atomic<bool> done_{false};
   std::atomic<bool> failed_{false};
+  std::atomic<bool> degraded_{false};
   std::string error_;
+  ErrorClass errorClass_ = ErrorClass::None;
+  std::exception_ptr errorPtr_;
   blocks::ListPtr result_;
   Stats stats_;
 };

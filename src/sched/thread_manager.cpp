@@ -4,6 +4,7 @@
 #include <thread>
 
 #include "support/error.hpp"
+#include "workers/stats.hpp"
 #include "workers/worker_pool.hpp"
 
 namespace psnap::sched {
@@ -109,8 +110,28 @@ uint64_t ThreadManager::runUntilIdle(uint64_t maxFrames) {
   uint64_t executed = 0;
   while (!idle()) {
     if (executed >= maxFrames) {
-      throw Error("scheduler exceeded its frame budget (" +
-                  std::to_string(maxFrames) + " frames)");
+      // A structured timeout with per-script attribution: name the
+      // processes still runnable when the budget elapsed, so "which
+      // script is spinning" is in the error, not a debugger session.
+      constexpr size_t kMaxNamed = 8;
+      std::string who;
+      size_t named = 0;
+      for (const Task& task : tasks_) {
+        if (!task.process->runnable()) continue;
+        if (named == kMaxNamed) {
+          who += ", …";
+          break;
+        }
+        if (named > 0) who += ", ";
+        who += "process " + std::to_string(task.process->id()) + " (" +
+               task.process->rootOpcode() + ")";
+        ++named;
+      }
+      workers::substrateStats().timeouts.fetch_add(1,
+                                                   std::memory_order_relaxed);
+      throw TimeoutError("scheduler exceeded its frame budget (" +
+                         std::to_string(maxFrames) +
+                         " frames); still runnable: " + who);
     }
     runFrame();
     ++executed;
@@ -182,6 +203,21 @@ void ThreadManager::removeClone(SpriteApi* clone) {
   clonesToRemove_.push_back(clone);
 }
 
+void ThreadManager::recordError(const Process& process) {
+  if (errors_.size() >= kMaxRecordedErrors) {
+    ++droppedErrors_;
+    return;
+  }
+  RecordedError record;
+  record.processId = process.id();
+  record.opcode = process.rootOpcode();
+  record.message = process.error();
+  record.errorClass = process.errorClass();
+  errors_.push_back("process " + std::to_string(record.processId) + " (" +
+                    record.opcode + "): " + record.message);
+  recordedErrors_.push_back(std::move(record));
+}
+
 std::shared_ptr<const ProcessStatus> ThreadManager::launchScript(
     ScriptPtr script, EnvPtr env, SpriteApi* sprite) {
   Task& task = spawn(sprite);
@@ -197,7 +233,7 @@ void ThreadManager::reapFinished() {
     if (task.process->errored()) {
       task.status->errored = true;
       task.status->error = task.process->error();
-      errors_.push_back(task.process->error());
+      recordError(*task.process);
     }
   }
   // Drop finished tasks (their status objects stay alive through the

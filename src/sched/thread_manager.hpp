@@ -109,14 +109,35 @@ class ThreadManager : public vm::Host {
   /// process one slice; then advance the virtual clock and reap.
   void runFrame();
   /// Run frames until no process is runnable; returns frames executed.
-  /// Throws Error after `maxFrames` (runaway guard).
+  /// Throws TimeoutError after `maxFrames` (runaway guard), naming the
+  /// processes that were still runnable when the budget elapsed.
   uint64_t runUntilIdle(uint64_t maxFrames = 1'000'000);
 
   bool idle() const;
   uint64_t frameCount() const { return frame_; }
   size_t runnableCount() const;
-  /// Errors of processes that failed, in completion order.
+
+  /// One failed process, with scheduler-side attribution. The log is
+  /// capped at kMaxRecordedErrors entries (a crash-looping spawner must
+  /// not grow the scheduler without bound); droppedErrorCount() says how
+  /// many were discarded past the cap.
+  struct RecordedError {
+    uint64_t processId = 0;
+    std::string opcode;  ///< the process's root opcode
+    std::string message;
+    ErrorClass errorClass = ErrorClass::Generic;
+  };
+  static constexpr size_t kMaxRecordedErrors = 64;
+
+  /// Errors of processes that failed, in completion order, each prefixed
+  /// with "process <id> (<root opcode>): ". Capped like recordedErrors().
   const std::vector<std::string>& errors() const { return errors_; }
+  /// The same failures in structured form.
+  const std::vector<RecordedError>& recordedErrors() const {
+    return recordedErrors_;
+  }
+  /// Errors discarded because the log was full.
+  size_t droppedErrorCount() const { return droppedErrors_; }
   /// Say-log of every process, in spawn order (for assertions).
   std::vector<std::string> collectSayLog() const;
 
@@ -147,6 +168,7 @@ class ThreadManager : public vm::Host {
 
   Task& spawn(vm::SpriteApi* sprite);
   void reapFinished();
+  void recordError(const vm::Process& process);
 
   const blocks::BlockRegistry* registry_;
   const vm::PrimitiveTable* primitives_;
@@ -166,6 +188,8 @@ class ThreadManager : public vm::Host {
   double now_ = 0;
   double timerStart_ = 0;
   std::vector<std::string> errors_;
+  std::vector<RecordedError> recordedErrors_;
+  size_t droppedErrors_ = 0;
   std::vector<std::string> finishedSayLog_;
 };
 

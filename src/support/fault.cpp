@@ -1,0 +1,108 @@
+#include "support/fault.hpp"
+
+#include <chrono>
+#include <string>
+#include <thread>
+
+#include "support/error.hpp"
+
+namespace psnap::fault {
+
+namespace detail {
+std::atomic<bool> gArmed{false};
+}  // namespace detail
+
+namespace {
+
+// The live config, one relaxed atomic per field. arm() cannot assume
+// true quiescence — the pool's worker loops evaluate their stall point
+// whenever they are awake — so a reader racing an arm() must see a
+// well-defined (possibly mixed old/new) value per field rather than a
+// torn struct. Mixed fields cost at most one hybrid draw; the firing
+// sequence is pinned by the seed for every draw after the arm settles.
+struct AtomicConfig {
+  std::atomic<uint64_t> seed{1};
+  std::atomic<uint32_t> rateNumerator{1};
+  std::atomic<uint32_t> rateDenominator{4};
+  std::atomic<uint32_t> pointMask{0};
+  std::atomic<uint32_t> stallMicros{500};
+};
+AtomicConfig gConfig;
+std::atomic<uint64_t> gEvaluated[kPointCount];
+std::atomic<uint64_t> gFired[kPointCount];
+
+/// splitmix64 finalizer — the same generator support/rng.hpp seeds with,
+/// giving platform-independent draws.
+uint64_t mix(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+const char* pointName(Point point) {
+  switch (point) {
+    case Point::TaskThrow:       return "task-throw";
+    case Point::WorkerStall:     return "worker-stall";
+    case Point::TransferFailure: return "transfer-failure";
+    case Point::PoolSaturation:  return "pool-saturation";
+  }
+  return "unknown";
+}
+
+void arm(const Config& config) {
+  disarm();
+  gConfig.seed.store(config.seed, std::memory_order_relaxed);
+  gConfig.rateNumerator.store(config.rateNumerator, std::memory_order_relaxed);
+  gConfig.rateDenominator.store(
+      config.rateDenominator == 0 ? 1 : config.rateDenominator,
+      std::memory_order_relaxed);
+  gConfig.pointMask.store(config.pointMask, std::memory_order_relaxed);
+  gConfig.stallMicros.store(config.stallMicros, std::memory_order_relaxed);
+  for (size_t i = 0; i < kPointCount; ++i) {
+    gEvaluated[i].store(0, std::memory_order_relaxed);
+    gFired[i].store(0, std::memory_order_relaxed);
+  }
+  detail::gArmed.store(true, std::memory_order_release);
+}
+
+void disarm() { detail::gArmed.store(false, std::memory_order_release); }
+
+bool armed() { return detail::gArmed.load(std::memory_order_acquire); }
+
+uint64_t firedCount(Point point) {
+  return gFired[size_t(point)].load(std::memory_order_relaxed);
+}
+
+uint64_t evaluatedCount(Point point) {
+  return gEvaluated[size_t(point)].load(std::memory_order_relaxed);
+}
+
+namespace detail {
+
+void evaluate(Point point) {
+  const size_t index = size_t(point);
+  const uint64_t sequence =
+      gEvaluated[index].fetch_add(1, std::memory_order_relaxed);
+  if ((gConfig.pointMask.load(std::memory_order_relaxed) & maskOf(point)) == 0)
+    return;
+  const uint64_t draw = mix(gConfig.seed.load(std::memory_order_relaxed) ^
+                            (uint64_t(index) << 56) ^ sequence);
+  if (draw % gConfig.rateDenominator.load(std::memory_order_relaxed) >=
+      gConfig.rateNumerator.load(std::memory_order_relaxed))
+    return;
+  gFired[index].fetch_add(1, std::memory_order_relaxed);
+  if (point == Point::WorkerStall) {
+    std::this_thread::sleep_for(std::chrono::microseconds(
+        gConfig.stallMicros.load(std::memory_order_relaxed)));
+    return;
+  }
+  throw SubstrateError(std::string("injected fault: ") + pointName(point) +
+                       " #" + std::to_string(sequence));
+}
+
+}  // namespace detail
+
+}  // namespace psnap::fault

@@ -1,0 +1,102 @@
+// Deterministic fault injection for the parallel substrate.
+//
+// Chaos testing needs the substrate's failure paths to fire on demand, in
+// a reproducible order, without perturbing production performance. This
+// module provides named injection points compiled into the substrate
+// permanently but costing a single relaxed atomic load when disarmed:
+//
+//   fault::inject(fault::Point::TaskThrow);   // hot path: one branch
+//
+// When armed (fault::arm with a seed, a point mask, and a rate), each
+// evaluation of an armed point draws from a splitmix64 stream keyed by
+// (seed, point, per-point sequence number) and fires when the draw lands
+// under rate. The sequence number is a per-point atomic counter, so for a
+// given seed the set of firing sequence numbers is identical across runs
+// even though thread interleaving may assign them to different threads —
+// exactly the reproducibility the seeded chaos suite needs.
+//
+// Firing behaviour by point:
+//   * TaskThrow / TransferFailure / PoolSaturation throw SubstrateError
+//     (the retryable class — retry and degradation paths exercise);
+//   * WorkerStall sleeps the calling worker for `stallMicros` instead of
+//     throwing, modelling a Web Worker that has gone unresponsive (pairs
+//     with deadlines to produce TimeoutError).
+//
+// Injection points live only on the parallel substrate's own code paths
+// (pool loop, clone-in/out, chunk bodies, shuffle). The sequential
+// fallback paths have no substrate and therefore no injection points —
+// which is what lets every chaos scenario converge to a correct result.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+namespace psnap::fault {
+
+enum class Point : uint8_t {
+  TaskThrow,        ///< a task body dies on a worker
+  WorkerStall,      ///< a pool worker goes unresponsive for a while
+  TransferFailure,  ///< structured-clone transfer across the boundary fails
+  PoolSaturation,   ///< the pool cannot accept new work
+};
+inline constexpr size_t kPointCount = 4;
+
+const char* pointName(Point point);
+
+struct Config {
+  uint64_t seed = 1;
+  /// Fire when splitmix64(seed, point, n) % rateDenominator < rateNumerator.
+  uint32_t rateNumerator = 1;
+  uint32_t rateDenominator = 4;
+  /// Bitmask of armed points: bit (1 << unsigned(Point::X)).
+  uint32_t pointMask = 0;
+  /// WorkerStall sleep length.
+  uint32_t stallMicros = 500;
+};
+
+/// Bit for one point, for Config::pointMask.
+inline constexpr uint32_t maskOf(Point point) {
+  return uint32_t{1} << unsigned(point);
+}
+
+/// Arm injection (resets all per-point counters). Safe to call while
+/// inject() evaluations are in flight — the live config is stored as
+/// per-field relaxed atomics, so a racing reader sees a benign mix of
+/// old and new fields (at most one hybrid draw), never a torn value.
+/// The pool's worker loops evaluate their stall point whenever awake,
+/// so true quiescence cannot be assumed. For fully deterministic firing
+/// counts, still arm from the controlling test thread before launching
+/// the operation under test.
+void arm(const Config& config);
+void disarm();
+bool armed();
+
+/// Times an armed point actually fired since the last arm().
+uint64_t firedCount(Point point);
+/// Times the point was evaluated (armed or not hit) since the last arm().
+uint64_t evaluatedCount(Point point);
+
+namespace detail {
+extern std::atomic<bool> gArmed;
+/// Out-of-line slow path: draw, count, and fire (throw or stall).
+void evaluate(Point point);
+}  // namespace detail
+
+/// The injection point. Zero-cost when disarmed: a relaxed load + branch.
+inline void inject(Point point) {
+  if (!detail::gArmed.load(std::memory_order_relaxed)) return;
+  detail::evaluate(point);
+}
+
+/// RAII arming for tests: arms in the constructor, disarms in the
+/// destructor (exception-safe against failing assertions).
+class ScopedFault {
+ public:
+  explicit ScopedFault(const Config& config) { arm(config); }
+  ~ScopedFault() { disarm(); }
+  ScopedFault(const ScopedFault&) = delete;
+  ScopedFault& operator=(const ScopedFault&) = delete;
+};
+
+}  // namespace psnap::fault

@@ -69,6 +69,7 @@ void Process::startScript(ScriptPtr script, EnvPtr env) {
   stack_.clear();
   state_ = ProcessState::Ready;
   error_.clear();
+  errorClass_ = ErrorClass::None;
   result_ = Value();
   pushScript(rootScript_.get(), std::move(env), /*boundary=*/true);
 }
@@ -78,12 +79,33 @@ void Process::startExpression(BlockPtr expression, EnvPtr env) {
   stack_.clear();
   state_ = ProcessState::Ready;
   error_.clear();
+  errorClass_ = ErrorClass::None;
   result_ = Value();
   pushExpression(rootExpression_.get(), std::move(env), /*boundary=*/true);
 }
 
+std::string Process::rootOpcode() const {
+  if (rootExpression_) return rootExpression_->opcode();
+  if (rootScript_ && rootScript_->size() > 0) {
+    return rootScript_->at(0)->opcode();
+  }
+  return "<script>";
+}
+
+bool Process::checkCancelled() {
+  if (!cancelToken_ || !cancelToken_->cancelled()) return false;
+  try {
+    cancelToken_->checkpoint();
+  } catch (const Error& e) {
+    errorClass_ = classifyError(std::current_exception());
+    fail(e.what());
+  }
+  return true;
+}
+
 bool Process::runSlice(size_t maxSteps) {
   if (!runnable()) return false;
+  if (checkCancelled()) return false;
   yielded_ = false;
   size_t steps = 0;
   while (runnable() && !yielded_ && steps < maxSteps) {
@@ -119,8 +141,14 @@ void Process::step() {
   Context& top = stack_.back();
   if (top.isYieldMarker) {
     stack_.pop_back();
-    // Inside a warp, yields are consumed without ending the slice.
-    if (warpDepth_ == 0) yielded_ = true;
+    // Inside a warp, yields are consumed without ending the slice — but
+    // they remain cancellation points, so a deadline still unwinds a
+    // warped loop that never ends its slice.
+    if (warpDepth_ == 0) {
+      yielded_ = true;
+    } else if (cancelToken_ && checkCancelled()) {
+      return;
+    }
     if (stack_.empty()) state_ = ProcessState::Done;
     return;
   }
@@ -131,6 +159,7 @@ void Process::step() {
       stepBlock(top);
     }
   } catch (const Error& e) {
+    errorClass_ = classifyError(std::current_exception());
     fail(e.what());
     return;
   }
@@ -366,6 +395,7 @@ void Process::pushRingCall(const RingPtr& ring, std::vector<Value> args,
 
 void Process::fail(const std::string& message) {
   error_ = message;
+  if (errorClass_ == ErrorClass::None) errorClass_ = ErrorClass::Generic;
   stack_.clear();
   warpDepth_ = 0;
   state_ = ProcessState::Errored;

@@ -30,6 +30,8 @@
 #include "blocks/block.hpp"
 #include "blocks/environment.hpp"
 #include "blocks/registry.hpp"
+#include "support/cancel.hpp"
+#include "support/error.hpp"
 #include "vm/host.hpp"
 
 namespace psnap::vm {
@@ -145,7 +147,23 @@ class Process {
   bool finished() const { return state_ != ProcessState::Ready; }
   bool errored() const { return state_ == ProcessState::Errored; }
   const std::string& error() const { return error_; }
+  /// The error's class tag (None while clean; Timeout/Cancelled when a
+  /// cancel token unwound the process). Meaningful once errored().
+  ErrorClass errorClass() const { return errorClass_; }
   const blocks::Value& result() const { return result_; }
+
+  /// Attach a cooperative cancellation token. The process checks it at
+  /// its yield points — slice entry and warped yield consumption — and
+  /// fails with the token's typed reason (timeout/cancelled) when it has
+  /// tripped. Deadlines on the token give per-process wall-clock budgets.
+  void setCancelToken(CancelTokenPtr token) {
+    cancelToken_ = std::move(token);
+  }
+  const CancelTokenPtr& cancelToken() const { return cancelToken_; }
+
+  /// Opcode of the root expression (or the root script's first block) —
+  /// the scheduler's attribution label for this process's errors.
+  std::string rootOpcode() const;
 
   /// Run until the process yields, finishes, or `maxSteps` interpreter
   /// steps elapse. Returns true if the process is still runnable.
@@ -225,6 +243,9 @@ class Process {
   void stepScript(Context& ctx);
   void stepBlock(Context& ctx);
   void fail(const std::string& message);
+  /// If the cancel token tripped, fail with its typed reason and return
+  /// true.
+  bool checkCancelled();
 
   const blocks::BlockRegistry* registry_;
   const PrimitiveTable* primitives_;
@@ -240,6 +261,8 @@ class Process {
 
   ProcessState state_ = ProcessState::Done;
   std::string error_;
+  ErrorClass errorClass_ = ErrorClass::None;
+  CancelTokenPtr cancelToken_;
   blocks::Value result_;
   bool yielded_ = false;
   bool progress_ = false;  ///< set by any stack mutation within step()

@@ -7,10 +7,13 @@
 // Value::structuredClone().
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <deque>
 #include <mutex>
 #include <optional>
+
+#include "support/cancel.hpp"
 
 namespace psnap::workers {
 
@@ -38,6 +41,27 @@ class Channel {
     std::unique_lock<std::mutex> lock(mutex_);
     cv_.wait(lock, [this] { return closed_ || !queue_.empty(); });
     if (queue_.empty()) return std::nullopt;
+    T message = std::move(queue_.front());
+    queue_.pop_front();
+    return message;
+  }
+
+  /// Cancellable blocking receive: returns empty when the channel closes
+  /// *or* `token` is cancelled / past its deadline. The token is polled
+  /// (cooperative model — a token trip does not wake sleeping receivers
+  /// by itself), so the wait re-arms every few milliseconds; call
+  /// token->checkpoint() afterwards to turn the empty result into a typed
+  /// TimeoutError / CancelledError when that is the contract.
+  std::optional<T> receive(const CancelTokenPtr& token) {
+    if (!token) return receive();
+    std::unique_lock<std::mutex> lock(mutex_);
+    while (true) {
+      if (!queue_.empty()) break;
+      if (closed_ || token->cancelled()) return std::nullopt;
+      cv_.wait_for(lock, std::chrono::milliseconds(2), [this] {
+        return closed_ || !queue_.empty();
+      });
+    }
     T message = std::move(queue_.front());
     queue_.pop_front();
     return message;

@@ -1,9 +1,13 @@
 #include "workers/parallel.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <mutex>
+#include <thread>
+#include <utility>
 
-#include "support/error.hpp"
+#include "support/fault.hpp"
+#include "workers/stats.hpp"
 #include "workers/worker_pool.hpp"
 
 namespace psnap::workers {
@@ -12,6 +16,15 @@ using blocks::Value;
 
 namespace {
 constexpr size_t kDefaultWorkers = 4;  // the paper's Web Worker default
+
+/// Bounded deterministic backoff before a chunk retry: 100us, 200us,
+/// 400us, … capped at ~2ms. Fixed durations (no jitter) keep chaos runs
+/// reproducible; the cap keeps a doomed chunk from stalling its group.
+void retryBackoff(int attempt) {
+  const int64_t micros =
+      std::min<int64_t>(int64_t{100} << std::min(attempt - 1, 8), 2000);
+  std::this_thread::sleep_for(std::chrono::microseconds(micros));
+}
 }  // namespace
 
 Parallel::Parallel(const std::vector<Value>& data, ParallelOptions options)
@@ -21,6 +34,7 @@ Parallel::Parallel(const std::vector<Value>& data, ParallelOptions options)
       perWorker_(options.maxWorkers == 0 ? kDefaultWorkers
                                          : options.maxWorkers) {
   if (options_.chunkSize == 0) options_.chunkSize = 1;
+  if (options_.maxRetries < 0) options_.maxRetries = 0;
   cloneIn(data);
 }
 
@@ -39,18 +53,81 @@ void Parallel::cloneIn(const std::vector<Value>& source) {
   // deep-copying on the pool — is gone entirely. Isolation is still
   // anchored at construction time: later mutation of the source detaches
   // at the COW gate and never reaches this job, and vice versa.
+  fault::inject(fault::Point::TransferFailure);  // clone-in boundary
   data_.reserve(source.size());
   for (const Value& v : source) data_.push_back(v.structuredClone());
 }
 
-void Parallel::recordError(const std::string& message) {
-  std::lock_guard<std::mutex> lock(errorMutex_);
-  if (!failedFlag_.exchange(true)) error_ = message;
+void Parallel::recordError(std::exception_ptr error) {
+  {
+    std::lock_guard<std::mutex> lock(errorMutex_);
+    if (!failedFlag_.load(std::memory_order_relaxed)) {
+      errorPtr_ = error;
+      errorClass_ = classifyError(error);
+      try {
+        std::rethrow_exception(error);
+      } catch (const std::exception& e) {
+        error_ = e.what();
+      } catch (...) {
+        error_ = "unknown worker error";
+      }
+      failedFlag_.store(true, std::memory_order_release);
+    }
+  }
+  // Fail-fast: unstarted sibling chunks are skipped, not drained.
+  if (group_) group_->cancel();
+}
+
+bool Parallel::keepGoing() const {
+  if (failedFlag_.load(std::memory_order_acquire)) return false;
+  return !(group_ && group_->cancelRequested());
+}
+
+uint64_t Parallel::processedItems() const {
+  uint64_t total = 0;
+  for (const CounterSlot& slot : perWorker_) {
+    total += slot.items.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+void Parallel::mapRange(const MapFn& fn, size_t begin, size_t end,
+                        size_t w) {
+  // The retry loop is exact: each element is written at most once, and a
+  // throw from fn leaves data_[i] unwritten, so resuming at i re-applies
+  // fn to the original input. Only the substrate class retries — a
+  // TypeError from the user's ring is deterministic and rethrows
+  // immediately with its original type.
+  size_t i = begin;
+  int attempt = 0;
+  while (true) {
+    try {
+      fault::inject(fault::Point::TaskThrow);
+      for (; i < end; ++i) data_[i] = fn(data_[i]);
+      perWorker_[w].items.fetch_add(end - begin, std::memory_order_relaxed);
+      return;
+    } catch (...) {
+      std::exception_ptr error = std::current_exception();
+      if (!isRetryableClass(classifyError(error)) ||
+          attempt >= options_.maxRetries) {
+        std::rethrow_exception(error);
+      }
+      ++attempt;
+      substrateStats().retries.fetch_add(1, std::memory_order_relaxed);
+      retryBackoff(attempt);
+    }
+  }
 }
 
 void Parallel::launch(std::function<void(size_t)> body, size_t taskCount) {
   if (launched_.exchange(true)) {
     throw Error("Parallel: an operation is already running on this object");
+  }
+  if (options_.deadlineSeconds > 0 || options_.cancel) {
+    token_ = options_.deadlineSeconds > 0
+                 ? CancelToken::withDeadline(options_.deadlineSeconds,
+                                             options_.cancel)
+                 : CancelToken::create(options_.cancel);
   }
   std::vector<TaskGroup::Task> tasks;
   tasks.reserve(taskCount);
@@ -58,19 +135,28 @@ void Parallel::launch(std::function<void(size_t)> body, size_t taskCount) {
     tasks.push_back([this, body](size_t index) {
       try {
         body(index);
-      } catch (const std::exception& e) {
-        recordError(e.what());
       } catch (...) {
-        recordError("unknown worker error");
+        recordError(std::current_exception());
       }
     });
   }
-  group_ = std::make_shared<TaskGroup>(std::move(tasks));
-  WorkerPool::shared().submit(group_);
+  group_ = std::make_shared<TaskGroup>(std::move(tasks), token_);
+  try {
+    WorkerPool::shared().submit(group_);
+  } catch (const SubstrateError&) {
+    // The pool cannot take the launch (stopped or saturated). Degrade:
+    // drain the chunk tasks synchronously on the caller — the sequential
+    // rung of the ladder — rather than failing a correct script.
+    if (!options_.allowDegrade) throw;
+    degraded_.store(true, std::memory_order_relaxed);
+    substrateStats().downgrades.fetch_add(1, std::memory_order_relaxed);
+    group_->wait();
+  }
 }
 
 void Parallel::map(MapFn fn) {
   const size_t n = data_.size();
+  inputSize_ = n;
   switch (options_.distribution) {
     case Distribution::Dynamic: {
       const size_t chunk = options_.chunkSize;
@@ -80,17 +166,10 @@ void Parallel::map(MapFn fn) {
           std::min(workers_, (n + chunk - 1) / chunk);
       launch(
           [this, fn, n, chunk](size_t w) {
-            while (true) {
+            while (keepGoing()) {
               size_t begin = cursor_.fetch_add(chunk);
               if (begin >= n) break;
-              size_t end = std::min(begin + chunk, n);
-              uint64_t local = 0;
-              for (size_t i = begin; i < end; ++i) {
-                data_[i] = fn(data_[i]);
-                ++local;
-              }
-              perWorker_[w].items.fetch_add(local,
-                                            std::memory_order_relaxed);
+              mapRange(fn, begin, std::min(begin + chunk, n), w);
             }
           },
           taskCount);
@@ -101,14 +180,9 @@ void Parallel::map(MapFn fn) {
       const size_t taskCount = per == 0 ? 0 : (n + per - 1) / per;
       launch(
           [this, fn, n, per](size_t w) {
+            if (!keepGoing()) return;
             size_t begin = w * per;
-            size_t end = std::min(begin + per, n);
-            uint64_t local = 0;
-            for (size_t i = begin; i < end; ++i) {
-              data_[i] = fn(data_[i]);
-              ++local;
-            }
-            perWorker_[w].items.fetch_add(local, std::memory_order_relaxed);
+            mapRange(fn, begin, std::min(begin + per, n), w);
           },
           taskCount);
       break;
@@ -120,15 +194,9 @@ void Parallel::map(MapFn fn) {
           std::min(workers_, (n + chunk - 1) / chunk);
       launch(
           [this, fn, n, chunk, stride](size_t w) {
-            for (size_t base = w * chunk; base < n; base += stride) {
-              size_t end = std::min(base + chunk, n);
-              uint64_t local = 0;
-              for (size_t i = base; i < end; ++i) {
-                data_[i] = fn(data_[i]);
-                ++local;
-              }
-              perWorker_[w].items.fetch_add(local,
-                                            std::memory_order_relaxed);
+            for (size_t base = w * chunk; base < n && keepGoing();
+                 base += stride) {
+              mapRange(fn, base, std::min(base + chunk, n), w);
             }
           },
           taskCount);
@@ -141,6 +209,7 @@ void Parallel::reduce(ReduceFn fn) {
   isReduce_ = true;
   combiner_ = fn;
   const size_t n = data_.size();
+  inputSize_ = n;
   partials_.assign(workers_, Value());
   const size_t per = (n + workers_ - 1) / workers_;
   const size_t taskCount = per == 0 ? 0 : (n + per - 1) / per;
@@ -148,14 +217,37 @@ void Parallel::reduce(ReduceFn fn) {
       [this, fn, n, per](size_t w) {
         size_t begin = w * per;
         size_t end = std::min(begin + per, n);
-        if (begin >= end) return;
-        Value acc = data_[begin];
-        uint64_t local = 1;
-        for (size_t i = begin + 1; i < end; ++i) {
-          acc = fn(acc, data_[i]);
-          ++local;
+        if (begin >= end || !keepGoing()) return;
+        // Same exact-resume retry structure as mapRange: a throw from fn
+        // leaves acc at the last good fold, so the retry resumes at i.
+        Value acc;
+        size_t i = begin;
+        bool started = false;
+        int attempt = 0;
+        while (true) {
+          try {
+            fault::inject(fault::Point::TaskThrow);
+            if (!started) {
+              acc = data_[begin];
+              i = begin + 1;
+              started = true;
+            }
+            for (; i < end; ++i) acc = fn(acc, data_[i]);
+            break;
+          } catch (...) {
+            std::exception_ptr error = std::current_exception();
+            if (!isRetryableClass(classifyError(error)) ||
+                attempt >= options_.maxRetries) {
+              std::rethrow_exception(error);
+            }
+            ++attempt;
+            substrateStats().retries.fetch_add(1,
+                                               std::memory_order_relaxed);
+            retryBackoff(attempt);
+          }
         }
-        perWorker_[w].items.fetch_add(local, std::memory_order_relaxed);
+        perWorker_[w].items.fetch_add(end - begin,
+                                      std::memory_order_relaxed);
         partials_[w] = std::move(acc);
       },
       taskCount);
@@ -165,28 +257,58 @@ bool Parallel::resolved() const {
   return launched_.load() && group_ && group_->done();
 }
 
+void Parallel::cancel(const std::string& reason) {
+  {
+    std::lock_guard<std::mutex> lock(errorMutex_);
+    cancelReason_ = reason;
+  }
+  if (token_) token_->cancel(reason);
+  if (group_) group_->cancel();
+}
+
 void Parallel::wait() {
   if (!launched_.load()) return;
-  if (!joined_) {
-    group_->wait();
-    joined_ = true;
-    if (isReduce_ && !failedFlag_.load()) {
-      // Combine the per-worker partials in worker order.
-      Value acc;
-      bool first = true;
-      for (Value& partial : partials_) {
-        if (partial.isNothing()) continue;  // worker had an empty range
-        if (first) {
-          acc = std::move(partial);
-          first = false;
-        } else {
-          acc = combiner_(acc, partial);
-        }
+  if (joined_) return;
+  group_->wait();
+  joined_ = true;
+  // A cancellation (explicit or deadline) that stopped work before every
+  // item was processed becomes the operation's typed error. A deadline
+  // that trips only after the last item completed is not a failure.
+  if (!failedFlag_.load(std::memory_order_acquire) &&
+      group_->cancelRequested() && processedItems() < inputSize_) {
+    try {
+      if (token_) token_->checkpoint();
+      std::string reason;
+      {
+        std::lock_guard<std::mutex> lock(errorMutex_);
+        reason = cancelReason_;
       }
-      data_.clear();
-      if (!first) data_.push_back(std::move(acc));
+      throw CancelledError(reason);
+    } catch (...) {
+      if (classifyError(std::current_exception()) == ErrorClass::Timeout) {
+        substrateStats().timeouts.fetch_add(1, std::memory_order_relaxed);
+      }
+      recordError(std::current_exception());
     }
   }
+  if (isReduce_ && !failedFlag_.load()) foldReducePartials();
+}
+
+void Parallel::foldReducePartials() {
+  // Combine the per-worker partials in worker order.
+  Value acc;
+  bool first = true;
+  for (Value& partial : partials_) {
+    if (partial.isNothing()) continue;  // worker had an empty range
+    if (first) {
+      acc = std::move(partial);
+      first = false;
+    } else {
+      acc = combiner_(acc, partial);
+    }
+  }
+  data_.clear();
+  if (!first) data_.push_back(std::move(acc));
 }
 
 bool Parallel::failed() const { return failedFlag_.load(); }
@@ -194,13 +316,17 @@ bool Parallel::failed() const { return failedFlag_.load(); }
 const std::vector<Value>& Parallel::data() {
   wait();
   if (failedFlag_.load()) {
+    // Surface the original exception type (a TypeError stays a
+    // TypeError), not a flattened base-class copy of its message.
+    if (errorPtr_) std::rethrow_exception(errorPtr_);
     throw Error("parallel operation failed: " + error_);
   }
   return data_;
 }
 
 std::vector<Value> Parallel::takeData() {
-  data();  // wait + error check
+  data();  // wait + error check (throws with the original type)
+  fault::inject(fault::Point::TransferFailure);  // clone-out boundary
   return std::move(data_);
 }
 

@@ -31,12 +31,39 @@
 // yields 16 chunk tasks (and 16 itemsPerWorker slots) however many OS
 // threads the pool owns.
 //
+// Fault model (the degradation ladder, outermost rung last):
+//   1. *retry*: a chunk that dies with a SubstrateError is retried in
+//      place up to maxRetries times with bounded deterministic backoff.
+//      Safe because map/reduce functions are pure by construction (the
+//      core module only compiles pure rings to MapFn) and the chunk loops
+//      write each element exactly once — a throw from fn leaves the
+//      element unwritten, so resuming at the failed index re-applies fn
+//      to original input, never to an already-mapped value;
+//   2. *fail-fast*: the first unretryable failure cancels the group —
+//      unstarted sibling chunks are skipped, not drained;
+//   3. *degrade*: if the pool cannot accept the launch (stopped, or the
+//      pool-saturation fault fires), the chunk tasks are drained
+//      synchronously on the caller instead — the op completes on the
+//      sequential rung and records the downgrade. A substrate error that
+//      survives retries fails the op with errorClass() == Substrate; the
+//      call sites that still own the original input (the parallelMap
+//      handler, mr::run) read that tag and re-run their sequential path
+//      (the C++ realisation of collapsing the paper's "in parallel"
+//      slot). Keeping the rerun at the owner avoids a pristine snapshot
+//      of the input on every launch. User-script errors (TypeError, …)
+//      never retry or degrade — they surface with their original
+//      exception type.
+// Deadlines ride the same machinery: deadlineSeconds arms a CancelToken
+// that chunk claims poll, and an expired deadline surfaces as a
+// TimeoutError unless every item had already been processed.
+//
 // In addition to wall-clock execution, the facade tracks items-per-worker
 // so benches can report *virtual makespan* (max items on any worker) —
 // the metric that carries the paper's speedup shape on a 1-core host.
 #pragma once
 
 #include <atomic>
+#include <exception>
 #include <functional>
 #include <memory>
 #include <mutex>
@@ -44,6 +71,8 @@
 #include <vector>
 
 #include "blocks/value.hpp"
+#include "support/cancel.hpp"
+#include "support/error.hpp"
 #include "workers/task_group.hpp"
 
 namespace psnap::workers {
@@ -70,17 +99,30 @@ struct ParallelOptions {
   Distribution distribution = Distribution::Dynamic;
   /// Chunk granularity for Dynamic and BlockCyclic (0 normalizes to 1).
   size_t chunkSize = 1;
+  /// Retries per chunk on SubstrateError (0 disables). Only the
+  /// substrate class retries; user-script errors are deterministic.
+  int maxRetries = 2;
+  /// Wall-clock budget from launch; 0 means none. Expiry cancels
+  /// remaining chunks and the operation fails with TimeoutError.
+  double deadlineSeconds = 0;
+  /// Drain the chunk tasks on the caller when the pool cannot accept the
+  /// launch, instead of failing the operation.
+  bool allowDegrade = true;
+  /// External cancellation (e.g. the owning script's token): cancelling
+  /// it cancels this operation at its next chunk boundary.
+  CancelTokenPtr cancel;
 };
 
 class Parallel {
  public:
   /// Clone `data` into the job (structured-clone semantics; throws
-  /// PurityError if a value is not transferable). Physically this is a
-  /// COW snapshot — flat lists share their item buffer, text shares its
-  /// immutable rep — so entry costs O(elements) refcount bumps instead
-  /// of a deep copy. The snapshot is anchored before the constructor
-  /// returns: later mutation of the source detaches at the COW gate and
-  /// never leaks into the job.
+  /// PurityError if a value is not transferable, SubstrateError if the
+  /// transfer fault point fires). Physically this is a COW snapshot —
+  /// flat lists share their item buffer, text shares its immutable rep —
+  /// so entry costs O(elements) refcount bumps instead of a deep copy.
+  /// The snapshot is anchored before the constructor returns: later
+  /// mutation of the source detaches at the COW gate and never leaks
+  /// into the job.
   Parallel(const std::vector<blocks::Value>& data, ParallelOptions options);
   explicit Parallel(const blocks::ListPtr& list,
                     ParallelOptions options = {});
@@ -103,15 +145,25 @@ class Parallel {
   bool resolved() const;
 
   /// Block until resolved (draining unclaimed chunk tasks on this
-  /// thread), surface any worker error.
+  /// thread). Failures are captured, not thrown (see failed()/data()).
   void wait();
 
-  /// True once resolved if a worker threw; message() holds the first error.
+  /// Cancel the operation: remaining chunks are skipped and the
+  /// operation fails with CancelledError (unless it already completed).
+  void cancel(const std::string& reason = "parallel operation cancelled");
+
+  /// True once resolved if the operation failed; errorMessage() holds the
+  /// first error and errorClass() its type tag.
   bool failed() const;
   const std::string& errorMessage() const { return error_; }
+  ErrorClass errorClass() const { return errorClass_; }
+
+  /// Did the operation complete through the sequential fallback?
+  bool wasDegraded() const { return degraded_.load(); }
 
   /// Result data. map: element-wise results. reduce: a single element.
-  /// Calls wait() internally. Throws Error if the operation failed.
+  /// Calls wait() internally. Rethrows the worker's error with its
+  /// original exception type if the operation failed.
   const std::vector<blocks::Value>& data();
 
   /// Move the result out instead of copying (the MapReduce engine's
@@ -137,21 +189,38 @@ class Parallel {
   void cloneIn(const std::vector<blocks::Value>& source);
   /// Submit `taskCount` chunk tasks running `body(logicalWorker)`.
   void launch(std::function<void(size_t)> body, size_t taskCount);
-  void recordError(const std::string& message);
+  /// Record the first failure (original exception preserved) and cancel
+  /// the group so unstarted siblings are skipped.
+  void recordError(std::exception_ptr error);
+  /// Map one range in place with the chunk retry loop. Returns normally
+  /// or rethrows the unretryable / retry-exhausted error.
+  void mapRange(const MapFn& fn, size_t begin, size_t end, size_t w);
+  /// Should the task keep claiming chunks? False once cancelled, failed,
+  /// or past the deadline.
+  bool keepGoing() const;
+  /// Total items processed across all logical workers.
+  uint64_t processedItems() const;
+  void foldReducePartials();
 
   std::vector<blocks::Value> data_;
   size_t workers_;
   ParallelOptions options_;
 
   std::shared_ptr<TaskGroup> group_;
+  CancelTokenPtr token_;  // set when a deadline or external cancel exists
   std::vector<CounterSlot> perWorker_;
   std::atomic<size_t> cursor_{0};
   std::atomic<bool> launched_{false};
   std::atomic<bool> failedFlag_{false};
+  std::atomic<bool> degraded_{false};
   std::string error_;
+  ErrorClass errorClass_ = ErrorClass::None;
+  std::exception_ptr errorPtr_;
   std::mutex errorMutex_;
   std::vector<blocks::Value> partials_;  // reduce intermediates
   ReduceFn combiner_;                    // for the final sequential fold
+  std::string cancelReason_ = "parallel operation cancelled";
+  size_t inputSize_ = 0;
   bool isReduce_ = false;
   bool joined_ = false;
 };

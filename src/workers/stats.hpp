@@ -1,0 +1,43 @@
+// Process-wide substrate health counters.
+//
+// The fault model's observable ledger: every retry, sequential downgrade,
+// group cancellation, and deadline trip is recorded here so tests (and a
+// future ops surface) can assert that a fault was *handled*, not merely
+// survived. Counters are monotone relaxed atomics — they order nothing,
+// they only count.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace psnap::workers {
+
+struct SubstrateStats {
+  /// Chunk retries after a substrate error (per attempt, not per chunk).
+  std::atomic<uint64_t> retries{0};
+  /// Operations that fell back to their sequential path.
+  std::atomic<uint64_t> downgrades{0};
+  /// Task-group cancellations (fail-fast or external).
+  std::atomic<uint64_t> cancellations{0};
+  /// Deadline trips surfaced as TimeoutError.
+  std::atomic<uint64_t> timeouts{0};
+  /// Tasks skipped unstarted because their group was already cancelled.
+  std::atomic<uint64_t> tasksSkipped{0};
+
+  void reset() {
+    retries.store(0, std::memory_order_relaxed);
+    downgrades.store(0, std::memory_order_relaxed);
+    cancellations.store(0, std::memory_order_relaxed);
+    timeouts.store(0, std::memory_order_relaxed);
+    tasksSkipped.store(0, std::memory_order_relaxed);
+  }
+};
+
+/// The process-wide ledger (parallel ops, mapreduce, and the scheduler all
+/// record into the same one, like WorkerPool::shared()).
+inline SubstrateStats& substrateStats() {
+  static SubstrateStats stats;
+  return stats;
+}
+
+}  // namespace psnap::workers

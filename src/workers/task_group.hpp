@@ -9,6 +9,15 @@
 // on other threads, so blocking on the condition variable cannot deadlock
 // — even when the waiter is itself a pool worker (mr::Job runs its whole
 // pipeline on the pool and waits on child groups from inside it).
+//
+// Fault model: groups are fail-fast. The first task that throws cancels
+// the group's CancelToken; unstarted siblings are then *skipped* at claim
+// time (they still count down `pending_`, so waiters always complete)
+// instead of being drained to completion on a substrate that is already
+// known to be failing. The captured error keeps its exception type — a
+// TypeError thrown on a worker resurfaces as a TypeError, not a flattened
+// string. An external token (a deadline, a script's stop) cancels the
+// group the same way.
 #pragma once
 
 #include <atomic>
@@ -20,6 +29,10 @@
 #include <utility>
 #include <vector>
 
+#include "support/cancel.hpp"
+#include "support/error.hpp"
+#include "workers/stats.hpp"
+
 namespace psnap::workers {
 
 class TaskGroup {
@@ -27,8 +40,12 @@ class TaskGroup {
   /// A task body; the argument is the task's index within the group.
   using Task = std::function<void(size_t)>;
 
-  explicit TaskGroup(std::vector<Task> tasks)
-      : tasks_(std::move(tasks)), pending_(tasks_.size()) {
+  /// `token`, when given, cancels the group from outside (deadline or
+  /// caller stop); the group always also honours its own fail-fast flag.
+  explicit TaskGroup(std::vector<Task> tasks, CancelTokenPtr token = nullptr)
+      : tasks_(std::move(tasks)),
+        pending_(tasks_.size()),
+        token_(std::move(token)) {
     if (tasks_.empty()) doneFlag_ = true;
   }
 
@@ -37,16 +54,38 @@ class TaskGroup {
 
   size_t size() const { return tasks_.size(); }
 
+  /// Request cancellation: tasks not yet claimed are skipped. Running
+  /// tasks finish (cooperative model — they observe the token themselves).
+  void cancel() {
+    if (!cancelled_.exchange(true, std::memory_order_acq_rel)) {
+      substrateStats().cancellations.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  /// Cancelled by a failing sibling, cancel(), or the external token?
+  bool cancelRequested() const {
+    return cancelled_.load(std::memory_order_acquire) ||
+           (token_ && token_->cancelled());
+  }
+
   /// Claim and run one unclaimed task on the calling thread. Returns
   /// false once every task has been claimed (not necessarily finished).
+  /// Claims made after cancellation skip the task body.
   bool runOne() {
     const size_t index = next_.fetch_add(1, std::memory_order_relaxed);
     if (index >= tasks_.size()) return false;
-    try {
-      tasks_[index](index);
-    } catch (...) {
-      std::lock_guard<std::mutex> lock(mutex_);
-      if (!error_) error_ = std::current_exception();
+    if (cancelRequested()) {
+      substrateStats().tasksSkipped.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      try {
+        tasks_[index](index);
+      } catch (...) {
+        {
+          std::lock_guard<std::mutex> lock(mutex_);
+          if (!error_) error_ = std::current_exception();
+        }
+        cancel();  // fail-fast: unstarted siblings are skipped
+      }
     }
     if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
       {
@@ -81,7 +120,14 @@ class TaskGroup {
     return error_;
   }
 
-  /// Rethrow the captured exception, if any (call after wait()).
+  /// The error's class in tagged form (None when clean). Meaningful once
+  /// done().
+  ErrorClass errorClass() const { return classifyError(error()); }
+
+  /// Rethrow the captured exception with its original type, if any; if
+  /// the group was cancelled with no task error, raise the cancellation
+  /// itself (TimeoutError when an external deadline tripped). Call after
+  /// wait().
   void rethrowIfError() {
     std::exception_ptr error;
     {
@@ -89,12 +135,18 @@ class TaskGroup {
       error = error_;
     }
     if (error) std::rethrow_exception(error);
+    if (token_ && token_->cancelled()) token_->checkpoint();
+    if (cancelled_.load(std::memory_order_acquire)) {
+      throw CancelledError("task group cancelled");
+    }
   }
 
  private:
   std::vector<Task> tasks_;
   std::atomic<size_t> next_{0};
   std::atomic<size_t> pending_;
+  std::atomic<bool> cancelled_{false};
+  CancelTokenPtr token_;
   mutable std::mutex mutex_;
   std::condition_variable cv_;
   bool doneFlag_ = false;          // guarded by mutex_ (cv predicate)

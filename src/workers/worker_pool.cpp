@@ -2,7 +2,22 @@
 
 #include <algorithm>
 
+#include "support/error.hpp"
+#include "support/fault.hpp"
+
 namespace psnap::workers {
+
+namespace {
+/// Shared availability gate for both submit overloads: real unavailability
+/// (a stopped pool) and the injected pool-saturation fault surface the
+/// same way, as a SubstrateError before anything is enqueued.
+void checkAcceptsWork(bool stopped) {
+  if (stopped) {
+    throw SubstrateError("worker pool is stopped and accepts no work");
+  }
+  fault::inject(fault::Point::PoolSaturation);
+}
+}  // namespace
 
 WorkerPool::WorkerPool(size_t width) {
   const size_t count = width == 0 ? 4 : width;
@@ -48,17 +63,20 @@ void WorkerPool::push(size_t slot, std::function<void()> job) {
 }
 
 void WorkerPool::submit(std::function<void()> job) {
+  checkAcceptsWork(stop_.load(std::memory_order_relaxed));
   push(nextSlot_.fetch_add(1, std::memory_order_relaxed) % slots_.size(),
        std::move(job));
 }
 
 void WorkerPool::submit(const std::shared_ptr<TaskGroup>& group) {
+  checkAcceptsWork(stop_.load(std::memory_order_relaxed));
   const size_t runners = std::min(group->size(), slots_.size());
   for (size_t i = 0; i < runners; ++i) {
-    submit([group] {
-      while (group->runOne()) {
-      }
-    });
+    push(nextSlot_.fetch_add(1, std::memory_order_relaxed) % slots_.size(),
+         [group] {
+           while (group->runOne()) {
+           }
+         });
   }
 }
 
@@ -109,6 +127,9 @@ bool WorkerPool::tryRunOne(size_t self) {
 
 void WorkerPool::workerMain(size_t index) {
   while (true) {
+    // Chaos hook: a worker may go unresponsive here (sleep, never throw)
+    // — the cooperative model's stand-in for a stalled Web Worker.
+    fault::inject(fault::Point::WorkerStall);
     // Drain before honouring stop: Channel::close let pending messages
     // drain, and the pool keeps that contract.
     if (tryRunOne(index)) continue;

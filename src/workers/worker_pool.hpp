@@ -46,12 +46,17 @@ class WorkerPool {
 
   size_t width() const { return threads_.size(); }
 
-  /// Enqueue a job for any worker.
+  /// Enqueue a job for any worker. Throws SubstrateError when the pool
+  /// cannot accept work (stopped, or the pool-saturation fault point
+  /// fires) — callers with a sequential path degrade to it.
   void submit(std::function<void()> job);
 
   /// Enqueue claim-loop runners for a task group: min(group->size(),
   /// width()) runners are spread round-robin across the worker deques,
-  /// each claiming tasks until the group is drained.
+  /// each claiming tasks until the group is drained. All-or-nothing: the
+  /// availability check (and the pool-saturation fault point) runs before
+  /// any runner is enqueued, so a SubstrateError here means the group is
+  /// untouched and can be drained on the caller instead.
   void submit(const std::shared_ptr<TaskGroup>& group);
 
   /// Jobs completed per worker since construction (for utilization

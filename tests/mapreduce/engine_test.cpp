@@ -130,6 +130,48 @@ TEST(MapReduce, ReducerErrorPropagates) {
   EXPECT_THROW(run(words({"a"}), constOne(), bad), Error);
 }
 
+TEST(MapReduce, MapperTypeErrorKeepsItsType) {
+  MapFn bad = [](const Value&) -> Value {
+    throw TypeError("not reducible");
+  };
+  EXPECT_THROW(run(words({"a", "b"}), bad, countValues()), TypeError);
+}
+
+TEST(MapReduce, PreCancelledTokenStopsPipeline) {
+  Options options;
+  options.workers = 4;
+  options.cancel = CancelToken::create();
+  options.cancel->cancel("pipeline stopped");
+  auto input = List::make();
+  for (int i = 0; i < 50; ++i) input->add(Value(i % 3));
+  // Cancellation is not a degradable failure: the run surfaces it typed
+  // instead of silently rerunning sequentially.
+  EXPECT_THROW(run(input, constOne(), countValues(), options),
+               CancelledError);
+}
+
+TEST(MapReduce, ExpiredDeadlineSurfacesTimeout) {
+  Options options;
+  options.workers = 4;
+  options.deadlineSeconds = 1e-9;  // expires before the first chunk claim
+  auto input = List::make();
+  for (int i = 0; i < 50; ++i) input->add(Value(i % 3));
+  EXPECT_THROW(run(input, constOne(), countValues(), options),
+               TimeoutError);
+}
+
+TEST(MapReduceJob, ErrorCarriesClassAndExceptionType) {
+  MapFn bad = [](const Value&) -> Value { throw TypeError("bad item"); };
+  Job job(words({"x"}), bad, countValues(), {});
+  while (!job.resolved()) {
+    std::this_thread::yield();
+  }
+  ASSERT_TRUE(job.failed());
+  EXPECT_EQ(job.errorClass(), ErrorClass::Type);
+  ASSERT_TRUE(job.error());
+  EXPECT_THROW(std::rethrow_exception(job.error()), TypeError);
+}
+
 TEST(MapReduce, NullInputThrows) {
   EXPECT_THROW(run(nullptr, constOne(), countValues()), Error);
 }

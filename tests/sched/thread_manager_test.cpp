@@ -153,6 +153,36 @@ TEST_F(SchedTest, ErrorsAreCollected) {
   EXPECT_NE(tm.errors()[0].find("division by zero"), std::string::npos);
 }
 
+TEST_F(SchedTest, RecordedErrorsCarryAttribution) {
+  auto tm = makeTm();
+  auto handle = tm.spawnScript(scriptOf({say(quotient(1, 0))}),
+                               Environment::make());
+  tm.runUntilIdle();
+  ASSERT_TRUE(handle.status->errored);
+  ASSERT_EQ(tm.recordedErrors().size(), 1u);
+  const auto& record = tm.recordedErrors()[0];
+  EXPECT_GT(record.processId, 0u);
+  EXPECT_FALSE(record.opcode.empty());
+  EXPECT_NE(record.message.find("division by zero"), std::string::npos);
+  EXPECT_NE(record.errorClass, ErrorClass::None);
+  // The string log carries the same attribution as a prefix.
+  ASSERT_EQ(tm.errors().size(), 1u);
+  EXPECT_EQ(tm.errors()[0].rfind("process ", 0), 0u);
+  EXPECT_NE(tm.errors()[0].find(record.opcode), std::string::npos);
+}
+
+TEST_F(SchedTest, ErrorLogIsCapped) {
+  auto tm = makeTm();
+  const size_t spawned = ThreadManager::kMaxRecordedErrors + 5;
+  for (size_t i = 0; i < spawned; ++i) {
+    tm.spawnScript(scriptOf({say(quotient(1, 0))}), Environment::make());
+  }
+  tm.runUntilIdle();
+  EXPECT_EQ(tm.errors().size(), ThreadManager::kMaxRecordedErrors);
+  EXPECT_EQ(tm.recordedErrors().size(), ThreadManager::kMaxRecordedErrors);
+  EXPECT_EQ(tm.droppedErrorCount(), 5u);
+}
+
 TEST_F(SchedTest, StopAllTerminatesEverything) {
   auto tm = makeTm();
   tm.spawnScript(scriptOf({forever(scriptOf({}))}), Environment::make());
@@ -167,6 +197,20 @@ TEST_F(SchedTest, RunUntilIdleGuardsAgainstRunaways) {
   auto tm = makeTm();
   tm.spawnScript(scriptOf({forever(scriptOf({}))}), Environment::make());
   EXPECT_THROW(tm.runUntilIdle(100), Error);
+  tm.stopAll();
+}
+
+TEST_F(SchedTest, FrameBudgetOverrunIsTypedAndNamesProcesses) {
+  auto tm = makeTm();
+  tm.spawnScript(scriptOf({forever(scriptOf({}))}), Environment::make());
+  try {
+    tm.runUntilIdle(50);
+    FAIL() << "runUntilIdle should have exceeded its budget";
+  } catch (const TimeoutError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("frame budget"), std::string::npos);
+    EXPECT_NE(what.find("still runnable: process "), std::string::npos);
+  }
   tm.stopAll();
 }
 

@@ -1,0 +1,254 @@
+// The fault model's two building blocks: deterministic seeded fault
+// injection (support/fault.hpp) and cooperative cancel tokens
+// (support/cancel.hpp), plus the ErrorClass taxonomy helpers the
+// substrate uses to decide retry/degrade eligibility.
+#include "support/fault.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "support/cancel.hpp"
+#include "support/error.hpp"
+
+namespace psnap {
+namespace {
+
+/// Evaluate `point` `draws` times on this thread and record which
+/// evaluations fired (threw).
+std::vector<bool> firingPattern(fault::Point point, size_t draws) {
+  std::vector<bool> fired;
+  fired.reserve(draws);
+  for (size_t i = 0; i < draws; ++i) {
+    try {
+      fault::inject(point);
+      fired.push_back(false);
+    } catch (const SubstrateError&) {
+      fired.push_back(true);
+    }
+  }
+  return fired;
+}
+
+fault::Config taskThrowConfig(uint64_t seed, uint32_t num, uint32_t den) {
+  fault::Config config;
+  config.seed = seed;
+  config.rateNumerator = num;
+  config.rateDenominator = den;
+  config.pointMask = fault::maskOf(fault::Point::TaskThrow);
+  return config;
+}
+
+TEST(Fault, DisarmedInjectIsInert) {
+  fault::disarm();
+  EXPECT_FALSE(fault::armed());
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_NO_THROW(fault::inject(fault::Point::TaskThrow));
+    EXPECT_NO_THROW(fault::inject(fault::Point::PoolSaturation));
+  }
+}
+
+TEST(Fault, SameSeedSameFiringSequence) {
+  const fault::Config config = taskThrowConfig(42, 1, 3);
+  std::vector<bool> first;
+  std::vector<bool> second;
+  {
+    fault::ScopedFault armed(config);
+    first = firingPattern(fault::Point::TaskThrow, 64);
+  }
+  {
+    fault::ScopedFault armed(config);
+    second = firingPattern(fault::Point::TaskThrow, 64);
+  }
+  EXPECT_EQ(first, second);
+  // The pattern is neither all-fire nor no-fire at rate 1/3 over 64 draws.
+  const auto fires =
+      size_t(std::count(first.begin(), first.end(), true));
+  EXPECT_GT(fires, 0u);
+  EXPECT_LT(fires, first.size());
+}
+
+TEST(Fault, DifferentSeedsDifferentFiringSequence) {
+  std::vector<bool> a;
+  std::vector<bool> b;
+  {
+    fault::ScopedFault armed(taskThrowConfig(1, 1, 3));
+    a = firingPattern(fault::Point::TaskThrow, 64);
+  }
+  {
+    fault::ScopedFault armed(taskThrowConfig(2, 1, 3));
+    b = firingPattern(fault::Point::TaskThrow, 64);
+  }
+  EXPECT_NE(a, b);
+}
+
+TEST(Fault, PointMaskGatesFiring) {
+  // Only TaskThrow is armed; the other points are evaluated but never
+  // fire.
+  fault::ScopedFault armed(taskThrowConfig(7, 1, 1));
+  for (int i = 0; i < 32; ++i) {
+    EXPECT_NO_THROW(fault::inject(fault::Point::TransferFailure));
+    EXPECT_NO_THROW(fault::inject(fault::Point::PoolSaturation));
+  }
+  EXPECT_EQ(fault::firedCount(fault::Point::TransferFailure), 0u);
+  EXPECT_EQ(fault::firedCount(fault::Point::PoolSaturation), 0u);
+  EXPECT_EQ(fault::evaluatedCount(fault::Point::TransferFailure), 32u);
+}
+
+TEST(Fault, RateOneAlwaysFiresWithNamedSequence) {
+  fault::ScopedFault armed(taskThrowConfig(3, 1, 1));
+  for (int i = 0; i < 8; ++i) {
+    try {
+      fault::inject(fault::Point::TaskThrow);
+      FAIL() << "inject should have fired at rate 1/1";
+    } catch (const SubstrateError& e) {
+      const std::string what = e.what();
+      EXPECT_NE(what.find("injected fault: task-throw"), std::string::npos);
+      EXPECT_NE(what.find("#" + std::to_string(i)), std::string::npos);
+    }
+  }
+  EXPECT_EQ(fault::firedCount(fault::Point::TaskThrow), 8u);
+  EXPECT_EQ(fault::evaluatedCount(fault::Point::TaskThrow), 8u);
+}
+
+TEST(Fault, WorkerStallSleepsInsteadOfThrowing) {
+  fault::Config config;
+  config.seed = 9;
+  config.rateNumerator = 1;
+  config.rateDenominator = 1;
+  config.pointMask = fault::maskOf(fault::Point::WorkerStall);
+  config.stallMicros = 1;  // keep the test fast
+  fault::ScopedFault armed(config);
+  EXPECT_NO_THROW(fault::inject(fault::Point::WorkerStall));
+  EXPECT_EQ(fault::firedCount(fault::Point::WorkerStall), 1u);
+}
+
+TEST(Fault, ArmResetsCounters) {
+  fault::arm(taskThrowConfig(5, 1, 1));
+  firingPattern(fault::Point::TaskThrow, 4);
+  EXPECT_EQ(fault::firedCount(fault::Point::TaskThrow), 4u);
+  fault::arm(taskThrowConfig(5, 1, 1));
+  EXPECT_EQ(fault::firedCount(fault::Point::TaskThrow), 0u);
+  EXPECT_EQ(fault::evaluatedCount(fault::Point::TaskThrow), 0u);
+  fault::disarm();
+}
+
+TEST(CancelToken, PlainTokenStartsLive) {
+  auto token = CancelToken::create();
+  EXPECT_FALSE(token->cancelled());
+  EXPECT_EQ(token->reason(), ErrorClass::None);
+  EXPECT_FALSE(token->hasDeadline());
+  EXPECT_NO_THROW(token->checkpoint());
+}
+
+TEST(CancelToken, FirstCancelReasonWins) {
+  auto token = CancelToken::create();
+  token->cancel("first stop");
+  token->cancel("second stop");
+  EXPECT_TRUE(token->cancelled());
+  EXPECT_EQ(token->reason(), ErrorClass::Cancelled);
+  EXPECT_EQ(token->reasonMessage(), "first stop");
+  try {
+    token->checkpoint();
+    FAIL() << "checkpoint should throw once cancelled";
+  } catch (const CancelledError& e) {
+    EXPECT_NE(std::string(e.what()).find("first stop"), std::string::npos);
+  }
+}
+
+TEST(CancelToken, ExpiredDeadlineIsTimeout) {
+  auto token = CancelToken::withDeadline(0);  // already expired
+  EXPECT_TRUE(token->hasDeadline());
+  EXPECT_TRUE(token->cancelled());
+  EXPECT_EQ(token->reason(), ErrorClass::Timeout);
+  EXPECT_LE(token->remainingSeconds(), 0.0);
+  EXPECT_THROW(token->checkpoint(), TimeoutError);
+}
+
+TEST(CancelToken, FarDeadlineStaysLive) {
+  auto token = CancelToken::withDeadline(3600);
+  EXPECT_FALSE(token->cancelled());
+  EXPECT_GT(token->remainingSeconds(), 0.0);
+  EXPECT_NO_THROW(token->checkpoint());
+}
+
+TEST(CancelToken, ParentCancellationPropagates) {
+  auto parent = CancelToken::create();
+  auto child = CancelToken::create(parent);
+  EXPECT_FALSE(child->cancelled());
+  parent->cancel("script stopped");
+  EXPECT_TRUE(child->cancelled());
+  EXPECT_EQ(child->reason(), ErrorClass::Cancelled);
+  EXPECT_EQ(child->reasonMessage(), "script stopped");
+  EXPECT_THROW(child->checkpoint(), CancelledError);
+}
+
+TEST(CancelToken, OwnTripWinsOverParent) {
+  auto parent = CancelToken::create();
+  auto child = CancelToken::create(parent);
+  child->cancel("child reason");
+  parent->cancel("parent reason");
+  EXPECT_EQ(child->reasonMessage(), "child reason");
+  EXPECT_EQ(parent->reasonMessage(), "parent reason");
+}
+
+TEST(CancelToken, NoDeadlineMeansInfiniteRemaining) {
+  auto token = CancelToken::create();
+  EXPECT_GT(token->remainingSeconds(), 1e18);
+}
+
+TEST(ErrorTaxonomy, ClassifyRecoversTheClass) {
+  auto classOf = [](auto&& thrower) {
+    try {
+      thrower();
+    } catch (...) {
+      return classifyError(std::current_exception());
+    }
+    return ErrorClass::None;
+  };
+  EXPECT_EQ(classOf([] { throw TypeError("x"); }), ErrorClass::Type);
+  EXPECT_EQ(classOf([] { throw IndexError("x"); }), ErrorClass::Index);
+  EXPECT_EQ(classOf([] { throw SubstrateError("x"); }),
+            ErrorClass::Substrate);
+  EXPECT_EQ(classOf([] { throw TimeoutError("x"); }), ErrorClass::Timeout);
+  EXPECT_EQ(classOf([] { throw CancelledError("x"); }),
+            ErrorClass::Cancelled);
+  EXPECT_EQ(classOf([] { throw Error("x"); }), ErrorClass::Generic);
+  EXPECT_EQ(classOf([] { throw std::runtime_error("x"); }),
+            ErrorClass::Foreign);
+  EXPECT_EQ(classifyError(nullptr), ErrorClass::None);
+}
+
+TEST(ErrorTaxonomy, OnlyPlainSubstrateRetries) {
+  EXPECT_TRUE(isRetryableClass(ErrorClass::Substrate));
+  EXPECT_FALSE(isRetryableClass(ErrorClass::Timeout));
+  EXPECT_FALSE(isRetryableClass(ErrorClass::Cancelled));
+  EXPECT_FALSE(isRetryableClass(ErrorClass::Type));
+  EXPECT_TRUE(isSubstrateClass(ErrorClass::Substrate));
+  EXPECT_TRUE(isSubstrateClass(ErrorClass::Timeout));
+  EXPECT_TRUE(isSubstrateClass(ErrorClass::Cancelled));
+  EXPECT_FALSE(isSubstrateClass(ErrorClass::Generic));
+}
+
+TEST(ErrorTaxonomy, StripAndRethrowRoundTrip) {
+  EXPECT_EQ(stripClassPrefix(ErrorClass::Type, "type error: bad input"),
+            "bad input");
+  EXPECT_EQ(stripClassPrefix(ErrorClass::Timeout, "timeout: too slow"),
+            "too slow");
+  // Unprefixed messages pass through untouched.
+  EXPECT_EQ(stripClassPrefix(ErrorClass::Type, "bad input"), "bad input");
+  try {
+    throwAsClass(ErrorClass::Timeout, "timeout: budget elapsed");
+    FAIL() << "throwAsClass must throw";
+  } catch (const TimeoutError& e) {
+    EXPECT_EQ(std::string(e.what()), "timeout: budget elapsed");
+  }
+  EXPECT_THROW(throwAsClass(ErrorClass::Type, "type error: x"), TypeError);
+  EXPECT_THROW(throwAsClass(ErrorClass::Cancelled, "cancelled: x"),
+               CancelledError);
+}
+
+}  // namespace
+}  // namespace psnap

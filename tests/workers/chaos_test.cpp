@@ -1,0 +1,329 @@
+// Seeded chaos suite: every substrate fault point armed against real
+// parallel operations. The invariant under fault injection is
+// *convergence*: a run either produces exactly the fault-free result
+// (possibly via retries or a recorded downgrade) or fails with a typed
+// substrate-class error — never a wrong answer, a hang, or a poisoned
+// pool. Test names start with "Chaos" so `scripts/check.sh --chaos` can
+// sweep them across seeds (PSNAP_CHAOS_SEED adds one) under asan + tsan.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "mapreduce/engine.hpp"
+#include "support/cancel.hpp"
+#include "support/error.hpp"
+#include "support/fault.hpp"
+#include "workers/parallel.hpp"
+#include "workers/stats.hpp"
+#include "workers/task_group.hpp"
+
+namespace psnap::workers {
+namespace {
+
+using blocks::List;
+using blocks::ListPtr;
+using blocks::Value;
+
+std::vector<uint64_t> chaosSeeds() {
+  std::vector<uint64_t> seeds{1, 7, 42};
+  if (const char* extra = std::getenv("PSNAP_CHAOS_SEED")) {
+    seeds.push_back(std::strtoull(extra, nullptr, 10));
+  }
+  return seeds;
+}
+
+fault::Config configFor(uint64_t seed, fault::Point point, uint32_t num,
+                        uint32_t den) {
+  fault::Config config;
+  config.seed = seed;
+  config.rateNumerator = num;
+  config.rateDenominator = den;
+  config.pointMask = fault::maskOf(point);
+  config.stallMicros = 100;
+  return config;
+}
+
+std::vector<Value> numbers(int n) {
+  std::vector<Value> out;
+  out.reserve(size_t(n));
+  for (int i = 1; i <= n; ++i) out.emplace_back(i);
+  return out;
+}
+
+/// After a chaos scenario the shared pool must still run clean work.
+void expectPoolUsable() {
+  ASSERT_FALSE(fault::armed());
+  Parallel p(numbers(16), {.maxWorkers = 2});
+  p.map([](const Value& v) { return Value(v.asNumber() + 1); });
+  const auto& data = p.data();
+  ASSERT_EQ(data.size(), 16u);
+  EXPECT_EQ(data[15].asNumber(), 17);
+}
+
+TEST(Chaos, TaskThrowMapConvergesOrFailsTyped) {
+  for (uint64_t seed : chaosSeeds()) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    {
+      fault::ScopedFault armed(
+          configFor(seed, fault::Point::TaskThrow, 1, 4));
+      Parallel p(numbers(256),
+                 {.maxWorkers = 4, .chunkSize = 8, .maxRetries = 4});
+      p.map([](const Value& v) { return Value(v.asNumber() * 2); });
+      p.wait();
+      if (p.failed()) {
+        // Retries exhausted: the failure must carry the substrate class,
+        // never a corrupted result.
+        EXPECT_TRUE(isSubstrateClass(p.errorClass()));
+        EXPECT_THROW(p.data(), SubstrateError);
+      } else {
+        const auto& data = p.data();
+        ASSERT_EQ(data.size(), 256u);
+        for (int i = 0; i < 256; ++i) {
+          ASSERT_EQ(data[size_t(i)].asNumber(), 2 * (i + 1));
+        }
+      }
+    }
+    expectPoolUsable();
+  }
+}
+
+TEST(Chaos, TaskThrowCertainFailureKeepsSubstrateType) {
+  const uint64_t retriesBefore =
+      substrateStats().retries.load(std::memory_order_relaxed);
+  {
+    // Rate 1/1: every attempt throws, so retries are spent and the op
+    // fails with the retryable class (post-launch substrate failures do
+    // not degrade at this rung — the owner of the input does that).
+    fault::ScopedFault armed(configFor(1, fault::Point::TaskThrow, 1, 1));
+    Parallel p(numbers(32), {.maxWorkers = 2, .maxRetries = 1});
+    p.map([](const Value& v) { return v; });
+    p.wait();
+    EXPECT_TRUE(p.failed());
+    EXPECT_EQ(p.errorClass(), ErrorClass::Substrate);
+    EXPECT_FALSE(p.wasDegraded());
+    EXPECT_NE(p.errorMessage().find("injected fault"), std::string::npos);
+    EXPECT_THROW(p.data(), SubstrateError);
+  }
+  EXPECT_GT(substrateStats().retries.load(std::memory_order_relaxed),
+            retriesBefore);
+  expectPoolUsable();
+}
+
+TEST(Chaos, WorkerStallsDelayButComplete) {
+  for (uint64_t seed : chaosSeeds()) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    {
+      fault::ScopedFault armed(
+          configFor(seed, fault::Point::WorkerStall, 1, 2));
+      Parallel p(numbers(128), {.maxWorkers = 4});
+      p.map([](const Value& v) { return Value(v.asNumber() + 3); });
+      const auto& data = p.data();
+      ASSERT_EQ(data.size(), 128u);
+      for (int i = 0; i < 128; ++i) {
+        ASSERT_EQ(data[size_t(i)].asNumber(), i + 4);
+      }
+    }
+    expectPoolUsable();
+  }
+}
+
+TEST(Chaos, TransferFailureAtCloneInSurfacesSubstrateError) {
+  {
+    fault::ScopedFault armed(
+        configFor(1, fault::Point::TransferFailure, 1, 1));
+    EXPECT_THROW(Parallel(numbers(4), {.maxWorkers = 2}), SubstrateError);
+  }
+  expectPoolUsable();
+}
+
+TEST(Chaos, TransferFailureAtCloneOutSurfacesSubstrateError) {
+  Parallel p(numbers(8), {.maxWorkers = 2});
+  p.map([](const Value& v) { return v; });
+  p.wait();
+  ASSERT_FALSE(p.failed());
+  {
+    // Arm only after the op is quiescent: the fault hits the clone-out
+    // boundary in takeData(), not the already-finished workers.
+    fault::ScopedFault armed(
+        configFor(1, fault::Point::TransferFailure, 1, 1));
+    EXPECT_THROW(p.takeData(), SubstrateError);
+  }
+  expectPoolUsable();
+}
+
+TEST(Chaos, PoolSaturationDegradesToCallerDrain) {
+  const uint64_t downgradesBefore =
+      substrateStats().downgrades.load(std::memory_order_relaxed);
+  {
+    fault::ScopedFault armed(
+        configFor(1, fault::Point::PoolSaturation, 1, 1));
+    Parallel p(numbers(64), {.maxWorkers = 4});
+    p.map([](const Value& v) { return Value(v.asNumber() * 3); });
+    const auto& data = p.data();
+    EXPECT_TRUE(p.wasDegraded());
+    EXPECT_FALSE(p.failed());
+    ASSERT_EQ(data.size(), 64u);
+    for (int i = 0; i < 64; ++i) {
+      ASSERT_EQ(data[size_t(i)].asNumber(), 3 * (i + 1));
+    }
+  }
+  EXPECT_GT(substrateStats().downgrades.load(std::memory_order_relaxed),
+            downgradesBefore);
+  expectPoolUsable();
+}
+
+TEST(Chaos, PoolSaturationWithoutDegradeFails) {
+  {
+    fault::ScopedFault armed(
+        configFor(1, fault::Point::PoolSaturation, 1, 1));
+    Parallel p(numbers(8), {.maxWorkers = 2, .allowDegrade = false});
+    EXPECT_THROW(p.map([](const Value& v) { return v; }), SubstrateError);
+  }
+  expectPoolUsable();
+}
+
+TEST(Chaos, ExpiredDeadlineSurfacesTimeout) {
+  const uint64_t timeoutsBefore =
+      substrateStats().timeouts.load(std::memory_order_relaxed);
+  ParallelOptions options;
+  options.maxWorkers = 2;
+  options.cancel = CancelToken::withDeadline(0);  // already expired
+  Parallel p(numbers(64), options);
+  p.map([](const Value& v) { return v; });
+  p.wait();
+  EXPECT_TRUE(p.failed());
+  EXPECT_EQ(p.errorClass(), ErrorClass::Timeout);
+  EXPECT_THROW(p.data(), TimeoutError);
+  EXPECT_GT(substrateStats().timeouts.load(std::memory_order_relaxed),
+            timeoutsBefore);
+  expectPoolUsable();
+}
+
+TEST(Chaos, PreCancelledTokenSurfacesCancelledWithReason) {
+  ParallelOptions options;
+  options.maxWorkers = 2;
+  options.cancel = CancelToken::create();
+  options.cancel->cancel("stop requested");
+  Parallel p(numbers(64), options);
+  p.map([](const Value& v) { return v; });
+  p.wait();
+  EXPECT_TRUE(p.failed());
+  EXPECT_EQ(p.errorClass(), ErrorClass::Cancelled);
+  EXPECT_NE(p.errorMessage().find("stop requested"), std::string::npos);
+  EXPECT_THROW(p.data(), CancelledError);
+  expectPoolUsable();
+}
+
+TEST(Chaos, FailFastSkipsUnstartedSiblings) {
+  const uint64_t skippedBefore =
+      substrateStats().tasksSkipped.load(std::memory_order_relaxed);
+  std::atomic<int> ran{0};
+  std::vector<TaskGroup::Task> tasks;
+  tasks.push_back([](size_t) -> void { throw TypeError("poison task"); });
+  for (int i = 0; i < 31; ++i) {
+    tasks.push_back([&ran](size_t) { ran.fetch_add(1); });
+  }
+  // Drain on this thread only: task 0 throws, cancels the group, and the
+  // 31 siblings are skipped at claim time, never run.
+  TaskGroup group(std::move(tasks));
+  group.wait();
+  EXPECT_TRUE(group.done());
+  EXPECT_EQ(ran.load(), 0);
+  EXPECT_EQ(group.errorClass(), ErrorClass::Type);
+  EXPECT_THROW(group.rethrowIfError(), TypeError);
+  EXPECT_GE(substrateStats().tasksSkipped.load(std::memory_order_relaxed),
+            skippedBefore + 31);
+}
+
+TEST(Chaos, MapReduceConvergesUnderTaskThrow) {
+  auto input = List::make();
+  for (int i = 0; i < 300; ++i) input->add(Value(i % 13));
+  mr::MapFn one = [](const Value&) { return Value(1); };
+  mr::ReduceFn count = [](const ListPtr& values) {
+    return Value(values->length());
+  };
+  // Fault-free reference, computed before arming.
+  auto reference = mr::run(input, one, count, {.sequential = true});
+  for (uint64_t seed : chaosSeeds()) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    {
+      fault::ScopedFault armed(
+          configFor(seed, fault::Point::TaskThrow, 1, 4));
+      mr::Stats stats;
+      // The pipeline owns its input: whatever the faults do (retries
+      // succeed, or the substrate error escalates and the whole pipeline
+      // reruns sequentially), the output must equal the reference.
+      auto out = mr::run(input, one, count,
+                         {.workers = 4, .maxRetries = 2}, &stats);
+      EXPECT_TRUE(out->deepEquals(*reference))
+          << "degraded=" << stats.degraded;
+    }
+    expectPoolUsable();
+  }
+}
+
+TEST(Chaos, MapReducePoolSaturationDegradesSequentially) {
+  const uint64_t downgradesBefore =
+      substrateStats().downgrades.load(std::memory_order_relaxed);
+  auto input = List::make();
+  for (int i = 0; i < 100; ++i) input->add(Value(i % 5));
+  mr::MapFn one = [](const Value&) { return Value(1); };
+  mr::ReduceFn count = [](const ListPtr& values) {
+    return Value(values->length());
+  };
+  auto reference = mr::run(input, one, count, {.sequential = true});
+  {
+    fault::ScopedFault armed(
+        configFor(1, fault::Point::PoolSaturation, 1, 1));
+    mr::Stats stats;
+    auto out = mr::run(input, one, count, {.workers = 4}, &stats);
+    EXPECT_TRUE(stats.degraded);
+    EXPECT_TRUE(out->deepEquals(*reference));
+  }
+  EXPECT_GT(substrateStats().downgrades.load(std::memory_order_relaxed),
+            downgradesBefore);
+  expectPoolUsable();
+}
+
+TEST(Chaos, MixedFaultStormLeavesPoolHealthy) {
+  for (uint64_t seed : chaosSeeds()) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    {
+      fault::Config config;
+      config.seed = seed;
+      config.rateNumerator = 1;
+      config.rateDenominator = 6;
+      config.stallMicros = 100;
+      config.pointMask = fault::maskOf(fault::Point::TaskThrow) |
+                         fault::maskOf(fault::Point::WorkerStall) |
+                         fault::maskOf(fault::Point::TransferFailure) |
+                         fault::maskOf(fault::Point::PoolSaturation);
+      fault::ScopedFault armed(config);
+      for (int round = 0; round < 4; ++round) {
+        try {
+          Parallel p(numbers(64), {.maxWorkers = 4, .maxRetries = 2});
+          p.map([](const Value& v) { return Value(v.asNumber() + 1); });
+          p.wait();
+          if (!p.failed()) {
+            const auto& data = p.data();
+            ASSERT_EQ(data.size(), 64u);
+            for (int i = 0; i < 64; ++i) {
+              ASSERT_EQ(data[size_t(i)].asNumber(), i + 2);
+            }
+          } else {
+            EXPECT_TRUE(isSubstrateClass(p.errorClass()));
+          }
+        } catch (const SubstrateError&) {
+          // Construction died at a transfer/saturation point — allowed.
+        }
+      }
+    }
+    expectPoolUsable();
+  }
+}
+
+}  // namespace
+}  // namespace psnap::workers

@@ -131,6 +131,22 @@ TEST(Parallel, WorkerErrorPropagates) {
   EXPECT_THROW(p.data(), Error);
 }
 
+TEST(Parallel, WorkerTypeErrorKeepsItsType) {
+  // Regression: recordError used to flatten every worker exception into a
+  // base-class Error, so a TypeError thrown on a worker lost its type (and
+  // its class tag) by the time data() rethrew it.
+  Parallel p(numbers(8), {.maxWorkers = 2});
+  p.map([](const Value& v) -> Value {
+    if (v.asNumber() == 3) throw TypeError("expected a number");
+    return v;
+  });
+  p.wait();
+  EXPECT_TRUE(p.failed());
+  EXPECT_EQ(p.errorClass(), ErrorClass::Type);
+  EXPECT_NE(p.errorMessage().find("expected a number"), std::string::npos);
+  EXPECT_THROW(p.data(), TypeError);
+}
+
 TEST(Parallel, StructuredCloneIsolatesInput) {
   // Mutating the original list after job creation must not affect the job.
   auto list = List::make({Value(1), Value(2)});
