@@ -1,0 +1,159 @@
+// Serving-layer benchmark: one SessionServer hosting a 10k-tenant mixed
+// storm (concession / wordcount / climate, cycled per session index), all
+// admitted before the first frame so the whole population is concurrently
+// live, then run to completion. Emitted as BENCH_serve.json:
+//
+//   * sessions / completed / failed / shed / output_ok — outcome ledger
+//     (the run is only meaningful when completed == sessions and every
+//     completed session's self-check passed);
+//   * frame_p50_ms / frame_p99_ms — per-server-frame wall latency
+//     percentiles (a frame grants every live tenant one slice, so this
+//     is the tail of "how long until each tenant runs again");
+//   * fairness_spread — max over workload labels of max/min frames
+//     granted to sessions of that label (equal workloads ⇒ equal need;
+//     round-robin should keep this ≤ 2.0, acceptance threshold);
+//   * sessions_per_s — end-to-end completion throughput.
+//
+// Usage: bench_serve [--sessions N] [--quick] [--out FILE.json]
+// `--quick` runs 300 sessions (CI smoke); the default is 10'000.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "scenarios/serve.hpp"
+#include "serve/session_server.hpp"
+
+namespace {
+
+using psnap::serve::ServerConfig;
+using psnap::serve::SessionRecord;
+using psnap::serve::SessionServer;
+using psnap::serve::SessionState;
+using Clock = std::chrono::steady_clock;
+
+double secondsSince(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+double percentile(std::vector<double> samples, double p) {
+  if (samples.empty()) return 0;
+  std::sort(samples.begin(), samples.end());
+  const double rank = p * double(samples.size() - 1);
+  const size_t lo = size_t(rank);
+  const size_t hi = std::min(lo + 1, samples.size() - 1);
+  const double frac = rank - double(lo);
+  return samples[lo] * (1 - frac) + samples[hi] * frac;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  size_t sessions = 10'000;
+  std::string outPath;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      sessions = 300;
+    } else if (std::strcmp(argv[i], "--sessions") == 0 && i + 1 < argc) {
+      sessions = size_t(std::strtoull(argv[++i], nullptr, 10));
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      outPath = argv[++i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--sessions N] [--quick] [--out FILE.json]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+
+  ServerConfig config;
+  config.maxSessions = sessions;  // the whole storm is concurrently live
+  config.maxWorkers = 2;          // per-tenant logical width (shared pool)
+  SessionServer server(config);
+
+  const auto startAdmit = Clock::now();
+  for (size_t i = 0; i < sessions; ++i) {
+    server.admit(psnap::scenarios::serveMixedWorkload(i));
+  }
+  const double admitSeconds = secondsSince(startAdmit);
+  const size_t peakConcurrent = server.activeSessions();
+
+  const auto startRun = Clock::now();
+  const uint64_t frames = server.runUntilQuiet();
+  const double runSeconds = secondsSince(startRun);
+
+  // Outcome ledger + per-label slice counts for the fairness spread.
+  size_t completed = 0, failed = 0, shed = 0, outputOk = 0;
+  std::map<std::string, std::vector<uint64_t>> slicesByLabel;
+  for (const SessionRecord& record : server.records()) {
+    switch (record.state) {
+      case SessionState::Completed:
+        ++completed;
+        if (record.outputOk) ++outputOk;
+        slicesByLabel[record.label].push_back(record.framesRun);
+        break;
+      case SessionState::Failed:
+        ++failed;
+        break;
+      case SessionState::Shed:
+        ++shed;
+        break;
+      case SessionState::Active:
+        break;
+    }
+  }
+  double fairness = 0;
+  for (const auto& [label, slices] : slicesByLabel) {
+    fairness = std::max(fairness, SessionServer::fairnessSpread(slices));
+  }
+
+  const double p50 = percentile(server.frameSeconds(), 0.50) * 1e3;
+  const double p99 = percentile(server.frameSeconds(), 0.99) * 1e3;
+  const double perSecond =
+      runSeconds > 0 ? double(completed) / runSeconds : 0;
+
+  std::printf("# bench_serve — %zu mixed sessions, all concurrent\n",
+              sessions);
+  std::printf("#   peak concurrent: %zu\n", peakConcurrent);
+  std::printf("#   admitted in %.3fs, ran %llu frames in %.3fs\n",
+              admitSeconds, static_cast<unsigned long long>(frames),
+              runSeconds);
+  std::printf("#   completed %zu (output ok %zu), failed %zu, shed %zu\n",
+              completed, outputOk, failed, shed);
+  std::printf("#   frame latency p50 %.3fms  p99 %.3fms\n", p50, p99);
+  std::printf("#   fairness spread (max over labels) %.3f\n", fairness);
+  std::printf("#   throughput %.1f sessions/s\n", perSecond);
+
+  const bool pass = completed == sessions && outputOk == completed &&
+                    fairness > 0 && fairness <= 2.0;
+  std::printf("#   acceptance: %s\n", pass ? "PASS" : "FAIL");
+
+  if (!outPath.empty()) {
+    FILE* f = std::fopen(outPath.c_str(), "w");
+    if (!f) {
+      std::fprintf(stderr, "cannot open %s\n", outPath.c_str());
+      return 1;
+    }
+    std::fprintf(f, "{\n  \"bench\": \"bench_serve\",\n");
+    std::fprintf(f, "  \"sessions\": %zu,\n", sessions);
+    std::fprintf(f, "  \"peak_concurrent\": %zu,\n", peakConcurrent);
+    std::fprintf(f, "  \"completed\": %zu,\n", completed);
+    std::fprintf(f, "  \"output_ok\": %zu,\n", outputOk);
+    std::fprintf(f, "  \"failed\": %zu,\n", failed);
+    std::fprintf(f, "  \"shed\": %zu,\n", shed);
+    std::fprintf(f, "  \"frames\": %llu,\n",
+                 static_cast<unsigned long long>(frames));
+    std::fprintf(f, "  \"admit_seconds\": %.3f,\n", admitSeconds);
+    std::fprintf(f, "  \"run_seconds\": %.3f,\n", runSeconds);
+    std::fprintf(f, "  \"frame_p50_ms\": %.3f,\n", p50);
+    std::fprintf(f, "  \"frame_p99_ms\": %.3f,\n", p99);
+    std::fprintf(f, "  \"fairness_spread\": %.3f,\n", fairness);
+    std::fprintf(f, "  \"sessions_per_s\": %.1f,\n", perSecond);
+    std::fprintf(f, "  \"acceptance\": %s\n}\n", pass ? "true" : "false");
+    std::fclose(f);
+  }
+  return pass ? 0 : 1;
+}

@@ -23,6 +23,15 @@
 #   failures, and pool saturation must converge — exact results or typed
 #   substrate errors — with no data race or memory error underneath.
 #
+# Usage: scripts/check.sh --serve [seed...]
+#   The multi-tenant analogue of --chaos: builds the asan and tsan
+#   presets and sweeps the serving-layer chaos suite
+#   (GTEST_FILTER='ServeChaos*' in test_serve) under both sanitizers,
+#   once per seed (same defaults as --chaos). The gate here is fault
+#   *isolation*: admission faults reject typed, a fault aimed at one
+#   tenant degrades or fails that tenant alone, and every other session
+#   completes with its exact output — race- and leak-free underneath.
+#
 # The asan test preset sets ASAN_OPTIONS=detect_leaks=0: rings are
 # shared_ptr closures over their defining environment, so storing a ring
 # into a variable of that environment forms a reference cycle (Snap!
@@ -30,7 +39,8 @@
 # detection stays fully on; only end-of-process leak accounting is off.
 #
 # The tsan preset builds and runs only the concurrency-bearing suites
-# (test_workers, test_mapreduce, test_sched) — the interpreter suites
+# (test_workers, test_mapreduce, test_sched, test_serve) — the
+# interpreter suites
 # are single-threaded and would just multiply the ~10x tsan slowdown.
 # src/workers and src/mapreduce also compile with -Werror in every
 # preset, so the substrate stays warning-clean by contract.
@@ -54,6 +64,8 @@ if [ "${1:-}" = "--bench-smoke" ]; then
         args=(--quick --out "${scratch}/${name}.json") ;;
       bench_value_plane)
         args=(--smoke --out "${scratch}/${name}.json") ;;
+      bench_serve)
+        args=(--quick --out "${scratch}/${name}.json") ;;
       *)
         args=(--benchmark_min_time=0.01) ;;
     esac
@@ -88,6 +100,27 @@ if [ "${1:-}" = "--chaos" ]; then
     done
   done
   echo "== chaos sweep green: seeds ${seeds[*]} under asan + tsan =="
+  exit 0
+fi
+
+if [ "${1:-}" = "--serve" ]; then
+  shift
+  seeds=("$@")
+  if [ ${#seeds[@]} -eq 0 ]; then
+    seeds=(11 23 97)
+  fi
+  for preset in asan tsan; do
+    cmake --preset "${preset}"
+    cmake --build --preset "${preset}" -j "${jobs}" --target test_serve
+    for seed in "${seeds[@]}"; do
+      echo "== serve chaos: ${preset}, seed ${seed} =="
+      # Same leak-accounting stance as the asan ctest preset (see header).
+      ASAN_OPTIONS=detect_leaks=0 PSNAP_CHAOS_SEED="${seed}" \
+        "build-${preset}/tests/test_serve" \
+        --gtest_filter='ServeChaos*'
+    done
+  done
+  echo "== serve chaos sweep green: seeds ${seeds[*]} under asan + tsan =="
   exit 0
 fi
 

@@ -67,8 +67,7 @@ bool slotIsDefault(const Context& c, size_t index) {
 /// account for the downgrade.
 void degradeMapJob(MapJob& job) {
   job.parallel.reset();
-  workers::substrateStats().downgrades.fetch_add(1,
-                                                 std::memory_order_relaxed);
+  workers::substrateStats().bump(&workers::SubstrateStats::downgrades);
 }
 
 // ---------------------------------------------------------------------------
@@ -109,6 +108,10 @@ void parallelMapHandler(Process& p, Context& c, ParallelBlockOptions opts) {
     parOptions.maxRetries = opts.maxRetries;
     parOptions.deadlineSeconds = opts.deadlineSeconds;
     parOptions.allowDegrade = opts.allowDegrade;
+    // Chain the op under the process's own token (null when the process
+    // has none): stopping the script — or shedding the tenant that owns
+    // it — cancels the in-flight pool work at its next chunk boundary.
+    parOptions.cancel = p.cancelToken();
     try {
       job->parallel = std::make_shared<workers::Parallel>(list, parOptions);
       job->parallel->map(job->fn);
@@ -252,8 +255,7 @@ void parallelForEachHandler(Process& p, Context& c) {
         // (phase == 2 marks the degraded entry) and record the downgrade.
         if (j != 0) throw;
         if (clone) p.host().removeClone(clone);
-        workers::substrateStats().downgrades.fetch_add(
-            1, std::memory_order_relaxed);
+        workers::substrateStats().bump(&workers::SubstrateStats::downgrades);
         c.phase = 2;
         p.retryAfterYield(c);
         return;
@@ -302,6 +304,8 @@ void mapReduceHandler(Process& p, Context& c, ParallelBlockOptions opts) {
     mrOptions.maxRetries = opts.maxRetries;
     mrOptions.deadlineSeconds = opts.deadlineSeconds;
     mrOptions.allowDegrade = opts.allowDegrade;
+    // Same chaining as parallelMap: the pipeline dies with the process.
+    mrOptions.cancel = p.cancelToken();
     auto job = std::make_shared<mr::Job>(list, mapFn, reduceFn, mrOptions);
     c.state = job;
     p.retryAfterYield(c);

@@ -323,8 +323,7 @@ ListPtr run(const ListPtr& input, const MapFn& mapFn,
           classifyError(error) != ErrorClass::Substrate) {
         std::rethrow_exception(error);
       }
-      workers::substrateStats().downgrades.fetch_add(
-          1, std::memory_order_relaxed);
+      workers::substrateStats().bump(&workers::SubstrateStats::downgrades);
       local = Stats{};
       local.inputItems = input->length();
       local.degraded = true;
@@ -341,9 +340,14 @@ Job::Job(ListPtr input, MapFn mapFn, ReduceFn reduceFn, Options options) {
   // pipeline's own Parallel ops nest on the same pool; their waits drain
   // unclaimed chunk tasks on this worker, so the pool never wedges.
   std::vector<TaskGroup::Task> tasks;
-  tasks.push_back([this, input = std::move(input),
+  // The pipeline runs on a pool worker, but its retries/downgrades (and
+  // those of the Parallels it nests) belong to the tenant that built the
+  // Job — carry the constructing thread's stats scope onto the worker.
+  workers::SubstrateStats* stats = &workers::substrateStats();
+  tasks.push_back([this, stats, input = std::move(input),
                    mapFn = std::move(mapFn),
                    reduceFn = std::move(reduceFn), options](size_t) {
+    workers::StatsScope scope(*stats);
     try {
       result_ = run(input, mapFn, reduceFn, options, &stats_);
       if (stats_.degraded) {
@@ -374,8 +378,7 @@ Job::Job(ListPtr input, MapFn mapFn, ReduceFn reduceFn, Options options) {
     // fail, constructors do not throw).
     if (options.allowDegrade) {
       degraded_.store(true, std::memory_order_release);
-      workers::substrateStats().downgrades.fetch_add(
-          1, std::memory_order_relaxed);
+      workers::substrateStats().bump(&workers::SubstrateStats::downgrades);
       group_->wait();
     } else {
       errorPtr_ = std::current_exception();

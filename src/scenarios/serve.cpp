@@ -1,0 +1,175 @@
+#include "scenarios/serve.hpp"
+
+#include <cmath>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "blocks/builder.hpp"
+#include "data/climate.hpp"
+#include "data/corpus.hpp"
+#include "stage/stage.hpp"
+
+namespace psnap::scenarios {
+
+using namespace psnap::build;
+using blocks::Value;
+
+serve::SessionWorkload serveConcessionWorkload(size_t cups) {
+  serve::SessionWorkload workload;
+  workload.label = "concession";
+  workload.start = [cups](sched::ThreadManager& tm) -> std::shared_ptr<void> {
+    auto stage = std::make_shared<stage::Stage>(&tm);
+    stage->globals()->declare("pourStart", Value(""));
+    stage->globals()->declare("pourEnd", Value(0));
+    std::vector<In> cupNames;
+    for (size_t i = 1; i <= cups; ++i) {
+      const std::string name = "Cup" + std::to_string(i);
+      stage::Sprite& cup = stage->addSprite(name);
+      cup.setCostume("empty");
+      cup.addScript(scriptOf(
+          {whenIReceive("fill-" + name), switchCostume("full")}));
+      cupNames.emplace_back(name);
+    }
+    auto pourBody = scriptOf({
+        doIf(equals(getVar("pourStart"), ""),
+             scriptOf({setVar("pourStart", timer())})),
+        busyWork(1),
+        setVar("pourEnd", timer()),
+        broadcast(join({In("fill-"), In(getVar("cup"))})),
+    });
+    stage::Sprite& pitcher = stage->addSprite("Pitcher");
+    pitcher.setCostume("pitcher");
+    pitcher.addScript(scriptOf({
+        whenGreenFlag(),
+        parallelForEach("cup", listOf(cupNames), blank(), pourBody),
+    }));
+    stage->greenFlag();
+    return stage;
+  };
+  workload.check = [cups](sched::ThreadManager&,
+                          const std::shared_ptr<void>& opaque) {
+    auto* stage = static_cast<stage::Stage*>(opaque.get());
+    size_t filled = 0;
+    for (stage::Sprite* sprite : stage->sprites()) {
+      if (sprite->costume() == "full") ++filled;
+    }
+    return filled == cups;
+  };
+  return workload;
+}
+
+namespace {
+struct WordCountState {
+  std::string text;
+  std::shared_ptr<const vm::ProcessStatus> status;
+};
+}  // namespace
+
+serve::SessionWorkload serveWordCountWorkload(size_t words, uint64_t seed) {
+  serve::SessionWorkload workload;
+  workload.label = "wordcount";
+  workload.start = [words,
+                    seed](sched::ThreadManager& tm) -> std::shared_ptr<void> {
+    auto state = std::make_shared<WordCountState>();
+    state->text = data::generateText(words, 8, seed);
+    state->status = tm.spawnExpression(
+                          mapReduce(ring(In(1.0)), ring(lengthOf(empty())),
+                                    splitText(state->text, "whitespace")),
+                          blocks::Environment::make())
+                        .status;
+    return state;
+  };
+  workload.check = [](sched::ThreadManager&,
+                      const std::shared_ptr<void>& opaque) {
+    auto* state = static_cast<WordCountState*>(opaque.get());
+    if (!state->status->done || state->status->errored) return false;
+    const Value& result = state->status->result;
+    if (!result.isList()) return false;
+    const auto reference = data::referenceWordCount(state->text);
+    if (result.asList()->length() != reference.size()) return false;
+    for (const Value& pair : result.asList()->items()) {
+      if (!pair.isList() || pair.asList()->length() != 2) return false;
+      const std::string word = pair.asList()->item(1).asText();
+      const auto expected = reference.find(word);
+      if (expected == reference.end()) return false;
+      if (size_t(pair.asList()->item(2).asNumber()) != expected->second) {
+        return false;
+      }
+    }
+    return true;
+  };
+  return workload;
+}
+
+namespace {
+struct ClimateState {
+  double referenceMean = 0;
+  std::shared_ptr<const vm::ProcessStatus> status;
+};
+}  // namespace
+
+serve::SessionWorkload serveClimateWorkload(int years, uint64_t seed) {
+  serve::SessionWorkload workload;
+  workload.label = "climate";
+  workload.start = [years,
+                    seed](sched::ThreadManager& tm) -> std::shared_ptr<void> {
+    data::ClimateConfig config;
+    config.stations = 1;
+    config.firstYear = 2000;
+    config.lastYear = 2000 + (years > 0 ? years - 1 : 0);
+    config.seed = seed;
+    const auto records = data::generateClimate(config);
+    auto state = std::make_shared<ClimateState>();
+    state->referenceMean = data::referenceMeanCelsius(records);
+    // mean(celsius) = sum(parallelMap f→c over readings) / count
+    auto fahrenheit = data::toFahrenheitList(records);
+    const double count = double(fahrenheit->length());
+    state->status =
+        tm.spawnExpression(
+              quotient(combineUsing(parallelMap(
+                                        ring(quotient(
+                                            product(difference(empty(),
+                                                               In(32.0)),
+                                                    In(5.0)),
+                                            In(9.0))),
+                                        In(Value(fahrenheit))),
+                                    ring(sum(empty(), empty()))),
+                       In(count)),
+              blocks::Environment::make())
+            .status;
+    return state;
+  };
+  workload.check = [](sched::ThreadManager&,
+                      const std::shared_ptr<void>& opaque) {
+    auto* state = static_cast<ClimateState*>(opaque.get());
+    if (!state->status->done || state->status->errored) return false;
+    return std::abs(state->status->result.asNumber() -
+                    state->referenceMean) < 1e-6;
+  };
+  return workload;
+}
+
+serve::SessionWorkload serveSpinWorkload() {
+  serve::SessionWorkload workload;
+  workload.label = "spin";
+  workload.start = [](sched::ThreadManager& tm) -> std::shared_ptr<void> {
+    tm.spawnScript(scriptOf({forever(scriptOf({busyWork(1)}))}),
+                   blocks::Environment::make());
+    return nullptr;
+  };
+  return workload;
+}
+
+serve::SessionWorkload serveMixedWorkload(size_t index) {
+  switch (index % 3) {
+    case 0:
+      return serveConcessionWorkload(2);
+    case 1:
+      return serveWordCountWorkload(24, uint64_t(index) * 2 + 1);
+    default:
+      return serveClimateWorkload(1, uint64_t(index) * 2 + 1);
+  }
+}
+
+}  // namespace psnap::scenarios

@@ -1,0 +1,52 @@
+// Tenant workloads for the serving layer.
+//
+// Each factory returns a serve::SessionWorkload wrapping one of the
+// paper's demo projects, sized small enough that a server can host
+// thousands of them at once:
+//
+//   * concession — the Sec. 3.3 concession stand (stage + sprite clones,
+//     pure cooperative scheduling, no worker-pool traffic);
+//   * wordcount  — the Fig. 11 word count through the mapReduce block
+//     (a pooled mr::Job per session);
+//   * climate    — the Sec. 3.4 temperature mean through parallelMap
+//     (a pooled Parallel op per session) reduced sequentially;
+//   * spin       — a tenant that never finishes on its own (forever +
+//     busy work): watchdog and shedding fodder.
+//
+// Every workload self-verifies: `check` recomputes the expected output in
+// plain C++ (reference word counts, reference mean Celsius, cup costumes)
+// so multi-tenant tests can assert *correctness under faults*, not just
+// completion.
+#pragma once
+
+#include <cstdint>
+#include <cstddef>
+
+#include "serve/session_server.hpp"
+
+namespace psnap::scenarios {
+
+/// The concession stand with `cups` cups poured by parallel clones.
+serve::SessionWorkload serveConcessionWorkload(size_t cups = 2);
+
+/// Word count over a `words`-word Zipf text (distinct vocabulary of 8),
+/// via the mapReduce block; checked against data::referenceWordCount.
+serve::SessionWorkload serveWordCountWorkload(size_t words = 24,
+                                              uint64_t seed = 1);
+
+/// Mean temperature in Celsius over one synthetic station-year
+/// (12 monthly readings per `years`), Fahrenheit converted by a
+/// parallelMap ring; checked against data::referenceMeanCelsius.
+serve::SessionWorkload serveClimateWorkload(int years = 1,
+                                            uint64_t seed = 1);
+
+/// A tenant that loops forever (one busy-work frame per iteration).
+/// Never completes on its own; exists to be watchdogged, shed, or
+/// cancelled.
+serve::SessionWorkload serveSpinWorkload();
+
+/// The standard mixed-tenant stream: cycles concession / wordcount /
+/// climate, with per-index seeds so no two sessions share inputs.
+serve::SessionWorkload serveMixedWorkload(size_t index);
+
+}  // namespace psnap::scenarios

@@ -28,6 +28,11 @@ ThreadManager::Task& ThreadManager::spawn(SpriteApi* sprite) {
   Task task;
   task.process = std::make_unique<Process>(registry_, primitives_, this,
                                            sprite);
+  if (defaultToken_) {
+    // A fresh child per process: the root cancels them all, while one
+    // process's own trip never back-propagates to its siblings.
+    task.process->setCancelToken(CancelToken::create(defaultToken_));
+  }
   task.status = std::make_shared<ProcessStatus>();
   task.sprite = sprite;
   tasks_.push_back(std::move(task));
@@ -127,8 +132,7 @@ uint64_t ThreadManager::runUntilIdle(uint64_t maxFrames) {
                task.process->rootOpcode() + ")";
         ++named;
       }
-      workers::substrateStats().timeouts.fetch_add(1,
-                                                   std::memory_order_relaxed);
+      workers::substrateStats().bump(&workers::SubstrateStats::timeouts);
       throw TimeoutError("scheduler exceeded its frame budget (" +
                          std::to_string(maxFrames) +
                          " frames); still runnable: " + who);
@@ -216,6 +220,16 @@ void ThreadManager::recordError(const Process& process) {
   errors_.push_back("process " + std::to_string(record.processId) + " (" +
                     record.opcode + "): " + record.message);
   recordedErrors_.push_back(std::move(record));
+}
+
+ThreadManager::ErrorDrain ThreadManager::drainErrors() {
+  ErrorDrain drain;
+  drain.entries = std::move(recordedErrors_);
+  drain.dropped = droppedErrors_;
+  recordedErrors_.clear();
+  errors_.clear();
+  droppedErrors_ = 0;
+  return drain;
 }
 
 std::shared_ptr<const ProcessStatus> ThreadManager::launchScript(

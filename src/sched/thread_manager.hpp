@@ -74,6 +74,15 @@ class ThreadManager : public vm::Host {
   void setSliceSteps(size_t steps) { sliceSteps_ = steps; }
   void setMaxWorkers(size_t workers) { maxWorkers_ = workers; }
   void setStageHooks(StageHooks hooks) { hooks_ = std::move(hooks); }
+  /// Parent every process spawned from now on under `root`: each spawn
+  /// gets a fresh child CancelToken, so tripping the root (a tenant
+  /// shed, a deadline, a watchdog) cancels this manager's processes —
+  /// and, through the per-process tokens the parallel blocks chain onto,
+  /// their in-flight pool work — without touching any other manager.
+  void setDefaultCancelToken(CancelTokenPtr root) {
+    defaultToken_ = std::move(root);
+  }
+  const CancelTokenPtr& defaultCancelToken() const { return defaultToken_; }
 
   // --- process management --------------------------------------------------
   /// The handle returned by spawn*: the process pointer is valid until the
@@ -138,6 +147,17 @@ class ThreadManager : public vm::Host {
   }
   /// Errors discarded because the log was full.
   size_t droppedErrorCount() const { return droppedErrors_; }
+
+  /// Everything the capped log holds, moved out in one drain: the
+  /// structured entries plus how many were dropped past the cap. The log
+  /// and the dropped count reset to empty, so a long-lived caller (the
+  /// serving layer polls this per session) sees each failure exactly once
+  /// and the cap's capacity is freed for the next errors.
+  struct ErrorDrain {
+    std::vector<RecordedError> entries;
+    size_t dropped = 0;
+  };
+  ErrorDrain drainErrors();
   /// Say-log of every process, in spawn order (for assertions).
   std::vector<std::string> collectSayLog() const;
 
@@ -183,6 +203,7 @@ class ThreadManager : public vm::Host {
   size_t sliceSteps_ = vm::Process::kDefaultSliceSteps;
   size_t maxWorkers_ = 4;
   StageHooks hooks_;
+  CancelTokenPtr defaultToken_;
 
   uint64_t frame_ = 0;
   double now_ = 0;

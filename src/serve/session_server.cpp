@@ -1,0 +1,322 @@
+#include "serve/session_server.hpp"
+
+#include <chrono>
+#include <cstddef>
+#include <utility>
+
+#include "blocks/registry.hpp"
+#include "core/parallel_blocks.hpp"
+#include "support/fault.hpp"
+
+namespace psnap::serve {
+
+const char* sessionStateName(SessionState state) {
+  switch (state) {
+    case SessionState::Active:
+      return "active";
+    case SessionState::Completed:
+      return "completed";
+    case SessionState::Failed:
+      return "failed";
+    case SessionState::Shed:
+      return "shed";
+  }
+  return "?";
+}
+
+SessionServer::SessionServer(ServerConfig config)
+    : config_(config),
+      registry_(&blocks::BlockRegistry::standard()),
+      primitives_(core::fullPrimitiveTable()) {}
+
+SessionServer::~SessionServer() {
+  // Trip every live tenant's root before the managers destruct, so any
+  // in-flight pool work unwinds at its next checkpoint instead of being
+  // waited on to natural completion.
+  for (auto& session : active_) {
+    session->root->cancel("server shutting down");
+    session->manager->stopAll();
+  }
+}
+
+uint64_t SessionServer::admit(SessionWorkload workload) {
+  const uint64_t id = nextId_;
+  try {
+    fault::inject(fault::Point::SessionAdmitFailure, id);
+    if (active_.size() >= config_.maxSessions) {
+      throw SubstrateError(
+          "admission rejected: session table at its high-water mark (" +
+          std::to_string(config_.maxSessions) + " live sessions); '" +
+          workload.label + "' must retry later");
+    }
+  } catch (const SubstrateError&) {
+    ++metrics_.rejected;
+    throw;
+  }
+  ++nextId_;
+
+  // A saturated pool observed in the launch window sheds the *newest*
+  // admitted tenant: it has the least sunk work, and the oldest tenants
+  // are closest to finishing and releasing capacity on their own.
+  try {
+    fault::inject(fault::Point::PoolSaturation, id);
+  } catch (const SubstrateError& overload) {
+    ++metrics_.overloadSheds;
+    shedNewestActive(std::string("overload shed: ") + overload.what());
+  }
+
+  auto session = std::make_unique<Session>();
+  session->id = id;
+  session->workload = std::move(workload);
+  session->admittedAtFrame = frame_;
+  session->root =
+      config_.sessionDeadlineSeconds > 0
+          ? CancelToken::withDeadline(config_.sessionDeadlineSeconds)
+          : CancelToken::create();
+  session->stats.setParent(&workers::processSubstrateStats());
+  session->manager =
+      std::make_unique<sched::ThreadManager>(registry_, &primitives_);
+  session->manager->setDefaultCancelToken(session->root);
+  session->manager->setSliceSteps(config_.sliceSteps);
+  session->manager->setMaxWorkers(config_.maxWorkers);
+  ++metrics_.admitted;
+
+  {
+    workers::StatsScope scope(session->stats);
+    try {
+      session->state = session->workload.start(*session->manager);
+    } catch (...) {
+      // Launch crash containment: the tenant failed to start, the slot is
+      // recycled, and the server carries on.
+      contain(*session, std::current_exception());
+      finalize(std::move(session));
+      return id;
+    }
+  }
+  active_.push_back(std::move(session));
+  return id;
+}
+
+void SessionServer::runSessionFrame(Session& session) {
+  // Everything this tenant executes on the server thread — and, via
+  // capture-at-construction in TaskGroup/Parallel/mr::Job, everything its
+  // frame hands to pool workers — records into its own ledger.
+  workers::StatsScope scope(session.stats);
+  try {
+    fault::inject(fault::Point::TenantStall, session.id);
+    session.manager->runFrame();
+    ++session.framesRun;
+    watchdog(session);
+  } catch (...) {
+    // Frame crash containment: only this tenant fails.
+    contain(session, std::current_exception());
+  }
+}
+
+void SessionServer::watchdog(Session& session) {
+  if (config_.frameBudget == 0 || session.watchdogFired) return;
+  if (session.framesRun < config_.frameBudget) return;
+  if (session.manager->idle()) return;
+  session.watchdogFired = true;
+  session.stats.bump(&workers::SubstrateStats::timeouts);
+  // Trip only this tenant's root; its processes raise TimeoutError at
+  // their next slice and the failure is attributed to this session id.
+  session.root->timeoutNow(
+      "session " + std::to_string(session.id) + " ('" +
+      session.workload.label + "') exceeded its frame budget (" +
+      std::to_string(config_.frameBudget) + " frames)");
+}
+
+void SessionServer::runFrame() {
+  const auto started = std::chrono::steady_clock::now();
+  ++frame_;
+  ++metrics_.framesRun;
+  const size_t count = active_.size();
+  if (count > 0) {
+    // Round-robin from a rotating start: over many frames every session
+    // spends equal time at the head of the line, so the tenant that runs
+    // first (and sees the freshest pool capacity) is not always the same.
+    const size_t first = rotate_ % count;
+    for (size_t k = 0; k < count; ++k) {
+      runSessionFrame(*active_[(first + k) % count]);
+    }
+    ++rotate_;
+  }
+  // Recycle slots: contained failures and idle (finished) managers leave
+  // the table; admission capacity frees up immediately.
+  size_t keep = 0;
+  for (size_t i = 0; i < active_.size(); ++i) {
+    Session& session = *active_[i];
+    if (session.endState != SessionState::Active || session.manager->idle()) {
+      finalize(std::move(active_[i]));
+    } else {
+      if (keep != i) active_[keep] = std::move(active_[i]);
+      ++keep;
+    }
+  }
+  active_.resize(keep);
+  frameSeconds_.push_back(
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - started)
+          .count());
+}
+
+uint64_t SessionServer::runUntilQuiet(uint64_t maxFrames) {
+  uint64_t executed = 0;
+  while (!quiet()) {
+    if (executed >= maxFrames) {
+      // Attribution mirrors ThreadManager::runUntilIdle: name who is
+      // still active, so the stuck tenant is in the error message.
+      constexpr size_t kMaxNamed = 8;
+      std::string who;
+      size_t named = 0;
+      for (const auto& session : active_) {
+        if (named == kMaxNamed) {
+          who += ", …";
+          break;
+        }
+        if (named > 0) who += ", ";
+        who += "session " + std::to_string(session->id) + " ('" +
+               session->workload.label + "')";
+        ++named;
+      }
+      throw TimeoutError("server exceeded its frame budget (" +
+                         std::to_string(maxFrames) +
+                         " frames); still active: " + who);
+    }
+    runFrame();
+    ++executed;
+  }
+  return executed;
+}
+
+void SessionServer::cancelSession(uint64_t id, const std::string& reason) {
+  for (size_t i = 0; i < active_.size(); ++i) {
+    if (active_[i]->id != id) continue;
+    shedAt(i, reason);
+    return;
+  }
+}
+
+void SessionServer::shedNewestActive(const std::string& reason) {
+  if (active_.empty()) return;
+  shedAt(active_.size() - 1, reason);
+}
+
+void SessionServer::shedAt(size_t index, const std::string& reason) {
+  std::unique_ptr<Session> session = std::move(active_[index]);
+  active_.erase(active_.begin() + std::ptrdiff_t(index));
+  session->endState = SessionState::Shed;
+  session->error = reason;
+  session->errorClass = ErrorClass::Cancelled;
+  session->stats.bump(&workers::SubstrateStats::cancellations);
+  session->root->cancel(reason);
+  session->manager->stopAll();
+  finalize(std::move(session));
+}
+
+void SessionServer::contain(Session& session,
+                            const std::exception_ptr& error) {
+  session.endState = SessionState::Failed;
+  session.errorClass = classifyError(error);
+  try {
+    std::rethrow_exception(error);
+  } catch (const std::exception& e) {
+    session.error = e.what();
+  } catch (...) {
+    session.error = "unknown error";
+  }
+  session.outputOk = false;
+  // First trip wins: a watchdog/deadline reason already on the root is
+  // kept; otherwise in-flight pool work learns why it is unwinding.
+  session.root->cancel("session " + std::to_string(session.id) +
+                       " failed: " + session.error);
+  session.manager->stopAll();
+}
+
+void SessionServer::finalize(std::unique_ptr<Session> session) {
+  Session& s = *session;
+  // Drain (not just read) the manager's capped error log: the serving
+  // layer is the long-lived caller the drain API exists for.
+  sched::ThreadManager::ErrorDrain drain = s.manager->drainErrors();
+  if (s.endState == SessionState::Active) {
+    if (!drain.entries.empty()) {
+      const sched::ThreadManager::RecordedError& first = drain.entries.front();
+      s.endState = SessionState::Failed;
+      s.error = "process " + std::to_string(first.processId) + " (" +
+                first.opcode + "): " + first.message;
+      s.errorClass = first.errorClass;
+      s.outputOk = false;
+    } else {
+      s.endState = SessionState::Completed;
+      if (s.workload.check) {
+        workers::StatsScope scope(s.stats);
+        try {
+          s.outputOk = s.workload.check(*s.manager, s.state);
+        } catch (...) {
+          contain(s, std::current_exception());
+        }
+      }
+    }
+  }
+  switch (s.endState) {
+    case SessionState::Completed:
+      ++metrics_.completed;
+      break;
+    case SessionState::Failed:
+      ++metrics_.failed;
+      break;
+    case SessionState::Shed:
+      ++metrics_.shed;
+      break;
+    case SessionState::Active:
+      break;
+  }
+  finished_.push_back(snapshot(s, frame_));
+  // `session` dies here: manager, processes, and project state are freed,
+  // in declaration order (state before manager).
+}
+
+SessionRecord SessionServer::snapshot(const Session& session,
+                                      uint64_t finishedAt) const {
+  SessionRecord record;
+  record.id = session.id;
+  record.label = session.workload.label;
+  record.state = session.endState;
+  record.error = session.error;
+  record.errorClass = session.errorClass;
+  record.outputOk = session.outputOk;
+  record.framesRun = session.framesRun;
+  record.admittedAtFrame = session.admittedAtFrame;
+  record.finishedAtFrame = finishedAt;
+  record.retries = session.stats.retries.load(std::memory_order_relaxed);
+  record.downgrades = session.stats.downgrades.load(std::memory_order_relaxed);
+  record.cancellations =
+      session.stats.cancellations.load(std::memory_order_relaxed);
+  record.timeouts = session.stats.timeouts.load(std::memory_order_relaxed);
+  record.tasksSkipped =
+      session.stats.tasksSkipped.load(std::memory_order_relaxed);
+  return record;
+}
+
+std::vector<SessionRecord> SessionServer::records() const {
+  std::vector<SessionRecord> all = finished_;
+  all.reserve(finished_.size() + active_.size());
+  for (const auto& session : active_) {
+    all.push_back(snapshot(*session, 0));
+  }
+  return all;
+}
+
+double SessionServer::fairnessSpread(const std::vector<uint64_t>& slices) {
+  if (slices.empty()) return 0;
+  uint64_t lo = slices.front();
+  uint64_t hi = slices.front();
+  for (uint64_t s : slices) {
+    lo = s < lo ? s : lo;
+    hi = s > hi ? s : hi;
+  }
+  if (lo == 0) return 0;
+  return double(hi) / double(lo);
+}
+
+}  // namespace psnap::serve

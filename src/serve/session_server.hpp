@@ -1,0 +1,202 @@
+// The serving layer: many independent project sessions over one substrate.
+//
+// The paper's scheduler runs exactly one project; this server hosts N of
+// them — each session owns its own sched::ThreadManager and project state,
+// all multiplexed over the process-wide WorkerPool (the Parsl model of
+// many apps sharing one executor). Robustness is the design center: one
+// misbehaving or fault-injected tenant must never take down, starve, or
+// corrupt another. Four mechanisms enforce that:
+//
+//   * Admission control — the session table is bounded by a high-water
+//     mark. An admission past it is rejected with a typed SubstrateError
+//     (never queued unboundedly), and a pool-saturation signal observed
+//     at launch time sheds the *newest*-admitted tenant over the oldest
+//     (LIFO shedding: the newest session has the least sunk work).
+//   * Per-tenant isolation — every session gets a root CancelToken
+//     (deadline-capable) parented above all of its processes, a scoped
+//     SubstrateStats ledger rolling up into the process ledger, and a
+//     frame-budget watchdog that trips only the offending tenant's root
+//     with a TimeoutError naming its session id.
+//   * Fair time-slicing — runFrame() grants every active session exactly
+//     one scheduler frame, round-robin from a rotating start, with
+//     per-tenant slice accounting. A hot tenant cannot monopolize the
+//     frame loop; its interpreter work is bounded by the slice like
+//     everyone else's.
+//   * Crash containment — an exception escaping one session's launch or
+//     frame slice marks that session Failed and recycles its slot; the
+//     server keeps serving the rest.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sched/thread_manager.hpp"
+#include "support/cancel.hpp"
+#include "support/error.hpp"
+#include "workers/stats.hpp"
+
+namespace psnap::serve {
+
+/// Where a session ended up (Active only while it still holds a slot).
+enum class SessionState : uint8_t { Active, Completed, Failed, Shed };
+const char* sessionStateName(SessionState state);
+
+struct ServerConfig {
+  /// Admission high-water mark: admissions past this many live sessions
+  /// are rejected with a typed SubstrateError.
+  size_t maxSessions = 256;
+  /// Frames a session may consume before the watchdog trips its root
+  /// token with TimeoutError (0 = no budget).
+  uint64_t frameBudget = 0;
+  /// Wall-clock deadline per session from admission (0 = none).
+  double sessionDeadlineSeconds = 0;
+  /// Interpreter steps per process per frame (ThreadManager slice).
+  size_t sliceSteps = vm::Process::kDefaultSliceSteps;
+  /// Logical worker width each session's parallel blocks request.
+  size_t maxWorkers = 4;
+};
+
+/// One tenant's workload. `start` builds the project into the session's
+/// manager (spawning its processes) and may return opaque state the
+/// session keeps alive until it is recycled (e.g. a stage::Stage).
+/// `check`, when set, validates the output once the session completes.
+struct SessionWorkload {
+  std::string label;
+  std::function<std::shared_ptr<void>(sched::ThreadManager&)> start;
+  std::function<bool(sched::ThreadManager&, const std::shared_ptr<void>&)>
+      check;
+};
+
+/// Snapshot of one session, live or finished.
+struct SessionRecord {
+  uint64_t id = 0;
+  std::string label;
+  SessionState state = SessionState::Active;
+  /// First error (Failed sessions) or the shed/cancel reason (Shed).
+  std::string error;
+  ErrorClass errorClass = ErrorClass::None;
+  /// check()'s verdict (true when no check was given or not yet run).
+  bool outputOk = true;
+  /// Scheduler frames granted to this session (the fairness unit).
+  uint64_t framesRun = 0;
+  uint64_t admittedAtFrame = 0;
+  uint64_t finishedAtFrame = 0;
+  /// Per-tenant substrate ledger at snapshot time.
+  uint64_t retries = 0;
+  uint64_t downgrades = 0;
+  uint64_t cancellations = 0;
+  uint64_t timeouts = 0;
+  uint64_t tasksSkipped = 0;
+};
+
+struct ServerMetrics {
+  uint64_t admitted = 0;       ///< sessions that got a slot
+  uint64_t rejected = 0;       ///< typed admission rejections
+  uint64_t completed = 0;
+  uint64_t failed = 0;         ///< crashed, errored, or watchdog-tripped
+  uint64_t shed = 0;           ///< overload sheds + explicit cancels
+  uint64_t overloadSheds = 0;  ///< sheds triggered by pool saturation
+  uint64_t framesRun = 0;      ///< server frames executed
+};
+
+class SessionServer {
+ public:
+  explicit SessionServer(ServerConfig config = {});
+  ~SessionServer();
+
+  SessionServer(const SessionServer&) = delete;
+  SessionServer& operator=(const SessionServer&) = delete;
+
+  const ServerConfig& config() const { return config_; }
+
+  /// Admit a tenant and launch its workload. Returns the session id.
+  /// Throws SubstrateError — typed, never queued — when the table is at
+  /// its high-water mark or the SessionAdmitFailure fault point fires.
+  /// A PoolSaturation signal observed here first sheds the newest-
+  /// admitted active session (LIFO) to relieve the pool. A workload
+  /// whose start() throws is contained: the session is marked Failed,
+  /// its slot recycled, and the id still returned.
+  uint64_t admit(SessionWorkload workload);
+
+  /// One server frame: every active session receives one scheduler frame
+  /// (round-robin from a rotating start); sessions whose manager went
+  /// idle are finalized and their slots recycled.
+  void runFrame();
+
+  /// Run server frames until no session is active; returns frames run.
+  /// Throws TimeoutError past `maxFrames`, naming the sessions still
+  /// active (the per-tenant watchdog should fire long before this).
+  uint64_t runUntilQuiet(uint64_t maxFrames = 10'000'000);
+
+  /// Cancel one live session (counts as shed). Unknown/finished ids are
+  /// a no-op.
+  void cancelSession(uint64_t id, const std::string& reason);
+
+  size_t activeSessions() const { return active_.size(); }
+  bool quiet() const { return active_.empty(); }
+  const ServerMetrics& metrics() const { return metrics_; }
+  uint64_t frameCount() const { return frame_; }
+
+  /// Snapshots of every session this server has seen: finished first (in
+  /// finish order), then the still-active ones (in admission order).
+  std::vector<SessionRecord> records() const;
+
+  /// Wall-clock seconds of each server frame, in order — the latency
+  /// trajectory the serve bench reduces to p50/p99.
+  const std::vector<double>& frameSeconds() const { return frameSeconds_; }
+
+  /// Fairness spread over a set of per-tenant slice counts: max/min
+  /// (1.0 = perfectly fair; 0 entries or a zero minimum yield 0).
+  static double fairnessSpread(const std::vector<uint64_t>& slices);
+
+ private:
+  struct Session {
+    uint64_t id = 0;
+    SessionWorkload workload;
+    // Destruction order matters: `state` (e.g. a stage whose hooks point
+    // into the manager) must die before `manager`, so it is declared
+    // after it.
+    std::unique_ptr<sched::ThreadManager> manager;
+    std::shared_ptr<void> state;
+    CancelTokenPtr root;
+    workers::SubstrateStats stats;
+    SessionState endState = SessionState::Active;  // set at finalize
+    std::string error;
+    ErrorClass errorClass = ErrorClass::None;
+    bool outputOk = true;
+    bool watchdogFired = false;
+    uint64_t framesRun = 0;
+    uint64_t admittedAtFrame = 0;
+  };
+
+  SessionRecord snapshot(const Session& session, uint64_t finishedAt) const;
+  /// Mark `session` failed with `error`'s type and message (containment).
+  void contain(Session& session, const std::exception_ptr& error);
+  /// Trip the watchdog if the session is over its frame budget.
+  void watchdog(Session& session);
+  /// Cancel and finalize the newest-admitted active session.
+  void shedNewestActive(const std::string& reason);
+  /// Cancel and finalize active_[index] as Shed.
+  void shedAt(size_t index, const std::string& reason);
+  /// Move a no-longer-active session into the finished records.
+  void finalize(std::unique_ptr<Session> session);
+  /// Give one session one scheduler frame under its scope (contained).
+  void runSessionFrame(Session& session);
+
+  ServerConfig config_;
+  const blocks::BlockRegistry* registry_;
+  vm::PrimitiveTable primitives_;
+
+  std::vector<std::unique_ptr<Session>> active_;  // admission order
+  std::vector<SessionRecord> finished_;           // finish order
+  ServerMetrics metrics_;
+  std::vector<double> frameSeconds_;
+  uint64_t nextId_ = 1;
+  uint64_t frame_ = 0;
+  size_t rotate_ = 0;  // round-robin start cursor
+};
+
+}  // namespace psnap::serve

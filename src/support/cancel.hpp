@@ -67,6 +67,14 @@ class CancelToken {
     trip(ErrorClass::Cancelled, reason);
   }
 
+  /// Trip the token with the Timeout class — a watchdog's verdict that
+  /// the work exceeded a budget the token itself cannot measure (e.g. the
+  /// serving layer's per-tenant frame budget). First trip wins, exactly
+  /// like cancel(); checkpoints then raise TimeoutError with `reason`.
+  void timeoutNow(const std::string& reason = "budget exceeded") {
+    trip(ErrorClass::Timeout, reason);
+  }
+
   /// Cancelled, timed out, or parented to a token that is? One relaxed
   /// atomic load on the fast path; the deadline is consulted only when one
   /// was set.

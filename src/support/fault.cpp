@@ -26,6 +26,7 @@ struct AtomicConfig {
   std::atomic<uint32_t> rateDenominator{4};
   std::atomic<uint32_t> pointMask{0};
   std::atomic<uint32_t> stallMicros{500};
+  std::atomic<uint64_t> targetTag{0};
 };
 AtomicConfig gConfig;
 std::atomic<uint64_t> gEvaluated[kPointCount];
@@ -44,10 +45,12 @@ uint64_t mix(uint64_t x) {
 
 const char* pointName(Point point) {
   switch (point) {
-    case Point::TaskThrow:       return "task-throw";
-    case Point::WorkerStall:     return "worker-stall";
-    case Point::TransferFailure: return "transfer-failure";
-    case Point::PoolSaturation:  return "pool-saturation";
+    case Point::TaskThrow:           return "task-throw";
+    case Point::WorkerStall:         return "worker-stall";
+    case Point::TransferFailure:     return "transfer-failure";
+    case Point::PoolSaturation:      return "pool-saturation";
+    case Point::SessionAdmitFailure: return "session-admit-failure";
+    case Point::TenantStall:         return "tenant-stall";
   }
   return "unknown";
 }
@@ -61,6 +64,7 @@ void arm(const Config& config) {
       std::memory_order_relaxed);
   gConfig.pointMask.store(config.pointMask, std::memory_order_relaxed);
   gConfig.stallMicros.store(config.stallMicros, std::memory_order_relaxed);
+  gConfig.targetTag.store(config.targetTag, std::memory_order_relaxed);
   for (size_t i = 0; i < kPointCount; ++i) {
     gEvaluated[i].store(0, std::memory_order_relaxed);
     gFired[i].store(0, std::memory_order_relaxed);
@@ -82,12 +86,16 @@ uint64_t evaluatedCount(Point point) {
 
 namespace detail {
 
-void evaluate(Point point) {
+void evaluate(Point point, uint64_t tag) {
   const size_t index = size_t(point);
   const uint64_t sequence =
       gEvaluated[index].fetch_add(1, std::memory_order_relaxed);
   if ((gConfig.pointMask.load(std::memory_order_relaxed) & maskOf(point)) == 0)
     return;
+  // Targeted arming: a non-zero targetTag fires only on the matching tag,
+  // so untagged sites (and every other tenant) stay fault-free.
+  const uint64_t target = gConfig.targetTag.load(std::memory_order_relaxed);
+  if (target != 0 && tag != target) return;
   const uint64_t draw = mix(gConfig.seed.load(std::memory_order_relaxed) ^
                             (uint64_t(index) << 56) ^ sequence);
   if (draw % gConfig.rateDenominator.load(std::memory_order_relaxed) >=

@@ -16,11 +16,17 @@
 // exactly the reproducibility the seeded chaos suite needs.
 //
 // Firing behaviour by point:
-//   * TaskThrow / TransferFailure / PoolSaturation throw SubstrateError
-//     (the retryable class — retry and degradation paths exercise);
+//   * TaskThrow / TransferFailure / PoolSaturation / SessionAdmitFailure /
+//     TenantStall throw SubstrateError (the retryable class — retry,
+//     degradation, admission-rejection, and crash-containment paths
+//     exercise);
 //   * WorkerStall sleeps the calling worker for `stallMicros` instead of
 //     throwing, modelling a Web Worker that has gone unresponsive (pairs
 //     with deadlines to produce TimeoutError).
+//
+// The serve points carry a *tag* (the session id) so Config::targetTag
+// can aim a fault at exactly one tenant — the multi-tenant chaos suite's
+// isolation scenarios depend on every other tenant staying fault-free.
 //
 // Injection points live only on the parallel substrate's own code paths
 // (pool loop, clone-in/out, chunk bodies, shuffle). The sequential
@@ -35,12 +41,14 @@
 namespace psnap::fault {
 
 enum class Point : uint8_t {
-  TaskThrow,        ///< a task body dies on a worker
-  WorkerStall,      ///< a pool worker goes unresponsive for a while
-  TransferFailure,  ///< structured-clone transfer across the boundary fails
-  PoolSaturation,   ///< the pool cannot accept new work
+  TaskThrow,           ///< a task body dies on a worker
+  WorkerStall,         ///< a pool worker goes unresponsive for a while
+  TransferFailure,     ///< structured-clone transfer across the boundary fails
+  PoolSaturation,      ///< the pool cannot accept new work
+  SessionAdmitFailure, ///< the serving layer cannot admit a new session
+  TenantStall,         ///< one tenant's frame slice dies mid-flight
 };
-inline constexpr size_t kPointCount = 4;
+inline constexpr size_t kPointCount = 6;
 
 const char* pointName(Point point);
 
@@ -53,6 +61,11 @@ struct Config {
   uint32_t pointMask = 0;
   /// WorkerStall sleep length.
   uint32_t stallMicros = 500;
+  /// Target a single tagged entity (the serving layer tags its injection
+  /// points with the session id). 0 arms every evaluation; non-zero arms
+  /// only evaluations whose tag matches — untagged sites never fire, so
+  /// a chaos test can aim a fault at exactly one tenant.
+  uint64_t targetTag = 0;
 };
 
 /// Bit for one point, for Config::pointMask.
@@ -80,13 +93,15 @@ uint64_t evaluatedCount(Point point);
 namespace detail {
 extern std::atomic<bool> gArmed;
 /// Out-of-line slow path: draw, count, and fire (throw or stall).
-void evaluate(Point point);
+void evaluate(Point point, uint64_t tag);
 }  // namespace detail
 
 /// The injection point. Zero-cost when disarmed: a relaxed load + branch.
-inline void inject(Point point) {
+/// `tag` identifies the entity being exercised (session id at the serve
+/// points; 0 = untagged) for Config::targetTag aiming.
+inline void inject(Point point, uint64_t tag = 0) {
   if (!detail::gArmed.load(std::memory_order_relaxed)) return;
-  detail::evaluate(point);
+  detail::evaluate(point, tag);
 }
 
 /// RAII arming for tests: arms in the constructor, disarms in the

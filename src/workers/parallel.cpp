@@ -31,6 +31,7 @@ Parallel::Parallel(const std::vector<Value>& data, ParallelOptions options)
     : workers_(options.maxWorkers == 0 ? kDefaultWorkers
                                        : options.maxWorkers),
       options_(options),
+      stats_(&substrateStats()),
       perWorker_(options.maxWorkers == 0 ? kDefaultWorkers
                                          : options.maxWorkers) {
   if (options_.chunkSize == 0) options_.chunkSize = 1;
@@ -113,7 +114,7 @@ void Parallel::mapRange(const MapFn& fn, size_t begin, size_t end,
         std::rethrow_exception(error);
       }
       ++attempt;
-      substrateStats().retries.fetch_add(1, std::memory_order_relaxed);
+      stats_->bump(&SubstrateStats::retries);
       retryBackoff(attempt);
     }
   }
@@ -149,7 +150,7 @@ void Parallel::launch(std::function<void(size_t)> body, size_t taskCount) {
     // rung of the ladder — rather than failing a correct script.
     if (!options_.allowDegrade) throw;
     degraded_.store(true, std::memory_order_relaxed);
-    substrateStats().downgrades.fetch_add(1, std::memory_order_relaxed);
+    stats_->bump(&SubstrateStats::downgrades);
     group_->wait();
   }
 }
@@ -241,8 +242,7 @@ void Parallel::reduce(ReduceFn fn) {
               std::rethrow_exception(error);
             }
             ++attempt;
-            substrateStats().retries.fetch_add(1,
-                                               std::memory_order_relaxed);
+            stats_->bump(&SubstrateStats::retries);
             retryBackoff(attempt);
           }
         }
@@ -286,7 +286,7 @@ void Parallel::wait() {
       throw CancelledError(reason);
     } catch (...) {
       if (classifyError(std::current_exception()) == ErrorClass::Timeout) {
-        substrateStats().timeouts.fetch_add(1, std::memory_order_relaxed);
+        stats_->bump(&SubstrateStats::timeouts);
       }
       recordError(std::current_exception());
     }

@@ -208,6 +208,7 @@ class Parallel {
 
   std::shared_ptr<TaskGroup> group_;
   CancelTokenPtr token_;  // set when a deadline or external cancel exists
+  SubstrateStats* stats_;  // the constructing thread's scope, never null
   std::vector<CounterSlot> perWorker_;
   std::atomic<size_t> cursor_{0};
   std::atomic<bool> launched_{false};

@@ -42,10 +42,14 @@ class TaskGroup {
 
   /// `token`, when given, cancels the group from outside (deadline or
   /// caller stop); the group always also honours its own fail-fast flag.
+  /// The group records into the *constructing thread's* stats scope —
+  /// captured here so pool workers charge skips and cancellations to the
+  /// tenant that submitted the group, not to their own thread's scope.
   explicit TaskGroup(std::vector<Task> tasks, CancelTokenPtr token = nullptr)
       : tasks_(std::move(tasks)),
         pending_(tasks_.size()),
-        token_(std::move(token)) {
+        token_(std::move(token)),
+        stats_(&substrateStats()) {
     if (tasks_.empty()) doneFlag_ = true;
   }
 
@@ -58,7 +62,7 @@ class TaskGroup {
   /// tasks finish (cooperative model — they observe the token themselves).
   void cancel() {
     if (!cancelled_.exchange(true, std::memory_order_acq_rel)) {
-      substrateStats().cancellations.fetch_add(1, std::memory_order_relaxed);
+      stats_->bump(&SubstrateStats::cancellations);
     }
   }
 
@@ -75,7 +79,7 @@ class TaskGroup {
     const size_t index = next_.fetch_add(1, std::memory_order_relaxed);
     if (index >= tasks_.size()) return false;
     if (cancelRequested()) {
-      substrateStats().tasksSkipped.fetch_add(1, std::memory_order_relaxed);
+      stats_->bump(&SubstrateStats::tasksSkipped);
     } else {
       try {
         tasks_[index](index);
@@ -147,6 +151,7 @@ class TaskGroup {
   std::atomic<size_t> pending_;
   std::atomic<bool> cancelled_{false};
   CancelTokenPtr token_;
+  SubstrateStats* stats_;  // the submitting thread's scope, never null
   mutable std::mutex mutex_;
   std::condition_variable cv_;
   bool doneFlag_ = false;          // guarded by mutex_ (cv predicate)

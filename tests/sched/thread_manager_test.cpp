@@ -241,5 +241,38 @@ TEST_F(SchedTest, WaitBlockUsesSchedulerClock) {
   EXPECT_EQ(tm.collectSayLog().size(), 1u);
 }
 
+TEST_F(SchedTest, ErrorLogCapsAtSixtyFourAndDrains) {
+  auto tm = makeTm();
+  auto env = Environment::make();
+  // 70 deterministic failures: 64 land in the capped log, 6 are dropped.
+  constexpr size_t kFailures = ThreadManager::kMaxRecordedErrors + 6;
+  for (size_t i = 0; i < kFailures; ++i) {
+    tm.spawnExpression(itemOf(In(9.0), listOf({In(1.0)})), env);
+  }
+  tm.runUntilIdle();
+  EXPECT_EQ(tm.recordedErrors().size(), ThreadManager::kMaxRecordedErrors);
+  EXPECT_EQ(tm.errors().size(), ThreadManager::kMaxRecordedErrors);
+  EXPECT_EQ(tm.droppedErrorCount(), 6u);
+
+  ThreadManager::ErrorDrain drain = tm.drainErrors();
+  EXPECT_EQ(drain.entries.size(), ThreadManager::kMaxRecordedErrors);
+  EXPECT_EQ(drain.dropped, 6u);
+  EXPECT_EQ(drain.entries.front().errorClass, ErrorClass::Index);
+  EXPECT_NE(drain.entries.front().message.find("index error"),
+            std::string::npos);
+
+  // The drain resets everything: entries, string log, dropped count.
+  EXPECT_TRUE(tm.recordedErrors().empty());
+  EXPECT_TRUE(tm.errors().empty());
+  EXPECT_EQ(tm.droppedErrorCount(), 0u);
+
+  // And frees the cap's capacity: a fresh failure is recorded again.
+  tm.spawnExpression(itemOf(In(9.0), listOf({In(1.0)})), env);
+  tm.runUntilIdle();
+  ASSERT_EQ(tm.recordedErrors().size(), 1u);
+  EXPECT_EQ(tm.recordedErrors()[0].errorClass, ErrorClass::Index);
+  EXPECT_EQ(tm.drainErrors().entries.size(), 1u);
+}
+
 }  // namespace
 }  // namespace psnap::sched

@@ -1,0 +1,100 @@
+// CancelToken regression suite, centred on the serving layer's isolation
+// invariant: tokens form parent chains, and tripping one session's root
+// cancels its own descendants but never a sibling session's tree.
+#include <gtest/gtest.h>
+
+#include "support/cancel.hpp"
+#include "support/error.hpp"
+
+namespace psnap {
+namespace {
+
+TEST(CancelToken, ParentTripReachesChildren) {
+  CancelTokenPtr root = CancelToken::create();
+  CancelTokenPtr child = CancelToken::create(root);
+  CancelTokenPtr grandchild = CancelToken::create(child);
+  EXPECT_FALSE(grandchild->cancelled());
+  root->cancel("session shed");
+  EXPECT_TRUE(child->cancelled());
+  EXPECT_TRUE(grandchild->cancelled());
+  EXPECT_EQ(grandchild->reason(), ErrorClass::Cancelled);
+  EXPECT_EQ(grandchild->reasonMessage(), "session shed");
+  EXPECT_THROW(grandchild->checkpoint(), CancelledError);
+}
+
+TEST(CancelToken, ChildTripNeverPropagatesUp) {
+  CancelTokenPtr root = CancelToken::create();
+  CancelTokenPtr child = CancelToken::create(root);
+  child->cancel("one process stopped");
+  EXPECT_TRUE(child->cancelled());
+  EXPECT_FALSE(root->cancelled());
+  EXPECT_EQ(root->reason(), ErrorClass::None);
+}
+
+TEST(CancelToken, SiblingSessionTreesAreIsolated) {
+  // Two tenants, each a root with per-process children — the exact shape
+  // the session server builds. Tripping tenant A's root must cancel all
+  // of A's tree and none of B's.
+  CancelTokenPtr rootA = CancelToken::create();
+  CancelTokenPtr a1 = CancelToken::create(rootA);
+  CancelTokenPtr a2 = CancelToken::create(rootA);
+  CancelTokenPtr rootB = CancelToken::create();
+  CancelTokenPtr b1 = CancelToken::create(rootB);
+  CancelTokenPtr b2 = CancelToken::create(rootB);
+
+  rootA->cancel("tenant A shed");
+  EXPECT_TRUE(a1->cancelled());
+  EXPECT_TRUE(a2->cancelled());
+  EXPECT_THROW(a1->checkpoint(), CancelledError);
+
+  EXPECT_FALSE(rootB->cancelled());
+  EXPECT_FALSE(b1->cancelled());
+  EXPECT_FALSE(b2->cancelled());
+  EXPECT_NO_THROW(b1->checkpoint());
+  EXPECT_NO_THROW(b2->checkpoint());
+  // B's siblings also survive B1's own trip.
+  b1->cancel("b1 only");
+  EXPECT_FALSE(b2->cancelled());
+  EXPECT_NO_THROW(b2->checkpoint());
+}
+
+TEST(CancelToken, TimeoutNowTripsWithTimeoutClass) {
+  CancelTokenPtr root = CancelToken::create();
+  CancelTokenPtr child = CancelToken::create(root);
+  root->timeoutNow("session 7 exceeded its frame budget");
+  EXPECT_TRUE(child->cancelled());
+  EXPECT_EQ(child->reason(), ErrorClass::Timeout);
+  try {
+    child->checkpoint();
+    FAIL() << "checkpoint must throw";
+  } catch (const TimeoutError& e) {
+    EXPECT_NE(std::string(e.what()).find("session 7"), std::string::npos);
+  }
+}
+
+TEST(CancelToken, FirstTripWins) {
+  CancelTokenPtr token = CancelToken::create();
+  token->cancel("first");
+  token->timeoutNow("second");
+  token->cancel("third");
+  EXPECT_EQ(token->reason(), ErrorClass::Cancelled);
+  EXPECT_EQ(token->reasonMessage(), "first");
+}
+
+TEST(CancelToken, ExpiredDeadlineReadsAsTimeout) {
+  CancelTokenPtr token = CancelToken::withDeadline(-1.0);
+  EXPECT_TRUE(token->cancelled());
+  EXPECT_EQ(token->reason(), ErrorClass::Timeout);
+  EXPECT_THROW(token->checkpoint(), TimeoutError);
+  EXPECT_LT(token->remainingSeconds(), 0.0);
+}
+
+TEST(CancelToken, DeadlineOnParentReachesChild) {
+  CancelTokenPtr root = CancelToken::withDeadline(-1.0);
+  CancelTokenPtr child = CancelToken::create(root);
+  EXPECT_TRUE(child->cancelled());
+  EXPECT_EQ(child->reason(), ErrorClass::Timeout);
+}
+
+}  // namespace
+}  // namespace psnap
