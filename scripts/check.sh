@@ -39,7 +39,7 @@
 # detection stays fully on; only end-of-process leak accounting is off.
 #
 # The tsan preset builds and runs only the concurrency-bearing suites
-# (test_workers, test_mapreduce, test_sched, test_serve) — the
+# (test_workers, test_mapreduce, test_sched, test_serve, test_async) — the
 # interpreter suites
 # are single-threaded and would just multiply the ~10x tsan slowdown.
 # src/workers and src/mapreduce also compile with -Werror in every
@@ -65,6 +65,8 @@ if [ "${1:-}" = "--bench-smoke" ]; then
       bench_value_plane)
         args=(--smoke --out "${scratch}/${name}.json") ;;
       bench_serve)
+        args=(--quick --out "${scratch}/${name}.json") ;;
+      bench_async)
         args=(--quick --out "${scratch}/${name}.json") ;;
       *)
         args=(--benchmark_min_time=0.01) ;;

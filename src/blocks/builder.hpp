@@ -264,6 +264,20 @@ inline BlockPtr mapReduce(In mapRing, In reduceRing, In list) {
   return blk("reportMapReduce", {mapRing, reduceRing, list});
 }
 inline BlockPtr maxWorkers() { return blk("reportMaxWorkers"); }
+/// `launch parallel map (ring) over (list) workers: (n)` — returns a
+/// future immediately; join it with awaitValue().
+inline BlockPtr launchParallelMap(In ringIn, In list,
+                                  In workers = collapsed()) {
+  return blk("launchParallelMap", {ringIn, list, workers});
+}
+/// `launch mapReduce map: (ring) reduce: (ring) on (list)` — future form.
+inline BlockPtr launchMapReduce(In mapRing, In reduceRing, In list) {
+  return blk("launchMapReduce", {mapRing, reduceRing, list});
+}
+/// `await (value)` — joins a future (identity on plain values).
+inline BlockPtr awaitValue(In value) {
+  return blk("reportAwait", {value});
+}
 
 // --- code mapping (Section 6) ----------------------------------------------
 inline BlockPtr mapToLanguage(In language) {

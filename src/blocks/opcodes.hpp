@@ -142,6 +142,10 @@ inline constexpr OpcodeId kInvalidOpcodeId = 0xffffffffu;
   X(doParallelForEach, "doParallelForEach")                \
   X(reportMapReduce, "reportMapReduce")                    \
   X(reportMaxWorkers, "reportMaxWorkers")                  \
+  /* completion-driven async: launch returns a future */   \
+  X(launchParallelMap, "launchParallelMap")                \
+  X(launchMapReduce, "launchMapReduce")                    \
+  X(reportAwait, "reportAwait")                            \
   X(foreachDriver, "__foreachDriver")                      \
   /* code mapping */                                       \
   X(doMapToCode, "doMapToCode")                            \

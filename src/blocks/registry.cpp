@@ -402,6 +402,17 @@ void registerStandardSpecs(BlockRegistry& r) {
              T::Reporter, false));
   r.add(spec("reportMaxWorkers", "max workers", "parallelism", T::Reporter,
              false));
+  // Completion-driven async (DESIGN.md "Completion model"): the launch
+  // variants return a pending future immediately — the script keeps
+  // computing — and `await` joins it (identity on non-future values).
+  r.add(spec("launchParallelMap",
+             "launch parallel map %repRing over %l workers: %n?",
+             "parallelism", T::Reporter, false));
+  r.add(spec("launchMapReduce",
+             "launch mapReduce map: %repRing reduce: %repRing on %l",
+             "parallelism", T::Reporter, false));
+  r.add(spec("reportAwait", "await %any", "parallelism", T::Reporter,
+             false));
 
   // Internal driver used by doParallelForEach to run one clone's chunk of
   // list items through the C-slot body (same layout as doForEach).

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "blocks/future.hpp"
 #include "support/error.hpp"
 #include "support/strings.hpp"
 
@@ -16,6 +17,7 @@ const char* valueKindName(ValueKind kind) {
     case ValueKind::Text: return "text";
     case ValueKind::ListRef: return "list";
     case ValueKind::RingRef: return "ring";
+    case ValueKind::FutureRef: return "future";
   }
   return "unknown";
 }
@@ -93,7 +95,8 @@ ValueKind Value::kind() const {
     case 3:
     case 4: return ValueKind::Text;
     case 5: return ValueKind::ListRef;
-    default: return ValueKind::RingRef;
+    case 6: return ValueKind::RingRef;
+    default: return ValueKind::FutureRef;
   }
 }
 
@@ -209,6 +212,14 @@ const RingPtr& Value::asRing() const {
   return std::get<RingPtr>(v_);
 }
 
+const FuturePtr& Value::asFuture() const {
+  if (!isFuture()) {
+    throw TypeError(std::string("expecting a future but getting a ") +
+                    valueKindName(kind()));
+  }
+  return std::get<FuturePtr>(v_);
+}
+
 bool Value::equals(const Value& other) const {
   // Lists: deep structural equality.
   if (isList() || other.isList()) {
@@ -219,6 +230,11 @@ bool Value::equals(const Value& other) const {
   if (isRing() || other.isRing()) {
     if (!isRing() || !other.isRing()) return false;
     return asRing().get() == other.asRing().get();
+  }
+  // Futures: identity (two handles are equal iff they share a settlement).
+  if (isFuture() || other.isFuture()) {
+    if (!isFuture() || !other.isFuture()) return false;
+    return asFuture().get() == other.asFuture().get();
   }
   if (isNothing() && other.isNothing()) return true;
   if (isBoolean() || other.isBoolean()) {
@@ -260,6 +276,7 @@ std::string Value::display() const {
     case ValueKind::RingRef:
       return asRing()->kind() == RingKind::Reporter ? "(reporter ring)"
                                                     : "(command ring)";
+    case ValueKind::FutureRef: return asFuture()->display();
     default: return asText();
   }
 }
@@ -267,6 +284,7 @@ std::string Value::display() const {
 bool Value::isTransferable() const {
   switch (kind()) {
     case ValueKind::RingRef:
+    case ValueKind::FutureRef:
       return false;
     case ValueKind::ListRef:
       return asList()->isTransferable();
@@ -279,6 +297,10 @@ Value Value::structuredClone() const {
   switch (kind()) {
     case ValueKind::RingRef:
       throw PurityError("rings cannot be structured-cloned to a worker");
+    case ValueKind::FutureRef:
+      throw PurityError(
+          "futures cannot be structured-cloned to a worker: a promise is "
+          "a handle into its owning process, not data");
     case ValueKind::ListRef:
       return Value(asList()->snapshotClone());
     default:
@@ -477,7 +499,7 @@ List::FlatAudit List::flatAudit() const {
       audit = FlatAudit::HasSublists;
       break;
     }
-    if (item.isRing()) audit = FlatAudit::HasRings;
+    if (item.isRing() || item.isFuture()) audit = FlatAudit::HasRings;
   }
   auditWord_.store(((version + 1) << 2) | uint64_t(audit),
                    std::memory_order_release);
@@ -500,7 +522,7 @@ bool List::transferableGuarded(std::vector<const List*>& path) const {
   }
   path.push_back(this);
   for (const Value& item : *buf_) {
-    if (item.isRing() ||
+    if (item.isRing() || item.isFuture() ||
         (item.isList() && !item.asList()->transferableGuarded(path))) {
       path.pop_back();
       return false;
@@ -528,8 +550,18 @@ ListPtr List::snapshotCloneGuarded(std::vector<const List*>& path) const {
                               std::memory_order_release);
       return clone;
     }
-    case FlatAudit::HasRings:
+    case FlatAudit::HasRings: {
+      // The audit lumps rings and futures (both non-transferable); pick
+      // the accurate message on this cold path.
+      for (const Value& item : *buf_) {
+        if (item.isFuture()) {
+          throw PurityError(
+              "futures cannot be structured-cloned to a worker: a promise "
+              "is a handle into its owning process, not data");
+        }
+      }
       throw PurityError("rings cannot be structured-cloned to a worker");
+    }
     default:
       break;
   }
@@ -548,6 +580,11 @@ ListPtr List::snapshotCloneGuarded(std::vector<const List*>& path) const {
     } else if (item.isRing()) {
       path.pop_back();
       throw PurityError("rings cannot be structured-cloned to a worker");
+    } else if (item.isFuture()) {
+      path.pop_back();
+      throw PurityError(
+          "futures cannot be structured-cloned to a worker: a promise is "
+          "a handle into its owning process, not data");
     } else {
       buffer->push_back(item);
     }

@@ -47,15 +47,19 @@ class Block;
 class Script;
 class Environment;
 class Input;
+class Future;
 
 using ListPtr = std::shared_ptr<List>;
 using RingPtr = std::shared_ptr<Ring>;
 using BlockPtr = std::shared_ptr<const Block>;
 using ScriptPtr = std::shared_ptr<const Script>;
 using EnvPtr = std::shared_ptr<Environment>;
+using FuturePtr = std::shared_ptr<Future>;
 
 /// Discriminator for Value's runtime type.
-enum class ValueKind { Nothing, Number, Boolean, Text, ListRef, RingRef };
+enum class ValueKind {
+  Nothing, Number, Boolean, Text, ListRef, RingRef, FutureRef
+};
 
 /// Human-readable name of a ValueKind (for error messages).
 const char* valueKindName(ValueKind kind);
@@ -112,6 +116,7 @@ class Value {
   Value(const char* text) : Value(std::string_view(text)) {} // NOLINT
   Value(ListPtr list) : v_(std::move(list)) {}       // NOLINT(runtime/explicit)
   Value(RingPtr ring) : v_(std::move(ring)) {}       // NOLINT(runtime/explicit)
+  Value(FuturePtr future) : v_(std::move(future)) {} // NOLINT(runtime/explicit)
 
   ValueKind kind() const;
 
@@ -121,6 +126,7 @@ class Value {
   bool isText() const { return v_.index() == 3 || v_.index() == 4; }
   bool isList() const { return v_.index() == 5; }
   bool isRing() const { return v_.index() == 6; }
+  bool isFuture() const { return v_.index() == 7; }
 
   /// Number coercion per Snap!: numbers pass through, numeric-looking text
   /// parses, booleans are 1/0, everything else throws TypeError.
@@ -156,6 +162,9 @@ class Value {
   /// Ring access; throws TypeError for non-rings.
   const RingPtr& asRing() const;
 
+  /// Future access; throws TypeError for non-futures.
+  const FuturePtr& asFuture() const;
+
   /// Snap! `=` semantics: numeric when both sides coerce to numbers,
   /// case-insensitive text otherwise; lists compare element-wise (deep);
   /// rings compare by identity.
@@ -185,7 +194,7 @@ class Value {
   };
 
   std::variant<std::monostate, double, bool, SmallText, TextPtr, ListPtr,
-               RingPtr>
+               RingPtr, FuturePtr>
       v_;
 };
 

@@ -46,6 +46,8 @@ std::string CodeMapping::formatLiteral(const Value& value) const {
     }
     case blocks::ValueKind::RingRef:
       throw CodegenError("a ring literal has no textual representation");
+    case blocks::ValueKind::FutureRef:
+      throw CodegenError("a future literal has no textual representation");
   }
   return "";
 }

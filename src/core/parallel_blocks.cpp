@@ -5,6 +5,7 @@
 #include <utility>
 #include <vector>
 
+#include "blocks/future.hpp"
 #include "core/pure_eval.hpp"
 #include "mapreduce/engine.hpp"
 #include "support/error.hpp"
@@ -71,20 +72,22 @@ void degradeMapJob(MapJob& job) {
 }
 
 // ---------------------------------------------------------------------------
-// reportParallelMap — the faithful translation of paper Listing 2.
+// reportParallelMap — the paper's Listing 2, completion-driven.
 //
-// The Parallel handle is now backed by the shared WorkerPool (chunk tasks
-// in a TaskGroup instead of per-op threads), but the Listing-2 contract
-// this poll loop relies on is unchanged: map() returns immediately after
-// submission, resolved() is a lock-free flag read, and the process
-// re-polls from the scheduler's yield loop until the workers finish.
+// The Parallel handle is backed by the shared WorkerPool (chunk tasks in
+// a TaskGroup instead of per-op threads). Where Listing 2 re-polls
+// `operation._resolved` from the scheduler's yield loop, this handler
+// parks the process on the operation's completion callback: map() returns
+// immediately after submission, the process consumes zero frames while
+// the workers run, and the worker that finishes the last chunk wakes it.
 //
 // Degradation: a transient substrate failure — at construction (the
 // transfer fault), at launch (pool refused), after the run (retries
 // exhausted, clone-out fault) — collapses the block to the sequential
 // fallback, which maps kFallbackSliceItems per slice across yields so the
-// scheduler stays live. The fallback path has no fault points, so every
-// chaos scenario converges.
+// scheduler stays live (the fallback runs *on* the process, so it slices
+// cooperatively instead of parking). The fallback path has no fault
+// points, so every chaos scenario converges.
 // ---------------------------------------------------------------------------
 void parallelMapHandler(Process& p, Context& c, ParallelBlockOptions opts) {
   // First invocation: all three declared inputs are evaluated; build the
@@ -121,18 +124,20 @@ void parallelMapHandler(Process& p, Context& c, ParallelBlockOptions opts) {
       degradeMapJob(*job);
     }
     c.state = job;
-    // this.pushContext('doYield'); this.pushContext();
-    p.retryAfterYield(c);
+    if (job->parallel) {
+      // Where Listing 2 pushed a yield context and re-polled, park: the
+      // handler frame stays on top and is re-entered when the finishing
+      // worker fires the wake (inline-immediately if already resolved).
+      job->parallel->onComplete(p.parkOnCompletion(c));
+    } else {
+      p.retryAfterYield(c);  // degraded before launch: cooperative slices
+    }
     return;
   }
-  // Subsequent invocations: check whether the workers are done; if so,
-  // return the resulting array.
+  // Re-entered after the wake (the operation is resolved) or on a
+  // fallback slice: return the resulting array.
   auto job = std::static_pointer_cast<MapJob>(c.state);
   if (job->parallel) {
-    if (!job->parallel->resolved()) {
-      p.retryAfterYield(c);
-      return;
-    }
     if (job->parallel->failed()) {
       const ErrorClass errorClass = job->parallel->errorClass();
       if (errorClass != ErrorClass::Substrate || !opts.allowDegrade) {
@@ -283,11 +288,13 @@ void parallelForEachHandler(Process& p, Context& c) {
 }
 
 // ---------------------------------------------------------------------------
-// reportMapReduce — Fig. 11/13. The Job pipeline is one pooled task (not
-// a dedicated thread); this handler polls it exactly like Listing 2. The
-// engine owns its degradation (mr::run reruns sequentially on transient
-// substrate failure; the Job drains inline if the pool refuses the
-// pipeline task), so the handler only relays the typed failure.
+// reportMapReduce — Fig. 11/13. The Job is a completion-chained pipeline
+// on the shared pool (map+shuffle stage → sort+reduce stage → merge, each
+// stage launched by its predecessor's completion callback); the handler
+// parks on the job's completion instead of polling it per frame. The
+// engine owns its degradation (sequential rerun on transient substrate
+// failure, inline drain if the pool refuses a stage), so the handler only
+// relays the typed failure.
 // ---------------------------------------------------------------------------
 void mapReduceHandler(Process& p, Context& c, ParallelBlockOptions opts) {
   if (!c.state) {
@@ -308,18 +315,138 @@ void mapReduceHandler(Process& p, Context& c, ParallelBlockOptions opts) {
     mrOptions.cancel = p.cancelToken();
     auto job = std::make_shared<mr::Job>(list, mapFn, reduceFn, mrOptions);
     c.state = job;
-    p.retryAfterYield(c);
+    job->onComplete(p.parkOnCompletion(c));
     return;
   }
+  // Re-entered after the wake: the pipeline is settled.
   auto job = std::static_pointer_cast<mr::Job>(c.state);
-  if (!job->resolved()) {
-    p.retryAfterYield(c);
-    return;
-  }
   if (job->failed()) {
     failBlock("mapReduce", job->errorClass(), job->errorMessage());
   }
   p.returnValue(Value(job->result()));
+}
+
+// ---------------------------------------------------------------------------
+// launchParallelMap / launchMapReduce / reportAwait — the completion model
+// made first-class. A launch block builds the substrate operation, wires
+// its completion callback to resolve/reject a Future, and returns the
+// future *immediately*: the script keeps computing while the workers run.
+// `await` joins: identity on plain values, the resolved value on a
+// resolved future, a rethrow of the original typed error on a failed one,
+// and a park on the future's settlement when still pending.
+//
+// Launch blocks never throw and never degrade: any failure — purity of
+// the ring, a refused pool launch, retries exhausted, a cancelled owner —
+// settles the future with its typed error and surfaces at the join. The
+// owning process adopts the future, so terminating or failing the process
+// cancels the in-flight operation through the future's cancel hook.
+// ---------------------------------------------------------------------------
+void launchParallelMapHandler(Process& p, Context& c,
+                              ParallelBlockOptions opts) {
+  auto fut = blocks::Future::make();
+  try {
+    const RingPtr& ring = c.inputs[0].asRing();
+    const ListPtr& list = c.inputs[1].asList();
+    size_t workerCount = slotIsDefault(c, 2)
+                             ? p.host().maxWorkers()
+                             : static_cast<size_t>(std::max<long long>(
+                                   1, c.inputs[2].asInteger()));
+    workers::MapFn fn = compileUnary(ring, p.registry());
+    workers::ParallelOptions parOptions;
+    parOptions.maxWorkers = workerCount;
+    parOptions.distribution = opts.distribution;
+    parOptions.chunkSize = opts.chunkSize;
+    parOptions.maxRetries = opts.maxRetries;
+    parOptions.deadlineSeconds = opts.deadlineSeconds;
+    // No sequential fallback behind a future: the caller chose deferred
+    // observation, so failures stay typed and surface at the await.
+    parOptions.allowDegrade = false;
+    parOptions.cancel = p.cancelToken();
+    auto parallel = std::make_shared<workers::Parallel>(list, parOptions);
+    parallel->map(fn);
+    // The fulfillment callback runs on the worker that finishes the last
+    // chunk. It owns the Parallel (the closure keeps it alive until the
+    // settle) and charges clone-out/cancellation accounting to the
+    // launching tenant's stats scope, not the worker's.
+    workers::SubstrateStats* stats = &workers::substrateStats();
+    parallel->onComplete([parallel, fut, stats]() {
+      workers::StatsScope scope(*stats);
+      try {
+        fut->resolve(Value(List::make(parallel->takeData())));
+      } catch (...) {
+        fut->reject(std::current_exception());
+      }
+    });
+    fut->setCancelHook([parallel](const std::string& reason) {
+      parallel->cancel(reason);
+    });
+  } catch (...) {
+    fut->reject(std::current_exception());
+  }
+  p.adoptFuture(fut);
+  p.returnValue(Value(fut));
+}
+
+void launchMapReduceHandler(Process& p, Context& c,
+                            ParallelBlockOptions opts) {
+  auto fut = blocks::Future::make();
+  try {
+    const RingPtr& mapRing = c.inputs[0].asRing();
+    const RingPtr& reduceRing = c.inputs[1].asRing();
+    const ListPtr& list = c.inputs[2].asList();
+    auto mapFn = compileUnary(mapRing, p.registry());
+    auto reduceCompiled = compileRing(reduceRing, p.registry());
+    mr::ReduceFn reduceFn = [reduceCompiled](const ListPtr& values) {
+      return reduceCompiled({Value(values)});
+    };
+    mr::Options mrOptions;
+    mrOptions.workers = p.host().maxWorkers();
+    mrOptions.maxRetries = opts.maxRetries;
+    mrOptions.deadlineSeconds = opts.deadlineSeconds;
+    mrOptions.allowDegrade = false;  // typed failures surface at the await
+    mrOptions.cancel = p.cancelToken();
+    auto job = std::make_shared<mr::Job>(list, mapFn, reduceFn, mrOptions);
+    workers::SubstrateStats* stats = &workers::substrateStats();
+    job->onComplete([job, fut, stats]() {
+      workers::StatsScope scope(*stats);
+      if (job->failed()) {
+        fut->reject(job->error());
+      } else {
+        fut->resolve(Value(job->result()));
+      }
+    });
+    fut->setCancelHook(
+        [job](const std::string& reason) { job->cancel(reason); });
+  } catch (...) {
+    fut->reject(std::current_exception());
+  }
+  p.adoptFuture(fut);
+  p.returnValue(Value(fut));
+}
+
+void awaitHandler(Process& p, Context& c) {
+  const Value& input = c.inputs[0];
+  if (!input.isFuture()) {
+    // The paper's blocks report plain values; awaiting one is the
+    // identity, so scripts can be written launch-agnostically.
+    p.returnValue(input);
+    return;
+  }
+  const blocks::FuturePtr& fut = input.asFuture();
+  switch (fut->state()) {
+    case blocks::Future::State::Resolved:
+      p.returnValue(fut->value());
+      return;
+    case blocks::Future::State::Failed:
+      // Rethrow the original exception: a TypeError from the mapped ring
+      // is a TypeError at the join; a deadline trip is a TimeoutError.
+      std::rethrow_exception(fut->error());
+    case blocks::Future::State::Pending:
+      // Park on the settlement; the handler frame stays on top and is
+      // re-entered (now settled) when the completion fires the wake.
+      fut->onSettle(p.parkOnCompletion(c));
+      return;
+  }
 }
 
 }  // namespace
@@ -333,6 +460,13 @@ void registerParallelPrimitives(vm::PrimitiveTable& table,
   table.add("reportMapReduce", [options](Process& p, Context& c) {
     mapReduceHandler(p, c, options);
   });
+  table.add("launchParallelMap", [options](Process& p, Context& c) {
+    launchParallelMapHandler(p, c, options);
+  });
+  table.add("launchMapReduce", [options](Process& p, Context& c) {
+    launchMapReduceHandler(p, c, options);
+  });
+  table.add("reportAwait", awaitHandler);
   // The per-clone chunk driver shares doForEach's iteration logic.
   const vm::Handler* forEach = table.find("doForEach");
   if (!forEach) {

@@ -3,7 +3,8 @@
 //
 //   * reportParallelMap — Fig. 5 / Listing 2: compiles the ring to a pure
 //     function, ships it to a Parallel job over real worker threads, and
-//     polls for completion from the cooperative scheduler's yield loop.
+//     parks the process on the job's completion callback (the
+//     completion-driven successor of Listing 2's resolved() poll loop).
 //     The optional workers slot defaults to the host's worker width
 //     (`aCount || navigator.hardwareConcurrency || 4`).
 //   * doParallelForEach — Fig. 8–10: in parallel mode, spawns sprite
@@ -11,8 +12,12 @@
 //     *concurrently on the cooperative scheduler* (the pedagogical
 //     visualization: three Pitcher clones pouring at once); the collapsed
 //     mode runs the body sequentially like forEach.
-//   * reportMapReduce — Fig. 11–13: compiles both rings and runs the
-//     MapReduce engine on a background thread, polling for completion.
+//   * reportMapReduce — Fig. 11–13: compiles both rings and parks on the
+//     engine's completion-chained pipeline.
+//   * launchParallelMap / launchMapReduce / reportAwait — the deferred
+//     forms: launch returns a pending Future value immediately (the
+//     script keeps computing) and `await` joins it, parking only if the
+//     operation is still in flight.
 //
 // Fault model (DESIGN.md, "Fault model"): these handlers are the
 // outermost rung of the degradation ladder. When the worker substrate
@@ -42,8 +47,9 @@ struct ParallelBlockOptions {
   bool allowDegrade = true;
 };
 
-/// Register reportParallelMap, doParallelForEach, reportMapReduce, and the
-/// internal __foreachDriver into `table`.
+/// Register reportParallelMap, doParallelForEach, reportMapReduce, the
+/// future-returning launch blocks with reportAwait, and the internal
+/// __foreachDriver into `table`.
 void registerParallelPrimitives(vm::PrimitiveTable& table,
                                 ParallelBlockOptions options = {});
 

@@ -1,8 +1,10 @@
 #include "mapreduce/engine.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdint>
 #include <functional>
+#include <thread>
 #include <utility>
 
 #include "support/error.hpp"
@@ -20,6 +22,15 @@ using workers::TaskGroup;
 using workers::WorkerPool;
 
 namespace {
+
+/// Bounded deterministic backoff before a stage-task retry: 100us, 200us,
+/// 400us, … capped at ~2ms — the same curve as Parallel's chunk retries,
+/// and fixed (no jitter) for the same reproducible-chaos reason.
+void stageRetryBackoff(int attempt) {
+  const int64_t micros =
+      std::min<int64_t>(int64_t{100} << std::min(attempt - 1, 8), 2000);
+  std::this_thread::sleep_for(std::chrono::microseconds(micros));
+}
 
 // A pair's sort key, computed once during the shuffle instead of once per
 // comparison (the seed re-ran parseNumber/toLower/display inside the
@@ -335,65 +346,337 @@ ListPtr run(const ListPtr& input, const MapFn& mapFn,
   return out;
 }
 
-Job::Job(ListPtr input, MapFn mapFn, ReduceFn reduceFn, Options options) {
-  // One pipeline task on the shared pool — no dedicated thread. The
-  // pipeline's own Parallel ops nest on the same pool; their waits drain
-  // unclaimed chunk tasks on this worker, so the pool never wedges.
+// --- Job: the completion-chained pipeline -----------------------------------
+
+struct Job::Pipeline {
+  ListPtr input;
+  MapFn mapFn;
+  ReduceFn reduceFn;
+  Options options;
+  workers::SubstrateStats* stats = nullptr;  // the constructing tenant's
+  size_t n = 0;
+  size_t shardCount = 1;
+
+  // Stage 1 outputs: slot i is written by exactly one slice task.
+  std::vector<Value> pairs;
+  std::vector<SortKey> keys;
+  // binned[slice][shard]: pair indices, ascending within each bin.
+  std::vector<std::vector<std::vector<uint32_t>>> binned;
+
+  // Stage 2 outputs: per shard, sorted [key, reduced] pairs + head keys.
+  std::vector<std::vector<Value>> reduced;
+  std::vector<std::vector<const SortKey*>> heads;
+
+  std::shared_ptr<TaskGroup> stage1;
+  std::shared_ptr<TaskGroup> stage2;
+};
+
+Job::Job(ListPtr input, MapFn mapFn, ReduceFn reduceFn, Options options)
+    : pipe_(std::make_unique<Pipeline>()) {
+  Pipeline& p = *pipe_;
+  p.input = std::move(input);
+  p.mapFn = std::move(mapFn);
+  p.reduceFn = std::move(reduceFn);
+  p.options = std::move(options);
+  p.stats = &workers::substrateStats();
+  // One token spans the whole pipeline (map, shuffle and reduce share a
+  // single wall-clock budget) and doubles as the cancel() handle, so it
+  // exists even without a deadline or parent.
+  token_ = p.options.deadlineSeconds > 0
+               ? CancelToken::withDeadline(p.options.deadlineSeconds,
+                                           p.options.cancel)
+               : CancelToken::create(p.options.cancel);
+  if (!p.input) {
+    settleError(std::make_exception_ptr(Error("mapReduce: null input list")));
+    return;
+  }
+  p.n = p.input->length();
+  stats_.inputItems = p.n;
+  if (p.n == 0) {
+    result_ = List::make();
+    settleOk();
+    return;
+  }
+  const size_t width = p.options.workers == 0 ? 4 : p.options.workers;
+  // Same small-input threshold as shuffleAndGroup: a single shard keeps
+  // the chain's overhead off short lists without changing the output.
+  p.shardCount = p.n < 256 ? 1 : std::max<size_t>(1, width);
+  p.pairs.resize(p.n);
+  p.keys.resize(p.n);
+  p.binned.assign(p.shardCount,
+                  std::vector<std::vector<uint32_t>>(p.shardCount));
+  p.reduced.resize(p.shardCount);
+  p.heads.resize(p.shardCount);
+  startStage1();
+}
+
+// Every path out of the chain settles the latch exactly once, as its last
+// touch of the Job; ~Job's latch wait is therefore a full join.
+Job::~Job() { latch_.wait(); }
+
+void Job::onComplete(workers::CompletionLatch::Callback cb) {
+  latch_.onSettle(std::move(cb));
+}
+
+void Job::cancel(const std::string& reason) { token_->cancel(reason); }
+
+void Job::startStage1() {
+  Pipeline& p = *pipe_;
+  const size_t per = (p.n + p.shardCount - 1) / p.shardCount;
+  stats_.mapMakespan = std::min(per, p.n);
   std::vector<TaskGroup::Task> tasks;
-  // The pipeline runs on a pool worker, but its retries/downgrades (and
-  // those of the Parallels it nests) belong to the tenant that built the
-  // Job — carry the constructing thread's stats scope onto the worker.
-  workers::SubstrateStats* stats = &workers::substrateStats();
-  tasks.push_back([this, stats, input = std::move(input),
-                   mapFn = std::move(mapFn),
-                   reduceFn = std::move(reduceFn), options](size_t) {
-    workers::StatsScope scope(*stats);
+  tasks.reserve(p.shardCount);
+  for (size_t s = 0; s < p.shardCount; ++s) {
+    tasks.push_back([this, per](size_t slice) {
+      Pipeline& p = *pipe_;
+      const size_t begin = slice * per;
+      const size_t end = std::min(begin + per, p.n);
+      // Retry rung: a transient substrate fault restarts the slice from
+      // scratch (mapFn is pure, pairs/keys slots are overwritten, and the
+      // bins below are owned by this slice alone — clearing them makes
+      // the restart exact). Only after retries are exhausted does the
+      // throw fail the group and reach the degrade rung.
+      int attempt = 0;
+      while (true) {
+        try {
+          for (auto& bin : p.binned[slice]) bin.clear();
+          for (size_t i = begin; i < end; ++i) {
+            fault::inject(fault::Point::TaskThrow);
+            if ((i - begin) % 512 == 511) token_->checkpoint();
+            const Value& item = p.input->item(i + 1);
+            p.pairs[i] = toPair(item, p.mapFn(item));
+            p.keys[i] = makeKey(p.pairs[i].asList()->item(1), p.shardCount);
+            p.binned[slice][p.keys[i].shard].push_back(uint32_t(i));
+          }
+          return;
+        } catch (...) {
+          std::exception_ptr error = std::current_exception();
+          if (!isRetryableClass(classifyError(error)) ||
+              attempt >= p.options.maxRetries) {
+            std::rethrow_exception(error);
+          }
+          ++attempt;
+          p.stats->bump(&workers::SubstrateStats::retries);
+          stageRetryBackoff(attempt);
+        }
+      }
+    });
+  }
+  p.stage1 = std::make_shared<TaskGroup>(std::move(tasks), token_);
+  submitStage(p.stage1, [this] { stage1Done(); });
+}
+
+void Job::stage1Done() {
+  Pipeline& p = *pipe_;
+  std::exception_ptr error = p.stage1->error();
+  if (!error && token_->cancelled()) {
     try {
-      result_ = run(input, mapFn, reduceFn, options, &stats_);
-      if (stats_.degraded) {
-        degraded_.store(true, std::memory_order_release);
-      }
+      token_->checkpoint();
     } catch (...) {
-      errorPtr_ = std::current_exception();
-      errorClass_ = classifyError(errorPtr_);
-      try {
-        std::rethrow_exception(errorPtr_);
-      } catch (const std::exception& e) {
-        error_ = e.what();
-      } catch (...) {
-        error_ = "unknown mapReduce error";
-      }
-      failed_.store(true, std::memory_order_release);
+      error = std::current_exception();
     }
-    done_.store(true, std::memory_order_release);
-  });
-  group_ = std::make_shared<TaskGroup>(std::move(tasks));
+  }
+  if (error) {
+    failOrDegrade(error);
+    return;
+  }
+  startStage2();
+}
+
+void Job::startStage2() {
+  Pipeline& p = *pipe_;
+  std::vector<TaskGroup::Task> tasks;
+  tasks.reserve(p.shardCount);
+  for (size_t s = 0; s < p.shardCount; ++s) {
+    tasks.push_back([this](size_t shard) {
+      Pipeline& p = *pipe_;
+      // Retry rung, mirroring stage 1: everything below is task-local
+      // until the final moves into p.reduced/p.heads, so a transient
+      // substrate fault restarts the shard exactly.
+      int attempt = 0;
+      while (true) {
+        try {
+          fault::inject(fault::Point::TaskThrow);
+          std::vector<uint32_t> indices;
+          for (size_t slice = 0; slice < p.shardCount; ++slice) {
+            const auto& bin = p.binned[slice][shard];
+            indices.insert(indices.end(), bin.begin(), bin.end());
+          }
+          // Slices cover ascending contiguous ranges, so `indices` is
+          // already ascending; stable_sort keeps equal keys in original
+          // pair order — the stability a global sort would provide.
+          std::stable_sort(indices.begin(), indices.end(),
+                           [&p](uint32_t a, uint32_t b) {
+                             return keyLess(p.keys[a], p.keys[b]);
+                           });
+          std::vector<Value> groups;
+          std::vector<const SortKey*> heads;
+          for (uint32_t index : indices) {
+            const Value& key = p.pairs[index].asList()->item(1);
+            const Value& value = p.pairs[index].asList()->item(2);
+            if (!groups.empty() &&
+                groups.back().asList()->item(1).equals(key)) {
+              groups.back().asList()->item(2).asList()->add(value);
+            } else {
+              auto group = List::make();
+              group->add(key);
+              group->add(Value(List::make({value})));
+              groups.push_back(Value(group));
+              heads.push_back(&p.keys[index]);
+            }
+          }
+          // Reduce each closed group in place — per-group reduction is
+          // independent of how groups were formed, so fusing it here
+          // leaves the output bytes unchanged.
+          std::vector<Value> reduced;
+          reduced.reserve(groups.size());
+          for (size_t g = 0; g < groups.size(); ++g) {
+            fault::inject(fault::Point::TaskThrow);
+            if (g % 256 == 255) token_->checkpoint();
+            auto out = List::make();
+            out->add(groups[g].asList()->item(1));
+            out->add(p.reduceFn(groups[g].asList()->item(2).asList()));
+            reduced.push_back(Value(out));
+          }
+          p.reduced[shard] = std::move(reduced);
+          p.heads[shard] = std::move(heads);
+          return;
+        } catch (...) {
+          std::exception_ptr error = std::current_exception();
+          if (!isRetryableClass(classifyError(error)) ||
+              attempt >= p.options.maxRetries) {
+            std::rethrow_exception(error);
+          }
+          ++attempt;
+          p.stats->bump(&workers::SubstrateStats::retries);
+          stageRetryBackoff(attempt);
+        }
+      }
+    });
+  }
+  p.stage2 = std::make_shared<TaskGroup>(std::move(tasks), token_);
+  submitStage(p.stage2, [this] { stage2Done(); });
+}
+
+void Job::stage2Done() {
+  Pipeline& p = *pipe_;
+  std::exception_ptr error = p.stage2->error();
+  if (!error && token_->cancelled()) {
+    try {
+      token_->checkpoint();
+    } catch (...) {
+      error = std::current_exception();
+    }
+  }
+  if (error) {
+    failOrDegrade(error);
+    return;
+  }
+  // Serial W-way merge of the per-shard sorted group lists; equivalent
+  // keys share a shard by construction, so keys never tie across shards.
+  size_t total = 0;
+  uint64_t makespan = 0;
+  for (const auto& shard : p.reduced) {
+    total += shard.size();
+    makespan = std::max<uint64_t>(makespan, shard.size());
+  }
+  stats_.distinctKeys = total;
+  stats_.reduceMakespan = makespan;
+  std::vector<Value> out;
+  out.reserve(total);
+  std::vector<size_t> cursor(p.shardCount, 0);
+  while (out.size() < total) {
+    size_t best = p.shardCount;
+    for (size_t s = 0; s < p.shardCount; ++s) {
+      if (cursor[s] >= p.reduced[s].size()) continue;
+      if (best == p.shardCount ||
+          keyLess(*p.heads[s][cursor[s]], *p.heads[best][cursor[best]])) {
+        best = s;
+      }
+    }
+    out.push_back(std::move(p.reduced[best][cursor[best]]));
+    ++cursor[best];
+  }
+  result_ = List::make(std::move(out));
+  settleOk();
+}
+
+void Job::submitStage(const std::shared_ptr<TaskGroup>& stage,
+                      workers::CompletionLatch::Callback continuation) {
   try {
-    WorkerPool::shared().submit(group_);
+    WorkerPool::shared().submit(stage);
   } catch (const SubstrateError&) {
-    // The pool cannot take even the pipeline task. Run it inline on the
-    // constructor's thread — the caller's poll loop then sees an already
-    // resolved job. With degradation forbidden, surface the launch
-    // failure as the job's error instead (the poll contract stays: jobs
-    // fail, constructors do not throw).
-    if (options.allowDegrade) {
-      degraded_.store(true, std::memory_order_release);
-      workers::substrateStats().bump(&workers::SubstrateStats::downgrades);
-      group_->wait();
-    } else {
-      errorPtr_ = std::current_exception();
-      errorClass_ = classifyError(errorPtr_);
-      try {
-        std::rethrow_exception(errorPtr_);
-      } catch (const std::exception& e) {
-        error_ = e.what();
-      }
-      failed_.store(true, std::memory_order_release);
-      done_.store(true, std::memory_order_release);
+    // The pool cannot take the stage (stopped or saturated); the group is
+    // untouched (submit is all-or-nothing). Drain it inline on this
+    // thread — the constructing thread for stage 1, possibly a worker
+    // for a later stage — or, with degradation forbidden, settle typed
+    // (constructors do not throw; jobs fail).
+    if (!pipe_->options.allowDegrade) {
+      settleError(std::current_exception());
+      return;
     }
+    if (!degraded_.exchange(true, std::memory_order_acq_rel)) {
+      pipe_->stats->bump(&workers::SubstrateStats::downgrades);
+    }
+    stage->onComplete(std::move(continuation));
+    while (stage->runOne()) {
+    }
+    return;
+  }
+  // Registered after a successful submit so a refused stage never leaves
+  // a dangling continuation; if the workers already finished the stage,
+  // this fires the continuation right here.
+  stage->onComplete(std::move(continuation));
+}
+
+void Job::failOrDegrade(std::exception_ptr error) {
+  Pipeline& p = *pipe_;
+  // Only a *transient* substrate failure earns the sequential rerun.
+  // Timeout/Cancelled must not (a rerun after a blown deadline only blows
+  // it further) and user-script errors are deterministic.
+  if (!p.options.allowDegrade ||
+      classifyError(error) != ErrorClass::Substrate) {
+    settleError(error);
+    return;
+  }
+  // Rerun sequentially on whichever thread observed the failure, under
+  // the *same* token — the deadline does not restart. The rerun's
+  // retries/downgrades belong to the constructing tenant.
+  workers::StatsScope scope(*p.stats);
+  if (!degraded_.exchange(true, std::memory_order_acq_rel)) {
+    p.stats->bump(&workers::SubstrateStats::downgrades);
+  }
+  Stats local;
+  local.inputItems = p.n;
+  local.degraded = true;
+  try {
+    result_ = runOnce(p.input, p.mapFn, p.reduceFn, p.options, true, token_,
+                      local);
+    stats_ = local;
+    settleOk();
+  } catch (...) {
+    settleError(std::current_exception());
   }
 }
 
-Job::~Job() { group_->wait(); }
+void Job::settleOk() {
+  done_.store(true, std::memory_order_release);
+  latch_.settle();
+}
+
+void Job::settleError(std::exception_ptr error) {
+  errorPtr_ = error;
+  errorClass_ = classifyError(error);
+  try {
+    std::rethrow_exception(error);
+  } catch (const std::exception& e) {
+    error_ = e.what();
+  } catch (...) {
+    error_ = "unknown mapReduce error";
+  }
+  failed_.store(true, std::memory_order_release);
+  done_.store(true, std::memory_order_release);
+  latch_.settle();
+}
 
 }  // namespace psnap::mr

@@ -89,12 +89,32 @@ blocks::ListPtr run(const blocks::ListPtr& input, const MapFn& mapFn,
 ReduceFn identityReduce();
 
 /// An asynchronous MapReduce job for integration with the cooperative
-/// scheduler: the whole pipeline runs as one task on the shared
-/// WorkerPool (fanning out to further pool tasks internally) and the
-/// block primitive polls resolved() from its yield loop, exactly like
-/// Listing 2 polls its Parallel job. If the pool cannot accept the
-/// pipeline task at all, the job degrades: the pipeline runs inline on
-/// the constructing thread (resolved() is true on return).
+/// scheduler — a completion-chained pipeline with no phase barriers:
+///
+///   stage 1   W slice tasks: map each item, normalize the pair, compute
+///             its SortKey, bin its index by shard (the map phase and the
+///             shuffle's key pass, fused);
+///   stage 2   W shard tasks: concatenate the shard's bins, stable-sort,
+///             group adjacent equal keys, reduce each group (the shuffle's
+///             sort/group and the reduce phase, fused);
+///   merge     a serial W-way merge of the per-shard sorted outputs, run
+///             by whichever worker finishes stage 2 last.
+///
+/// Each stage is launched by its predecessor's completion callback — no
+/// thread ever sits in a wait() between phases, and no pool worker is
+/// pinned for the pipeline's duration. The output is byte-identical to
+/// run()'s (the ordering argument is in DESIGN.md): per-shard grouping
+/// emits the order of a global stable sort because equivalent keys always
+/// share a shard, and the per-group reduce is independent of grouping.
+///
+/// The block primitive registers onComplete() and parks; the callback
+/// fires exactly once, from the worker that settles the pipeline (or
+/// immediately on the registering thread if already settled). resolved()
+/// stays for tests and assertions. Degradation: a transient substrate
+/// failure (or a refused stage submit with allowDegrade) reruns the
+/// pipeline sequentially on the thread that observed the failure, under
+/// the same deadline; with degradation forbidden, failures settle the job
+/// typed — constructors do not throw.
 class Job {
  public:
   Job(blocks::ListPtr input, MapFn mapFn, ReduceFn reduceFn,
@@ -104,6 +124,16 @@ class Job {
   Job(const Job&) = delete;
   Job& operator=(const Job&) = delete;
 
+  /// Register a completion callback: fires exactly once, from the worker
+  /// that settles the pipeline, or immediately if already settled.
+  void onComplete(workers::CompletionLatch::Callback cb);
+
+  /// Cancel the pipeline: stage tasks not yet claimed are skipped and the
+  /// job settles with CancelledError (unless it already completed).
+  void cancel(const std::string& reason = "mapReduce pipeline cancelled");
+
+  /// Kept for tests and assertions; scheduler integration registers
+  /// onComplete() instead of polling this per frame.
   bool resolved() const { return done_.load(std::memory_order_acquire); }
   bool failed() const { return failed_.load(std::memory_order_acquire); }
   const std::string& errorMessage() const { return error_; }
@@ -121,7 +151,28 @@ class Job {
   const Stats& stats() const { return stats_; }
 
  private:
-  std::shared_ptr<workers::TaskGroup> group_;
+  /// Heap-held pipeline state shared by the stage tasks (defined in
+  /// engine.cpp). Tasks capture the owning Job*, which is safe because
+  /// ~Job blocks on the latch and every path settles it last.
+  struct Pipeline;
+
+  void startStage1();
+  void startStage2();
+  void stage1Done();
+  void stage2Done();
+  /// Submit a stage; on pool refusal either drain it inline on this
+  /// thread (allowDegrade) or settle the job with the SubstrateError.
+  void submitStage(const std::shared_ptr<workers::TaskGroup>& stage,
+                   workers::CompletionLatch::Callback continuation);
+  /// Sequential rerun (same token, so the deadline does not restart) for
+  /// a transient substrate failure; otherwise settle the error typed.
+  void failOrDegrade(std::exception_ptr error);
+  void settleOk();
+  void settleError(std::exception_ptr error);
+
+  std::unique_ptr<Pipeline> pipe_;
+  workers::CompletionLatch latch_;
+  CancelTokenPtr token_;  // always non-null: the job's cancel() handle
   std::atomic<bool> done_{false};
   std::atomic<bool> failed_{false};
   std::atomic<bool> degraded_{false};

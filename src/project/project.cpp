@@ -49,6 +49,8 @@ XmlNode valueNode(const Value& value) {
     }
     case blocks::ValueKind::RingRef:
       throw ParseError("ring values cannot be saved as literals");
+    case blocks::ValueKind::FutureRef:
+      throw ParseError("future values cannot be saved as literals");
   }
   return node;
 }

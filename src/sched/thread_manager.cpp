@@ -1,11 +1,9 @@
 #include "sched/thread_manager.hpp"
 
 #include <algorithm>
-#include <thread>
 
 #include "support/error.hpp"
 #include "workers/stats.hpp"
-#include "workers/worker_pool.hpp"
 
 namespace psnap::sched {
 
@@ -18,7 +16,9 @@ using vm::SpriteApi;
 
 ThreadManager::ThreadManager(const blocks::BlockRegistry* registry,
                              const vm::PrimitiveTable* primitives)
-    : registry_(registry), primitives_(primitives) {
+    : registry_(registry),
+      primitives_(primitives),
+      hub_(std::make_shared<vm::WakeHub>()) {
   if (!registry_ || !primitives_) {
     throw Error("ThreadManager requires a registry and primitive table");
   }
@@ -69,7 +69,8 @@ blocks::Value ThreadManager::evaluate(BlockPtr expression, EnvPtr env,
 
 void ThreadManager::stopProcessesFor(SpriteApi* sprite) {
   for (Task& task : tasks_) {
-    if (task.sprite == sprite && task.process->runnable()) {
+    if (task.sprite == sprite &&
+        (task.process->runnable() || task.process->blocked())) {
       task.process->terminate();
     }
   }
@@ -77,32 +78,50 @@ void ThreadManager::stopProcessesFor(SpriteApi* sprite) {
 
 void ThreadManager::stopAll() {
   for (Task& task : tasks_) {
-    if (task.process->runnable()) task.process->terminate();
+    if (task.process->runnable() || task.process->blocked()) {
+      task.process->terminate();
+    }
   }
+}
+
+void ThreadManager::pollParked() {
+  bool failedAny = false;
+  for (Task& task : tasks_) {
+    Process& process = *task.process;
+    if (!process.blocked()) continue;
+    if (process.wakeReady()) {
+      process.unpark();
+      continue;
+    }
+    // Parked processes consume no frames, so the frame loop never reaches
+    // their cancellation checkpoints — observe the token here. A trip
+    // fails the process with its typed reason, and reapFinished records
+    // it under the process's own id and opcode (not the frame loop's).
+    process.failIfCancelled();
+    failedAny |= process.finished();
+  }
+  // Record and reap deadline failures immediately: callers that skip the
+  // frame loop for fully-parked tenants (the serving layer) still see the
+  // failure in the error log.
+  if (failedAny) reapFinished();
 }
 
 void ThreadManager::runFrame() {
   ++frame_;
-  // On a busy-spinning frame loop (e.g. polling a worker job), hand the
-  // CPU to the worker threads; otherwise a single-core host starves them
-  // for a full OS timeslice per poll round. The pool knows whether any
-  // task is queued or running, so pure-interpreter workloads (concession
-  // stand, survey) skip the yield syscall entirely, while frames that
-  // poll an unresolved parallel handle yield every pass — the pooled
-  // workers resolve it sooner and the poll loop burns fewer frames.
-  // Frame accounting is unaffected: yields don't consume frames.
-  if (workers::WorkerPool::shared().busy()) {
-    std::this_thread::yield();
-  } else if ((frame_ & 0xff) == 0) {
-    std::this_thread::yield();
-  }
+  pollParked();
   if (!interference_.steals(frame_)) {
     // Processes spawned during this frame run starting next frame, so only
     // iterate over the tasks that existed when the frame began.
     const size_t count = tasks_.size();
     for (size_t i = 0; i < count; ++i) {
       Task& task = tasks_[i];
-      if (task.process->runnable()) {
+      if (!task.process->runnable()) continue;
+      task.process->runSlice(sliceSteps_);
+      // A handler that parked on an operation already complete gets its
+      // wake functor fired inline during registration; finish the wake in
+      // the same frame instead of charging one frame per completed park.
+      while (task.process->blocked() && task.process->wakeReady()) {
+        task.process->unpark();
         task.process->runSlice(sliceSteps_);
       }
     }
@@ -111,18 +130,38 @@ void ThreadManager::runFrame() {
   reapFinished();
 }
 
+double ThreadManager::parkedWaitBound() const {
+  // The hub wait must return in time for the nearest parked deadline
+  // (parent chains included), and stay short enough that an external
+  // stopAll()/cancel — which does not notify the hub — is honoured
+  // promptly. 50ms is invisible next to a frame's work but bounds the
+  // worst-case latency of un-notified cancellation.
+  constexpr double kMaxWait = 0.05;
+  constexpr double kMinWait = 0.0001;
+  double bound = kMaxWait;
+  for (const Task& task : tasks_) {
+    if (!task.process->blocked()) continue;
+    const CancelTokenPtr& token = task.process->cancelToken();
+    if (token) bound = std::min(bound, token->remainingSeconds());
+  }
+  return std::max(bound, kMinWait);
+}
+
 uint64_t ThreadManager::runUntilIdle(uint64_t maxFrames) {
   uint64_t executed = 0;
+  uint64_t budgetUsed = 0;  // frames plus parked wait rounds
   while (!idle()) {
-    if (executed >= maxFrames) {
+    if (budgetUsed >= maxFrames) {
       // A structured timeout with per-script attribution: name the
-      // processes still runnable when the budget elapsed, so "which
-      // script is spinning" is in the error, not a debugger session.
+      // processes still runnable or parked when the budget elapsed, so
+      // "which script is spinning" is in the error, not a debugger
+      // session.
       constexpr size_t kMaxNamed = 8;
       std::string who;
       size_t named = 0;
       for (const Task& task : tasks_) {
-        if (!task.process->runnable()) continue;
+        const bool parked = task.process->blocked();
+        if (!task.process->runnable() && !parked) continue;
         if (named == kMaxNamed) {
           who += ", …";
           break;
@@ -130,6 +169,7 @@ uint64_t ThreadManager::runUntilIdle(uint64_t maxFrames) {
         if (named > 0) who += ", ";
         who += "process " + std::to_string(task.process->id()) + " (" +
                task.process->rootOpcode() + ")";
+        if (parked) who += " [parked]";
         ++named;
       }
       workers::substrateStats().bump(&workers::SubstrateStats::timeouts);
@@ -137,14 +177,37 @@ uint64_t ThreadManager::runUntilIdle(uint64_t maxFrames) {
                          std::to_string(maxFrames) +
                          " frames); still runnable: " + who);
     }
+    if (!hasReadyWork() && parkedCount() > 0) {
+      // Everything live is parked: sleep on the hub instead of burning
+      // frames. Snapshot-then-recheck makes the wait race-free — a wake
+      // landing between pollParked() and waitChanged() bumps the stamp
+      // and the wait returns immediately. Zero frames are charged here;
+      // the wake itself costs one frame (the slice that resumes the
+      // handler), making parked frame accounting structural.
+      const uint64_t seen = hub_->snapshot();
+      pollParked();
+      if (!hasReadyWork() && parkedCount() > 0) {
+        hub_->waitChanged(seen, parkedWaitBound());
+        pollParked();  // reaps any process failed by its deadline
+      }
+      ++budgetUsed;
+      continue;
+    }
     runFrame();
     ++executed;
+    ++budgetUsed;
   }
   return executed;
 }
 
 bool ThreadManager::idle() const {
   return std::none_of(tasks_.begin(), tasks_.end(), [](const Task& task) {
+    return task.process->runnable() || task.process->blocked();
+  });
+}
+
+bool ThreadManager::hasReadyWork() const {
+  return std::any_of(tasks_.begin(), tasks_.end(), [](const Task& task) {
     return task.process->runnable();
   });
 }
@@ -153,6 +216,13 @@ size_t ThreadManager::runnableCount() const {
   return static_cast<size_t>(
       std::count_if(tasks_.begin(), tasks_.end(), [](const Task& task) {
         return task.process->runnable();
+      }));
+}
+
+size_t ThreadManager::parkedCount() const {
+  return static_cast<size_t>(
+      std::count_if(tasks_.begin(), tasks_.end(), [](const Task& task) {
+        return task.process->blocked();
       }));
 }
 
@@ -187,7 +257,8 @@ bool ThreadManager::broadcastFinished(uint64_t token) const {
   if (it == broadcastWaits_.end()) return true;
   for (uint64_t id : it->second) {
     for (const Task& task : tasks_) {
-      if (task.process->id() == id && task.process->runnable()) {
+      if (task.process->id() == id &&
+          (task.process->runnable() || task.process->blocked())) {
         return false;
       }
     }

@@ -114,17 +114,36 @@ class ThreadManager : public vm::Host {
   void stopAll();
 
   // --- the frame loop ------------------------------------------------------
-  /// Execute one frame: unless stolen by interference, give every runnable
-  /// process one slice; then advance the virtual clock and reap.
+  /// Execute one frame: wake/fail parked processes whose completion or
+  /// cancellation arrived, then (unless stolen by interference) give every
+  /// runnable process one slice; then advance the virtual clock and reap.
+  /// Parked processes consume no slices and no frames.
   void runFrame();
-  /// Run frames until no process is runnable; returns frames executed.
-  /// Throws TimeoutError after `maxFrames` (runaway guard), naming the
-  /// processes that were still runnable when the budget elapsed.
+  /// Run frames until no process is runnable or parked; returns frames
+  /// executed. When every live process is parked, sleeps on the wake hub
+  /// instead of spinning — parked waits execute zero frames. Throws
+  /// TimeoutError after `maxFrames` frames-plus-wait-rounds (runaway
+  /// guard), naming the processes still runnable or parked.
   uint64_t runUntilIdle(uint64_t maxFrames = 1'000'000);
 
+  /// Wake parked processes whose completion callback fired, and fail (with
+  /// the token's typed reason, attributed to the process) parked processes
+  /// whose cancel token tripped — the deadline watchdog for processes that
+  /// consume no frames.
+  void pollParked();
+
   bool idle() const;
+  /// Any process currently Ready?
+  bool hasReadyWork() const;
+  /// Upper bound for one hub wait while everything live is parked: the
+  /// nearest deadline over parked processes' tokens (parent chains
+  /// included), clamped to [0.1ms, 50ms] so an un-notified external
+  /// cancel is still honoured promptly. The serving layer uses this to
+  /// bound its own hub waits across tenants.
+  double parkedWaitBound() const;
   uint64_t frameCount() const { return frame_; }
   size_t runnableCount() const;
+  size_t parkedCount() const;
 
   /// One failed process, with scheduler-side attribution. The log is
   /// capped at kMaxRecordedErrors entries (a crash-looping spawner must
@@ -178,6 +197,13 @@ class ThreadManager : public vm::Host {
       blocks::ScriptPtr script, blocks::EnvPtr env,
       vm::SpriteApi* sprite) override;
   size_t maxWorkers() const override { return maxWorkers_; }
+  vm::WakeHubPtr wakeHub() const override { return hub_; }
+
+  /// Share a wake hub (the serving layer gives all its sessions one hub
+  /// so any tenant's completion can rouse the server's frame loop).
+  void setWakeHub(vm::WakeHubPtr hub) {
+    if (hub) hub_ = std::move(hub);
+  }
 
  private:
   struct Task {
@@ -204,6 +230,7 @@ class ThreadManager : public vm::Host {
   size_t maxWorkers_ = 4;
   StageHooks hooks_;
   CancelTokenPtr defaultToken_;
+  vm::WakeHubPtr hub_;
 
   uint64_t frame_ = 0;
   double now_ = 0;

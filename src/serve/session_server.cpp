@@ -1,5 +1,6 @@
 #include "serve/session_server.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <cstddef>
 #include <utility>
@@ -27,7 +28,8 @@ const char* sessionStateName(SessionState state) {
 SessionServer::SessionServer(ServerConfig config)
     : config_(config),
       registry_(&blocks::BlockRegistry::standard()),
-      primitives_(core::fullPrimitiveTable()) {}
+      primitives_(core::fullPrimitiveTable()),
+      hub_(std::make_shared<vm::WakeHub>()) {}
 
 SessionServer::~SessionServer() {
   // Trip every live tenant's root before the managers destruct, so any
@@ -76,6 +78,10 @@ uint64_t SessionServer::admit(SessionWorkload workload) {
   session->stats.setParent(&workers::processSubstrateStats());
   session->manager =
       std::make_unique<sched::ThreadManager>(registry_, &primitives_);
+  // All tenants park on the server's hub: a completion arriving for any
+  // session can rouse a server asleep in runUntilQuiet(). Must precede
+  // workload.start(), which may already park processes.
+  session->manager->setWakeHub(hub_);
   session->manager->setDefaultCancelToken(session->root);
   session->manager->setSliceSteps(config_.sliceSteps);
   session->manager->setMaxWorkers(config_.maxWorkers);
@@ -103,6 +109,18 @@ void SessionServer::runSessionFrame(Session& session) {
   // frame hands to pool workers — records into its own ledger.
   workers::StatsScope scope(session.stats);
   try {
+    // Wake parked processes whose completion arrived and fail those whose
+    // deadline tripped while parked, *before* deciding whether the tenant
+    // has anything to run.
+    session.manager->pollParked();
+    if (!session.manager->hasReadyWork()) {
+      // Every live process is parked on an in-flight completion (or the
+      // manager just went idle and the recycle pass will collect it).
+      // Skip the slice and charge nothing: a blocked tenant must not
+      // burn its frame budget — nor count in the fairness ledger — on
+      // frames it could not use.
+      return;
+    }
     fault::inject(fault::Point::TenantStall, session.id);
     session.manager->runFrame();
     ++session.framesRun;
@@ -160,6 +178,24 @@ void SessionServer::runFrame() {
           .count());
 }
 
+bool SessionServer::anySessionReady() const {
+  for (const auto& session : active_) {
+    if (session->manager->hasReadyWork()) return true;
+  }
+  return false;
+}
+
+double SessionServer::parkedWaitBound() const {
+  // The nearest parked deadline across all tenants bounds the sleep, so
+  // a watchdog/deadline trip on a fully-parked session is still observed
+  // promptly (each manager clamps its own bound to [0.1ms, 50ms]).
+  double bound = 0.05;
+  for (const auto& session : active_) {
+    bound = std::min(bound, session->manager->parkedWaitBound());
+  }
+  return bound;
+}
+
 uint64_t SessionServer::runUntilQuiet(uint64_t maxFrames) {
   uint64_t executed = 0;
   while (!quiet()) {
@@ -183,8 +219,19 @@ uint64_t SessionServer::runUntilQuiet(uint64_t maxFrames) {
                          std::to_string(maxFrames) +
                          " frames); still active: " + who);
     }
+    // Snapshot before the frame polls each tenant: a completion landing
+    // anywhere after its session's poll bumps the stamp and the wait
+    // below returns immediately (race-free snapshot-then-recheck).
+    const uint64_t seen = hub_->snapshot();
     runFrame();
     ++executed;
+    if (!quiet() && !anySessionReady()) {
+      // Every tenant is parked on in-flight completions: sleep on the
+      // shared hub instead of spinning server frames. The wait round
+      // still counts against maxFrames (runaway guard), but no session
+      // is charged a frame for it.
+      hub_->waitChanged(seen, parkedWaitBound());
+    }
   }
   return executed;
 }

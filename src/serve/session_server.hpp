@@ -17,11 +17,17 @@
 //     SubstrateStats ledger rolling up into the process ledger, and a
 //     frame-budget watchdog that trips only the offending tenant's root
 //     with a TimeoutError naming its session id.
-//   * Fair time-slicing — runFrame() grants every active session exactly
-//     one scheduler frame, round-robin from a rotating start, with
-//     per-tenant slice accounting. A hot tenant cannot monopolize the
-//     frame loop; its interpreter work is bounded by the slice like
-//     everyone else's.
+//   * Fair time-slicing — runFrame() grants every session with ready
+//     work exactly one scheduler frame, round-robin from a rotating
+//     start, with per-tenant slice accounting. A hot tenant cannot
+//     monopolize the frame loop; its interpreter work is bounded by the
+//     slice like everyone else's. A tenant whose processes are all
+//     parked on in-flight completions is *skipped and not charged*: its
+//     framesRun ledger (the fairness unit and the watchdog's budget
+//     meter) only counts frames in which it could actually run. All
+//     sessions share one WakeHub, so when every tenant is parked,
+//     runUntilQuiet() sleeps on the hub instead of spinning server
+//     frames, and the first completion from any tenant rouses the loop.
 //   * Crash containment — an exception escaping one session's launch or
 //     frame slice marks that session Failed and recycles its slot; the
 //     server keeps serving the rest.
@@ -36,6 +42,7 @@
 #include "sched/thread_manager.hpp"
 #include "support/cancel.hpp"
 #include "support/error.hpp"
+#include "vm/host.hpp"
 #include "workers/stats.hpp"
 
 namespace psnap::serve {
@@ -121,14 +128,20 @@ class SessionServer {
   /// its slot recycled, and the id still returned.
   uint64_t admit(SessionWorkload workload);
 
-  /// One server frame: every active session receives one scheduler frame
-  /// (round-robin from a rotating start); sessions whose manager went
-  /// idle are finalized and their slots recycled.
+  /// One server frame: every active session with ready work receives one
+  /// scheduler frame (round-robin from a rotating start). A session whose
+  /// processes are all parked is polled for completions/deadline trips
+  /// but charged nothing — parked tenants consume zero framesRun.
+  /// Sessions whose manager went idle are finalized and their slots
+  /// recycled.
   void runFrame();
 
   /// Run server frames until no session is active; returns frames run.
-  /// Throws TimeoutError past `maxFrames`, naming the sessions still
-  /// active (the per-tenant watchdog should fire long before this).
+  /// When every active tenant is parked, sleeps on the shared wake hub
+  /// (bounded by the nearest parked deadline) instead of spinning.
+  /// Throws TimeoutError past `maxFrames` frames-plus-wait-rounds,
+  /// naming the sessions still active (the per-tenant watchdog should
+  /// fire long before this).
   uint64_t runUntilQuiet(uint64_t maxFrames = 10'000'000);
 
   /// Cancel one live session (counts as shed). Unknown/finished ids are
@@ -184,11 +197,20 @@ class SessionServer {
   /// Move a no-longer-active session into the finished records.
   void finalize(std::unique_ptr<Session> session);
   /// Give one session one scheduler frame under its scope (contained).
+  /// Wakes its parked processes first; if nothing is ready the frame is
+  /// skipped and the tenant's framesRun is not charged.
   void runSessionFrame(Session& session);
+  /// Any active session with a Ready process?
+  bool anySessionReady() const;
+  /// Nearest parked deadline across all active sessions (hub wait bound).
+  double parkedWaitBound() const;
 
   ServerConfig config_;
   const blocks::BlockRegistry* registry_;
   vm::PrimitiveTable primitives_;
+  /// One hub for all tenants: any session's completion callback can
+  /// rouse a server sleeping in runUntilQuiet().
+  vm::WakeHubPtr hub_;
 
   std::vector<std::unique_ptr<Session>> active_;  // admission order
   std::vector<SessionRecord> finished_;           // finish order

@@ -17,6 +17,7 @@
 // (release) and read only after observing the flag (acquire).
 #pragma once
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <limits>
@@ -124,10 +125,20 @@ class CancelToken {
 
   bool hasDeadline() const { return hasDeadline_; }
 
-  /// Seconds until the deadline (negative once past; +inf without one).
+  /// Seconds until the nearest deadline on this token's parent chain
+  /// (negative once past; +inf when no token in the chain has one). A
+  /// sleeping scheduler bounds its wait with this so a parked process's
+  /// deadline — even one inherited from a parent — fires on time.
   double remainingSeconds() const {
-    if (!hasDeadline_) return std::numeric_limits<double>::infinity();
-    return std::chrono::duration<double>(deadline_ - Clock::now()).count();
+    double remaining = std::numeric_limits<double>::infinity();
+    if (hasDeadline_) {
+      remaining =
+          std::chrono::duration<double>(deadline_ - Clock::now()).count();
+    }
+    if (parent_) {
+      remaining = std::min(remaining, parent_->remainingSeconds());
+    }
+    return remaining;
   }
 
  private:

@@ -51,6 +51,7 @@ const char* pointName(Point point) {
     case Point::PoolSaturation:      return "pool-saturation";
     case Point::SessionAdmitFailure: return "session-admit-failure";
     case Point::TenantStall:         return "tenant-stall";
+    case Point::CompletionDrop:      return "completion-drop";
   }
   return "unknown";
 }
@@ -102,7 +103,10 @@ void evaluate(Point point, uint64_t tag) {
       gConfig.rateNumerator.load(std::memory_order_relaxed))
     return;
   gFired[index].fetch_add(1, std::memory_order_relaxed);
-  if (point == Point::WorkerStall) {
+  if (point == Point::WorkerStall || point == Point::CompletionDrop) {
+    // Sleep-type points: CompletionDrop fires at the completion-dispatch
+    // site, where a throw would lose the wakeup forever — it may only
+    // delay the callback, never drop it.
     std::this_thread::sleep_for(std::chrono::microseconds(
         gConfig.stallMicros.load(std::memory_order_relaxed)));
     return;

@@ -22,7 +22,12 @@
 //     exercise);
 //   * WorkerStall sleeps the calling worker for `stallMicros` instead of
 //     throwing, modelling a Web Worker that has gone unresponsive (pairs
-//     with deadlines to produce TimeoutError).
+//     with deadlines to produce TimeoutError);
+//   * CompletionDrop sleeps the settling worker between marking an
+//     operation complete and dispatching its callbacks, widening the
+//     completion-vs-cancel-vs-deadline race window. It must never throw:
+//     a throw at the dispatch site would lose the wakeup forever, which
+//     is a bug in the injector, not a fault the model covers.
 //
 // The serve points carry a *tag* (the session id) so Config::targetTag
 // can aim a fault at exactly one tenant — the multi-tenant chaos suite's
@@ -47,8 +52,9 @@ enum class Point : uint8_t {
   PoolSaturation,      ///< the pool cannot accept new work
   SessionAdmitFailure, ///< the serving layer cannot admit a new session
   TenantStall,         ///< one tenant's frame slice dies mid-flight
+  CompletionDrop,      ///< a completion callback is delayed before dispatch
 };
-inline constexpr size_t kPointCount = 6;
+inline constexpr size_t kPointCount = 7;
 
 const char* pointName(Point point);
 

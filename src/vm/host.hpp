@@ -12,8 +12,11 @@
 // scripts in tests and in the code generator.
 #pragma once
 
+#include <chrono>
+#include <condition_variable>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -21,6 +24,46 @@
 #include "blocks/environment.hpp"
 
 namespace psnap::vm {
+
+/// The wake channel between completion callbacks (which run on pool
+/// workers) and a scheduler sleeping because every process is parked.
+/// notify() is cheap, lock-light, and safe from any thread; the stamp
+/// makes waits race-free — a notify that lands between "decide to sleep"
+/// and "actually sleep" is observed by the stamp check, never lost.
+///
+/// Wake functors capture only shared_ptrs to a per-park flag and this hub
+/// — never a Process or scheduler pointer — so a late completion firing
+/// after the process (or its whole ThreadManager) is gone touches nothing
+/// but its own captures.
+struct WakeHub {
+  std::mutex mutex;
+  std::condition_variable cv;
+  uint64_t stamp = 0;  // guarded by mutex; bumped by every notify()
+
+  void notify() {
+    {
+      std::lock_guard<std::mutex> lock(mutex);
+      ++stamp;
+    }
+    cv.notify_all();
+  }
+
+  /// Current stamp, to snapshot before re-checking wake flags.
+  uint64_t snapshot() {
+    std::lock_guard<std::mutex> lock(mutex);
+    return stamp;
+  }
+
+  /// Wait until the stamp moves past `seen` or `maxSeconds` elapses.
+  /// Returns true if woken by a notify, false on timeout.
+  bool waitChanged(uint64_t seen, double maxSeconds) {
+    std::unique_lock<std::mutex> lock(mutex);
+    return cv.wait_for(lock,
+                       std::chrono::duration<double>(maxSeconds),
+                       [&] { return stamp != seen; });
+  }
+};
+using WakeHubPtr = std::shared_ptr<WakeHub>;
 
 /// Completion status of a process launched through Host::launchScript.
 /// The launching primitive polls `done` from its yield loop (the same
@@ -104,6 +147,11 @@ class Host {
 
   /// Default worker-pool width (navigator.hardwareConcurrency analog).
   virtual size_t maxWorkers() const = 0;
+
+  /// The host's wake hub, captured by parked processes' wake functors so
+  /// a completion can rouse a sleeping scheduler. May be null (headless
+  /// hosts): parking still works, the waker just has nobody to poke.
+  virtual WakeHubPtr wakeHub() const { return nullptr; }
 };
 
 /// A do-nothing host for headless script evaluation: the clock is manually

@@ -232,6 +232,8 @@ void registerOperators(PrimitiveTable& t) {
               return Value(type == "list");
             case blocks::ValueKind::RingRef:
               return Value(type == "ring");
+            case blocks::ValueKind::FutureRef:
+              return Value(type == "future");
             case blocks::ValueKind::Nothing:
               return Value(type == "nothing");
           }

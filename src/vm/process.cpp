@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
+#include <thread>
 
+#include "blocks/future.hpp"
 #include "support/error.hpp"
 
 namespace psnap::vm {
@@ -103,6 +106,46 @@ bool Process::checkCancelled() {
   return true;
 }
 
+bool Process::failIfCancelled() {
+  if (state_ != ProcessState::Ready && state_ != ProcessState::Blocked) {
+    return false;
+  }
+  return checkCancelled();
+}
+
+std::function<void()> Process::parkOnCompletion(Context& ctx) {
+  (void)ctx;  // the handler frame stays on top; re-invoked on wake
+  state_ = ProcessState::Blocked;
+  progress_ = true;  // parking is progress (like pushing a yield marker)
+  wakeFlag_ = std::make_shared<std::atomic<bool>>(false);
+  auto flag = wakeFlag_;
+  WakeHubPtr hub = host_->wakeHub();
+  // Captures only the flag and the hub: a completion that fires after
+  // this process (or its whole scheduler) is destroyed touches nothing
+  // else. The release store pairs with wakeReady()'s acquire load.
+  return [flag, hub]() {
+    flag->store(true, std::memory_order_release);
+    if (hub) hub->notify();
+  };
+}
+
+void Process::unpark() {
+  if (state_ != ProcessState::Blocked) return;
+  state_ = ProcessState::Ready;
+  wakeFlag_.reset();
+}
+
+void Process::adoptFuture(const std::shared_ptr<blocks::Future>& future) {
+  if (future) ownedFutures_.push_back(future);
+}
+
+void Process::cancelOwnedFutures(const std::string& reason) {
+  for (auto& weak : ownedFutures_) {
+    if (auto future = weak.lock()) future->cancel(reason);
+  }
+  ownedFutures_.clear();
+}
+
 bool Process::runSlice(size_t maxSteps) {
   if (!runnable()) return false;
   if (checkCancelled()) return false;
@@ -117,7 +160,21 @@ bool Process::runSlice(size_t maxSteps) {
 
 const Value& Process::runToCompletion(size_t maxTotalSteps) {
   size_t total = 0;
-  while (runnable()) {
+  while (runnable() || blocked()) {
+    if (blocked()) {
+      // Headless park: no scheduler frame loop, so wait for the wake
+      // flag right here. The pool makes independent progress, so the
+      // flag always arrives unless the operation hangs — in which case
+      // the token's deadline (checked each lap) is the way out.
+      if (wakeReady()) {
+        unpark();
+      } else if (failIfCancelled()) {
+        break;
+      } else {
+        std::this_thread::sleep_for(std::chrono::microseconds(50));
+      }
+      continue;
+    }
     yielded_ = false;
     size_t budget = std::min<size_t>(kDefaultSliceSteps,
                                      maxTotalSteps - total);
@@ -371,6 +428,7 @@ void Process::terminate() {
   warpDepth_ = 0;
   state_ = ProcessState::Terminated;
   progress_ = true;
+  cancelOwnedFutures("owning process terminated");
 }
 
 void Process::pushRingCall(const RingPtr& ring, std::vector<Value> args,
@@ -399,6 +457,7 @@ void Process::fail(const std::string& message) {
   stack_.clear();
   warpDepth_ = 0;
   state_ = ProcessState::Errored;
+  cancelOwnedFutures("owning process failed");
 }
 
 }  // namespace psnap::vm

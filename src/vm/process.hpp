@@ -19,6 +19,7 @@
 // worker pool used by the parallel blocks (src/workers, src/core).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <deque>
 #include <functional>
@@ -33,6 +34,10 @@
 #include "support/cancel.hpp"
 #include "support/error.hpp"
 #include "vm/host.hpp"
+
+namespace psnap::blocks {
+class Future;
+}  // namespace psnap::blocks
 
 namespace psnap::vm {
 
@@ -117,8 +122,11 @@ class PrimitiveTable {
 
 void registerStandardPrimitives(PrimitiveTable& table);
 
-/// Why a process is no longer runnable.
-enum class ProcessState { Ready, Done, Errored, Terminated };
+/// Why a process is no longer runnable. Blocked is the parked state: the
+/// process is alive but waiting on a completion callback — it consumes no
+/// frames and is neither runnable nor finished until the callback
+/// re-readies it (or cancellation fails it).
+enum class ProcessState { Ready, Blocked, Done, Errored, Terminated };
 
 /// How stepBlock resolves a block's spec and handler.
 ///
@@ -144,7 +152,11 @@ class Process {
 
   ProcessState state() const { return state_; }
   bool runnable() const { return state_ == ProcessState::Ready; }
-  bool finished() const { return state_ != ProcessState::Ready; }
+  bool blocked() const { return state_ == ProcessState::Blocked; }
+  bool finished() const {
+    return state_ == ProcessState::Done || state_ == ProcessState::Errored ||
+           state_ == ProcessState::Terminated;
+  }
   bool errored() const { return state_ == ProcessState::Errored; }
   const std::string& error() const { return error_; }
   /// The error's class tag (None while clean; Timeout/Cancelled when a
@@ -203,8 +215,37 @@ class Process {
   /// Pop the current frame with no value (commands).
   void finishCommand();
   /// Keep the current frame, schedule a yield, and re-invoke the handler
-  /// next slice (the Listing 2 polling idiom).
+  /// next slice (the Listing 2 polling idiom — retained for cooperative
+  /// compute such as the sequential fallback slices, NOT for completion
+  /// polling; async handlers park with parkOnCompletion instead).
   void retryAfterYield(Context& ctx);
+
+  /// Park the process: keep the current frame (the handler is re-invoked
+  /// on wake with its scratch state intact), move to Blocked, and return
+  /// the wake functor to hand to an onComplete/onSettle registration.
+  ///
+  /// The functor is safe to call from any thread at any time — including
+  /// inline during registration (operation already resolved) and after
+  /// the process or its scheduler is destroyed: it captures only a
+  /// per-park flag and the host's WakeHub, never `this`. The flag store
+  /// is release, the scheduler's wakeReady() read is acquire, so task
+  /// outputs published before the completion settle are visible to the
+  /// re-invoked handler.
+  std::function<void()> parkOnCompletion(Context& ctx);
+
+  /// Has the parked process's wake functor fired?
+  bool wakeReady() const {
+    return state_ == ProcessState::Blocked && wakeFlag_ &&
+           wakeFlag_->load(std::memory_order_acquire);
+  }
+
+  /// Blocked -> Ready (scheduler-side, after wakeReady()).
+  void unpark();
+
+  /// If the cancel token tripped, fail with its typed reason and return
+  /// true. Works from Ready and Blocked — the scheduler uses this to fail
+  /// a parked process whose deadline expired while it consumed no frames.
+  bool failIfCancelled();
   /// doReport: unwind to the innermost call boundary, returning `value`.
   void unwindReport(blocks::Value value);
   /// stop this script: unwind to the innermost call boundary, no value.
@@ -228,6 +269,11 @@ class Process {
                     std::vector<blocks::Value> args,
                     const blocks::EnvPtr& callerEnv);
 
+  /// Register a Future launched by this process. Cancellation of the
+  /// owning process (terminate or failure) cancels every still-pending
+  /// adopted future, propagating into the underlying operation.
+  void adoptFuture(const std::shared_ptr<blocks::Future>& future);
+
   /// say/think output log (always appended, also forwarded to the sprite).
   std::vector<std::string>& sayLog() { return sayLog_; }
 
@@ -246,6 +292,8 @@ class Process {
   /// If the cancel token tripped, fail with its typed reason and return
   /// true.
   bool checkCancelled();
+  /// Cancel every adopted still-pending future (on terminate/fail).
+  void cancelOwnedFutures(const std::string& reason);
 
   const blocks::BlockRegistry* registry_;
   const PrimitiveTable* primitives_;
@@ -266,6 +314,11 @@ class Process {
   blocks::Value result_;
   bool yielded_ = false;
   bool progress_ = false;  ///< set by any stack mutation within step()
+  /// Per-park wake flag; a fresh one per park so a stale functor from an
+  /// earlier park (delayed by CompletionDrop) can never wake a later one.
+  std::shared_ptr<std::atomic<bool>> wakeFlag_;
+  /// Futures launched by this process, cancelled with it.
+  std::vector<std::weak_ptr<blocks::Future>> ownedFutures_;
 
   std::vector<std::string> sayLog_;
   uint64_t id_;

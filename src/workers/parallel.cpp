@@ -142,6 +142,16 @@ void Parallel::launch(std::function<void(size_t)> body, size_t taskCount) {
     });
   }
   group_ = std::make_shared<TaskGroup>(std::move(tasks), token_);
+  {
+    // Attach callbacks registered before launch. An empty group settled
+    // in its constructor, so these may fire right here on the caller.
+    std::vector<std::function<void()>> pending;
+    {
+      std::lock_guard<std::mutex> lock(errorMutex_);
+      pending.swap(pendingCallbacks_);
+    }
+    for (auto& cb : pending) group_->onComplete(std::move(cb));
+  }
   try {
     WorkerPool::shared().submit(group_);
   } catch (const SubstrateError&) {
@@ -255,6 +265,17 @@ void Parallel::reduce(ReduceFn fn) {
 
 bool Parallel::resolved() const {
   return launched_.load() && group_ && group_->done();
+}
+
+void Parallel::onComplete(std::function<void()> cb) {
+  {
+    std::lock_guard<std::mutex> lock(errorMutex_);
+    if (!group_) {
+      pendingCallbacks_.push_back(std::move(cb));
+      return;
+    }
+  }
+  group_->onComplete(std::move(cb));
 }
 
 void Parallel::cancel(const std::string& reason) {

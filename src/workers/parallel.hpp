@@ -7,7 +7,7 @@
 // becomes
 //
 //   Parallel p(values, {.maxWorkers = 2});
-//   p.map(mydouble);          // asynchronous: poll p.resolved()
+//   p.map(mydouble);          // asynchronous: onComplete() fires once
 //   p.wait();
 //   use(p.data());
 //
@@ -18,9 +18,12 @@
 //     workers systematically process the remaining elements from the list
 //     until completed" — the default distribution is dynamic
 //     self-scheduling over an atomic cursor;
-//   * completion is observed by polling (the `operation._resolved` flag of
-//     Listing 2), which is exactly how the parallelMap block integrates
-//     with the cooperative scheduler.
+//   * completion is observed through onComplete() callbacks (the
+//     completion-driven successor of Listing 2's `operation._resolved`
+//     poll flag): the parallelMap block parks its process on the
+//     callback and the finishing worker re-readies it. resolved() still
+//     answers the instantaneous question for tests and wait() fast
+//     paths, but nothing in the runtime spins on it.
 //
 // Execution substrate: operations no longer spawn threads. Each logical
 // worker becomes one chunk task in a TaskGroup submitted to the shared
@@ -142,7 +145,15 @@ class Parallel {
   void reduce(ReduceFn fn);
 
   /// Has the running operation finished? (Listing 2's `_resolved`.)
+  /// Kept for tests and assertions; scheduler integration registers
+  /// onComplete() instead of polling this per frame.
   bool resolved() const;
+
+  /// Register a completion callback: fires exactly once, from the worker
+  /// that finishes the operation (or immediately if already resolved, or
+  /// on the caller when the launch degrades to an inline drain).
+  /// Callbacks registered before map()/reduce() are attached at launch.
+  void onComplete(std::function<void()> cb);
 
   /// Block until resolved (draining unclaimed chunk tasks on this
   /// thread). Failures are captured, not thrown (see failed()/data()).
@@ -218,6 +229,9 @@ class Parallel {
   ErrorClass errorClass_ = ErrorClass::None;
   std::exception_ptr errorPtr_;
   std::mutex errorMutex_;
+  // onComplete registrations made before launch; attached to the group
+  // (under errorMutex_) the moment it exists.
+  std::vector<std::function<void()>> pendingCallbacks_;
   std::vector<blocks::Value> partials_;  // reduce intermediates
   ReduceFn combiner_;                    // for the final sequential fold
   std::string cancelReason_ = "parallel operation cancelled";

@@ -18,10 +18,15 @@
 // TypeError thrown on a worker resurfaces as a TypeError, not a flattened
 // string. An external token (a deadline, a script's stop) cancels the
 // group the same way.
+//
+// Completion model: the group settles a CompletionLatch when its last task
+// finishes. onComplete() callbacks fire exactly once, from the worker that
+// finished the final task (or immediately if the group is already done) —
+// this is the edge the scheduler's parked processes wake on, replacing the
+// per-frame done() poll of the paper's Listing 2.
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <exception>
 #include <functional>
@@ -31,6 +36,7 @@
 
 #include "support/cancel.hpp"
 #include "support/error.hpp"
+#include "workers/completion.hpp"
 #include "workers/stats.hpp"
 
 namespace psnap::workers {
@@ -50,7 +56,7 @@ class TaskGroup {
         pending_(tasks_.size()),
         token_(std::move(token)),
         stats_(&substrateStats()) {
-    if (tasks_.empty()) doneFlag_ = true;
+    if (tasks_.empty()) latch_.settle();
   }
 
   TaskGroup(const TaskGroup&) = delete;
@@ -92,17 +98,21 @@ class TaskGroup {
       }
     }
     if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-      {
-        std::lock_guard<std::mutex> lock(mutex_);
-        doneFlag_ = true;
-      }
-      cv_.notify_all();
+      // Last task down: settle on this (worker) thread. Callbacks fire
+      // here, after the error slot and every task's outputs are visible.
+      latch_.settle();
     }
     return true;
   }
 
-  /// All tasks finished? Lock-free — this is what the cooperative
-  /// scheduler's poll loop (Listing 2's `_resolved`) reads every frame.
+  /// Register a completion callback: fires exactly once, from the worker
+  /// that finishes the last task, or immediately if already done.
+  void onComplete(CompletionLatch::Callback cb) {
+    latch_.onSettle(std::move(cb));
+  }
+
+  /// All tasks finished? Lock-free; kept for assertions and internal
+  /// gates — scheduler code registers onComplete() instead of polling.
   bool done() const {
     return pending_.load(std::memory_order_acquire) == 0;
   }
@@ -113,8 +123,7 @@ class TaskGroup {
   void wait() {
     while (runOne()) {
     }
-    std::unique_lock<std::mutex> lock(mutex_);
-    cv_.wait(lock, [this] { return doneFlag_; });
+    latch_.wait();
   }
 
   /// First exception thrown by a task (null when all tasks were clean).
@@ -152,9 +161,8 @@ class TaskGroup {
   std::atomic<bool> cancelled_{false};
   CancelTokenPtr token_;
   SubstrateStats* stats_;  // the submitting thread's scope, never null
+  CompletionLatch latch_;
   mutable std::mutex mutex_;
-  std::condition_variable cv_;
-  bool doneFlag_ = false;          // guarded by mutex_ (cv predicate)
   std::exception_ptr error_;       // guarded by mutex_
 };
 

@@ -68,13 +68,6 @@ class WorkerPool {
     return completed_.load(std::memory_order_relaxed);
   }
 
-  /// True while any job is queued or executing — the scheduler uses this
-  /// to decide whether its frame loop should yield the core to workers.
-  bool busy() const {
-    return queued_.load(std::memory_order_relaxed) > 0 ||
-           inflight_.load(std::memory_order_relaxed) > 0;
-  }
-
   /// The process-wide default pool, created on first use — analogous to
   /// the browser's worker slots always being available. Width is
   /// max(4, hardware_concurrency): never below the paper's default.

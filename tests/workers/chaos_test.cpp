@@ -8,8 +8,10 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cstdlib>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "mapreduce/engine.hpp"
@@ -285,6 +287,161 @@ TEST(Chaos, MapReducePoolSaturationDegradesSequentially) {
   }
   EXPECT_GT(substrateStats().downgrades.load(std::memory_order_relaxed),
             downgradesBefore);
+  expectPoolUsable();
+}
+
+/// Completion callbacks run on the settling worker *after* wait()
+/// observes the settle, so give the dispatch a moment before asserting.
+void awaitCallback(const std::atomic<int>& fired) {
+  for (int i = 0; i < 20000 && fired.load(std::memory_order_acquire) == 0;
+       ++i) {
+    std::this_thread::sleep_for(std::chrono::microseconds(100));
+  }
+}
+
+TEST(Chaos, CompletionDropDelaysButNeverLosesTheWakeup) {
+  for (uint64_t seed : chaosSeeds()) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    {
+      // Rate 1/1: every settle in the run (the group's and the facade's)
+      // stalls between claiming the settle and dispatching callbacks. The
+      // wakeup must arrive late, not never.
+      fault::ScopedFault armed(
+          configFor(seed, fault::Point::CompletionDrop, 1, 1));
+      Parallel p(numbers(64), {.maxWorkers = 4});
+      std::atomic<int> fired{0};
+      p.map([](const Value& v) { return Value(v.asNumber() * 2); });
+      p.onComplete([&fired] { fired.fetch_add(1); });
+      p.wait();
+      awaitCallback(fired);
+      EXPECT_EQ(fired.load(), 1);
+      ASSERT_FALSE(p.failed());
+      const auto& data = p.data();
+      ASSERT_EQ(data.size(), 64u);
+      for (int i = 0; i < 64; ++i) {
+        ASSERT_EQ(data[size_t(i)].asNumber(), 2 * (i + 1));
+      }
+    }
+    expectPoolUsable();
+  }
+}
+
+TEST(Chaos, CompletionDropRacesExternalCancel) {
+  for (uint64_t seed : chaosSeeds()) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    {
+      fault::ScopedFault armed(
+          configFor(seed, fault::Point::CompletionDrop, 1, 1));
+      ParallelOptions options;
+      options.maxWorkers = 4;
+      options.cancel = CancelToken::create();
+      Parallel p(numbers(256), options);
+      std::atomic<int> fired{0};
+      p.map([](const Value& v) { return Value(v.asNumber() + 1); });
+      p.onComplete([&fired] { fired.fetch_add(1); });
+      // Cancel from the controlling thread while the settle is (with rate
+      // 1/1) stalled inside the drop window: whichever side wins, the
+      // callback fires exactly once and the op converges typed or exact.
+      options.cancel->cancel("raced cancel");
+      p.wait();
+      awaitCallback(fired);
+      EXPECT_EQ(fired.load(), 1);
+      if (p.failed()) {
+        EXPECT_TRUE(isSubstrateClass(p.errorClass()));
+        EXPECT_THROW(p.data(), Error);
+      } else {
+        const auto& data = p.data();
+        ASSERT_EQ(data.size(), 256u);
+        for (int i = 0; i < 256; ++i) {
+          ASSERT_EQ(data[size_t(i)].asNumber(), i + 2);
+        }
+      }
+    }
+    expectPoolUsable();
+  }
+}
+
+TEST(Chaos, CompletionDropRacesDeadlineExpiry) {
+  for (uint64_t seed : chaosSeeds()) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    {
+      // Stalled workers push the run toward the deadline while every
+      // settle is delayed in the drop window — completion, timeout, and
+      // callback dispatch all race. Convergence: exact data or a typed
+      // substrate-family failure, and exactly one callback either way.
+      fault::Config config = configFor(seed, fault::Point::CompletionDrop,
+                                       1, 1);
+      config.pointMask |= fault::maskOf(fault::Point::WorkerStall);
+      config.stallMicros = 300;
+      fault::ScopedFault armed(config);
+      ParallelOptions options;
+      options.maxWorkers = 4;
+      options.cancel = CancelToken::withDeadline(0.002);
+      Parallel p(numbers(128), options);
+      std::atomic<int> fired{0};
+      p.map([](const Value& v) { return Value(v.asNumber() - 1); });
+      p.onComplete([&fired] { fired.fetch_add(1); });
+      p.wait();
+      awaitCallback(fired);
+      EXPECT_EQ(fired.load(), 1);
+      if (p.failed()) {
+        EXPECT_TRUE(isSubstrateClass(p.errorClass()));
+      } else {
+        const auto& data = p.data();
+        ASSERT_EQ(data.size(), 128u);
+        for (int i = 0; i < 128; ++i) {
+          ASSERT_EQ(data[size_t(i)].asNumber(), i);
+        }
+      }
+    }
+    expectPoolUsable();
+  }
+}
+
+TEST(Chaos, CompletionDropOnPipelineChainKeepsOutputExact) {
+  auto input = List::make();
+  for (int i = 0; i < 300; ++i) input->add(Value(i % 11));
+  mr::MapFn one = [](const Value&) { return Value(1); };
+  mr::ReduceFn count = [](const ListPtr& values) {
+    return Value(values->length());
+  };
+  auto reference = mr::run(input, one, count, {.sequential = true});
+  for (uint64_t seed : chaosSeeds()) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    {
+      // The chained pipeline settles a latch per stage plus the job's
+      // own; dropping half of those dispatch windows delays the
+      // stage1→stage2→merge chaining without ever detaching it.
+      fault::ScopedFault armed(
+          configFor(seed, fault::Point::CompletionDrop, 1, 2));
+      mr::Job job(input, one, count, {.workers = 4});
+      std::atomic<int> fired{0};
+      job.onComplete([&fired] { fired.fetch_add(1); });
+      awaitCallback(fired);
+      EXPECT_EQ(fired.load(), 1);
+      ASSERT_TRUE(job.resolved());
+      ASSERT_FALSE(job.failed()) << job.errorMessage();
+      EXPECT_TRUE(job.result()->deepEquals(*reference));
+    }
+    expectPoolUsable();
+  }
+}
+
+TEST(Chaos, CompletionDropLateRegistrationFiresInline) {
+  Parallel p(numbers(16), {.maxWorkers = 2});
+  p.map([](const Value& v) { return v; });
+  p.wait();
+  ASSERT_TRUE(p.resolved());
+  {
+    // Registering on an already-settled op runs the callback on this
+    // thread before onComplete returns — the drop point is not on that
+    // path (nothing to race), so arming it must change nothing.
+    fault::ScopedFault armed(
+        configFor(1, fault::Point::CompletionDrop, 1, 1));
+    std::atomic<int> fired{0};
+    p.onComplete([&fired] { fired.fetch_add(1); });
+    EXPECT_EQ(fired.load(), 1);
+  }
   expectPoolUsable();
 }
 
