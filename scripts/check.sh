@@ -23,6 +23,14 @@
 #   failures, and pool saturation must converge — exact results or typed
 #   substrate errors — with no data race or memory error underneath.
 #
+# Usage: scripts/check.sh --native
+#   Builds the asan preset and runs the native-tier suites (test_native:
+#   the promotion pipeline, golden byte-identical rings, compile-failure
+#   chaos) under AddressSanitizer — the dlopen'd kernels, the marshalling
+#   buffers, and the async install path must be memory-clean. Skips
+#   gracefully (exit 0 with a notice) when no C compiler is on PATH,
+#   since the tier itself degrades to the interpreter there.
+#
 # Usage: scripts/check.sh --serve [seed...]
 #   The multi-tenant analogue of --chaos: builds the asan and tsan
 #   presets and sweeps the serving-layer chaos suite
@@ -68,6 +76,8 @@ if [ "${1:-}" = "--bench-smoke" ]; then
         args=(--quick --out "${scratch}/${name}.json") ;;
       bench_async)
         args=(--quick --out "${scratch}/${name}.json") ;;
+      bench_native)
+        args=(--quick --out "${scratch}/${name}.json") ;;
       *)
         args=(--benchmark_min_time=0.01) ;;
     esac
@@ -102,6 +112,20 @@ if [ "${1:-}" = "--chaos" ]; then
     done
   done
   echo "== chaos sweep green: seeds ${seeds[*]} under asan + tsan =="
+  exit 0
+fi
+
+if [ "${1:-}" = "--native" ]; then
+  if ! command -v cc >/dev/null 2>&1 && ! command -v gcc >/dev/null 2>&1; then
+    echo "== native sweep skipped: no C compiler on PATH =="
+    exit 0
+  fi
+  cmake --preset asan
+  cmake --build --preset asan -j "${jobs}" --target test_native
+  echo "== native tier: asan =="
+  # Same leak-accounting stance as the asan ctest preset (see header).
+  ASAN_OPTIONS=detect_leaks=0 "build-asan/tests/test_native"
+  echo "== native tier sweep green under asan =="
   exit 0
 fi
 

@@ -51,6 +51,22 @@ CType inferInputType(const Input& input) {
   }
 }
 
+namespace {
+
+/// An operand's type as arithmetic sees it. Empty slots are the ring
+/// parameter, which is numeric by coercion in an arithmetic position, so
+/// they count as Double rather than Unknown here.
+CType arithmeticOperandType(const Input& input) {
+  if (input.kind() == InputKind::Empty) return CType::Double;
+  return inferInputType(input);
+}
+
+bool numericCType(CType type) {
+  return type == CType::Double || type == CType::Int || type == CType::Bool;
+}
+
+}  // namespace
+
 CType inferType(const Block& block) {
   switch (static_cast<Op>(block.opcodeId())) {
     case Op::reportSum:
@@ -59,7 +75,22 @@ CType inferType(const Block& block) {
     case Op::reportQuotient:
     case Op::reportModulus:
     case Op::reportPower:
+      // Mixed-type arithmetic does not default to Double: a Text,
+      // DoubleArray, or Unknown operand makes the result Unknown, so
+      // emitters that require a numeric signature reject the ring instead
+      // of miscompiling it.
+      for (const Input& input : block.inputs()) {
+        if (!numericCType(arithmeticOperandType(input))) {
+          return CType::Unknown;
+        }
+      }
+      return CType::Double;
     case Op::reportMonadic:
+      if (block.arity() == 2 &&
+          !numericCType(arithmeticOperandType(block.input(1)))) {
+        return CType::Unknown;
+      }
+      return CType::Double;
     case Op::reportRandom:
     case Op::reportListItem:
     case Op::getTimer:

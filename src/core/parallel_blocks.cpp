@@ -7,6 +7,7 @@
 
 #include "blocks/future.hpp"
 #include "core/pure_eval.hpp"
+#include "core/tiering.hpp"
 #include "mapreduce/engine.hpp"
 #include "support/error.hpp"
 #include "vm/host.hpp"
@@ -100,9 +101,11 @@ void parallelMapHandler(Process& p, Context& c, ParallelBlockOptions opts) {
                              : static_cast<size_t>(std::max<long long>(
                                    1, c.inputs[2].asInteger()));
     // body = 'return ' + expression.mappedCode(); — here: compile the
-    // ring into a thread-safe pure function.
+    // ring into a thread-safe pure function (tiered: a hot ring swaps in
+    // its native kernel, and its batch entry serves whole chunks).
     auto job = std::make_shared<MapJob>();
-    job->fn = compileUnary(ring, p.registry());
+    TieredUnary tiered = tieredUnary(ring, p.registry());
+    job->fn = tiered.fn;
     job->source = list;
     workers::ParallelOptions parOptions;
     parOptions.maxWorkers = workerCount;
@@ -117,7 +120,7 @@ void parallelMapHandler(Process& p, Context& c, ParallelBlockOptions opts) {
     parOptions.cancel = p.cancelToken();
     try {
       job->parallel = std::make_shared<workers::Parallel>(list, parOptions);
-      job->parallel->map(job->fn);
+      job->parallel->map(job->fn, tiered.batch);
     } catch (const SubstrateError&) {
       // Clone-in refused (transfer fault): fall back before launch.
       if (!opts.allowDegrade) throw;
@@ -301,16 +304,15 @@ void mapReduceHandler(Process& p, Context& c, ParallelBlockOptions opts) {
     const RingPtr& mapRing = c.inputs[0].asRing();
     const RingPtr& reduceRing = c.inputs[1].asRing();
     const ListPtr& list = c.inputs[2].asList();
-    auto mapFn = compileUnary(mapRing, p.registry());
-    auto reduceCompiled = compileRing(reduceRing, p.registry());
-    mr::ReduceFn reduceFn = [reduceCompiled](const ListPtr& values) {
-      return reduceCompiled({Value(values)});
-    };
+    TieredUnary tiered = tieredUnary(mapRing, p.registry());
+    mr::MapFn mapFn = tiered.fn;
+    mr::ReduceFn reduceFn = tieredListReduce(reduceRing, p.registry());
     mr::Options mrOptions;
     mrOptions.workers = p.host().maxWorkers();
     mrOptions.maxRetries = opts.maxRetries;
     mrOptions.deadlineSeconds = opts.deadlineSeconds;
     mrOptions.allowDegrade = opts.allowDegrade;
+    mrOptions.mapBatch = tiered.batch;
     // Same chaining as parallelMap: the pipeline dies with the process.
     mrOptions.cancel = p.cancelToken();
     auto job = std::make_shared<mr::Job>(list, mapFn, reduceFn, mrOptions);
@@ -351,7 +353,8 @@ void launchParallelMapHandler(Process& p, Context& c,
                              ? p.host().maxWorkers()
                              : static_cast<size_t>(std::max<long long>(
                                    1, c.inputs[2].asInteger()));
-    workers::MapFn fn = compileUnary(ring, p.registry());
+    TieredUnary tiered = tieredUnary(ring, p.registry());
+    workers::MapFn fn = tiered.fn;
     workers::ParallelOptions parOptions;
     parOptions.maxWorkers = workerCount;
     parOptions.distribution = opts.distribution;
@@ -363,7 +366,7 @@ void launchParallelMapHandler(Process& p, Context& c,
     parOptions.allowDegrade = false;
     parOptions.cancel = p.cancelToken();
     auto parallel = std::make_shared<workers::Parallel>(list, parOptions);
-    parallel->map(fn);
+    parallel->map(fn, tiered.batch);
     // The fulfillment callback runs on the worker that finishes the last
     // chunk. It owns the Parallel (the closure keeps it alive until the
     // settle) and charges clone-out/cancellation accounting to the
@@ -394,15 +397,14 @@ void launchMapReduceHandler(Process& p, Context& c,
     const RingPtr& mapRing = c.inputs[0].asRing();
     const RingPtr& reduceRing = c.inputs[1].asRing();
     const ListPtr& list = c.inputs[2].asList();
-    auto mapFn = compileUnary(mapRing, p.registry());
-    auto reduceCompiled = compileRing(reduceRing, p.registry());
-    mr::ReduceFn reduceFn = [reduceCompiled](const ListPtr& values) {
-      return reduceCompiled({Value(values)});
-    };
+    TieredUnary tiered = tieredUnary(mapRing, p.registry());
+    mr::MapFn mapFn = tiered.fn;
+    mr::ReduceFn reduceFn = tieredListReduce(reduceRing, p.registry());
     mr::Options mrOptions;
     mrOptions.workers = p.host().maxWorkers();
     mrOptions.maxRetries = opts.maxRetries;
     mrOptions.deadlineSeconds = opts.deadlineSeconds;
+    mrOptions.mapBatch = tiered.batch;
     mrOptions.allowDegrade = false;  // typed failures surface at the await
     mrOptions.cancel = p.cancelToken();
     auto job = std::make_shared<mr::Job>(list, mapFn, reduceFn, mrOptions);

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "core/tiering.hpp"
 #include "support/error.hpp"
 #include "support/strings.hpp"
 
@@ -465,16 +466,17 @@ PureFn compileRing(const RingPtr& ring, const BlockRegistry& registry) {
   };
 }
 
+// The adapters route through the tiering layer (core/tiering.hpp): the
+// interpreter closure stays the reference path, and a ring that goes hot
+// gains a native kernel behind the same signature at every call site.
 std::function<Value(const Value&)> compileUnary(
     const RingPtr& ring, const BlockRegistry& registry) {
-  PureFn fn = compileRing(ring, registry);
-  return [fn](const Value& v) { return fn({v}); };
+  return tieredUnary(ring, registry).fn;
 }
 
 std::function<Value(const Value&, const Value&)> compileBinary(
     const RingPtr& ring, const BlockRegistry& registry) {
-  PureFn fn = compileRing(ring, registry);
-  return [fn](const Value& a, const Value& b) { return fn({a, b}); };
+  return tieredBinary(ring, registry);
 }
 
 }  // namespace psnap::core

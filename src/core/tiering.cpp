@@ -1,0 +1,260 @@
+#include "core/tiering.hpp"
+
+#include <utility>
+#include <vector>
+
+#include "core/pure_eval.hpp"
+#include "native/marshal.hpp"
+#include "native/tier.hpp"
+
+namespace psnap::core {
+
+using blocks::BlockRegistry;
+using blocks::ListPtr;
+using blocks::RingPtr;
+using blocks::Value;
+using codegen::KernelShape;
+using native::KernelState;
+using native::RingKernel;
+using native::TierConfig;
+using native::TierManager;
+
+namespace {
+
+/// A parameter-reading kernel serves ValueKind::Number only: numeric text
+/// coerces to the same double but must *display* as text, so handing it
+/// to the kernel would pass the math and break byte-identical output.
+bool marshalable(const Value& v, const RingKernel* kernel) {
+  return !kernel->paramUsed || v.isNumber();
+}
+
+Value boxed(double raw, const RingKernel* kernel) {
+  return native::boxResult(raw, kernel->returnsBool);
+}
+
+/// The Ready-state validation gate for one scalar call: native and
+/// interpreter both run; agreement (same bits, or both erring) promotes,
+/// any divergence downgrades — and the interpreter's outcome is always
+/// the one surfaced, so a miscompiled kernel cannot leak a wrong value.
+template <typename Interp, typename NativeCall>
+Value validateScalar(RingKernel* kernel, const Interp& interp,
+                     const NativeCall& nativeCall) {
+  int err = 0;
+  const double raw = nativeCall(&err);
+  Value reference;
+  try {
+    reference = interp();
+  } catch (...) {
+    if (err) {
+      TierManager::instance().promote(kernel);  // both paths erred: agree
+    } else {
+      TierManager::instance().downgrade(kernel);
+    }
+    throw;
+  }
+  if (err) {
+    TierManager::instance().downgrade(kernel);  // native erred, interp not
+    return reference;
+  }
+  if (native::byteIdentical(boxed(raw, kernel), reference)) {
+    TierManager::instance().promote(kernel);
+    return reference;
+  }
+  TierManager::instance().downgrade(kernel);
+  return reference;
+}
+
+}  // namespace
+
+TieredUnary tieredUnary(const RingPtr& ring, const BlockRegistry& registry) {
+  PureFn compiled = compileRing(ring, registry);
+  auto interp = [compiled](const Value& v) { return compiled({v}); };
+  // Snapshot the session's config here, on the building thread — calls
+  // run on pool workers, where no TierScope is installed.
+  const TierConfig cfg = native::tierConfig();
+  if (!cfg.enabled) return {interp, {}};
+  RingKernel* kernel =
+      TierManager::instance().lookup(*ring, KernelShape::Unary);
+
+  auto fn = [interp, kernel, ring, cfg](const Value& v) -> Value {
+    switch (kernel->currentState()) {
+      case KernelState::Trusted: {
+        if (!marshalable(v, kernel)) break;
+        int err = 0;
+        const double raw =
+            kernel->unary(kernel->paramUsed ? v.asNumber() : 0.0, &err);
+        if (err) break;  // interpreter raises the exact typed error
+        kernel->nativeCalls.fetch_add(1, std::memory_order_relaxed);
+        TierManager::instance().noteNativeItems(1);
+        return boxed(raw, kernel);
+      }
+      case KernelState::Ready: {
+        if (!marshalable(v, kernel)) break;
+        return validateScalar(
+            kernel, [&] { return interp(v); },
+            [&](int* err) {
+              return kernel->unary(kernel->paramUsed ? v.asNumber() : 0.0,
+                                   err);
+            });
+      }
+      case KernelState::Cold:
+        TierManager::instance().recordCalls(kernel, ring, 1, cfg);
+        break;
+      default:
+        break;  // Compiling/Downgraded: interpreter serves
+    }
+    return interp(v);
+  };
+
+  auto batch = [interp, kernel, ring, cfg](Value* items, size_t n) -> bool {
+    const KernelState state = kernel->currentState();
+    if (state == KernelState::Cold) {
+      TierManager::instance().recordCalls(kernel, ring, n, cfg);
+      return false;
+    }
+    if (state != KernelState::Ready && state != KernelState::Trusted) {
+      return false;
+    }
+    if (!kernel->paramUsed && state == KernelState::Trusted) {
+      // Constant body, already validated: one kernel call, then fill —
+      // no marshalling buffers at all.
+      int err = 0;
+      const double raw = kernel->unary(0.0, &err);
+      if (err) return false;
+      const Value v = boxed(raw, kernel);
+      for (size_t i = 0; i < n; ++i) items[i] = v;
+      kernel->nativeCalls.fetch_add(n, std::memory_order_relaxed);
+      TierManager::instance().noteNativeItems(n);
+      return true;
+    }
+    std::vector<double> in;
+    if (kernel->paramUsed) {
+      if (!native::gatherNumbers(items, n, in)) return false;
+    } else {
+      in.assign(n, 0.0);  // constant body: the inputs are never read
+    }
+    std::vector<double> out(n);
+    // The OpenMP entry point earns its thread-spawn overhead only on
+    // large chunks; below that the serial loop wins.
+    native::UnaryBatchFn batchFn =
+        (kernel->unaryBatchOmp && n >= native::kOmpBatchThreshold)
+            ? kernel->unaryBatchOmp
+            : kernel->unaryBatch;
+    if (batchFn(in.data(), out.data(), static_cast<long>(n)) >= 0) {
+      return false;  // an element erred: the per-item loop raises it
+    }
+    if (state == KernelState::Ready) {
+      // Validate the whole chunk before writing anything: all-or-nothing
+      // keeps the caller's exact-retry invariant (every element written
+      // at most once).
+      for (size_t i = 0; i < n; ++i) {
+        Value reference;
+        try {
+          reference = interp(items[i]);
+        } catch (...) {
+          // Native said clean, interpreter raised: divergence.
+          TierManager::instance().downgrade(kernel);
+          return false;
+        }
+        if (!native::byteIdentical(boxed(out[i], kernel), reference)) {
+          TierManager::instance().downgrade(kernel);
+          return false;
+        }
+      }
+      TierManager::instance().promote(kernel);
+    }
+    for (size_t i = 0; i < n; ++i) items[i] = boxed(out[i], kernel);
+    kernel->nativeCalls.fetch_add(n, std::memory_order_relaxed);
+    TierManager::instance().noteNativeItems(n);
+    return true;
+  };
+
+  return {std::move(fn), std::move(batch)};
+}
+
+std::function<Value(const Value&, const Value&)> tieredBinary(
+    const RingPtr& ring, const BlockRegistry& registry) {
+  PureFn compiled = compileRing(ring, registry);
+  auto interp = [compiled](const Value& a, const Value& b) {
+    return compiled({a, b});
+  };
+  const TierConfig cfg = native::tierConfig();
+  if (!cfg.enabled) return interp;
+  RingKernel* kernel =
+      TierManager::instance().lookup(*ring, KernelShape::Binary);
+
+  return [interp, kernel, ring, cfg](const Value& a, const Value& b) -> Value {
+    const bool numeric = a.isNumber() && b.isNumber();
+    switch (kernel->currentState()) {
+      case KernelState::Trusted: {
+        if (!numeric) break;
+        int err = 0;
+        const double raw = kernel->binary(a.asNumber(), b.asNumber(), &err);
+        if (err) break;
+        kernel->nativeCalls.fetch_add(1, std::memory_order_relaxed);
+        TierManager::instance().noteNativeItems(1);
+        return boxed(raw, kernel);
+      }
+      case KernelState::Ready: {
+        if (!numeric) break;
+        return validateScalar(
+            kernel, [&] { return interp(a, b); },
+            [&](int* err) {
+              return kernel->binary(a.asNumber(), b.asNumber(), err);
+            });
+      }
+      case KernelState::Cold:
+        TierManager::instance().recordCalls(kernel, ring, 1, cfg);
+        break;
+      default:
+        break;
+    }
+    return interp(a, b);
+  };
+}
+
+std::function<Value(const ListPtr&)> tieredListReduce(
+    const RingPtr& ring, const BlockRegistry& registry) {
+  PureFn compiled = compileRing(ring, registry);
+  auto interp = [compiled](const ListPtr& values) {
+    return compiled({Value(values)});
+  };
+  const TierConfig cfg = native::tierConfig();
+  if (!cfg.enabled) return interp;
+  RingKernel* kernel =
+      TierManager::instance().lookup(*ring, KernelShape::Fold);
+
+  return [interp, kernel, ring, cfg](const ListPtr& values) -> Value {
+    const KernelState state = kernel->currentState();
+    if (state == KernelState::Cold) {
+      TierManager::instance().recordCalls(kernel, ring, 1, cfg);
+      return interp(values);
+    }
+    if (state != KernelState::Ready && state != KernelState::Trusted) {
+      return interp(values);
+    }
+    std::vector<double> in;
+    static const std::vector<Value> kNoItems;
+    const std::vector<Value>& items = values ? values->items() : kNoItems;
+    if (!native::gatherNumbers(items.data(), items.size(), in)) {
+      return interp(values);
+    }
+    if (state == KernelState::Ready) {
+      return validateScalar(
+          kernel, [&] { return interp(values); },
+          [&](int* err) {
+            return kernel->fold(in.data(), static_cast<long>(in.size()),
+                                err);
+          });
+    }
+    int err = 0;
+    const double raw =
+        kernel->fold(in.data(), static_cast<long>(in.size()), &err);
+    if (err) return interp(values);
+    kernel->nativeCalls.fetch_add(1, std::memory_order_relaxed);
+    TierManager::instance().noteNativeItems(in.size());
+    return boxed(raw, kernel);
+  };
+}
+
+}  // namespace psnap::core

@@ -440,11 +440,26 @@ void Job::startStage1() {
       while (true) {
         try {
           for (auto& bin : p.binned[slice]) bin.clear();
+          // Native chunk path: map the whole slice through the compiled
+          // kernel on a scratch copy (the pairs are keyed by the ORIGINAL
+          // items, which p.input still holds). A false return — kernel
+          // not installed, unmarshalable element, element error — falls
+          // through to the per-item loop with nothing written.
+          std::vector<Value> mapped;
+          bool batched = false;
+          if (p.options.mapBatch && end > begin) {
+            mapped.reserve(end - begin);
+            for (size_t i = begin; i < end; ++i) {
+              mapped.push_back(p.input->item(i + 1));
+            }
+            batched = p.options.mapBatch(mapped.data(), mapped.size());
+          }
           for (size_t i = begin; i < end; ++i) {
-            fault::inject(fault::Point::TaskThrow);
+            if (!batched) fault::inject(fault::Point::TaskThrow);
             if ((i - begin) % 512 == 511) token_->checkpoint();
             const Value& item = p.input->item(i + 1);
-            p.pairs[i] = toPair(item, p.mapFn(item));
+            p.pairs[i] = toPair(item, batched ? mapped[i - begin]
+                                              : p.mapFn(item));
             p.keys[i] = makeKey(p.pairs[i].asList()->item(1), p.shardCount);
             p.binned[slice][p.keys[i].shard].push_back(uint32_t(i));
           }

@@ -67,6 +67,12 @@ struct Options {
   bool allowDegrade = true;
   /// External cancellation for the whole pipeline.
   CancelTokenPtr cancel;
+  /// Optional chunk-at-a-time fast path for the map phase (the native
+  /// tier's compiled kernel). Same contract as workers::MapBatchFn:
+  /// all-or-nothing in-place transform, false when not servable. The
+  /// pipeline keys pairs by the ORIGINAL items, so the batch transform
+  /// runs on a scratch copy of each slice.
+  workers::MapBatchFn mapBatch;
 };
 
 struct Stats {

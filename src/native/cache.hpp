@@ -1,0 +1,52 @@
+// The native tier's kernel build directory.
+//
+// One persistent per-process directory (temp/psnap-native-<pid>) shared by
+// every kernel compile, so Toolchain's content-hash stamp cache hits when
+// the same ring shape goes hot twice (two sessions, or a downgraded-then-
+// reset test). Sources and outputs are named by the kernel's content key
+// (k<hex>.c -> k<hex>.so), which also keeps concurrent compiles of
+// *different* kernels from clobbering each other; the tier's state machine
+// guarantees at most one in-flight compile per key. Compiles are
+// serialized under a mutex anyway — gcc dominates the cost and the
+// Toolchain's cached-flag bookkeeping is not concurrent.
+//
+// The directory is removed when the process exits (static destructor).
+// Libraries already dlopen'd stay mapped — see loader.hpp.
+#pragma once
+
+#include <filesystem>
+#include <mutex>
+
+#include "codegen/programs.hpp"
+#include "codegen/toolchain.hpp"
+
+namespace psnap::native {
+
+class KernelCache {
+ public:
+  static KernelCache& instance();
+
+  /// Compile `kernelSource` ("kernel.c" from emitNativeKernel) into a
+  /// shared object named by `key`. Throws CodegenError on compiler
+  /// failure (diagnostics included).
+  std::filesystem::path compile(const codegen::SourceSet& kernelSource,
+                                uint64_t key);
+
+  /// Did the last compile() hit the Toolchain content cache?
+  bool lastCompileCached() const { return lastCached_; }
+
+  const std::filesystem::path& directory() const {
+    return toolchain_.directory();
+  }
+
+  ~KernelCache();
+
+ private:
+  KernelCache();
+
+  std::mutex mutex_;
+  codegen::Toolchain toolchain_;
+  bool lastCached_ = false;
+};
+
+}  // namespace psnap::native

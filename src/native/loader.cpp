@@ -1,0 +1,32 @@
+#include "native/loader.hpp"
+
+#include <dlfcn.h>
+
+#include "support/error.hpp"
+
+namespace psnap::native {
+
+SharedLibrary SharedLibrary::open(const std::filesystem::path& path) {
+  void* handle = ::dlopen(path.c_str(), RTLD_NOW | RTLD_LOCAL);
+  if (!handle) {
+    const char* why = ::dlerror();
+    throw CodegenError("dlopen failed for " + path.string() + ": " +
+                       (why ? why : "unknown error"));
+  }
+  return SharedLibrary(handle);
+}
+
+void* SharedLibrary::symbol(const char* name) const {
+  return ::dlsym(handle_, name);
+}
+
+void* SharedLibrary::requireRaw(const char* name) const {
+  void* sym = ::dlsym(handle_, name);
+  if (!sym) {
+    throw CodegenError(std::string("kernel library is missing symbol ") +
+                       name);
+  }
+  return sym;
+}
+
+}  // namespace psnap::native

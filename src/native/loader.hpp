@@ -1,0 +1,43 @@
+// dlopen/dlsym wrapper for the native tier's compiled kernels.
+//
+// Deliberately leaky: a SharedLibrary is never dlclose()d. Installed
+// kernels are raw function pointers published into id-indexed dispatch
+// records that live for the process lifetime (see tier.hpp); unloading a
+// library while any thread might still be inside — or about to enter — its
+// code is a use-after-unmap, and the tier has no quiescence point to prove
+// otherwise. A process compiles at most a few dozen distinct kernels, so
+// the mapped pages are noise next to the interpreter they replace. (The
+// *files* are reclaimed: on Linux the mapping survives the unlink, so the
+// kernel cache directory can be removed at process exit regardless.)
+#pragma once
+
+#include <filesystem>
+#include <string>
+
+namespace psnap::native {
+
+class SharedLibrary {
+ public:
+  /// dlopen(path, RTLD_NOW | RTLD_LOCAL). Throws CodegenError with the
+  /// dlerror() text on failure.
+  static SharedLibrary open(const std::filesystem::path& path);
+
+  /// dlsym lookup; nullptr when the symbol is absent.
+  void* symbol(const char* name) const;
+
+  /// Typed lookup. Throws CodegenError when the symbol is absent —
+  /// a kernel library missing its entry point is a build defect, not a
+  /// condition to limp through.
+  template <typename Fn>
+  Fn require(const char* name) const {
+    return reinterpret_cast<Fn>(requireRaw(name));
+  }
+
+ private:
+  explicit SharedLibrary(void* handle) : handle_(handle) {}
+  void* requireRaw(const char* name) const;
+
+  void* handle_ = nullptr;
+};
+
+}  // namespace psnap::native

@@ -1,0 +1,43 @@
+#include "native/marshal.hpp"
+
+#include <cstring>
+
+namespace psnap::native {
+
+using blocks::Value;
+
+bool gatherNumbers(const Value* items, size_t count,
+                   std::vector<double>& out) {
+  out.clear();
+  out.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    if (!items[i].isNumber()) return false;
+    out.push_back(items[i].asNumber());
+  }
+  return true;
+}
+
+bool gatherNumbers(const Value& list, std::vector<double>& out) {
+  if (!list.isList()) return false;
+  const auto& items = list.asList()->items();
+  return gatherNumbers(items.data(), items.size(), out);
+}
+
+Value boxResult(double raw, bool asBool) {
+  if (asBool) return Value(raw != 0.0);
+  return Value(raw);
+}
+
+bool byteIdentical(const Value& a, const Value& b) {
+  if (a.isNumber() && b.isNumber()) {
+    uint64_t abits, bbits;
+    const double ad = a.asNumber(), bd = b.asNumber();
+    std::memcpy(&abits, &ad, 8);
+    std::memcpy(&bbits, &bd, 8);
+    return abits == bbits;
+  }
+  if (a.isBoolean() && b.isBoolean()) return a.asBoolean() == b.asBoolean();
+  return false;
+}
+
+}  // namespace psnap::native

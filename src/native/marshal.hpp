@@ -1,0 +1,41 @@
+// Value <-> flat double-array marshalling for the native tier.
+//
+// Kernels compute over raw doubles; the interpreter computes over Values.
+// The tier's byte-identical-output contract is enforced here by *refusing*
+// to marshal anything whose round trip is not the identity:
+//
+//   * a parameter-reading kernel serves ValueKind::Number only — numeric
+//     *text* ("42") coerces to the same double but must display as text,
+//     so it stays on the interpreter;
+//   * fold kernels gather a list of Numbers; any other element kind
+//     aborts the gather.
+//
+// byteIdentical() is the validation gate's comparator: bit-equality on
+// doubles (distinguishes -0.0 from 0.0 and never equates NaNs — stricter
+// than ==, which is the point), plain equality on booleans.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "blocks/value.hpp"
+
+namespace psnap::native {
+
+/// Copy a chunk of Number values into `out`. False (out unspecified) when
+/// any element is not a Number.
+bool gatherNumbers(const blocks::Value* items, size_t count,
+                   std::vector<double>& out);
+
+/// Gather a list value's items. False when the value is not a list or any
+/// item is not a Number.
+bool gatherNumbers(const blocks::Value& list, std::vector<double>& out);
+
+/// Box a kernel result: Boolean from 0.0/1.0 when the kernel's body was a
+/// predicate, Number otherwise.
+blocks::Value boxResult(double raw, bool asBool);
+
+/// The validation comparator (see file comment).
+bool byteIdentical(const blocks::Value& a, const blocks::Value& b);
+
+}  // namespace psnap::native

@@ -107,6 +107,10 @@ void ThreadManager::pollParked() {
 }
 
 void ThreadManager::runFrame() {
+  // Per-session native-tier config: block handlers that compile rings
+  // during this frame's slices snapshot this scope's config, so a
+  // tier-disabled session stays interpreter-only however hot its rings.
+  native::TierScope tierScope(nativeTier_);
   ++frame_;
   pollParked();
   if (!interference_.steals(frame_)) {

@@ -22,6 +22,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "native/tier.hpp"
 #include "vm/process.hpp"
 
 namespace psnap::sched {
@@ -73,6 +74,11 @@ class ThreadManager : public vm::Host {
   /// Interpreter steps each process may take per frame.
   void setSliceSteps(size_t steps) { sliceSteps_ = steps; }
   void setMaxWorkers(size_t workers) { maxWorkers_ = workers; }
+  /// Per-session native-tier control: with the tier off, rings compiled
+  /// by this manager's frames never count hotness and never go native
+  /// (a TierScope wraps each frame; see native/tier.hpp).
+  void setNativeTier(bool enabled) { nativeTier_.enabled = enabled; }
+  bool nativeTier() const { return nativeTier_.enabled; }
   void setStageHooks(StageHooks hooks) { hooks_ = std::move(hooks); }
   /// Parent every process spawned from now on under `root`: each spawn
   /// gets a fresh child CancelToken, so tripping the root (a tenant
@@ -228,6 +234,9 @@ class ThreadManager : public vm::Host {
   double secondsPerFrame_ = 1.0;
   size_t sliceSteps_ = vm::Process::kDefaultSliceSteps;
   size_t maxWorkers_ = 4;
+  /// This manager's tier override, installed around each frame. Starts
+  /// from the process default so PSNAP_NATIVE_TIER=0 still wins.
+  native::TierConfig nativeTier_ = native::globalTierConfig();
   StageHooks hooks_;
   CancelTokenPtr defaultToken_;
   vm::WakeHubPtr hub_;

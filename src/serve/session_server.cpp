@@ -85,6 +85,7 @@ uint64_t SessionServer::admit(SessionWorkload workload) {
   session->manager->setDefaultCancelToken(session->root);
   session->manager->setSliceSteps(config_.sliceSteps);
   session->manager->setMaxWorkers(config_.maxWorkers);
+  if (!config_.nativeTier) session->manager->setNativeTier(false);
   ++metrics_.admitted;
 
   {

@@ -64,6 +64,9 @@ struct ServerConfig {
   size_t sliceSteps = vm::Process::kDefaultSliceSteps;
   /// Logical worker width each session's parallel blocks request.
   size_t maxWorkers = 4;
+  /// Let this server's sessions use the native execution tier (per-tenant
+  /// opt-out; PSNAP_NATIVE_TIER=0 disables it process-wide regardless).
+  bool nativeTier = true;
 };
 
 /// One tenant's workload. `start` builds the project into the session's

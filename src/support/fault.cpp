@@ -52,6 +52,7 @@ const char* pointName(Point point) {
     case Point::SessionAdmitFailure: return "session-admit-failure";
     case Point::TenantStall:         return "tenant-stall";
     case Point::CompletionDrop:      return "completion-drop";
+    case Point::NativeCompileFailure:return "native-compile-failure";
   }
   return "unknown";
 }

@@ -17,9 +17,10 @@
 //
 // Firing behaviour by point:
 //   * TaskThrow / TransferFailure / PoolSaturation / SessionAdmitFailure /
-//     TenantStall throw SubstrateError (the retryable class — retry,
-//     degradation, admission-rejection, and crash-containment paths
-//     exercise);
+//     TenantStall / NativeCompileFailure throw SubstrateError (the
+//     retryable class — retry, degradation, admission-rejection, and
+//     crash-containment paths exercise; a NativeCompileFailure inside the
+//     tier's compile task downgrades that kernel permanently);
 //   * WorkerStall sleeps the calling worker for `stallMicros` instead of
 //     throwing, modelling a Web Worker that has gone unresponsive (pairs
 //     with deadlines to produce TimeoutError);
@@ -53,8 +54,9 @@ enum class Point : uint8_t {
   SessionAdmitFailure, ///< the serving layer cannot admit a new session
   TenantStall,         ///< one tenant's frame slice dies mid-flight
   CompletionDrop,      ///< a completion callback is delayed before dispatch
+  NativeCompileFailure,///< the native tier's out-of-process compile dies
 };
-inline constexpr size_t kPointCount = 7;
+inline constexpr size_t kPointCount = 8;
 
 const char* pointName(Point point);
 

@@ -104,6 +104,13 @@ void Parallel::mapRange(const MapFn& fn, size_t begin, size_t end,
   while (true) {
     try {
       fault::inject(fault::Point::TaskThrow);
+      // Native chunk path: tried once, on a still-pristine range (batch_
+      // writes all-or-nothing, so a false return or a later retry always
+      // finds the original inputs). A true return means every element of
+      // the range is already mapped.
+      if (i == begin && batch_ && batch_(data_.data() + begin, end - begin)) {
+        i = end;
+      }
       for (; i < end; ++i) data_[i] = fn(data_[i]);
       perWorker_[w].items.fetch_add(end - begin, std::memory_order_relaxed);
       return;
@@ -165,7 +172,8 @@ void Parallel::launch(std::function<void(size_t)> body, size_t taskCount) {
   }
 }
 
-void Parallel::map(MapFn fn) {
+void Parallel::map(MapFn fn, MapBatchFn batch) {
+  batch_ = std::move(batch);
   const size_t n = data_.size();
   inputSize_ = n;
   switch (options_.distribution) {

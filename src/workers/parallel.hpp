@@ -87,6 +87,12 @@ using MapFn = std::function<blocks::Value(const blocks::Value&)>;
 /// A binary combiner for reduce.
 using ReduceFn =
     std::function<blocks::Value(const blocks::Value&, const blocks::Value&)>;
+/// An optional chunk-at-a-time fast path for map (the native tier's
+/// compiled kernels): transform `count` values in place and return true,
+/// or return false WITHOUT writing anything — the caller then applies the
+/// per-item MapFn. The all-or-nothing write contract is what keeps the
+/// chunk retry loop exact (every element written at most once).
+using MapBatchFn = std::function<bool(blocks::Value*, size_t count)>;
 
 /// How list elements are assigned to workers (ablation A2 in DESIGN.md).
 enum class Distribution {
@@ -137,7 +143,9 @@ class Parallel {
   size_t workerCount() const { return workers_; }
 
   /// Launch an asynchronous parallel map. May be called once per Parallel.
-  void map(MapFn fn);
+  /// `batch`, when given, is tried once per chunk before the per-item
+  /// loop (see MapBatchFn).
+  void map(MapFn fn, MapBatchFn batch = {});
 
   /// Launch an asynchronous parallel reduce: workers fold contiguous
   /// chunks, the caller's wait() combines the partials in order. `fn`
@@ -234,6 +242,7 @@ class Parallel {
   std::vector<std::function<void()>> pendingCallbacks_;
   std::vector<blocks::Value> partials_;  // reduce intermediates
   ReduceFn combiner_;                    // for the final sequential fold
+  MapBatchFn batch_;                     // optional native chunk path
   std::string cancelReason_ = "parallel operation cancelled";
   size_t inputSize_ = 0;
   bool isReduce_ = false;

@@ -41,6 +41,10 @@ struct SubstrateStats {
   std::atomic<uint64_t> timeouts{0};
   /// Tasks skipped unstarted because their group was already cancelled.
   std::atomic<uint64_t> tasksSkipped{0};
+  /// Rings the native tier gave up on permanently (unsupported block,
+  /// compiler failure, or a validation mismatch) — those rings run on the
+  /// interpreter forever after.
+  std::atomic<uint64_t> nativeDowngrades{0};
 
   /// One counter field, e.g. `&SubstrateStats::retries`.
   using Counter = std::atomic<uint64_t> SubstrateStats::*;
@@ -60,6 +64,7 @@ struct SubstrateStats {
     cancellations.store(0, std::memory_order_relaxed);
     timeouts.store(0, std::memory_order_relaxed);
     tasksSkipped.store(0, std::memory_order_relaxed);
+    nativeDowngrades.store(0, std::memory_order_relaxed);
   }
 
   /// Chain this scope under `parent` so bump() rolls up. Set once, before

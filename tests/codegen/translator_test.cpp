@@ -150,6 +150,33 @@ TEST(TypeInference, Expressions) {
   EXPECT_EQ(inferType(*round_(2.5)), CType::Int);
 }
 
+TEST(TypeInference, MixedTypeArithmeticPropagatesUnknown) {
+  // A non-numeric operand defeats static typing: the interpreter coerces
+  // at runtime, so arithmetic must degrade to Unknown rather than claim
+  // Double — the native emitter keys its subset check off this.
+  EXPECT_EQ(inferType(*sum(join({In("1"), In("2")}), 3)), CType::Unknown);
+  EXPECT_EQ(inferType(*product(listOf({1, 2}), 2)), CType::Unknown);
+  EXPECT_EQ(inferType(*quotient(1, join({In("4"), In("2")}))),
+            CType::Unknown);
+  EXPECT_EQ(inferType(*modulus("seven", 2)), CType::Unknown);
+  EXPECT_EQ(inferType(*power(2, "ten")), CType::Unknown);
+  // Unknown is sticky through nesting.
+  EXPECT_EQ(inferType(*sum(1, sum(join({In("1"), In("2")}), 1))),
+            CType::Unknown);
+  // Monadic functions type their argument, not just themselves.
+  EXPECT_EQ(inferType(*monadic("sqrt", "nine")), CType::Unknown);
+  EXPECT_EQ(inferType(*monadic("sqrt", 9)), CType::Double);
+}
+
+TEST(TypeInference, NumericMixesStayDouble) {
+  // Int, Bool, and empty-slot (ring parameter) operands are all numeric
+  // by coercion; mixing them never degrades the result type.
+  EXPECT_EQ(inferType(*sum(round_(2.5), 1.5)), CType::Double);
+  EXPECT_EQ(inferType(*product(equals(1, 1), 4)), CType::Double);
+  EXPECT_EQ(inferType(*sum(empty(), 1)), CType::Double);
+  EXPECT_EQ(inferType(*quotient(empty(), empty())), CType::Double);
+}
+
 TEST(TypeInference, LiteralInputs) {
   EXPECT_EQ(inferInputType(blocks::Input(blocks::Value(3.0))), CType::Int);
   EXPECT_EQ(inferInputType(blocks::Input(blocks::Value(3.5))),
