@@ -31,6 +31,14 @@
 #   gracefully (exit 0 with a notice) when no C compiler is on PATH,
 #   since the tier itself degrades to the interpreter there.
 #
+# Usage: scripts/check.sh --persist
+#   Builds the asan preset and runs the persistence suites (test_persist:
+#   snapshot round-trips, mmap aliasing, the property sweep, and the
+#   SnapshotWriteFailure/MmapFailure + corrupt-file chaos tests) under
+#   AddressSanitizer — the placement-imaged slots, text fixups, and
+#   mapping lifetimes must be memory-clean. Then smoke-runs bench_persist
+#   (release preset, --smoke) so the measured cold-open path stays alive.
+#
 # Usage: scripts/check.sh --serve [seed...]
 #   The multi-tenant analogue of --chaos: builds the asan and tsan
 #   presets and sweeps the serving-layer chaos suite
@@ -78,6 +86,8 @@ if [ "${1:-}" = "--bench-smoke" ]; then
         args=(--quick --out "${scratch}/${name}.json") ;;
       bench_native)
         args=(--quick --out "${scratch}/${name}.json") ;;
+      bench_persist)
+        args=(--smoke --out "${scratch}/${name}.json") ;;
       *)
         args=(--benchmark_min_time=0.01) ;;
     esac
@@ -126,6 +136,22 @@ if [ "${1:-}" = "--native" ]; then
   # Same leak-accounting stance as the asan ctest preset (see header).
   ASAN_OPTIONS=detect_leaks=0 "build-asan/tests/test_native"
   echo "== native tier sweep green under asan =="
+  exit 0
+fi
+
+if [ "${1:-}" = "--persist" ]; then
+  cmake --preset asan
+  cmake --build --preset asan -j "${jobs}" --target test_persist
+  echo "== persist: asan =="
+  # Same leak-accounting stance as the asan ctest preset (see header).
+  ASAN_OPTIONS=detect_leaks=0 "build-asan/tests/test_persist"
+  cmake --preset release
+  cmake --build --preset release -j "${jobs}" --target bench_persist
+  scratch=$(mktemp -d)
+  trap 'rm -rf "${scratch}"' EXIT
+  echo "== persist: bench smoke =="
+  build-release/bench/bench_persist --smoke --out "${scratch}/persist.json"
+  echo "== persist sweep green: asan + chaos + bench smoke =="
   exit 0
 fi
 

@@ -67,7 +67,9 @@ constexpr size_t kSmallTextCap = 15;
 
 Value::Value(std::string text) {
   if (text.size() <= kSmallTextCap) {
-    SmallText small;
+    // Zero-initialized so the bytes beyond size are deterministic: the
+    // persistence layer snapshots small-text Values by raw byte image.
+    SmallText small = {};
     std::memcpy(small.bytes, text.data(), text.size());
     small.size = uint8_t(text.size());
     v_ = small;
@@ -78,7 +80,7 @@ Value::Value(std::string text) {
 
 Value::Value(std::string_view text) {
   if (text.size() <= kSmallTextCap) {
-    SmallText small;
+    SmallText small = {};
     std::memcpy(small.bytes, text.data(), text.size());
     small.size = uint8_t(text.size());
     v_ = small;
@@ -320,30 +322,43 @@ List::List(std::vector<Value> items) {
   }
 }
 
-const List::Buffer& List::emptyBuffer() {
-  static const Buffer empty;
-  return empty;
+ListPtr List::makeMapped(const Value* data, size_t size,
+                         std::shared_ptr<const void> region,
+                         bool flatShareable) {
+  auto list = std::make_shared<List>();
+  if (size == 0) return list;  // empty list needs no buffer (or region)
+  list->buf_ = std::make_shared<Buffer>(data, size, std::move(region));
+  if (flatShareable) {
+    list->auditWord_.store(
+        (uint64_t(1) << 2) | uint64_t(FlatAudit::Shareable),
+        std::memory_order_release);
+  }
+  return list;
 }
 
 void List::detachForWrite() {
-  if (buf_ && buf_.use_count() > 1) {
-    // The buffer is held by a pending snapshot (or this node is one).
-    // Shared buffers are sublist-free by construction — snapshotClone
-    // rebuilds any buffer containing ListRefs — so this shallow copy is
-    // the full deferred deep copy: scalars copy, texts bump a refcount.
-    buf_ = std::make_shared<Buffer>(*buf_);
+  if (buf_ && (buf_->mapped() || buf_.use_count() > 1)) {
+    // The buffer is held by a pending snapshot (or this node is one), or
+    // aliases an immutable mapped region. Shared/mapped buffers are
+    // sublist-free by construction — snapshotClone rebuilds any buffer
+    // containing ListRefs, and the persist layer materializes spines —
+    // so this shallow copy-out is the full deferred deep copy: scalars
+    // copy, texts bump a refcount.
+    auto fresh = std::make_shared<Buffer>();
+    fresh->owned.assign(buf_->data(), buf_->data() + buf_->size());
+    buf_ = std::move(fresh);
   }
   version_.fetch_add(1, std::memory_order_relaxed);
 }
 
-List::Buffer& List::writable() {
+std::vector<Value>& List::writable() {
   detachForWrite();
   if (!buf_) buf_ = std::make_shared<Buffer>();
-  return *buf_;
+  return buf_->owned;
 }
 
 const Value& List::item(size_t index1) const {
-  const Buffer& items = this->items();
+  const ItemSpan items = this->items();
   if (index1 < 1 || index1 > items.size()) {
     throw IndexError("item " + std::to_string(index1) + " of a list of " +
                      std::to_string(items.size()));
@@ -358,7 +373,7 @@ void List::insertAt(size_t index1, Value value) {
     throw IndexError("insert at " + std::to_string(index1) +
                      " of a list of " + std::to_string(length()));
   }
-  Buffer& items = writable();
+  std::vector<Value>& items = writable();
   items.insert(items.begin() + static_cast<ptrdiff_t>(index1 - 1),
                std::move(value));
 }
@@ -376,16 +391,16 @@ void List::removeAt(size_t index1) {
     throw IndexError("delete " + std::to_string(index1) + " of a list of " +
                      std::to_string(length()));
   }
-  Buffer& items = writable();
+  std::vector<Value>& items = writable();
   items.erase(items.begin() + static_cast<ptrdiff_t>(index1 - 1));
 }
 
 void List::clear() {
   version_.fetch_add(1, std::memory_order_relaxed);
-  if (buf_ && buf_.use_count() > 1) {
-    buf_.reset();  // the snapshot keeps the old buffer; we become empty
+  if (buf_ && (buf_->mapped() || buf_.use_count() > 1)) {
+    buf_.reset();  // the snapshot/mapping keeps the old buffer; we go empty
   } else if (buf_) {
-    buf_->clear();
+    buf_->owned.clear();
   }
 }
 
@@ -407,8 +422,8 @@ bool List::deepEquals(const List& other) const {
 
 bool List::deepEqualsGuarded(const List& other,
                              std::vector<const List*>& path) const {
-  const Buffer& mine = items();
-  const Buffer& theirs = other.items();
+  const ItemSpan mine = items();
+  const ItemSpan theirs = other.items();
   if (mine.size() != theirs.size()) return false;
   if (this == &other) return true;
   if (std::find(path.begin(), path.end(), this) != path.end()) {
@@ -444,9 +459,9 @@ ListPtr List::deepCopyGuarded(std::vector<const List*>& path) const {
   }
   path.push_back(this);
   auto copy = List::make();
-  const Buffer& source = items();
+  const ItemSpan source = items();
   if (!source.empty()) {
-    Buffer& target = copy->writable();
+    std::vector<Value>& target = copy->writable();
     target.reserve(source.size());
     for (const Value& item : source) {
       if (item.isList()) {
@@ -475,7 +490,7 @@ void List::displayGuarded(std::string& out,
   }
   path.push_back(this);
   out += "[";
-  const Buffer& source = items();
+  const ItemSpan source = items();
   for (size_t i = 0; i < source.size(); ++i) {
     if (i != 0) out += ", ";
     if (source[i].isList()) {
@@ -494,7 +509,7 @@ List::FlatAudit List::flatAudit() const {
   const uint64_t cached = auditWord_.load(std::memory_order_acquire);
   if ((cached >> 2) == version + 1) return FlatAudit(cached & 3u);
   FlatAudit audit = FlatAudit::Shareable;
-  for (const Value& item : *buf_) {
+  for (const Value& item : items()) {
     if (item.isList()) {
       audit = FlatAudit::HasSublists;
       break;
@@ -521,7 +536,7 @@ bool List::transferableGuarded(std::vector<const List*>& path) const {
     return false;  // cyclic lists cannot be structured-cloned
   }
   path.push_back(this);
-  for (const Value& item : *buf_) {
+  for (const Value& item : items()) {
     if (item.isRing() || item.isFuture() ||
         (item.isList() && !item.asList()->transferableGuarded(path))) {
       path.pop_back();
@@ -553,7 +568,7 @@ ListPtr List::snapshotCloneGuarded(std::vector<const List*>& path) const {
     case FlatAudit::HasRings: {
       // The audit lumps rings and futures (both non-transferable); pick
       // the accurate message on this cold path.
-      for (const Value& item : *buf_) {
+      for (const Value& item : items()) {
         if (item.isFuture()) {
           throw PurityError(
               "futures cannot be structured-cloned to a worker: a promise "
@@ -573,10 +588,11 @@ ListPtr List::snapshotCloneGuarded(std::vector<const List*>& path) const {
   }
   path.push_back(this);
   auto buffer = std::make_shared<Buffer>();
-  buffer->reserve(buf_->size());
-  for (const Value& item : *buf_) {
+  buffer->owned.reserve(buf_->size());
+  for (const Value& item : items()) {
     if (item.isList()) {
-      buffer->push_back(Value(item.asList()->snapshotCloneGuarded(path)));
+      buffer->owned.push_back(
+          Value(item.asList()->snapshotCloneGuarded(path)));
     } else if (item.isRing()) {
       path.pop_back();
       throw PurityError("rings cannot be structured-cloned to a worker");
@@ -586,7 +602,7 @@ ListPtr List::snapshotCloneGuarded(std::vector<const List*>& path) const {
           "futures cannot be structured-cloned to a worker: a promise is "
           "a handle into its owning process, not data");
     } else {
-      buffer->push_back(item);
+      buffer->owned.push_back(item);
     }
   }
   path.pop_back();

@@ -34,6 +34,7 @@
 #include <cstring>
 #include <memory>
 #include <mutex>
+#include <span>
 #include <string>
 #include <string_view>
 #include <variant>
@@ -198,6 +199,10 @@ class Value {
       v_;
 };
 
+/// Read-only view of a list's item buffer. The view is valid while the
+/// list is alive and unmodified (any mutator may detach and reallocate).
+using ItemSpan = std::span<const Value>;
+
 /// A first-class, 1-indexed Snap! list with reference semantics (share the
 /// ListPtr to share the object).
 ///
@@ -208,6 +213,14 @@ class Value {
 /// rebuilds buffers that do), so a shallow buffer copy at detach time is
 /// a complete deep copy. The version stamp increments on every mutation
 /// and keys the cached transfer audit.
+///
+/// A buffer comes in two ownership modes: *owned* (a plain vector — every
+/// list built at runtime) and *mapped* (an immutable view into externally
+/// managed memory, e.g. an mmap'd snapshot file, pinned alive by a
+/// type-erased region handle). Mapped buffers are never written through:
+/// the detach gate treats them exactly like a buffer shared with a
+/// snapshot and copies out on the first mutation, so every COW invariant
+/// holds for them unchanged.
 class List {
  public:
   List() = default;
@@ -217,6 +230,21 @@ class List {
   static ListPtr make(std::vector<Value> items) {
     return std::make_shared<List>(std::move(items));
   }
+  static ListPtr make(ItemSpan items) {
+    return std::make_shared<List>(
+        std::vector<Value>(items.begin(), items.end()));
+  }
+
+  /// A list whose buffer aliases `size` Value slots of externally managed
+  /// immutable memory (a persisted snapshot mapping). `region` is held
+  /// for the buffer's lifetime — including through O(1) snapshot shares —
+  /// so the memory outlives every alias. Pass `flatShareable` only when
+  /// the slots are known sublist- and ring-free (the dataset snapshot
+  /// invariant); it pre-seeds the transfer audit so the first
+  /// structuredClone never has to scan (and page in) the whole buffer.
+  static ListPtr makeMapped(const Value* data, size_t size,
+                            std::shared_ptr<const void> region,
+                            bool flatShareable);
 
   size_t length() const { return buf_ ? buf_->size() : 0; }
   bool empty() const { return length() == 0; }
@@ -237,8 +265,8 @@ class List {
   /// True if any element `equals` the probe (Snap! `contains`).
   bool contains(const Value& probe) const;
 
-  const std::vector<Value>& items() const {
-    return buf_ ? *buf_ : emptyBuffer();
+  ItemSpan items() const {
+    return buf_ ? ItemSpan(buf_->data(), buf_->size()) : ItemSpan();
   }
 
   /// Mutable access to the item buffer. Detaches any shared snapshot
@@ -275,8 +303,30 @@ class List {
     return buf_ && buf_ == other.buf_;
   }
 
+  /// True while the buffer aliases a mapped region (no mutation has
+  /// detached it yet). Test/diagnostic hook.
+  bool mappedBuffer() const { return buf_ && buf_->mapped(); }
+
  private:
-  using Buffer = std::vector<Value>;
+  /// The COW item buffer: owned vector or immutable mapped view. Exactly
+  /// one of the two representations is active (`region` discriminates).
+  struct Buffer {
+    Buffer() = default;
+    explicit Buffer(std::vector<Value> items) : owned(std::move(items)) {}
+    Buffer(const Value* data, size_t size, std::shared_ptr<const void> keep)
+        : mappedData(data), mappedSize(size), region(std::move(keep)) {}
+
+    bool mapped() const { return region != nullptr; }
+    const Value* data() const { return mapped() ? mappedData : owned.data(); }
+    size_t size() const { return mapped() ? mappedSize : owned.size(); }
+
+    std::vector<Value> owned;
+    const Value* mappedData = nullptr;
+    size_t mappedSize = 0;
+    /// Keeps the mapped memory alive (type-erased: the persist layer's
+    /// region object). Null for owned buffers.
+    std::shared_ptr<const void> region;
+  };
 
   /// What one scan of the *own* buffer (not sublists) established; cached
   /// against the version stamp. Sound because a buffer's own element
@@ -288,11 +338,11 @@ class List {
     HasRings = 3,    ///< not transferable
   };
 
-  static const Buffer& emptyBuffer();
   FlatAudit flatAudit() const;
-  /// Copy the buffer if a snapshot still shares it, then bump version.
+  /// Copy the buffer out if a snapshot still shares it or it aliases a
+  /// mapped region, then bump version.
   void detachForWrite();
-  Buffer& writable();
+  std::vector<Value>& writable();
   bool transferableGuarded(std::vector<const List*>& path) const;
   ListPtr snapshotCloneGuarded(std::vector<const List*>& path) const;
   bool deepEqualsGuarded(const List& other,

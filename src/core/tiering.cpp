@@ -234,8 +234,7 @@ std::function<Value(const ListPtr&)> tieredListReduce(
       return interp(values);
     }
     std::vector<double> in;
-    static const std::vector<Value> kNoItems;
-    const std::vector<Value>& items = values ? values->items() : kNoItems;
+    const blocks::ItemSpan items = values ? values->items() : blocks::ItemSpan();
     if (!native::gatherNumbers(items.data(), items.size(), in)) {
       return interp(values);
     }

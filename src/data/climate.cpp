@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "persist/snapshot.hpp"
 #include "support/error.hpp"
 #include "support/rng.hpp"
 #include "support/strings.hpp"
@@ -10,18 +11,19 @@
 namespace psnap::data {
 
 namespace {
-constexpr double kPi = 3.14159265358979323846;
-}
 
-std::vector<TemperatureRecord> generateClimate(const ClimateConfig& config) {
+constexpr double kPi = 3.14159265358979323846;
+
+/// The one generation loop, shared by the materializing and streaming
+/// paths so both draw the identical rng sequence (and therefore produce
+/// bit-identical readings). `visit(station, year, month, fahrenheit)` is
+/// called once per record in deterministic order.
+template <typename Visit>
+void forEachTemperature(const ClimateConfig& config, Visit&& visit) {
   if (config.lastYear < config.firstYear) {
     throw Error("generateClimate: lastYear before firstYear");
   }
   Rng rng(config.seed);
-  std::vector<TemperatureRecord> out;
-  out.reserve(config.stations *
-              static_cast<size_t>(config.lastYear - config.firstYear + 1) *
-              12);
   for (size_t s = 0; s < config.stations; ++s) {
     // Station baseline: 35–70 °F annual mean, 10–30 °F seasonal swing.
     const double baseline = rng.uniform(35.0, 70.0);
@@ -32,19 +34,47 @@ std::vector<TemperatureRecord> generateClimate(const ClimateConfig& config) {
       const double drift = config.warmingPerDecadeF *
                            (year - config.firstYear) / 10.0;
       for (int month = 1; month <= 12; ++month) {
-        TemperatureRecord record;
-        record.station = id;
-        record.year = year;
-        record.month = month;
         const double seasonal =
             swing * std::sin(2.0 * kPi * (month - 4) / 12.0);
-        record.fahrenheit = baseline + seasonal + drift +
-                            rng.normal(0.0, config.noiseStddevF);
-        out.push_back(std::move(record));
+        visit(id, year, month,
+              baseline + seasonal + drift +
+                  rng.normal(0.0, config.noiseStddevF));
       }
     }
   }
+}
+
+}  // namespace
+
+uint64_t climateRecordCount(const ClimateConfig& config) {
+  if (config.lastYear < config.firstYear) return 0;
+  return uint64_t(config.stations) *
+         uint64_t(config.lastYear - config.firstYear + 1) * 12;
+}
+
+std::vector<TemperatureRecord> generateClimate(const ClimateConfig& config) {
+  std::vector<TemperatureRecord> out;
+  out.reserve(climateRecordCount(config));
+  forEachTemperature(config, [&](const char* id, int year, int month,
+                                 double fahrenheit) {
+    TemperatureRecord record;
+    record.station = id;
+    record.year = year;
+    record.month = month;
+    record.fahrenheit = fahrenheit;
+    out.push_back(std::move(record));
+  });
   return out;
+}
+
+uint64_t writeFahrenheitSnapshot(const std::string& path,
+                                 const ClimateConfig& config) {
+  persist::DatasetWriter writer(path);
+  forEachTemperature(config, [&](const char*, int, int, double fahrenheit) {
+    writer.appendNumber(fahrenheit);
+  });
+  writer.commit();
+  return writer.count();
 }
 
 double fahrenheitToCelsius(double f) { return (5.0 * (f - 32.0)) / 9.0; }
@@ -98,9 +128,14 @@ blocks::ListPtr toFahrenheitList(
 std::string toKvpText(const std::vector<TemperatureRecord>& records,
                       const std::string& keyOverride) {
   std::string out;
+  // "USW00001 -12.345678901234\n" ≈ 26 bytes; reserve once and append
+  // pieces in place instead of building a temporary line per record.
+  out.reserve(records.size() * 28);
   for (const TemperatureRecord& record : records) {
-    out += (keyOverride.empty() ? record.station : keyOverride) + " " +
-           strings::formatNumber(record.fahrenheit) + "\n";
+    out.append(keyOverride.empty() ? record.station : keyOverride);
+    out.push_back(' ');
+    out.append(strings::formatNumber(record.fahrenheit));
+    out.push_back('\n');
   }
   return out;
 }

@@ -39,6 +39,18 @@ struct ClimateConfig {
 /// per seed.
 std::vector<TemperatureRecord> generateClimate(const ClimateConfig& config);
 
+/// Number of records the config produces (stations × years × 12).
+uint64_t climateRecordCount(const ClimateConfig& config);
+
+/// Stream the configured grid's Fahrenheit readings straight into a
+/// dataset snapshot at `path`, one number per record, in O(1) memory —
+/// the ingest path for datasets too large to materialize. The values are
+/// byte-identical to toFahrenheitList(generateClimate(config)), so a
+/// query over the mmap-loaded snapshot must equal the same query over
+/// the generated list. Returns the record count.
+uint64_t writeFahrenheitSnapshot(const std::string& path,
+                                 const ClimateConfig& config);
+
 /// Fahrenheit→Celsius (the map function of paper Fig. 19).
 double fahrenheitToCelsius(double f);
 

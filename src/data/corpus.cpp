@@ -1,5 +1,6 @@
 #include "data/corpus.hpp"
 
+#include "persist/snapshot.hpp"
 #include "support/error.hpp"
 #include "support/rng.hpp"
 #include "support/strings.hpp"
@@ -44,6 +45,23 @@ std::string generateText(size_t wordCount, size_t vocabulary,
     words.push_back(wordAt(rng.weighted(weights)));
   }
   return strings::join(words, " ");
+}
+
+uint64_t writeWordsSnapshot(const std::string& path, size_t wordCount,
+                            size_t vocabulary, uint64_t seed) {
+  if (vocabulary == 0) throw Error("writeWordsSnapshot: empty vocabulary");
+  Rng rng(seed);
+  // Identical draw sequence to generateText: same weights, same picks.
+  std::vector<double> weights(vocabulary);
+  for (size_t r = 0; r < vocabulary; ++r) {
+    weights[r] = 1.0 / static_cast<double>(r + 1);
+  }
+  persist::DatasetWriter writer(path);
+  for (size_t i = 0; i < wordCount; ++i) {
+    writer.append(blocks::Value(wordAt(rng.weighted(weights))));
+  }
+  writer.commit();
+  return writer.count();
 }
 
 std::vector<std::string> tokenize(const std::string& text) {

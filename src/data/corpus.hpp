@@ -21,6 +21,13 @@ std::string sampleSentence();
 /// `vocabulary`-word dictionary. Deterministic per seed.
 std::string generateText(size_t wordCount, size_t vocabulary, uint64_t seed);
 
+/// Stream the same word sequence straight into a dataset snapshot at
+/// `path` — one text value per word, O(1) memory, identical to
+/// tokenize(generateText(wordCount, vocabulary, seed)). The ingest path
+/// for word-count corpora too large to materialize. Returns wordCount.
+uint64_t writeWordsSnapshot(const std::string& path, size_t wordCount,
+                            size_t vocabulary, uint64_t seed);
+
 /// Split into lowercase words (whitespace tokenizer, punctuation kept —
 /// matching the split block's behaviour).
 std::vector<std::string> tokenize(const std::string& text);

@@ -9,7 +9,7 @@ using blocks::List;
 using blocks::ListPtr;
 using blocks::Value;
 
-std::vector<CsvRow> parseCsv(const std::string& text) {
+std::vector<CsvRow> parseCsv(std::string_view text) {
   std::vector<CsvRow> rows;
   CsvRow row;
   std::string field;
@@ -17,33 +17,46 @@ std::vector<CsvRow> parseCsv(const std::string& text) {
   bool sawAnything = false;
 
   auto endField = [&] {
-    row.push_back(field);
+    row.push_back(std::move(field));
     field.clear();
   };
   auto endRow = [&] {
     endField();
-    rows.push_back(row);
+    rows.push_back(std::move(row));
     row.clear();
     sawAnything = false;
   };
 
-  for (size_t i = 0; i < text.size(); ++i) {
-    char ch = text[i];
+  // Scan by runs, not characters: between delimiters, whole spans are
+  // appended in one call.
+  size_t i = 0;
+  while (i < text.size()) {
     if (quoted) {
-      if (ch == '"') {
-        if (i + 1 < text.size() && text[i + 1] == '"') {
-          field += '"';
-          ++i;
-        } else {
-          quoted = false;
-        }
-      } else {
-        field += ch;
-      }
+      const size_t next = text.find('"', i);
+      if (next == std::string_view::npos) break;  // unterminated
+      field.append(text, i, next - i);
       sawAnything = true;
+      if (next + 1 < text.size() && text[next + 1] == '"') {
+        field += '"';
+        i = next + 2;
+      } else {
+        quoted = false;
+        i = next + 1;
+      }
       continue;
     }
-    switch (ch) {
+    const size_t next = text.find_first_of("\",\r\n", i);
+    if (next == std::string_view::npos) {
+      field.append(text, i, text.size() - i);
+      sawAnything = true;
+      i = text.size();
+      break;
+    }
+    if (next > i) {
+      field.append(text, i, next - i);
+      sawAnything = true;
+    }
+    switch (text[next]) {
       case '"':
         quoted = true;
         sawAnything = true;
@@ -57,10 +70,8 @@ std::vector<CsvRow> parseCsv(const std::string& text) {
       case '\n':
         endRow();
         break;
-      default:
-        field += ch;
-        sawAnything = true;
     }
+    i = next + 1;
   }
   if (quoted) throw ParseError("unterminated quote in CSV");
   if (sawAnything || !field.empty() || !row.empty()) endRow();
@@ -68,7 +79,14 @@ std::vector<CsvRow> parseCsv(const std::string& text) {
 }
 
 std::string writeCsv(const std::vector<CsvRow>& rows) {
+  // Reserve the exact unquoted size up front; quoting only ever adds.
+  size_t bytes = 0;
+  for (const CsvRow& row : rows) {
+    bytes += row.size() + 1;  // separators + newline
+    for (const std::string& field : row) bytes += field.size();
+  }
   std::string out;
+  out.reserve(bytes);
   for (const CsvRow& row : rows) {
     for (size_t i = 0; i < row.size(); ++i) {
       if (i != 0) out += ',';
@@ -76,7 +94,9 @@ std::string writeCsv(const std::vector<CsvRow>& rows) {
       const bool needsQuote =
           field.find_first_of(",\"\n") != std::string::npos;
       if (needsQuote) {
-        out += '"' + strings::replaceAll(field, "\"", "\"\"") + '"';
+        out += '"';
+        out += strings::replaceAll(field, "\"", "\"\"");
+        out += '"';
       } else {
         out += field;
       }
@@ -88,8 +108,10 @@ std::string writeCsv(const std::vector<CsvRow>& rows) {
 
 ListPtr csvToList(const std::vector<CsvRow>& rows) {
   auto out = List::make();
+  out->reserve(rows.size());
   for (const CsvRow& row : rows) {
     auto rowList = List::make();
+    rowList->reserve(row.size());
     for (const std::string& field : row) {
       double number = 0;
       if (strings::parseNumber(field, number)) {
@@ -105,8 +127,10 @@ ListPtr csvToList(const std::vector<CsvRow>& rows) {
 
 std::vector<CsvRow> listToCsv(const ListPtr& list) {
   std::vector<CsvRow> rows;
+  rows.reserve(list->length());
   for (const Value& rowValue : list->items()) {
     CsvRow row;
+    row.reserve(rowValue.asList()->length());
     for (const Value& field : rowValue.asList()->items()) {
       row.push_back(field.asText());
     }

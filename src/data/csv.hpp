@@ -5,6 +5,7 @@
 #pragma once
 
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "blocks/value.hpp"
@@ -15,8 +16,9 @@ using CsvRow = std::vector<std::string>;
 
 /// Parse CSV text: commas separate fields, double quotes protect commas
 /// and embedded quotes ("" escapes a quote). Rows split on '\n'; a
-/// trailing newline does not produce an empty row.
-std::vector<CsvRow> parseCsv(const std::string& text);
+/// trailing newline does not produce an empty row. Plain runs are copied
+/// in bulk (no per-character appends).
+std::vector<CsvRow> parseCsv(std::string_view text);
 
 /// Serialize rows, quoting any field containing a comma, quote, or
 /// newline.

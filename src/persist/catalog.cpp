@@ -1,0 +1,51 @@
+#include "persist/catalog.hpp"
+
+#include <mutex>
+#include <unordered_map>
+
+#include "persist/snapshot.hpp"
+
+namespace psnap::persist {
+
+namespace {
+
+std::mutex gMutex;
+/// Pristine roots, keyed by path. Never handed out directly — every
+/// caller gets a snapshotClone — so an entry always still aliases its
+/// mapping regardless of what readers do to their copies.
+std::unordered_map<std::string, blocks::ListPtr> gOpens;
+
+}  // namespace
+
+blocks::ListPtr openSharedList(const std::string& path) {
+  {
+    std::lock_guard<std::mutex> lock(gMutex);
+    if (const auto it = gOpens.find(path); it != gOpens.end()) {
+      return it->second->snapshotClone();
+    }
+  }
+  // Map outside the lock: a slow open (validation + fixups) must not
+  // stall unrelated opens. A racing duplicate map is benign — the loser
+  // is discarded below and unmaps immediately.
+  blocks::ListPtr loaded = loadList(path);
+  std::lock_guard<std::mutex> lock(gMutex);
+  const auto [it, inserted] = gOpens.emplace(path, std::move(loaded));
+  return it->second->snapshotClone();
+}
+
+bool releaseSharedOpen(const std::string& path) {
+  std::lock_guard<std::mutex> lock(gMutex);
+  return gOpens.erase(path) > 0;
+}
+
+size_t sharedOpenCount() {
+  std::lock_guard<std::mutex> lock(gMutex);
+  return gOpens.size();
+}
+
+void clearSharedOpens() {
+  std::lock_guard<std::mutex> lock(gMutex);
+  gOpens.clear();
+}
+
+}  // namespace psnap::persist

@@ -1,0 +1,46 @@
+// Process-wide catalog of open dataset mappings: one mmap serves N
+// readers.
+//
+// The serve layer's tenants (and any other concurrent readers) should
+// not each map the same snapshot file — the page cache would be shared
+// by the kernel anyway, but N mappings cost N opens, N validations, and
+// N fixup passes. The catalog keeps a path-keyed cache of loaded
+// dataset roots: the first open maps and decodes; every later open is
+// an O(1) snapshotClone of the cached root — a fresh List node sharing
+// the mapped buffer, so no two readers ever share a mutable List object
+// and one reader's mutation (which copies the buffer out via the detach
+// gate) cannot be observed by another.
+//
+// The cached root is never handed out, so it stays pristine (still
+// aliasing the mapping) no matter what readers do to their clones. The
+// catalog holds it strongly — a pinned mapping costs address space, not
+// resident memory (its pages are clean, file-backed, and evictable) —
+// until releaseSharedOpen drops it; live reader clones keep the region
+// mapped through their buffers until they die.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "blocks/value.hpp"
+
+namespace psnap::persist {
+
+/// Opens the dataset snapshot at `path` through the shared cache. The
+/// returned list is private to the caller (mutation-safe) but aliases
+/// the one shared mapping. Throws SubstrateError as loadList does.
+blocks::ListPtr openSharedList(const std::string& path);
+
+/// Drops the cache entry for `path` (no-op when absent). Readers that
+/// already hold clones keep the mapping alive until they release them;
+/// the next open remaps. Returns true when an entry was dropped.
+bool releaseSharedOpen(const std::string& path);
+
+/// Number of cached mappings. Diagnostic/test hook.
+size_t sharedOpenCount();
+
+/// Drops every cache entry (same semantics as releaseSharedOpen for
+/// each). Test hook.
+void clearSharedOpens();
+
+}  // namespace psnap::persist

@@ -1,0 +1,336 @@
+#include "persist/file.hpp"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <new>
+
+#include "blocks/value.hpp"
+#include "support/error.hpp"
+#include "support/fault.hpp"
+
+namespace psnap::persist {
+
+namespace {
+
+/// Coalesce small appends into ~256KB writes: slot streaming hands the
+/// writer 40-byte Values one at a time.
+constexpr size_t kWriteBuffer = 256 * 1024;
+
+constexpr char kZeros[64] = {};
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// SnapshotFileWriter
+// ---------------------------------------------------------------------------
+
+SnapshotFileWriter::SnapshotFileWriter(std::string path, SnapshotKind kind)
+    : path_(std::move(path)) {
+  fault::inject(fault::Point::SnapshotWriteFailure);
+  tempPath_ = path_ + ".tmp." + std::to_string(::getpid());
+  fd_ = ::open(tempPath_.c_str(), O_CREAT | O_TRUNC | O_WRONLY, 0644);
+  if (fd_ < 0) {
+    throw SubstrateError("snapshot write: cannot create " + tempPath_ + ": " +
+                         std::strerror(errno));
+  }
+  buffer_.reserve(kWriteBuffer);
+  header_.magic = kMagic;
+  header_.version = kFormatVersion;
+  header_.kind = uint32_t(kind);
+  header_.valueAbi = valueAbiFingerprint();
+  // Reserve header + full section table; both are back-patched at commit.
+  FileHeader blank;
+  writeRaw(&blank, sizeof(blank));
+  SectionHeader blankSection;
+  for (size_t i = 0; i < kMaxSections; ++i) {
+    writeRaw(&blankSection, sizeof(blankSection));
+  }
+}
+
+SnapshotFileWriter::~SnapshotFileWriter() {
+  if (!committed_) abandon();
+}
+
+void SnapshotFileWriter::abandon() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+    ::unlink(tempPath_.c_str());
+  }
+}
+
+void SnapshotFileWriter::fail(const std::string& what) {
+  abandon();
+  throw SubstrateError("snapshot write (" + path_ + "): " + what);
+}
+
+void SnapshotFileWriter::writeRaw(const void* data, size_t bytes) {
+  const char* p = static_cast<const char*>(data);
+  if (buffer_.size() + bytes > kWriteBuffer && !buffer_.empty()) {
+    // Flush the coalescing buffer.
+    const char* b = buffer_.data();
+    size_t left = buffer_.size();
+    while (left > 0) {
+      const ssize_t n = ::write(fd_, b, left);
+      if (n < 0) fail(std::string("write failed: ") + std::strerror(errno));
+      b += n;
+      left -= size_t(n);
+    }
+    buffer_.clear();
+  }
+  if (bytes >= kWriteBuffer) {
+    while (bytes > 0) {
+      const ssize_t n = ::write(fd_, p, bytes);
+      if (n < 0) fail(std::string("write failed: ") + std::strerror(errno));
+      p += n;
+      bytes -= size_t(n);
+      offset_ += size_t(n);
+    }
+    return;
+  }
+  buffer_.insert(buffer_.end(), p, p + bytes);
+  offset_ += bytes;
+}
+
+void SnapshotFileWriter::padTo(uint64_t align) {
+  if (align <= 1) return;
+  const uint64_t rem = offset_ % align;
+  if (rem != 0) writeRaw(kZeros, size_t(align - rem));
+}
+
+void SnapshotFileWriter::beginSection(SectionId id, uint64_t entrySize,
+                                      uint64_t entryAlign) {
+  fault::inject(fault::Point::SnapshotWriteFailure);
+  if (sectionOpen_) fail("beginSection while a section is open");
+  if (sectionCount_ >= kMaxSections) fail("section table full");
+  if (entryAlign > sizeof(kZeros)) fail("entry alignment too large");
+  padTo(entryAlign);
+  SectionHeader& s = sections_[sectionCount_];
+  s.id = uint64_t(id);
+  s.offset = offset_;
+  s.block.entry_size = entrySize;
+  s.block.entry_align = entryAlign;
+  sectionStart_ = offset_;
+  sectionOpen_ = true;
+}
+
+void SnapshotFileWriter::append(const void* data, size_t bytes) {
+  if (!sectionOpen_) fail("append outside a section");
+  writeRaw(data, bytes);
+}
+
+void SnapshotFileWriter::endSection() {
+  if (!sectionOpen_) fail("endSection without beginSection");
+  SectionHeader& s = sections_[sectionCount_];
+  const uint64_t byteSize = offset_ - sectionStart_;
+  if (s.block.entry_size != 0 && byteSize % s.block.entry_size != 0) {
+    fail("section payload is not a whole number of entries");
+  }
+  s.block.byte_size = byteSize;
+  s.block.num_entries =
+      s.block.entry_size ? byteSize / s.block.entry_size : byteSize;
+  ++sectionCount_;
+  sectionOpen_ = false;
+}
+
+void SnapshotFileWriter::appendValueSlot(const blocks::Value& value) {
+  // Normalized slot image: zeroed scratch + placement-copy, so variant
+  // padding and small-text tails are deterministic (small texts are
+  // zero-filled at construction; see Value's text constructors).
+  alignas(blocks::Value) unsigned char scratch[sizeof(blocks::Value)];
+  std::memset(scratch, 0, sizeof(scratch));
+  auto* v = new (scratch) blocks::Value(value);
+  append(scratch, sizeof(scratch));
+  v->~Value();
+}
+
+void SnapshotFileWriter::appendZeroSlot() {
+  const unsigned char zeros[sizeof(blocks::Value)] = {};
+  append(zeros, sizeof(zeros));
+}
+
+void SnapshotFileWriter::commit() {
+  fault::inject(fault::Point::SnapshotWriteFailure);
+  if (sectionOpen_) fail("commit with a section still open");
+  if (committed_) return;
+  // Flush the coalescing buffer.
+  const char* b = buffer_.data();
+  size_t left = buffer_.size();
+  while (left > 0) {
+    const ssize_t n = ::write(fd_, b, left);
+    if (n < 0) fail(std::string("write failed: ") + std::strerror(errno));
+    b += n;
+    left -= size_t(n);
+  }
+  buffer_.clear();
+  header_.sectionCount = sectionCount_;
+  header_.fileBytes = offset_;
+  header_.headerCheck = headerCheck(header_);
+  if (::lseek(fd_, 0, SEEK_SET) != 0) {
+    fail(std::string("seek failed: ") + std::strerror(errno));
+  }
+  if (::write(fd_, &header_, sizeof(header_)) !=
+      ssize_t(sizeof(header_))) {
+    fail(std::string("header write failed: ") + std::strerror(errno));
+  }
+  if (::write(fd_, sections_, sizeof(sections_)) !=
+      ssize_t(sizeof(sections_))) {
+    fail(std::string("section table write failed: ") + std::strerror(errno));
+  }
+  if (::fsync(fd_) != 0) {
+    fail(std::string("fsync failed: ") + std::strerror(errno));
+  }
+  if (::close(fd_) != 0) {
+    fd_ = -1;
+    ::unlink(tempPath_.c_str());
+    throw SubstrateError("snapshot write (" + path_ +
+                         "): close failed: " + std::strerror(errno));
+  }
+  fd_ = -1;
+  if (::rename(tempPath_.c_str(), path_.c_str()) != 0) {
+    ::unlink(tempPath_.c_str());
+    throw SubstrateError("snapshot write (" + path_ +
+                         "): rename failed: " + std::strerror(errno));
+  }
+  committed_ = true;
+}
+
+// ---------------------------------------------------------------------------
+// Region
+// ---------------------------------------------------------------------------
+
+namespace {
+constexpr uint64_t kTableBytes =
+    sizeof(FileHeader) + kMaxSections * sizeof(SectionHeader);
+
+[[noreturn]] void corrupt(const std::string& path, const std::string& what) {
+  throw SubstrateError("snapshot open (" + path + "): " + what);
+}
+}  // namespace
+
+std::shared_ptr<Region> Region::map(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    throw SubstrateError("snapshot open (" + path +
+                         "): " + std::strerror(errno));
+  }
+  struct stat st = {};
+  if (::fstat(fd, &st) != 0) {
+    const int err = errno;
+    ::close(fd);
+    corrupt(path, std::string("stat failed: ") + std::strerror(err));
+  }
+  if (uint64_t(st.st_size) < kTableBytes) {
+    ::close(fd);
+    corrupt(path, "truncated: file smaller than the header");
+  }
+  try {
+    fault::inject(fault::Point::MmapFailure);
+  } catch (...) {
+    ::close(fd);
+    throw;
+  }
+  // MAP_PRIVATE + PROT_WRITE: reads share page-cache pages across every
+  // open of this file; the loader's few fixup writes land in private
+  // copies and never reach disk.
+  void* addr = ::mmap(nullptr, size_t(st.st_size), PROT_READ | PROT_WRITE,
+                      MAP_PRIVATE, fd, 0);
+  ::close(fd);  // the mapping holds its own reference
+  if (addr == MAP_FAILED) {
+    throw SubstrateError("snapshot open (" + path +
+                         "): mmap failed: " + std::strerror(errno));
+  }
+  auto region = std::shared_ptr<Region>(new Region());
+  region->base_ = static_cast<char*>(addr);
+  region->size_ = size_t(st.st_size);
+
+  FileHeader header;
+  std::memcpy(&header, region->base_, sizeof(header));
+  if (header.magic != kMagic) corrupt(path, "bad magic: not a snapshot file");
+  if (header.version != kFormatVersion) {
+    corrupt(path, "unsupported format version " +
+                      std::to_string(header.version));
+  }
+  if (header.headerCheck != headerCheck(header)) {
+    corrupt(path, "corrupt header: self-check mismatch");
+  }
+  if (header.valueAbi != valueAbiFingerprint()) {
+    corrupt(path,
+            "value ABI mismatch: snapshot written by an incompatible build");
+  }
+  if (header.fileBytes != uint64_t(st.st_size)) {
+    corrupt(path, "truncated: header records " +
+                      std::to_string(header.fileBytes) + " bytes, file has " +
+                      std::to_string(st.st_size));
+  }
+  if (header.kind != uint32_t(SnapshotKind::Dataset) &&
+      header.kind != uint32_t(SnapshotKind::Project)) {
+    corrupt(path, "unknown snapshot kind " + std::to_string(header.kind));
+  }
+  if (header.sectionCount > kMaxSections) {
+    corrupt(path, "corrupt section table: count " +
+                      std::to_string(header.sectionCount));
+  }
+  region->header_ = header;
+  region->sections_ =
+      reinterpret_cast<const SectionHeader*>(region->base_ +
+                                             sizeof(FileHeader));
+  for (uint64_t i = 0; i < header.sectionCount; ++i) {
+    const SectionHeader& s = region->sections_[i];
+    if (s.block.entry_size != 0 &&
+        s.block.num_entries != s.block.byte_size / s.block.entry_size) {
+      corrupt(path, "corrupt section: entry count/size mismatch");
+    }
+    if (s.block.entry_align == 0 || s.offset % s.block.entry_align != 0) {
+      corrupt(path, "corrupt section: misaligned payload");
+    }
+    if (s.offset < kTableBytes || s.offset > header.fileBytes ||
+        s.block.byte_size > header.fileBytes - s.offset) {
+      corrupt(path, "corrupt section: payload out of bounds");
+    }
+  }
+  return region;
+}
+
+Region::~Region() {
+  // Fixed-up Values own heap payloads (TextReps); release them before the
+  // pages under them vanish.
+  for (blocks::Value* v : fixups_) v->~Value();
+  fixups_.clear();
+  if (base_) ::munmap(base_, size_);
+}
+
+const SectionHeader* Region::section(SectionId id) const {
+  for (uint64_t i = 0; i < header_.sectionCount; ++i) {
+    if (sections_[i].id == uint64_t(id)) return &sections_[i];
+  }
+  return nullptr;
+}
+
+void Region::checkEntryShape(const SectionHeader& s, uint64_t entrySize,
+                             uint64_t entryAlign) const {
+  if (s.block.entry_size != entrySize || s.block.entry_align < entryAlign) {
+    throw SubstrateError(
+        "snapshot open: corrupt section: entry shape mismatch (recorded " +
+        std::to_string(s.block.entry_size) + "/" +
+        std::to_string(s.block.entry_align) + ", expected " +
+        std::to_string(entrySize) + "/" + std::to_string(entryAlign) + ")");
+  }
+}
+
+const char* Region::bytes(SectionId id, uint64_t* size) const {
+  const SectionHeader* s = section(id);
+  if (!s) {
+    *size = 0;
+    return nullptr;
+  }
+  *size = s->block.byte_size;
+  return base_ + s->offset;
+}
+
+}  // namespace psnap::persist

@@ -1,0 +1,167 @@
+// Snapshot file I/O: the streaming section writer and the mmap'd region.
+//
+// Writer contract: nothing observable until commit. The writer streams
+// into `<path>.tmp.<pid>` and renames onto the final path only in
+// commit(), so a crash, a thrown fault, or an abandoned writer never
+// leaves a partial snapshot where a reader could open it (rename(2) on
+// the same filesystem is atomic). The header and section table are
+// reserved up front and back-patched at commit, which is what lets a
+// 100M-row dataset stream through without ever materializing in RAM.
+//
+// Reader contract: Region::map validates before anyone dereferences —
+// magic, version, header self-check, Value-ABI fingerprint, recorded
+// vs. actual file size, and per-section bounds and alignment — raising
+// SubstrateError for anything torn, truncated, or foreign. The mapping
+// is MAP_PRIVATE with PROT_READ|PROT_WRITE: reads are shared page-cache
+// pages; the few slots the loader patches (long-text fixups) become
+// private dirty pages without ever touching the file. Lists alias the
+// mapping through a shared_ptr<Region>, so the region unmaps exactly
+// when the last aliasing buffer dies — and destroys its fixed-up Values
+// (which own heap TextReps) first.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "persist/format.hpp"
+
+namespace psnap::blocks {
+class Value;
+}
+
+namespace psnap::persist {
+
+/// Streams one snapshot file: reserve header space, append aligned
+/// sections, back-patch and atomically publish on commit.
+class SnapshotFileWriter {
+ public:
+  /// Opens `<path>.tmp.<pid>` and reserves the header + section table.
+  /// Evaluates fault::Point::SnapshotWriteFailure.
+  SnapshotFileWriter(std::string path, SnapshotKind kind);
+
+  /// Abandons (closes and unlinks the temp file) unless committed.
+  ~SnapshotFileWriter();
+
+  SnapshotFileWriter(const SnapshotFileWriter&) = delete;
+  SnapshotFileWriter& operator=(const SnapshotFileWriter&) = delete;
+
+  /// Starts a streamed section: pads the file to entryAlign and records
+  /// the payload offset. Evaluates SnapshotWriteFailure.
+  void beginSection(SectionId id, uint64_t entrySize, uint64_t entryAlign);
+
+  /// Appends raw bytes to the open section. `bytes` need not be a
+  /// multiple of entrySize per call; the total at endSection must be.
+  void append(const void* data, size_t bytes);
+
+  /// Closes the open section, fixing its Block from the streamed total.
+  void endSection();
+
+  /// One-shot section helper for in-memory arrays.
+  template <typename T>
+  void writeArraySection(SectionId id, const std::vector<T>& entries) {
+    beginSection(id, sizeof(T), alignof(T));
+    if (!entries.empty()) append(entries.data(), entries.size() * sizeof(T));
+    endSection();
+  }
+
+  void writeBytesSection(SectionId id, const char* data, size_t bytes) {
+    beginSection(id, 1, 1);
+    if (bytes) append(data, bytes);
+    endSection();
+  }
+
+  /// Normalize one inline-kind Value (nothing/number/boolean/small-text)
+  /// into a zeroed scratch image and append it to the open section. The
+  /// caller guarantees the kind is inline (everything else is a patch).
+  void appendValueSlot(const blocks::Value& value);
+
+  /// Appends a zeroed slot (the on-disk image of a patched slot).
+  void appendZeroSlot();
+
+  /// Back-patches header + section table, fsyncs, and renames onto the
+  /// final path. Evaluates SnapshotWriteFailure. After commit the writer
+  /// is inert.
+  void commit();
+
+ private:
+  void writeRaw(const void* data, size_t bytes);
+  void padTo(uint64_t align);
+  [[noreturn]] void fail(const std::string& what);
+  void abandon();
+
+  std::string path_;
+  std::string tempPath_;
+  int fd_ = -1;
+  uint64_t offset_ = 0;       ///< current file write position
+  FileHeader header_;
+  SectionHeader sections_[kMaxSections];
+  size_t sectionCount_ = 0;
+  bool sectionOpen_ = false;
+  uint64_t sectionStart_ = 0;
+  bool committed_ = false;
+  std::vector<char> buffer_;  ///< write coalescing buffer
+};
+
+/// An open, validated snapshot mapping. Created via Region::map and held
+/// through shared_ptr by every List buffer that aliases it; tear-down
+/// destroys the loader's fixed-up Values and then unmaps.
+class Region {
+ public:
+  /// Maps and validates `path`. Evaluates fault::Point::MmapFailure;
+  /// raises SubstrateError for unreadable, truncated, foreign-ABI, or
+  /// corrupt files.
+  static std::shared_ptr<Region> map(const std::string& path);
+
+  ~Region();
+  Region(const Region&) = delete;
+  Region& operator=(const Region&) = delete;
+
+  const FileHeader& header() const { return header_; }
+  SnapshotKind kind() const { return SnapshotKind(header_.kind); }
+
+  /// The section with this id, or nullptr when absent.
+  const SectionHeader* section(SectionId id) const;
+
+  /// The section's payload as a typed array; validates entry size and
+  /// alignment against T (SubstrateError on mismatch). Returns nullptr
+  /// for an absent section (*count = 0).
+  template <typename T>
+  const T* array(SectionId id, uint64_t* count) const {
+    const SectionHeader* s = section(id);
+    if (!s) {
+      *count = 0;
+      return nullptr;
+    }
+    checkEntryShape(*s, sizeof(T), alignof(T));
+    *count = s->block.num_entries;
+    return reinterpret_cast<const T*>(base_ + s->offset);
+  }
+
+  /// Raw payload bytes of a section (for blobs).
+  const char* bytes(SectionId id, uint64_t* size) const;
+
+  /// Mutable view into the (MAP_PRIVATE) mapping for loader fixups.
+  char* mutableBase() { return base_; }
+
+  /// Registers a Value the loader placement-constructed into the mapping;
+  /// it is destroyed (releasing its heap payload) before munmap.
+  void registerFixup(blocks::Value* slot) { fixups_.push_back(slot); }
+
+  size_t mappedBytes() const { return size_; }
+
+ private:
+  Region() = default;
+  void checkEntryShape(const SectionHeader& s, uint64_t entrySize,
+                       uint64_t entryAlign) const;
+
+  char* base_ = nullptr;
+  size_t size_ = 0;
+  FileHeader header_;
+  const SectionHeader* sections_ = nullptr;  ///< into the mapping
+  std::vector<blocks::Value*> fixups_;
+};
+
+}  // namespace psnap::persist

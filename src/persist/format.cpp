@@ -1,0 +1,68 @@
+#include "persist/format.hpp"
+
+#include <cstring>
+#include <new>
+
+#include "blocks/value.hpp"
+
+namespace psnap::persist {
+
+namespace {
+
+constexpr uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
+constexpr uint64_t kFnvPrime = 0x100000001b3ULL;
+
+uint64_t fnv1a(uint64_t hash, const void* data, size_t bytes) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (size_t i = 0; i < bytes; ++i) {
+    hash ^= p[i];
+    hash *= kFnvPrime;
+  }
+  return hash;
+}
+
+/// Placement-construct a sample Value into zeroed scratch and fold its raw
+/// bytes into the hash. Zeroing first makes padding deterministic — the
+/// same normalization the snapshot writer applies to every slot.
+template <typename Arg>
+uint64_t foldSample(uint64_t hash, Arg&& arg) {
+  alignas(blocks::Value) unsigned char scratch[sizeof(blocks::Value)];
+  std::memset(scratch, 0, sizeof(scratch));
+  auto* v = new (scratch) blocks::Value(std::forward<Arg>(arg));
+  hash = fnv1a(hash, scratch, sizeof(scratch));
+  v->~Value();
+  return hash;
+}
+
+}  // namespace
+
+uint64_t valueAbiFingerprint() {
+  // Computed once: the layout cannot change within a process.
+  static const uint64_t fingerprint = [] {
+    uint64_t h = kFnvOffset;
+    const uint64_t size = sizeof(blocks::Value);
+    const uint64_t align = alignof(blocks::Value);
+    h = fnv1a(h, &size, sizeof(size));
+    h = fnv1a(h, &align, sizeof(align));
+    h = foldSample(h, blocks::Value());
+    h = foldSample(h, 0.0625);            // exact double, no rounding noise
+    h = foldSample(h, true);
+    h = foldSample(h, std::string_view("abc"));  // small-text
+    h = foldSample(h, std::string_view("0123456789abcde"));  // max inline
+    return h;
+  }();
+  return fingerprint;
+}
+
+uint64_t headerCheck(const FileHeader& header) {
+  uint64_t h = kFnvOffset;
+  h = fnv1a(h, &header.magic, sizeof(header.magic));
+  h = fnv1a(h, &header.version, sizeof(header.version));
+  h = fnv1a(h, &header.kind, sizeof(header.kind));
+  h = fnv1a(h, &header.valueAbi, sizeof(header.valueAbi));
+  h = fnv1a(h, &header.sectionCount, sizeof(header.sectionCount));
+  h = fnv1a(h, &header.fileBytes, sizeof(header.fileBytes));
+  return h;
+}
+
+}  // namespace psnap::persist

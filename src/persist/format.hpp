@@ -1,0 +1,148 @@
+// On-disk layout of psnap snapshots (datasets and whole projects).
+//
+// A snapshot file is a fixed-size header, a section table, and a series
+// of aligned flat sections — the osrm-backend typed-block idea
+// ({num_entries, byte_size, entry_size, entry_align} descriptors over
+// arrays of PODs) applied to the COW value plane. The load path never
+// parses: the file is mmap'd and the `ValueSlots` section *is* the list
+// item buffer, aliased directly by mmap-backed `List::Buffer`s
+// (blocks/value.hpp). That aliasing is legal because of two write-time
+// guarantees:
+//
+//   * every slot range a List aliases is sublist-free ("leaf" lists;
+//     spines with ListRef elements are materialized at load), preserving
+//     PR 4's shared-buffers-are-flat invariant; and
+//   * every slot is a *normalized* in-memory `blocks::Value`: written by
+//     placement-constructing into zeroed scratch, so padding is
+//     deterministic and inline kinds (nothing, number, boolean,
+//     small-text) round-trip by memcpy. Kinds that carry heap pointers
+//     (long text, sublists) are written as zeroed slots plus a patch
+//     table entry and reconstructed at load — long-text slots by
+//     placement-new *into the (MAP_PRIVATE) mapping*, touching only the
+//     pages that hold them.
+//
+// Because raw Value bytes are ABI-specific (std::variant layout), the
+// header carries a runtime fingerprint of the Value representation; a
+// mismatch (different compiler/stdlib/build) is rejected with a typed
+// error instead of misreading slots.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace psnap::persist {
+
+/// "psnapblk" in little-endian bytes.
+inline constexpr uint64_t kMagic = 0x6b6c6270616e7370ULL;
+inline constexpr uint32_t kFormatVersion = 1;
+
+/// Hard cap on sections per file: the table is reserved up front so the
+/// writer can stream payloads without knowing the final count.
+inline constexpr size_t kMaxSections = 16;
+
+enum class SnapshotKind : uint32_t {
+  Dataset = 1,  ///< a single root value (typically one flat list)
+  Project = 2,  ///< XML skeleton + the variable values as a value tree
+};
+
+/// osrm-style typed-block descriptor: enough to bounds-check and index a
+/// section as a flat array without knowing the element type at runtime.
+struct Block {
+  uint64_t num_entries = 0;
+  uint64_t byte_size = 0;
+  uint64_t entry_size = 0;
+  uint64_t entry_align = 1;
+};
+
+template <typename T>
+constexpr Block makeBlock(uint64_t numEntries) {
+  static_assert(sizeof(T) % alignof(T) == 0,
+                "aligned T* can't be used as an array pointer");
+  return Block{numEntries, sizeof(T) * numEntries, sizeof(T), alignof(T)};
+}
+
+enum class SectionId : uint64_t {
+  ValueSlots = 1,   ///< blocks::Value[] — raw normalized slots
+  Lists = 2,        ///< ListRec[] — one per list, ids are indices
+  TextPatches = 3,  ///< TextPatch[] — long-text slots, ascending by slot
+  ListPatches = 4,  ///< ListPatch[] — sublist slots, ascending by slot
+  TextBlob = 5,     ///< char[] — concatenated long-text bytes
+  Roots = 6,        ///< RootRec[] — the snapshot's root values
+  Names = 7,        ///< char[] — auxiliary name blob (project variables)
+  VarTable = 8,     ///< VarRec[] — variable manifest (project snapshots)
+  Xml = 9,          ///< char[] — project XML skeleton
+};
+
+struct SectionHeader {
+  uint64_t id = 0;      ///< SectionId, 0 = unused table entry
+  uint64_t offset = 0;  ///< absolute file offset of the payload
+  Block block;
+};
+
+struct FileHeader {
+  uint64_t magic = 0;
+  uint32_t version = 0;
+  uint32_t kind = 0;          ///< SnapshotKind
+  uint64_t valueAbi = 0;      ///< runtime Value-layout fingerprint
+  uint64_t sectionCount = 0;
+  uint64_t fileBytes = 0;     ///< total file size (truncation check)
+  uint64_t headerCheck = 0;   ///< mix of all fields above
+};
+
+/// One list's slot range in ValueSlots. A list is a "leaf" when its range
+/// has no ListPatch entries: leaves alias the mapping; spines are
+/// materialized into owned buffers at load.
+struct ListRec {
+  uint64_t firstSlot = 0;
+  uint64_t slotCount = 0;
+};
+
+/// A slot holding text longer than the Value-inline capacity: the slot is
+/// zeroed on disk and rebuilt at load from the blob range.
+struct TextPatch {
+  uint64_t slot = 0;    ///< absolute index into ValueSlots
+  uint64_t offset = 0;  ///< into TextBlob
+  uint64_t length = 0;
+};
+
+/// A slot holding a sublist reference.
+struct ListPatch {
+  uint64_t slot = 0;       ///< absolute index into ValueSlots
+  uint64_t childList = 0;  ///< index into Lists
+};
+
+enum class RootKind : uint64_t {
+  Nothing = 0,
+  Number = 1,
+  Boolean = 2,
+  Text = 3,  ///< a/b = offset/length into TextBlob (any size)
+  List = 4,  ///< a = index into Lists
+};
+
+struct RootRec {
+  uint64_t kind = 0;  ///< RootKind
+  uint64_t a = 0;
+  uint64_t b = 0;
+  double number = 0;
+};
+
+/// Variable manifest entry for project snapshots: which owner
+/// (0 = project globals, 1+n = sprite n) declares the name at
+/// Names[nameOffset, nameLength), with its value in Roots[rootIndex].
+struct VarRec {
+  uint64_t owner = 0;
+  uint64_t nameOffset = 0;
+  uint64_t nameLength = 0;
+  uint64_t rootIndex = 0;
+};
+
+/// Fingerprint of the in-memory blocks::Value layout: size, alignment,
+/// and the normalized byte patterns of every inline kind. Computed once
+/// per process; a file whose fingerprint differs was written by an
+/// incompatible build and cannot be aliased.
+uint64_t valueAbiFingerprint();
+
+/// The header self-check: FNV-1a over every field except headerCheck.
+uint64_t headerCheck(const FileHeader& header);
+
+}  // namespace psnap::persist

@@ -1,0 +1,71 @@
+#include "project/snapshot.hpp"
+
+#include <utility>
+
+#include "persist/snapshot.hpp"
+#include "support/error.hpp"
+
+namespace psnap::project {
+
+using blocks::Value;
+
+void saveProjectSnapshot(const std::string& path, const Project& project) {
+  // Skeleton: the project with every variable value blanked. Scripts and
+  // custom blocks are shared pointers, so this copy is spine-only.
+  Project skeleton = project;
+  persist::ProjectImage image;
+  for (auto& [name, value] : skeleton.globals) {
+    image.vars.push_back({0, name, std::move(value)});
+    value = Value();
+  }
+  for (size_t s = 0; s < skeleton.sprites.size(); ++s) {
+    for (auto& [name, value] : skeleton.sprites[s].variables) {
+      image.vars.push_back({s + 1, name, std::move(value)});
+      value = Value();
+    }
+  }
+  image.xml = toXml(skeleton);
+  persist::saveProjectImage(path, image);
+}
+
+Project loadProjectSnapshot(const std::string& path,
+                            const blocks::BlockRegistry& registry) {
+  persist::ProjectImage image = persist::loadProjectImage(path);
+  Project project;
+  try {
+    project = fromXml(image.xml, registry);
+  } catch (const Error& error) {
+    // A malformed skeleton inside a validated snapshot is corruption,
+    // not a user parse error.
+    throw SubstrateError("snapshot open (" + path +
+                         "): corrupt XML skeleton: " + error.what());
+  }
+  for (persist::ProjectImage::Var& var : image.vars) {
+    std::vector<std::pair<std::string, Value>>* scope = nullptr;
+    if (var.owner == 0) {
+      scope = &project.globals;
+    } else if (var.owner <= project.sprites.size()) {
+      scope = &project.sprites[var.owner - 1].variables;
+    } else {
+      throw SubstrateError("snapshot open (" + path +
+                           "): corrupt variable table: owner " +
+                           std::to_string(var.owner) + " out of range");
+    }
+    bool attached = false;
+    for (auto& [name, value] : *scope) {
+      if (name == var.name) {
+        value = std::move(var.value);
+        attached = true;
+        break;
+      }
+    }
+    if (!attached) {
+      throw SubstrateError("snapshot open (" + path +
+                           "): corrupt variable table: \"" + var.name +
+                           "\" is not in the skeleton");
+    }
+  }
+  return project;
+}
+
+}  // namespace psnap::project

@@ -1,0 +1,37 @@
+// Binary project snapshots beside the XML format.
+//
+// XML round-trips the full block structure but pays a parse proportional
+// to the data: a project whose variables hold million-element lists
+// spends its whole load inside valueNode. The snapshot splits the two
+// concerns: the *skeleton* (sprites, scripts, custom blocks — everything
+// structural) stays XML, embedded verbatim in the snapshot file, while
+// every variable value moves to the typed-block value plane, where flat
+// lists are mmap'd back in O(pages touched) (persist/snapshot.hpp).
+// Loading re-parses only the skeleton — script-sized, not data-sized —
+// and re-attaches values by owner and name.
+//
+// Variable values that are rings are not persistable in either format
+// (the XML writer rejects them too); saveProjectSnapshot raises
+// PurityError before touching disk, like persist::saveValue.
+#pragma once
+
+#include <string>
+
+#include "project/project.hpp"
+
+namespace psnap::project {
+
+/// Writes `project` as a binary snapshot. Atomic (temp + rename);
+/// throws PurityError for ring/future/cyclic variable values and
+/// SubstrateError for I/O failures.
+void saveProjectSnapshot(const std::string& path, const Project& project);
+
+/// Loads a snapshot: parses the embedded XML skeleton against
+/// `registry`, then re-attaches variable values — list values alias the
+/// mapping until first mutation. Throws SubstrateError for corrupt
+/// files or a value table that does not match the skeleton.
+Project loadProjectSnapshot(const std::string& path,
+                            const blocks::BlockRegistry& registry =
+                                blocks::BlockRegistry::standard());
+
+}  // namespace psnap::project

@@ -7,6 +7,7 @@
 
 #include "blocks/registry.hpp"
 #include "core/parallel_blocks.hpp"
+#include "persist/catalog.hpp"
 #include "support/fault.hpp"
 
 namespace psnap::serve {
@@ -243,6 +244,26 @@ void SessionServer::cancelSession(uint64_t id, const std::string& reason) {
     shedAt(i, reason);
     return;
   }
+}
+
+void SessionServer::publishDataset(const std::string& name,
+                                   const std::string& path) {
+  // One mapping per file process-wide: the catalog dedupes across
+  // servers too. The stored root is pristine — tenants only ever get
+  // clones of it.
+  datasets_[name] = persist::openSharedList(path);
+}
+
+blocks::ListPtr SessionServer::openDataset(const std::string& name) const {
+  const auto it = datasets_.find(name);
+  if (it == datasets_.end()) {
+    throw SubstrateError("no dataset published as \"" + name + "\"");
+  }
+  return it->second->snapshotClone();
+}
+
+bool SessionServer::unpublishDataset(const std::string& name) {
+  return datasets_.erase(name) > 0;
 }
 
 void SessionServer::shedNewestActive(const std::string& reason) {

@@ -37,6 +37,7 @@
 #include <functional>
 #include <memory>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "sched/thread_manager.hpp"
@@ -151,6 +152,25 @@ class SessionServer {
   /// a no-op.
   void cancelSession(uint64_t id, const std::string& reason);
 
+  /// Publish the dataset snapshot at `path` under `name`: the file is
+  /// mapped once (through the process-wide shared-open catalog) and that
+  /// one mapping backs every tenant that opens it. Re-publishing a name
+  /// replaces it. Throws SubstrateError for missing/corrupt files (and
+  /// when the MmapFailure fault point fires).
+  void publishDataset(const std::string& name, const std::string& path);
+
+  /// A tenant-private view of a published dataset: a fresh List sharing
+  /// the mapped buffer (O(1)), so readers never share a mutable node and
+  /// one tenant's mutation — which copies out, COW — is invisible to the
+  /// rest. Throws SubstrateError for unknown names.
+  blocks::ListPtr openDataset(const std::string& name) const;
+
+  /// Drop a published name (no-op when absent; tenants holding views
+  /// keep the mapping alive). Returns true when something was dropped.
+  bool unpublishDataset(const std::string& name);
+
+  size_t publishedDatasets() const { return datasets_.size(); }
+
   size_t activeSessions() const { return active_.size(); }
   bool quiet() const { return active_.empty(); }
   const ServerMetrics& metrics() const { return metrics_; }
@@ -214,6 +234,10 @@ class SessionServer {
   /// One hub for all tenants: any session's completion callback can
   /// rouse a server sleeping in runUntilQuiet().
   vm::WakeHubPtr hub_;
+
+  /// Published datasets: pristine mapped roots, never handed out
+  /// directly (openDataset clones).
+  std::unordered_map<std::string, blocks::ListPtr> datasets_;
 
   std::vector<std::unique_ptr<Session>> active_;  // admission order
   std::vector<SessionRecord> finished_;           // finish order

@@ -53,6 +53,8 @@ const char* pointName(Point point) {
     case Point::TenantStall:         return "tenant-stall";
     case Point::CompletionDrop:      return "completion-drop";
     case Point::NativeCompileFailure:return "native-compile-failure";
+    case Point::SnapshotWriteFailure:return "snapshot-write-failure";
+    case Point::MmapFailure:         return "mmap-failure";
   }
   return "unknown";
 }

@@ -17,10 +17,13 @@
 //
 // Firing behaviour by point:
 //   * TaskThrow / TransferFailure / PoolSaturation / SessionAdmitFailure /
-//     TenantStall / NativeCompileFailure throw SubstrateError (the
-//     retryable class — retry, degradation, admission-rejection, and
-//     crash-containment paths exercise; a NativeCompileFailure inside the
-//     tier's compile task downgrades that kernel permanently);
+//     TenantStall / NativeCompileFailure / SnapshotWriteFailure /
+//     MmapFailure throw SubstrateError (the retryable class — retry,
+//     degradation, admission-rejection, and crash-containment paths
+//     exercise; a NativeCompileFailure inside the tier's compile task
+//     downgrades that kernel permanently; a SnapshotWriteFailure leaves
+//     no partial file behind — the writer stages into a temp path and
+//     renames only on commit);
 //   * WorkerStall sleeps the calling worker for `stallMicros` instead of
 //     throwing, modelling a Web Worker that has gone unresponsive (pairs
 //     with deadlines to produce TimeoutError);
@@ -55,8 +58,10 @@ enum class Point : uint8_t {
   TenantStall,         ///< one tenant's frame slice dies mid-flight
   CompletionDrop,      ///< a completion callback is delayed before dispatch
   NativeCompileFailure,///< the native tier's out-of-process compile dies
+  SnapshotWriteFailure,///< a persistence snapshot write dies mid-file
+  MmapFailure,         ///< mapping a snapshot file into memory fails
 };
-inline constexpr size_t kPointCount = 8;
+inline constexpr size_t kPointCount = 10;
 
 const char* pointName(Point point);
 

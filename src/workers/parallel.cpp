@@ -27,7 +27,7 @@ void retryBackoff(int attempt) {
 }
 }  // namespace
 
-Parallel::Parallel(const std::vector<Value>& data, ParallelOptions options)
+Parallel::Parallel(blocks::ItemSpan data, ParallelOptions options)
     : workers_(options.maxWorkers == 0 ? kDefaultWorkers
                                        : options.maxWorkers),
       options_(options),
@@ -40,14 +40,14 @@ Parallel::Parallel(const std::vector<Value>& data, ParallelOptions options)
 }
 
 Parallel::Parallel(const blocks::ListPtr& list, ParallelOptions options)
-    : Parallel(list ? list->items() : std::vector<Value>{}, options) {}
+    : Parallel(list ? list->items() : blocks::ItemSpan(), options) {}
 
 Parallel::~Parallel() {
   // Chunk tasks capture `this`; they must finish before the object dies.
   if (group_) group_->wait();
 }
 
-void Parallel::cloneIn(const std::vector<Value>& source) {
+void Parallel::cloneIn(blocks::ItemSpan source) {
   // Snapshot transfer: structuredClone is a scalar copy / refcount bump
   // per element (lists take an O(1) frozen buffer snapshot, text is
   // shared-immutable), so the seed's parallel clone pass — slice tasks

@@ -131,8 +131,10 @@ class Parallel {
   /// so entry costs O(elements) refcount bumps instead of a deep copy.
   /// The snapshot is anchored before the constructor returns: later
   /// mutation of the source detaches at the COW gate and never leaks
-  /// into the job.
-  Parallel(const std::vector<blocks::Value>& data, ParallelOptions options);
+  /// into the job. Accepts any item view — an owned vector binds
+  /// implicitly, and a mapped (mmap-backed) list's buffer enters without
+  /// materializing first.
+  Parallel(blocks::ItemSpan data, ParallelOptions options);
   explicit Parallel(const blocks::ListPtr& list,
                     ParallelOptions options = {});
   ~Parallel();
@@ -205,7 +207,7 @@ class Parallel {
     std::atomic<uint64_t> items{0};
   };
 
-  void cloneIn(const std::vector<blocks::Value>& source);
+  void cloneIn(blocks::ItemSpan source);
   /// Submit `taskCount` chunk tasks running `body(logicalWorker)`.
   void launch(std::function<void(size_t)> body, size_t taskCount);
   /// Record the first failure (original exception preserved) and cancel

@@ -1,0 +1,344 @@
+// Unit tests for the zero-copy persistence layer: round trips, mapped
+// aliasing, COW preservation, writer atomicity, corrupt-file rejection,
+// and the shared-open catalog.
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "blocks/block.hpp"
+#include "blocks/value.hpp"
+#include "persist/catalog.hpp"
+#include "persist/file.hpp"
+#include "persist/snapshot.hpp"
+#include "support/error.hpp"
+
+namespace psnap::persist {
+namespace {
+
+using blocks::List;
+using blocks::ListPtr;
+using blocks::Value;
+
+class SnapshotTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("psnap-persist-" +
+            std::to_string(::testing::UnitTest::GetInstance()
+                               ->random_seed()) +
+            "-" + ::testing::UnitTest::GetInstance()
+                      ->current_test_info()
+                      ->name());
+    std::filesystem::remove_all(dir_);
+    std::filesystem::create_directories(dir_);
+    clearSharedOpens();
+  }
+  void TearDown() override {
+    clearSharedOpens();
+    std::filesystem::remove_all(dir_);
+  }
+
+  std::string path(const std::string& name) const {
+    return (dir_ / name).string();
+  }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(SnapshotTest, FlatNumbersRoundTripMapped) {
+  auto list = List::make();
+  for (int i = 0; i < 1000; ++i) list->add(Value(i * 0.5));
+  saveList(path("n.psnap"), list);
+
+  ListPtr loaded = loadList(path("n.psnap"));
+  ASSERT_TRUE(loaded->mappedBuffer());
+  ASSERT_EQ(loaded->length(), 1000u);
+  EXPECT_EQ(loaded->item(1).asNumber(), 0.0);
+  EXPECT_EQ(loaded->item(1000).asNumber(), 999 * 0.5);
+  EXPECT_TRUE(loaded->deepEquals(*list));
+}
+
+TEST_F(SnapshotTest, MixedScalarsRoundTrip) {
+  const std::string longText(200, 'x');
+  auto list = List::make({Value(), Value(2.5), Value(true), Value(false),
+                          Value("short"), Value(longText),
+                          Value("exactly15bytes!")});
+  saveList(path("m.psnap"), list);
+
+  ListPtr loaded = loadList(path("m.psnap"));
+  ASSERT_TRUE(loaded->mappedBuffer());  // texts are not sublists
+  ASSERT_EQ(loaded->length(), 7u);
+  EXPECT_TRUE(loaded->item(1).isNothing());
+  EXPECT_EQ(loaded->item(2).asNumber(), 2.5);
+  EXPECT_TRUE(loaded->item(3).asBoolean());
+  EXPECT_FALSE(loaded->item(4).asBoolean());
+  EXPECT_EQ(loaded->item(5).asText(), "short");
+  EXPECT_EQ(loaded->item(6).asText(), longText);
+  EXPECT_EQ(loaded->item(7).asText(), "exactly15bytes!");
+  EXPECT_TRUE(loaded->deepEquals(*list));
+}
+
+TEST_F(SnapshotTest, NestedSpinesMaterializeLeavesAlias) {
+  auto leafA = List::make({Value(1), Value(2), Value(3)});
+  auto leafB = List::make({Value("deep"), Value(std::string(100, 'y'))});
+  auto mid = List::make({Value(leafB), Value(42)});
+  auto root = List::make({Value(leafA), Value(mid), Value("tail")});
+  saveList(path("nest.psnap"), root);
+
+  ListPtr loaded = loadList(path("nest.psnap"));
+  EXPECT_FALSE(loaded->mappedBuffer());  // spine: owned
+  EXPECT_TRUE(loaded->item(1).asList()->mappedBuffer());   // leafA
+  EXPECT_FALSE(loaded->item(2).asList()->mappedBuffer());  // mid is a spine
+  EXPECT_TRUE(
+      loaded->item(2).asList()->item(1).asList()->mappedBuffer());  // leafB
+  EXPECT_TRUE(loaded->deepEquals(*root));
+}
+
+TEST_F(SnapshotTest, SharedSublistsKeepIdentity) {
+  auto shared = List::make({Value(7)});
+  auto root = List::make({Value(shared), Value(shared)});
+  saveList(path("shared.psnap"), root);
+
+  ListPtr loaded = loadList(path("shared.psnap"));
+  EXPECT_EQ(loaded->item(1).asList().get(), loaded->item(2).asList().get());
+}
+
+TEST_F(SnapshotTest, ScalarRootsRoundTrip) {
+  saveValue(path("num.psnap"), Value(6.25));
+  EXPECT_EQ(loadValue(path("num.psnap")).asNumber(), 6.25);
+
+  saveValue(path("text.psnap"), Value(std::string(500, 'z')));
+  EXPECT_EQ(loadValue(path("text.psnap")).asText(), std::string(500, 'z'));
+
+  saveValue(path("none.psnap"), Value());
+  EXPECT_TRUE(loadValue(path("none.psnap")).isNothing());
+
+  saveValue(path("flag.psnap"), Value(true));
+  EXPECT_TRUE(loadValue(path("flag.psnap")).asBoolean());
+
+  EXPECT_THROW(loadList(path("num.psnap")), SubstrateError);
+}
+
+TEST_F(SnapshotTest, CyclesAndRingsRejectedBeforeTouchingDisk) {
+  auto cyclic = List::make({Value(1)});
+  cyclic->add(Value(cyclic));
+  EXPECT_THROW(saveList(path("cyc.psnap"), cyclic), PurityError);
+
+  auto expr = blocks::Block::make("reportIdentity", {blocks::Input::empty()});
+  auto withRing = List::make({Value(blocks::Ring::reporter(expr))});
+  EXPECT_THROW(saveList(path("ring.psnap"), withRing), PurityError);
+
+  // Purity failures precede file creation: nothing appears on disk.
+  EXPECT_FALSE(std::filesystem::exists(path("cyc.psnap")));
+  EXPECT_FALSE(std::filesystem::exists(path("ring.psnap")));
+  EXPECT_TRUE(std::filesystem::is_empty(dir_));
+}
+
+TEST_F(SnapshotTest, MutationCopiesOutOfTheMapping) {
+  auto list = List::make({Value(1), Value(2), Value(3)});
+  saveList(path("cow.psnap"), list);
+
+  ListPtr loaded = loadList(path("cow.psnap"));
+  ASSERT_TRUE(loaded->mappedBuffer());
+  loaded->add(Value(4));
+  EXPECT_FALSE(loaded->mappedBuffer());
+  EXPECT_EQ(loaded->length(), 4u);
+  EXPECT_EQ(loaded->item(1).asNumber(), 1.0);
+
+  // A fresh load still sees the original bytes.
+  ListPtr again = loadList(path("cow.psnap"));
+  EXPECT_EQ(again->length(), 3u);
+}
+
+TEST_F(SnapshotTest, StructuredCloneSharesTheMappedBuffer) {
+  auto list = List::make({Value(1), Value("two"), Value(3)});
+  saveList(path("clone.psnap"), list);
+
+  ListPtr loaded = loadList(path("clone.psnap"));
+  Value clone = Value(loaded).structuredClone();
+  EXPECT_TRUE(clone.asList()->mappedBuffer());
+  EXPECT_TRUE(clone.asList()->sharesBufferWith(*loaded));
+
+  // Mutating either side detaches only that side.
+  clone.asList()->replaceAt(1, Value(99));
+  EXPECT_TRUE(loaded->mappedBuffer());
+  EXPECT_EQ(loaded->item(1).asNumber(), 1.0);
+  EXPECT_EQ(clone.asList()->item(1).asNumber(), 99.0);
+}
+
+TEST_F(SnapshotTest, MappingSurvivesFileDeletion) {
+  auto list = List::make({Value(5), Value(std::string(300, 'k'))});
+  saveList(path("gone.psnap"), list);
+
+  ListPtr loaded = loadList(path("gone.psnap"));
+  std::filesystem::remove(path("gone.psnap"));
+  // The mapping holds its own reference to the inode.
+  EXPECT_EQ(loaded->item(1).asNumber(), 5.0);
+  EXPECT_EQ(loaded->item(2).asText(), std::string(300, 'k'));
+}
+
+TEST_F(SnapshotTest, DatasetWriterStreamsAndRoundTrips) {
+  const std::string longText(64, 'w');
+  {
+    DatasetWriter writer(path("stream.psnap"));
+    for (int i = 0; i < 5000; ++i) writer.appendNumber(i);
+    writer.append(Value("inline"));
+    writer.append(Value(longText));
+    writer.append(Value(true));
+    writer.append(Value());
+    EXPECT_EQ(writer.count(), 5004u);
+    writer.commit();
+  }
+  ListPtr loaded = loadList(path("stream.psnap"));
+  ASSERT_TRUE(loaded->mappedBuffer());
+  ASSERT_EQ(loaded->length(), 5004u);
+  EXPECT_EQ(loaded->item(5000).asNumber(), 4999.0);
+  EXPECT_EQ(loaded->item(5001).asText(), "inline");
+  EXPECT_EQ(loaded->item(5002).asText(), longText);
+  EXPECT_TRUE(loaded->item(5003).asBoolean());
+  EXPECT_TRUE(loaded->item(5004).isNothing());
+}
+
+TEST_F(SnapshotTest, DatasetWriterRejectsNonScalars) {
+  DatasetWriter writer(path("bad.psnap"));
+  EXPECT_THROW(writer.append(Value(List::make({Value(1)}))), PurityError);
+}
+
+TEST_F(SnapshotTest, AbandonedWriterLeavesNoFile) {
+  {
+    DatasetWriter writer(path("never.psnap"));
+    writer.appendNumber(1);
+    // no commit
+  }
+  EXPECT_TRUE(std::filesystem::is_empty(dir_));  // no temp leftovers either
+}
+
+TEST_F(SnapshotTest, MissingAndCorruptFilesRaiseSubstrateError) {
+  EXPECT_THROW(loadList(path("absent.psnap")), SubstrateError);
+
+  // Not a snapshot at all.
+  std::ofstream(path("junk.psnap")) << "hello world";
+  EXPECT_THROW(loadList(path("junk.psnap")), SubstrateError);
+
+  auto list = List::make({Value(1), Value(2)});
+  saveList(path("ok.psnap"), list);
+
+  // Truncated: recorded size no longer matches.
+  std::filesystem::copy_file(path("ok.psnap"), path("trunc.psnap"));
+  std::filesystem::resize_file(
+      path("trunc.psnap"), std::filesystem::file_size(path("trunc.psnap")) / 2);
+  EXPECT_THROW(loadList(path("trunc.psnap")), SubstrateError);
+
+  // Bad magic.
+  std::filesystem::copy_file(path("ok.psnap"), path("magic.psnap"));
+  {
+    std::fstream f(path("magic.psnap"),
+                   std::ios::in | std::ios::out | std::ios::binary);
+    f.put('X');
+  }
+  EXPECT_THROW(loadList(path("magic.psnap")), SubstrateError);
+
+  // Corrupt header field: self-check mismatch.
+  std::filesystem::copy_file(path("ok.psnap"), path("hdr.psnap"));
+  {
+    std::fstream f(path("hdr.psnap"),
+                   std::ios::in | std::ios::out | std::ios::binary);
+    f.seekp(offsetof(FileHeader, sectionCount));
+    f.put(char(0x7f));
+  }
+  EXPECT_THROW(loadList(path("hdr.psnap")), SubstrateError);
+
+  // The good file still loads after all that.
+  EXPECT_EQ(loadList(path("ok.psnap"))->length(), 2u);
+}
+
+TEST_F(SnapshotTest, ProjectImageRoundTrip) {
+  ProjectImage image;
+  image.xml = "<project name=\"p\"><stage/></project>";
+  image.vars.push_back({0, "score", Value(41.0)});
+  image.vars.push_back({0, "rows",
+                        Value(List::make({Value(1), Value(2), Value(3)}))});
+  image.vars.push_back({1, "greeting", Value(std::string(80, 'g'))});
+  image.vars.push_back({2, "flag", Value(false)});
+  saveProjectImage(path("p.psnap"), image);
+
+  ProjectImage loaded = loadProjectImage(path("p.psnap"));
+  EXPECT_EQ(loaded.xml, image.xml);
+  ASSERT_EQ(loaded.vars.size(), 4u);
+  EXPECT_EQ(loaded.vars[0].owner, 0u);
+  EXPECT_EQ(loaded.vars[0].name, "score");
+  EXPECT_EQ(loaded.vars[0].value.asNumber(), 41.0);
+  EXPECT_EQ(loaded.vars[1].name, "rows");
+  EXPECT_TRUE(loaded.vars[1].value.asList()->mappedBuffer());
+  EXPECT_TRUE(loaded.vars[1].value.asList()->deepEquals(
+      *image.vars[1].value.asList()));
+  EXPECT_EQ(loaded.vars[2].owner, 1u);
+  EXPECT_EQ(loaded.vars[2].value.asText(), std::string(80, 'g'));
+  EXPECT_FALSE(loaded.vars[3].value.asBoolean());
+
+  // Kind checks both ways.
+  EXPECT_THROW(loadValue(path("p.psnap")), SubstrateError);
+  saveValue(path("d.psnap"), Value(1.0));
+  EXPECT_THROW(loadProjectImage(path("d.psnap")), SubstrateError);
+}
+
+TEST_F(SnapshotTest, InspectReportsShape) {
+  auto list = List::make({Value(1), Value(2), Value(3)});
+  saveList(path("i.psnap"), list);
+  const SnapshotInfo info = inspect(path("i.psnap"));
+  EXPECT_EQ(info.kind, SnapshotKind::Dataset);
+  EXPECT_EQ(info.slots, 3u);
+  EXPECT_EQ(info.lists, 1u);
+  EXPECT_EQ(info.fileBytes, std::filesystem::file_size(path("i.psnap")));
+}
+
+TEST_F(SnapshotTest, CatalogSharesOneMappingAcrossOpens) {
+  auto list = List::make({Value(10), Value(20)});
+  saveList(path("cat.psnap"), list);
+
+  ListPtr a = openSharedList(path("cat.psnap"));
+  ListPtr b = openSharedList(path("cat.psnap"));
+  EXPECT_NE(a.get(), b.get());  // never the same mutable node
+  EXPECT_TRUE(a->sharesBufferWith(*b));
+  EXPECT_TRUE(a->mappedBuffer());
+  EXPECT_EQ(sharedOpenCount(), 1u);
+
+  // One reader's mutation is invisible to the other and to later opens.
+  a->replaceAt(1, Value(99));
+  EXPECT_EQ(b->item(1).asNumber(), 10.0);
+  ListPtr c = openSharedList(path("cat.psnap"));
+  EXPECT_EQ(c->item(1).asNumber(), 10.0);
+  EXPECT_TRUE(c->sharesBufferWith(*b));
+
+  EXPECT_TRUE(releaseSharedOpen(path("cat.psnap")));
+  EXPECT_FALSE(releaseSharedOpen(path("cat.psnap")));
+  EXPECT_EQ(sharedOpenCount(), 0u);
+  // Released entry: readers still work, next open remaps.
+  EXPECT_EQ(b->item(2).asNumber(), 20.0);
+  ListPtr d = openSharedList(path("cat.psnap"));
+  EXPECT_EQ(d->item(1).asNumber(), 10.0);
+  EXPECT_FALSE(d->sharesBufferWith(*b));
+}
+
+TEST_F(SnapshotTest, EmptyAndEdgeShapes) {
+  saveList(path("empty.psnap"), List::make());
+  EXPECT_EQ(loadList(path("empty.psnap"))->length(), 0u);
+
+  auto emptyChild = List::make({Value(List::make()), Value(1)});
+  saveList(path("ec.psnap"), emptyChild);
+  ListPtr loaded = loadList(path("ec.psnap"));
+  EXPECT_EQ(loaded->item(1).asList()->length(), 0u);
+  EXPECT_EQ(loaded->item(2).asNumber(), 1.0);
+
+  ProjectImage bare;
+  saveProjectImage(path("bare.psnap"), bare);
+  ProjectImage back = loadProjectImage(path("bare.psnap"));
+  EXPECT_TRUE(back.xml.empty());
+  EXPECT_TRUE(back.vars.empty());
+}
+
+}  // namespace
+}  // namespace psnap::persist
