@@ -93,7 +93,10 @@ int main(int argc, char** argv) {
       case SessionState::Completed:
         ++completed;
         if (record.outputOk) ++outputOk;
-        slicesByLabel[record.label].push_back(record.framesRun);
+        // Group by workload kind: labels carry generator parameters
+        // after a ':' ("wordcount:24:7"), and fairness compares equals.
+        slicesByLabel[record.label.substr(0, record.label.find(':'))]
+            .push_back(record.framesRun);
         break;
       case SessionState::Failed:
         ++failed;
@@ -102,6 +105,7 @@ int main(int argc, char** argv) {
         ++shed;
         break;
       case SessionState::Active:
+      case SessionState::Drained:
         break;
     }
   }

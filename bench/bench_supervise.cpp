@@ -1,0 +1,275 @@
+// Supervision benchmark: what does checkpointing cost on the fault-free
+// path, and how fast does a cold successor come back? Three measurements,
+// emitted as BENCH_supervise.json:
+//
+//   * baseline — the same recoverable mixed storm with supervision off
+//     (no checkpoint dir): run_seconds and frame p50/p99 to compare
+//     against;
+//   * intervals — the storm re-run under checkpointIntervalFrames of
+//     4, 16, and 64: run_seconds, frame percentiles, checkpoint ledger
+//     (written / skipped / failures), and overhead_pct vs the baseline.
+//     Writes ride the worker pool, so the frame path should show only
+//     the capture + fingerprint cost;
+//   * recovery — a victim server checkpoints a population and drains;
+//     a successor then recoverSessions() over the directory. Reported:
+//     recover_seconds (disk → re-admitted, per-session amortized),
+//     first_frame_ms (recovery to the first served frame), and whether
+//     every recovered session completed with its self-check intact.
+//
+// Usage: bench_supervise [--sessions N] [--quick] [--out FILE.json]
+// `--quick` runs 200 sessions (CI smoke); the default is 2'000.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include <unistd.h>
+
+#include "scenarios/serve.hpp"
+#include "serve/session_server.hpp"
+
+namespace {
+
+namespace fs = std::filesystem;
+using psnap::serve::ServerConfig;
+using psnap::serve::SessionRecord;
+using psnap::serve::SessionServer;
+using psnap::serve::SessionState;
+using Clock = std::chrono::steady_clock;
+
+double secondsSince(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+double percentile(std::vector<double> samples, double p) {
+  if (samples.empty()) return 0;
+  std::sort(samples.begin(), samples.end());
+  const double rank = p * double(samples.size() - 1);
+  const size_t lo = size_t(rank);
+  const size_t hi = std::min(lo + 1, samples.size() - 1);
+  const double frac = rank - double(lo);
+  return samples[lo] * (1 - frac) + samples[hi] * frac;
+}
+
+/// One full storm run: admit `sessions` recoverable workloads, run to
+/// completion, tally the outcome and the checkpoint ledger.
+struct StormResult {
+  double runSeconds = 0;
+  double p50Ms = 0;
+  double p99Ms = 0;
+  size_t completed = 0;
+  size_t outputOk = 0;
+  uint64_t checkpointsWritten = 0;
+  uint64_t checkpointsSkipped = 0;
+  uint64_t checkpointFailures = 0;
+};
+
+StormResult runStorm(size_t sessions, const std::string& checkpointDir,
+                     uint64_t intervalFrames) {
+  ServerConfig config;
+  config.maxSessions = sessions;
+  config.maxWorkers = 2;
+  config.checkpointDir = checkpointDir;
+  config.checkpointIntervalFrames = intervalFrames;
+  SessionServer server(config);
+  for (size_t i = 0; i < sessions; ++i) {
+    server.admit(psnap::scenarios::serveMixedRecoverableWorkload(i));
+  }
+  const auto start = Clock::now();
+  server.runUntilQuiet();
+  StormResult result;
+  result.runSeconds = secondsSince(start);
+  result.p50Ms = percentile(server.frameSeconds(), 0.50) * 1e3;
+  result.p99Ms = percentile(server.frameSeconds(), 0.99) * 1e3;
+  for (const SessionRecord& record : server.records()) {
+    if (record.state == SessionState::Completed) {
+      ++result.completed;
+      if (record.outputOk) ++result.outputOk;
+    }
+  }
+  result.checkpointsWritten = server.metrics().checkpointsWritten;
+  result.checkpointsSkipped = server.metrics().checkpointsSkipped;
+  result.checkpointFailures = server.metrics().checkpointFailures;
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  size_t sessions = 2'000;
+  std::string outPath;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      sessions = 200;
+    } else if (std::strcmp(argv[i], "--sessions") == 0 && i + 1 < argc) {
+      sessions = size_t(std::strtoull(argv[++i], nullptr, 10));
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      outPath = argv[++i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--sessions N] [--quick] [--out FILE.json]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+
+  const fs::path dirBase =
+      fs::temp_directory_path() /
+      ("psnap-bench-supervise-" + std::to_string(size_t(::getpid())));
+  fs::remove_all(dirBase);
+
+  std::printf("# bench_supervise — %zu recoverable mixed sessions\n",
+              sessions);
+
+  // Unmeasured warmup: fault the worker pool and allocator caches in
+  // before the first timed run, so the baseline is not the cold one.
+  runStorm(std::min<size_t>(sessions, 200), "", 32);
+
+  // Baseline: supervision off — the frame path never touches the
+  // checkpoint machinery.
+  const StormResult baseline = runStorm(sessions, "", 32);
+  std::printf("#   baseline (off):     %.3fs  p50 %.3fms  p99 %.3fms\n",
+              baseline.runSeconds, baseline.p50Ms, baseline.p99Ms);
+
+  // The same storm under three checkpoint cadences.
+  const uint64_t kIntervals[] = {4, 16, 64};
+  StormResult supervised[3];
+  for (size_t i = 0; i < 3; ++i) {
+    const fs::path dir = dirBase / ("interval-" + std::to_string(kIntervals[i]));
+    fs::create_directories(dir);
+    supervised[i] = runStorm(sessions, dir.string(), kIntervals[i]);
+    const double overhead =
+        baseline.runSeconds > 0
+            ? (supervised[i].runSeconds / baseline.runSeconds - 1.0) * 100.0
+            : 0;
+    std::printf(
+        "#   interval %-2llu:        %.3fs  p50 %.3fms  p99 %.3fms  "
+        "wrote %llu skipped %llu failed %llu  overhead %+.1f%%\n",
+        static_cast<unsigned long long>(kIntervals[i]),
+        supervised[i].runSeconds, supervised[i].p50Ms, supervised[i].p99Ms,
+        static_cast<unsigned long long>(supervised[i].checkpointsWritten),
+        static_cast<unsigned long long>(supervised[i].checkpointsSkipped),
+        static_cast<unsigned long long>(supervised[i].checkpointFailures),
+        overhead);
+  }
+
+  // Recovery latency: checkpoint a population, drain, cold-start a
+  // successor over the directory.
+  const size_t recoverPopulation = std::max<size_t>(sessions / 4, 50);
+  const fs::path recoverDir = dirBase / "recovery";
+  fs::create_directories(recoverDir);
+  size_t drained = 0;
+  {
+    ServerConfig config;
+    config.maxSessions = recoverPopulation;
+    config.maxWorkers = 2;
+    config.checkpointDir = recoverDir.string();
+    config.checkpointIntervalFrames = 4;
+    SessionServer victim(config);
+    for (size_t i = 0; i < recoverPopulation; ++i) {
+      victim.admit(psnap::scenarios::serveMixedRecoverableWorkload(i));
+    }
+    // A few frames so the population makes progress; the sessions that
+    // finish inside this window complete normally (their checkpoints are
+    // reclaimed) — only the still-running remainder is drained and owed
+    // a recovery.
+    for (int frame = 0; frame < 6; ++frame) victim.runFrame();
+    drained = victim.drain();
+  }
+  size_t recovered = 0;
+  size_t recoveredCompleted = 0;
+  size_t recoveredOutputOk = 0;
+  double recoverSeconds = 0;
+  double firstFrameMs = 0;
+  {
+    ServerConfig config;
+    config.maxSessions = recoverPopulation;
+    config.maxWorkers = 2;
+    config.checkpointDir = recoverDir.string();
+    SessionServer successor(config);
+    const auto recoverStart = Clock::now();
+    recovered =
+        successor.recoverSessions(psnap::scenarios::serveRecoveryFactory)
+            .size();
+    recoverSeconds = secondsSince(recoverStart);
+    const auto frameStart = Clock::now();
+    successor.runFrame();
+    firstFrameMs = secondsSince(frameStart) * 1e3;
+    successor.runUntilQuiet();
+    for (const SessionRecord& record : successor.records()) {
+      if (record.state == SessionState::Completed) {
+        ++recoveredCompleted;
+        if (record.outputOk) ++recoveredOutputOk;
+      }
+    }
+  }
+  const double recoverMsPerSession =
+      recovered > 0 ? recoverSeconds * 1e3 / double(recovered) : 0;
+  std::printf(
+      "#   recovery: %zu drained, %zu recovered in %.3fs (%.3fms each), "
+      "first frame %.3fms, completed %zu (output ok %zu)\n",
+      drained, recovered, recoverSeconds, recoverMsPerSession, firstFrameMs,
+      recoveredCompleted, recoveredOutputOk);
+
+  // Acceptance: every run completes every session with its self-check
+  // intact, no checkpoint write ever fails, and the successor resumes
+  // the full drained population.
+  bool pass = baseline.completed == sessions &&
+              baseline.outputOk == sessions && drained > 0 &&
+              recovered == drained && recoveredCompleted == recovered &&
+              recoveredOutputOk == recovered;
+  for (const StormResult& r : supervised) {
+    pass = pass && r.completed == sessions && r.outputOk == sessions &&
+           r.checkpointFailures == 0;
+  }
+  std::printf("#   acceptance: %s\n", pass ? "PASS" : "FAIL");
+
+  if (!outPath.empty()) {
+    FILE* f = std::fopen(outPath.c_str(), "w");
+    if (!f) {
+      std::fprintf(stderr, "cannot open %s\n", outPath.c_str());
+      return 1;
+    }
+    std::fprintf(f, "{\n  \"bench\": \"bench_supervise\",\n");
+    std::fprintf(f, "  \"sessions\": %zu,\n", sessions);
+    std::fprintf(f, "  \"baseline_run_seconds\": %.3f,\n",
+                 baseline.runSeconds);
+    std::fprintf(f, "  \"baseline_frame_p50_ms\": %.3f,\n", baseline.p50Ms);
+    std::fprintf(f, "  \"baseline_frame_p99_ms\": %.3f,\n", baseline.p99Ms);
+    std::fprintf(f, "  \"intervals\": [\n");
+    for (size_t i = 0; i < 3; ++i) {
+      const double overhead =
+          baseline.runSeconds > 0
+              ? (supervised[i].runSeconds / baseline.runSeconds - 1.0) * 100.0
+              : 0;
+      std::fprintf(
+          f,
+          "    {\"interval_frames\": %llu, \"run_seconds\": %.3f, "
+          "\"frame_p50_ms\": %.3f, \"frame_p99_ms\": %.3f, "
+          "\"checkpoints_written\": %llu, \"checkpoints_skipped\": %llu, "
+          "\"checkpoint_failures\": %llu, \"overhead_pct\": %.1f}%s\n",
+          static_cast<unsigned long long>(kIntervals[i]),
+          supervised[i].runSeconds, supervised[i].p50Ms, supervised[i].p99Ms,
+          static_cast<unsigned long long>(supervised[i].checkpointsWritten),
+          static_cast<unsigned long long>(supervised[i].checkpointsSkipped),
+          static_cast<unsigned long long>(supervised[i].checkpointFailures),
+          overhead, i + 1 < 3 ? "," : "");
+    }
+    std::fprintf(f, "  ],\n");
+    std::fprintf(f, "  \"drained_sessions\": %zu,\n", drained);
+    std::fprintf(f, "  \"recover_sessions\": %zu,\n", recovered);
+    std::fprintf(f, "  \"recover_seconds\": %.3f,\n", recoverSeconds);
+    std::fprintf(f, "  \"recover_ms_per_session\": %.3f,\n",
+                 recoverMsPerSession);
+    std::fprintf(f, "  \"first_frame_ms\": %.3f,\n", firstFrameMs);
+    std::fprintf(f, "  \"recovered_completed\": %zu,\n", recoveredCompleted);
+    std::fprintf(f, "  \"recovered_output_ok\": %zu,\n", recoveredOutputOk);
+    std::fprintf(f, "  \"acceptance\": %s\n}\n", pass ? "true" : "false");
+    std::fclose(f);
+  }
+  fs::remove_all(dirBase);
+  return pass ? 0 : 1;
+}

@@ -48,6 +48,18 @@
 #   tenant degrades or fails that tenant alone, and every other session
 #   completes with its exact output — race- and leak-free underneath.
 #
+# Usage: scripts/check.sh --supervise [seed...]
+#   The recovery gate: builds the asan preset and sweeps the supervision
+#   suites (Supervise* + SuperviseChaos* in test_serve) once per seed,
+#   covering checkpoint write failures, restart storms, recovery
+#   corruption with generation fallback, the seeded random-kill property
+#   sweep, and the fork+SIGKILL crash-kill test (a real dead writer, a
+#   real successor, byte-identical recovered outputs). Also runs the
+#   suites once under tsan (the pooled checkpoint writes and the
+#   stats-lease registry are the concurrency surface), then smoke-runs
+#   bench_supervise so the measured checkpoint/recovery paths stay
+#   alive.
+#
 # The asan test preset sets ASAN_OPTIONS=detect_leaks=0: rings are
 # shared_ptr closures over their defining environment, so storing a ring
 # into a variable of that environment forms a reference cycle (Snap!
@@ -88,6 +100,8 @@ if [ "${1:-}" = "--bench-smoke" ]; then
         args=(--quick --out "${scratch}/${name}.json") ;;
       bench_persist)
         args=(--smoke --out "${scratch}/${name}.json") ;;
+      bench_supervise)
+        args=(--quick --out "${scratch}/${name}.json") ;;
       *)
         args=(--benchmark_min_time=0.01) ;;
     esac
@@ -173,6 +187,36 @@ if [ "${1:-}" = "--serve" ]; then
     done
   done
   echo "== serve chaos sweep green: seeds ${seeds[*]} under asan + tsan =="
+  exit 0
+fi
+
+if [ "${1:-}" = "--supervise" ]; then
+  shift
+  seeds=("$@")
+  if [ ${#seeds[@]} -eq 0 ]; then
+    seeds=(11 23 97)
+  fi
+  cmake --preset asan
+  cmake --build --preset asan -j "${jobs}" --target test_serve
+  for seed in "${seeds[@]}"; do
+    echo "== supervise: asan, seed ${seed} =="
+    # Same leak-accounting stance as the asan ctest preset (see header).
+    ASAN_OPTIONS=detect_leaks=0 PSNAP_CHAOS_SEED="${seed}" \
+      "build-asan/tests/test_serve" \
+      --gtest_filter='Supervise*:SuperviseChaos*'
+  done
+  cmake --preset tsan
+  cmake --build --preset tsan -j "${jobs}" --target test_serve
+  echo "== supervise: tsan =="
+  "build-tsan/tests/test_serve" --gtest_filter='Supervise*:SuperviseChaos*'
+  cmake --preset release
+  cmake --build --preset release -j "${jobs}" --target bench_supervise
+  scratch=$(mktemp -d)
+  trap 'rm -rf "${scratch}"' EXIT
+  echo "== supervise: bench smoke =="
+  build-release/bench/bench_supervise --quick --out "${scratch}/supervise.json"
+  echo "== supervise sweep green: seeds ${seeds[*]} under asan," \
+    "tsan, bench smoke =="
   exit 0
 fi
 

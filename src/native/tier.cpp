@@ -111,16 +111,19 @@ void TierManager::startCompile(RingKernel* kernel, RingPtr ring,
   if (cfg.synchronousCompile) {
     // Synchronous (test) path: the compile runs on the tenant's thread,
     // so its downgrade accounting lands in the tenant's scope.
-    compileTask(kernel, ring, &workers::substrateStats());
+    compileTask(kernel, ring,
+                workers::AsyncStatsHandle::direct(workers::substrateStats()));
     return;
   }
   KernelCache::instance();
   workers::WorkerPool::shared();
   static InflightCompileJoin exitJoin;
-  // Async downgrades charge the process root ledger, NOT the captured
-  // tenant scope: a session can be recycled — its stats freed — while
-  // its hot ring's compile is still in flight on a pool worker.
-  SubstrateStats* stats = &workers::processSubstrateStats();
+  // The compile outlives this frame, and may outlive the tenant: carry a
+  // generation-stamped lease on the tenant's scope. While the session is
+  // live the downgrade is attributed to it; once the server retires the
+  // scope (recycle, restart, drain) the count falls back to the process
+  // root ledger instead of touching freed memory.
+  workers::AsyncStatsHandle stats = workers::AsyncStatsHandle::capture();
   auto task = [this, kernel, ring, stats](size_t) {
     compileTask(kernel, ring, stats);
   };
@@ -148,7 +151,8 @@ void TierManager::startCompile(RingKernel* kernel, RingPtr ring,
     if (attempt >= cfg.maxCompileAttempts) {
       // The refusal is observed on the tenant's thread, so this one IS
       // attributable to the tenant's scope.
-      downgradeTo(kernel, &workers::substrateStats());
+      downgradeTo(kernel,
+                  workers::AsyncStatsHandle::direct(workers::substrateStats()));
     } else {
       kernel->calls.store(0, std::memory_order_relaxed);
       kernel->state.store(KernelState::Cold, std::memory_order_release);
@@ -157,7 +161,7 @@ void TierManager::startCompile(RingKernel* kernel, RingPtr ring,
 }
 
 void TierManager::compileTask(RingKernel* kernel, const RingPtr& ring,
-                              SubstrateStats* stats) {
+                              const workers::AsyncStatsHandle& stats) {
   compiles_.fetch_add(1, std::memory_order_relaxed);
   try {
     // The chaos suite's hook: a NativeCompileFailure here must leave the
@@ -207,15 +211,17 @@ void TierManager::promote(RingKernel* kernel) {
 }
 
 void TierManager::downgrade(RingKernel* kernel) {
-  downgradeTo(kernel, &workers::substrateStats());
+  downgradeTo(kernel,
+              workers::AsyncStatsHandle::direct(workers::substrateStats()));
 }
 
-void TierManager::downgradeTo(RingKernel* kernel, SubstrateStats* stats) {
+void TierManager::downgradeTo(RingKernel* kernel,
+                              const workers::AsyncStatsHandle& stats) {
   if (kernel->state.exchange(KernelState::Downgraded,
                              std::memory_order_acq_rel) !=
       KernelState::Downgraded) {
     downgrades_.fetch_add(1, std::memory_order_relaxed);
-    stats->bump(&SubstrateStats::nativeDowngrades);
+    stats.bump(&SubstrateStats::nativeDowngrades);
   }
 }
 

@@ -187,8 +187,9 @@ class TierManager {
   void startCompile(RingKernel* kernel, blocks::RingPtr ring,
                     const TierConfig& cfg);
   void compileTask(RingKernel* kernel, const blocks::RingPtr& ring,
-                   workers::SubstrateStats* stats);
-  void downgradeTo(RingKernel* kernel, workers::SubstrateStats* stats);
+                   const workers::AsyncStatsHandle& stats);
+  void downgradeTo(RingKernel* kernel,
+                   const workers::AsyncStatsHandle& stats);
 
   mutable std::mutex mutex_;
   std::deque<RingKernel> kernels_;                    // stable addresses

@@ -1,6 +1,13 @@
 #include "persist/catalog.hpp"
 
+#include <signal.h>
+
+#include <cerrno>
+#include <cstdlib>
+#include <filesystem>
 #include <mutex>
+#include <set>
+#include <system_error>
 #include <unordered_map>
 
 #include "persist/snapshot.hpp"
@@ -15,9 +22,63 @@ std::mutex gMutex;
 /// mapping regardless of what readers do to their copies.
 std::unordered_map<std::string, blocks::ListPtr> gOpens;
 
+/// Directories already swept for orphaned temps this process. Guarded by
+/// gMutex; sweeping once per directory keeps the open path O(1) after
+/// the first open.
+std::set<std::string>& sweptDirs() {
+  static std::set<std::string> dirs;
+  return dirs;
+}
+
+/// Parse the pid out of a `<name>.tmp.<pid>` staged filename. Returns 0
+/// when the name is not a stage file.
+pid_t stagePid(const std::string& name) {
+  const size_t at = name.rfind(".tmp.");
+  if (at == std::string::npos) return 0;
+  const std::string digits = name.substr(at + 5);
+  if (digits.empty()) return 0;
+  for (const char c : digits) {
+    if (c < '0' || c > '9') return 0;
+  }
+  errno = 0;
+  const long pid = std::strtol(digits.c_str(), nullptr, 10);
+  if (errno != 0 || pid <= 0) return 0;
+  return pid_t(pid);
+}
+
 }  // namespace
 
+size_t sweepOrphanedTemps(const std::string& dir) {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  fs::directory_iterator it(dir, ec);
+  if (ec) return 0;
+  size_t removed = 0;
+  for (const auto& entry : it) {
+    if (!entry.is_regular_file(ec) || ec) continue;
+    const pid_t pid = stagePid(entry.path().filename().string());
+    if (pid == 0) continue;
+    // kill(pid, 0) probes liveness without signalling. ESRCH means the
+    // writer is gone and its stage file can never commit; EPERM means
+    // some live process owns the pid — keep the file, exactly as for a
+    // live writer of ours.
+    if (::kill(pid, 0) == 0 || errno != ESRCH) continue;
+    if (fs::remove(entry.path(), ec) && !ec) ++removed;
+  }
+  return removed;
+}
+
 blocks::ListPtr openSharedList(const std::string& path) {
+  {
+    // First open under a directory sweeps writers that died mid-stage
+    // (once per directory per process).
+    const std::string dir =
+        std::filesystem::path(path).parent_path().string();
+    std::lock_guard<std::mutex> lock(gMutex);
+    if (sweptDirs().insert(dir).second) {
+      sweepOrphanedTemps(dir.empty() ? std::string(".") : dir);
+    }
+  }
   {
     std::lock_guard<std::mutex> lock(gMutex);
     if (const auto it = gOpens.find(path); it != gOpens.end()) {

@@ -43,4 +43,14 @@ size_t sharedOpenCount();
 /// each). Test hook.
 void clearSharedOpens();
 
+/// Remove staged `*.tmp.<pid>` files left behind in `dir` by writers
+/// whose process died before commit (SnapshotFileWriter stages into
+/// `<path>.tmp.<pid>` and renames only on success — an abnormal exit
+/// leaks the stage file). A temp whose pid is still alive is left
+/// alone: that writer may yet commit. Returns the number of files
+/// removed; a missing or unreadable directory sweeps nothing. Runs
+/// automatically, once per directory per process, on the catalog open
+/// path and on supervisor checkpoint-directory opens.
+size_t sweepOrphanedTemps(const std::string& dir);
+
 }  // namespace psnap::persist

@@ -144,7 +144,9 @@ void SnapshotFileWriter::appendValueSlot(const blocks::Value& value) {
   // zero-filled at construction; see Value's text constructors).
   alignas(blocks::Value) unsigned char scratch[sizeof(blocks::Value)];
   std::memset(scratch, 0, sizeof(scratch));
+  slotImageFence(scratch);
   auto* v = new (scratch) blocks::Value(value);
+  slotImageFence(scratch);
   append(scratch, sizeof(scratch));
   v->~Value();
 }

@@ -28,7 +28,9 @@ template <typename Arg>
 uint64_t foldSample(uint64_t hash, Arg&& arg) {
   alignas(blocks::Value) unsigned char scratch[sizeof(blocks::Value)];
   std::memset(scratch, 0, sizeof(scratch));
+  slotImageFence(scratch);
   auto* v = new (scratch) blocks::Value(std::forward<Arg>(arg));
+  slotImageFence(scratch);
   hash = fnv1a(hash, scratch, sizeof(scratch));
   v->~Value();
   return hash;

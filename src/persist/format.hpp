@@ -136,6 +136,18 @@ struct VarRec {
   uint64_t rootIndex = 0;
 };
 
+/// Compiler fence around a slot image. A normalized slot is built by
+/// zero-filling scratch storage and placement-constructing a Value into
+/// it; without the fence the optimizer dead-store-eliminates the
+/// zero-fill across the construction (observed at -O3), leaking
+/// indeterminate stack bytes into the padding that gets hashed or
+/// written to disk — which made the ABI fingerprint differ from process
+/// to process of the *same* binary. Pin the image before and after
+/// construction so the zeros and the constructed bytes are both real.
+inline void slotImageFence(const void* image) {
+  asm volatile("" : : "r"(image) : "memory");
+}
+
 /// Fingerprint of the in-memory blocks::Value layout: size, alignment,
 /// and the normalized byte patterns of every inline kind. Computed once
 /// per process; a file whose fingerprint differs was written by an

@@ -151,6 +151,23 @@ class ThreadManager : public vm::Host {
   size_t runnableCount() const;
   size_t parkedCount() const;
 
+  // --- resumable clock state ----------------------------------------------
+  /// The virtual clock, as checkpointable state. A supervised restart
+  /// restores this into a fresh manager before the workload's resume hook
+  /// re-spawns its scripts, so `timer`-reading scripts and frame-count
+  /// accounting continue from the checkpoint instead of rewinding to 0.
+  struct ClockState {
+    uint64_t frame = 0;
+    double now = 0;
+    double timerStart = 0;
+  };
+  ClockState clockState() const { return {frame_, now_, timerStart_}; }
+  void restoreClockState(const ClockState& state) {
+    frame_ = state.frame;
+    now_ = state.now;
+    timerStart_ = state.timerStart;
+  }
+
   /// One failed process, with scheduler-side attribution. The log is
   /// capped at kMaxRecordedErrors entries (a crash-looping spawner must
   /// not grow the scheduler without bound); droppedErrorCount() says how

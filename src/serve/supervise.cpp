@@ -1,0 +1,289 @@
+#include "serve/supervise.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <system_error>
+#include <utility>
+
+#include "project/snapshot.hpp"
+#include "support/error.hpp"
+#include "support/fault.hpp"
+
+namespace psnap::serve {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+/// The reserved global carrying CheckpointMeta through the snapshot
+/// format. Stripped on load; a project global with this name would be
+/// shadowed, which is why the name sits outside Snap!'s identifier
+/// space.
+constexpr const char* kMetaGlobal = "__supervise.meta";
+
+constexpr const char* kPrefix = "session-";
+constexpr const char* kSuffix = ".ckpt";
+
+/// splitmix64 finalizer (the same mix the fault injector uses).
+uint64_t mix(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+uint64_t combine(uint64_t seed, uint64_t value) {
+  return mix(seed ^ value);
+}
+
+uint64_t hashText(const std::string& text) {
+  uint64_t h = 0xcbf29ce484222325ull;  // FNV-1a 64
+  for (const unsigned char c : text) {
+    h = (h ^ c) * 0x100000001b3ull;
+  }
+  return h;
+}
+
+/// Parse `session-<id>.<seq>.ckpt`; false when the name is not ours.
+bool parseCheckpointName(const std::string& name, uint64_t* sessionId,
+                         uint64_t* seq) {
+  const size_t prefixLen = std::char_traits<char>::length(kPrefix);
+  const size_t suffixLen = std::char_traits<char>::length(kSuffix);
+  if (name.size() <= prefixLen + suffixLen) return false;
+  if (name.compare(0, prefixLen, kPrefix) != 0) return false;
+  if (name.compare(name.size() - suffixLen, suffixLen, kSuffix) != 0)
+    return false;
+  const std::string body =
+      name.substr(prefixLen, name.size() - prefixLen - suffixLen);
+  const size_t dot = body.find('.');
+  if (dot == std::string::npos || dot == 0 || dot + 1 >= body.size())
+    return false;
+  const auto parse = [](const std::string& digits, uint64_t* out) {
+    if (digits.empty()) return false;
+    for (const char c : digits) {
+      if (c < '0' || c > '9') return false;
+    }
+    errno = 0;
+    *out = std::strtoull(digits.c_str(), nullptr, 10);
+    return errno == 0;
+  };
+  return parse(body.substr(0, dot), sessionId) &&
+         parse(body.substr(dot + 1), seq);
+}
+
+blocks::Value metaValue(const CheckpointMeta& meta) {
+  return blocks::Value(blocks::List::make({
+      blocks::Value(double(meta.sessionId)),
+      blocks::Value(double(meta.seq)),
+      blocks::Value(meta.label),
+      blocks::Value(double(meta.framesRun)),
+      blocks::Value(double(meta.restarts)),
+      blocks::Value(double(meta.clock.frame)),
+      blocks::Value(meta.clock.now),
+      blocks::Value(meta.clock.timerStart),
+  }));
+}
+
+CheckpointMeta parseMeta(const blocks::Value& value) {
+  if (!value.isList() || value.asList()->length() != 8) {
+    throw SubstrateError("checkpoint meta record malformed");
+  }
+  const auto& list = *value.asList();
+  CheckpointMeta meta;
+  meta.sessionId = uint64_t(list.item(1).asNumber());
+  meta.seq = uint64_t(list.item(2).asNumber());
+  meta.label = list.item(3).asText();
+  meta.framesRun = uint64_t(list.item(4).asNumber());
+  meta.restarts = uint32_t(list.item(5).asNumber());
+  meta.clock.frame = uint64_t(list.item(6).asNumber());
+  meta.clock.now = list.item(7).asNumber();
+  meta.clock.timerStart = list.item(8).asNumber();
+  return meta;
+}
+
+}  // namespace
+
+uint64_t RestartPolicy::backoffFrames(uint32_t restarts) const {
+  if (restarts == 0) return 0;
+  const uint32_t shift = restarts - 1;
+  // A shift past 63 (or any overflow of base << shift) saturates at the
+  // cap — the cap is the point of the cap.
+  if (shift >= 63 || backoffBaseFrames > (backoffCapFrames >> shift)) {
+    return backoffCapFrames;
+  }
+  return std::min(backoffCapFrames, backoffBaseFrames << shift);
+}
+
+std::string checkpointPath(const std::string& dir, uint64_t sessionId,
+                           uint64_t seq) {
+  return (fs::path(dir) / (kPrefix + std::to_string(sessionId) + "." +
+                           std::to_string(seq) + kSuffix))
+      .string();
+}
+
+std::vector<CheckpointRef> listCheckpoints(const std::string& dir) {
+  std::vector<CheckpointRef> refs;
+  std::error_code ec;
+  fs::directory_iterator it(dir, ec);
+  if (ec) return refs;
+  for (const auto& entry : it) {
+    if (!entry.is_regular_file(ec) || ec) continue;
+    CheckpointRef ref;
+    if (!parseCheckpointName(entry.path().filename().string(),
+                             &ref.sessionId, &ref.seq)) {
+      continue;
+    }
+    ref.path = entry.path().string();
+    refs.push_back(std::move(ref));
+  }
+  std::sort(refs.begin(), refs.end(),
+            [](const CheckpointRef& a, const CheckpointRef& b) {
+              if (a.sessionId != b.sessionId) return a.sessionId < b.sessionId;
+              return a.seq > b.seq;  // newest first within a session
+            });
+  return refs;
+}
+
+std::vector<CheckpointRef> listCheckpoints(const std::string& dir,
+                                           uint64_t sessionId) {
+  std::vector<CheckpointRef> all = listCheckpoints(dir);
+  std::vector<CheckpointRef> mine;
+  for (auto& ref : all) {
+    if (ref.sessionId == sessionId) mine.push_back(std::move(ref));
+  }
+  return mine;
+}
+
+void writeCheckpoint(const std::string& dir, const CheckpointMeta& meta,
+                     const project::Project& project) {
+  fault::inject(fault::Point::CheckpointWriteFailure, meta.sessionId);
+  std::error_code ec;
+  fs::create_directories(dir, ec);  // best effort; the save reports failure
+  project::Project staged = project;
+  staged.globals.emplace_back(kMetaGlobal, metaValue(meta));
+  project::saveProjectSnapshot(checkpointPath(dir, meta.sessionId, meta.seq),
+                               staged);
+  // Prune generations past the keep horizon. Failures here are ignored:
+  // an unpruned old generation costs disk, never correctness.
+  const std::vector<CheckpointRef> refs = listCheckpoints(dir, meta.sessionId);
+  for (size_t i = kKeepGenerations; i < refs.size(); ++i) {
+    fs::remove(refs[i].path, ec);
+  }
+}
+
+std::optional<LoadedCheckpoint> loadNewestCheckpoint(const std::string& dir,
+                                                     uint64_t sessionId) {
+  for (const CheckpointRef& ref : listCheckpoints(dir, sessionId)) {
+    try {
+      // The chaos hook: an injected corruption behaves exactly like a
+      // torn file — this generation is skipped, the previous one loads.
+      fault::inject(fault::Point::RecoveryCorruption, sessionId);
+      LoadedCheckpoint loaded;
+      loaded.project = project::loadProjectSnapshot(ref.path);
+      bool metaFound = false;
+      for (auto it = loaded.project.globals.begin();
+           it != loaded.project.globals.end(); ++it) {
+        if (it->first == kMetaGlobal) {
+          loaded.meta = parseMeta(it->second);
+          loaded.project.globals.erase(it);
+          metaFound = true;
+          break;
+        }
+      }
+      if (!metaFound) {
+        throw SubstrateError("checkpoint missing meta record: " + ref.path);
+      }
+      return loaded;
+    } catch (const Error& e) {
+      // Corrupt, injected-corrupt, or malformed: fall back a generation.
+      if (std::getenv("PSNAP_SUPERVISE_DEBUG")) {
+        std::fprintf(stderr, "[supervise] load %s failed: %s\n",
+                     ref.path.c_str(), e.what());
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+size_t removeCheckpoints(const std::string& dir, uint64_t sessionId) {
+  size_t removed = 0;
+  std::error_code ec;
+  for (const CheckpointRef& ref : listCheckpoints(dir, sessionId)) {
+    if (fs::remove(ref.path, ec) && !ec) ++removed;
+  }
+  return removed;
+}
+
+uint64_t CheckpointHasher::fingerprint(const project::Project& project) {
+  uint64_t h = hashText(project.name);
+  for (const auto& [name, value] : project.globals) {
+    h = combine(h, hashText(name));
+    h = combine(h, hashValue(value));
+  }
+  for (const auto& sprite : project.sprites) {
+    h = combine(h, hashText(sprite.name));
+    h = combine(h, std::bit_cast<uint64_t>(sprite.x));
+    h = combine(h, std::bit_cast<uint64_t>(sprite.y));
+    h = combine(h, std::bit_cast<uint64_t>(sprite.heading));
+    h = combine(h, hashText(sprite.costume));
+    for (const auto& [name, value] : sprite.variables) {
+      h = combine(h, hashText(name));
+      h = combine(h, hashValue(value));
+    }
+    // Scripts are structurally immutable once built; identity suffices
+    // within the one process this hasher lives in.
+    for (const auto& script : sprite.scripts) {
+      h = combine(h, uint64_t(reinterpret_cast<uintptr_t>(script.get())));
+    }
+  }
+  h = combine(h, uint64_t(project.customBlocks.size()));
+  return h;
+}
+
+uint64_t CheckpointHasher::hashValue(const blocks::Value& value) {
+  using blocks::ValueKind;
+  switch (value.kind()) {
+    case ValueKind::Nothing:
+      return 0x6e6f7468696e6721ull;
+    case ValueKind::Number:
+      return combine(1, std::bit_cast<uint64_t>(value.asNumber()));
+    case ValueKind::Boolean:
+      return combine(2, value.asBoolean() ? 1 : 0);
+    case ValueKind::Text:
+      return combine(3, hashText(value.asText()));
+    case ValueKind::ListRef:
+      return hashList(value.asList());
+    default:
+      // Rings/futures are not persistable (capture rejects them before
+      // the hasher runs); identity keeps the fingerprint total anyway.
+      return combine(4, uint64_t(reinterpret_cast<uintptr_t>(
+                            value.isRing() ? (void*)value.asRing().get()
+                                           : nullptr)));
+  }
+}
+
+uint64_t CheckpointHasher::hashList(const blocks::ListPtr& list) {
+  // The COW shortcut: an address+version hit means no mutation touched
+  // this list since it was last hashed (every mutation bumps version via
+  // the detach gate), so the cached hash is current — O(1) for any
+  // unchanged list. The pinned ListPtr prevents the address from being
+  // freed and recycled for a different list at the same address (ABA).
+  const uint64_t version = list->version();
+  auto it = lists_.find(list.get());
+  if (it != lists_.end() && it->second.pin == list &&
+      it->second.version == version) {
+    return it->second.hash;
+  }
+  uint64_t h = combine(5, uint64_t(list->length()));
+  for (size_t i = 1; i <= list->length(); ++i) {
+    h = combine(h, hashValue(list->item(i)));
+  }
+  lists_[list.get()] = ListEntry{list, version, h};
+  return h;
+}
+
+}  // namespace psnap::serve

@@ -10,6 +10,8 @@ ErrorClass classifyError(const std::exception_ptr& error) {
     return ErrorClass::Timeout;
   } catch (const CancelledError&) {
     return ErrorClass::Cancelled;
+  } catch (const RestartsExhaustedError&) {
+    return ErrorClass::RestartsExhausted;
   } catch (const SubstrateError&) {
     return ErrorClass::Substrate;
   } catch (const TypeError&) {
@@ -44,6 +46,7 @@ const char* errorClassName(ErrorClass errorClass) {
     case ErrorClass::Substrate: return "SubstrateError";
     case ErrorClass::Timeout:   return "TimeoutError";
     case ErrorClass::Cancelled: return "CancelledError";
+    case ErrorClass::RestartsExhausted: return "RestartsExhaustedError";
     case ErrorClass::Foreign:   return "ForeignError";
   }
   return "Error";
@@ -52,7 +55,8 @@ const char* errorClassName(ErrorClass errorClass) {
 bool isSubstrateClass(ErrorClass errorClass) {
   return errorClass == ErrorClass::Substrate ||
          errorClass == ErrorClass::Timeout ||
-         errorClass == ErrorClass::Cancelled;
+         errorClass == ErrorClass::Cancelled ||
+         errorClass == ErrorClass::RestartsExhausted;
 }
 
 bool isRetryableClass(ErrorClass errorClass) {
@@ -79,6 +83,7 @@ const char* classPrefix(ErrorClass errorClass) {
     case ErrorClass::Substrate: return "substrate error: ";
     case ErrorClass::Timeout:   return "timeout: ";
     case ErrorClass::Cancelled: return "cancelled: ";
+    case ErrorClass::RestartsExhausted: return "restarts exhausted: ";
     case ErrorClass::None:
     case ErrorClass::Generic:
     case ErrorClass::Foreign:
@@ -105,6 +110,7 @@ void throwAsClass(ErrorClass errorClass, const std::string& message) {
     case ErrorClass::Substrate: throw SubstrateError(body);
     case ErrorClass::Timeout:   throw TimeoutError(body);
     case ErrorClass::Cancelled: throw CancelledError(body);
+    case ErrorClass::RestartsExhausted: throw RestartsExhaustedError(body);
     case ErrorClass::None:
     case ErrorClass::Generic:
     case ErrorClass::Foreign:

@@ -109,6 +109,16 @@ class CancelledError : public SubstrateError {
       : SubstrateError(Raw{}, "cancelled: " + what) {}
 };
 
+/// A supervised session spent its restart budget: every re-admission from
+/// its newest checkpoint failed again within the policy's window. Substrate
+/// family (the failures were machinery failures), but terminal — the
+/// supervisor will not retry past this point.
+class RestartsExhaustedError : public SubstrateError {
+ public:
+  explicit RestartsExhaustedError(const std::string& what)
+      : SubstrateError(Raw{}, "restarts exhausted: " + what) {}
+};
+
 /// The tagged-code form of the error hierarchy, for boundaries where an
 /// exception object cannot travel (log records, polling APIs).
 enum class ErrorClass : uint8_t {
@@ -123,6 +133,7 @@ enum class ErrorClass : uint8_t {
   Substrate,  ///< SubstrateError proper — the only retryable class
   Timeout,
   Cancelled,
+  RestartsExhausted,  ///< a supervised session spent its restart budget
   Foreign,    ///< not a psnap::Error (std::exception or unknown)
 };
 

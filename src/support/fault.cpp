@@ -55,6 +55,9 @@ const char* pointName(Point point) {
     case Point::NativeCompileFailure:return "native-compile-failure";
     case Point::SnapshotWriteFailure:return "snapshot-write-failure";
     case Point::MmapFailure:         return "mmap-failure";
+    case Point::CheckpointWriteFailure: return "checkpoint-write-failure";
+    case Point::RestartStorm:        return "restart-storm";
+    case Point::RecoveryCorruption:  return "recovery-corruption";
   }
   return "unknown";
 }

@@ -24,6 +24,13 @@
 //     downgrades that kernel permanently; a SnapshotWriteFailure leaves
 //     no partial file behind — the writer stages into a temp path and
 //     renames only on commit);
+//   * the supervision points also throw SubstrateError:
+//     CheckpointWriteFailure fires inside the pooled checkpoint-write
+//     task (the session keeps running and its previous checkpoint stays
+//     valid), RestartStorm fires as a restart attempt is re-admitted
+//     (the attempt counts against the session's restart budget), and
+//     RecoveryCorruption fires when a checkpoint is read back (the
+//     loader falls back to the previous generation);
 //   * WorkerStall sleeps the calling worker for `stallMicros` instead of
 //     throwing, modelling a Web Worker that has gone unresponsive (pairs
 //     with deadlines to produce TimeoutError);
@@ -60,8 +67,11 @@ enum class Point : uint8_t {
   NativeCompileFailure,///< the native tier's out-of-process compile dies
   SnapshotWriteFailure,///< a persistence snapshot write dies mid-file
   MmapFailure,         ///< mapping a snapshot file into memory fails
+  CheckpointWriteFailure, ///< a supervised session's checkpoint write dies
+  RestartStorm,        ///< a restart attempt itself fails before first frame
+  RecoveryCorruption,  ///< the newest checkpoint reads back corrupt
 };
-inline constexpr size_t kPointCount = 10;
+inline constexpr size_t kPointCount = 13;
 
 const char* pointName(Point point);
 

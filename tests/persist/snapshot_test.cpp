@@ -1,6 +1,9 @@
 // Unit tests for the zero-copy persistence layer: round trips, mapped
 // aliasing, COW preservation, writer atomicity, corrupt-file rejection,
 // and the shared-open catalog.
+#include <sys/wait.h>
+#include <unistd.h>
+
 #include <filesystem>
 #include <fstream>
 #include <string>
@@ -338,6 +341,59 @@ TEST_F(SnapshotTest, EmptyAndEdgeShapes) {
   ProjectImage back = loadProjectImage(path("bare.psnap"));
   EXPECT_TRUE(back.xml.empty());
   EXPECT_TRUE(back.vars.empty());
+}
+
+// ---- orphaned-temp sweep (the abnormal-exit leak fix) ----------------
+
+namespace {
+/// A pid that is guaranteed dead: fork a child that exits immediately
+/// and reap it. Until the pid is recycled (practically never within a
+/// test) kill(pid, 0) returns ESRCH.
+pid_t deadPid() {
+  const pid_t pid = ::fork();
+  if (pid == 0) ::_exit(0);
+  int status = 0;
+  ::waitpid(pid, &status, 0);
+  return pid;
+}
+
+void touch(const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  out << "stale";
+}
+}  // namespace
+
+TEST_F(SnapshotTest, SweepRemovesOnlyDeadWritersTemps) {
+  const pid_t dead = deadPid();
+  ASSERT_GT(dead, 0);
+  touch(path("a.psnap.tmp." + std::to_string(dead)));       // orphan
+  touch(path("b.psnap.tmp." + std::to_string(::getpid()))); // live writer
+  touch(path("c.psnap"));                                   // committed
+  touch(path("d.psnap.tmp.notapid"));                       // not a stage
+
+  EXPECT_EQ(sweepOrphanedTemps(dir_.string()), 1u);
+  EXPECT_FALSE(std::filesystem::exists(
+      path("a.psnap.tmp." + std::to_string(dead))));
+  EXPECT_TRUE(std::filesystem::exists(
+      path("b.psnap.tmp." + std::to_string(::getpid()))));
+  EXPECT_TRUE(std::filesystem::exists(path("c.psnap")));
+  EXPECT_TRUE(std::filesystem::exists(path("d.psnap.tmp.notapid")));
+
+  EXPECT_EQ(sweepOrphanedTemps(dir_.string()), 0u);  // idempotent
+  EXPECT_EQ(sweepOrphanedTemps((dir_ / "no-such-subdir").string()), 0u);
+}
+
+TEST_F(SnapshotTest, CatalogOpenSweepsItsDirectory) {
+  auto list = List::make({Value(1), Value(2), Value(3)});
+  saveList(path("data.psnap"), list);
+  const std::string orphan =
+      path("data.psnap.tmp." + std::to_string(deadPid()));
+  touch(orphan);
+
+  ListPtr opened = openSharedList(path("data.psnap"));
+  EXPECT_EQ(opened->length(), 3u);
+  // The open path swept the directory as a side effect.
+  EXPECT_FALSE(std::filesystem::exists(orphan));
 }
 
 }  // namespace

@@ -52,6 +52,28 @@ TEST_F(SchedTest, VirtualClockAdvancesPerFrame) {
   EXPECT_EQ(tm.nowSeconds(), 2.5);
 }
 
+TEST_F(SchedTest, ClockStateRoundTripsIntoFreshManager) {
+  auto tm = makeTm();
+  tm.setSecondsPerFrame(0.5);
+  tm.runFrame();
+  tm.runFrame();
+  tm.resetTimer();
+  tm.runFrame();
+  const ThreadManager::ClockState state = tm.clockState();
+  EXPECT_EQ(state.frame, 3u);
+  EXPECT_EQ(state.now, 1.5);
+
+  auto fresh = makeTm();
+  fresh.setSecondsPerFrame(0.5);
+  fresh.restoreClockState(state);
+  EXPECT_EQ(fresh.frameCount(), 3u);
+  EXPECT_EQ(fresh.nowSeconds(), 1.5);
+  EXPECT_EQ(fresh.timerSeconds(), 0.5);  // timerStart carried over
+  fresh.runFrame();
+  EXPECT_EQ(fresh.frameCount(), 4u);
+  EXPECT_EQ(fresh.nowSeconds(), 2.0);
+}
+
 TEST_F(SchedTest, TimerResets) {
   auto tm = makeTm();
   tm.runFrame();

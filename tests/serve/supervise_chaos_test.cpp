@@ -1,0 +1,399 @@
+// Supervision chaos suite: the three supervision fault points
+// (CheckpointWriteFailure / RestartStorm / RecoveryCorruption) swept
+// across seeds, a seeded random-kill property sweep, and the crash-kill
+// test — a child server SIGKILLed mid-workload whose successor must
+// recover every session with byte-identical output.
+//
+// Test names start with "SuperviseChaos" so `scripts/check.sh
+// --supervise` can sweep them across seeds (PSNAP_CHAOS_SEED adds one).
+// CrashKillChild.Run is not a test: it is the victim process body,
+// re-execed by SuperviseChaos.CrashKillRecoversByteIdentical and skipped
+// in normal runs.
+#include <gtest/gtest.h>
+
+#include <signal.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <iterator>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "scenarios/serve.hpp"
+#include "serve/session_server.hpp"
+#include "serve/supervise.hpp"
+#include "support/error.hpp"
+#include "support/fault.hpp"
+
+namespace psnap::serve {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::vector<uint64_t> chaosSeeds() {
+  std::vector<uint64_t> seeds{1, 7, 42};
+  if (const char* extra = std::getenv("PSNAP_CHAOS_SEED")) {
+    seeds.push_back(std::strtoull(extra, nullptr, 10));
+  }
+  return seeds;
+}
+
+fault::Config configFor(uint64_t seed, uint32_t pointMask, uint32_t num,
+                        uint32_t den, uint64_t targetTag = 0) {
+  fault::Config config;
+  config.seed = seed;
+  config.rateNumerator = num;
+  config.rateDenominator = den;
+  config.pointMask = pointMask;
+  config.targetTag = targetTag;
+  return config;
+}
+
+SessionRecord recordOf(const SessionServer& server, uint64_t id) {
+  for (const SessionRecord& record : server.records()) {
+    if (record.id == id) return record;
+  }
+  ADD_FAILURE() << "no record for session " << id;
+  return {};
+}
+
+fs::path freshDir(const std::string& tag) {
+  const fs::path dir =
+      fs::temp_directory_path() /
+      ("psnap-supervise-chaos-" + tag + "-" + std::to_string(::getpid()));
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir;
+}
+
+ServerConfig supervisedConfig(const fs::path& dir) {
+  ServerConfig config;
+  config.checkpointDir = dir.string();
+  config.checkpointIntervalFrames = 2;
+  config.restartPolicy.maxRestarts = 3;
+  config.restartPolicy.backoffBaseFrames = 1;
+  config.restartPolicy.backoffCapFrames = 8;
+  return config;
+}
+
+size_t stragglerTemps(const fs::path& dir) {
+  size_t count = 0;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    if (entry.path().filename().string().find(".tmp.") != std::string::npos) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+TEST(SuperviseChaos, CheckpointWriteFailuresNeverHurtTheSession) {
+  // Checkpointing is an optimization of recovery, never a hazard to the
+  // session: a write that dies (on the pool worker, mid-task) is counted
+  // and retried next interval, the previous generation stays valid, no
+  // torn file is ever visible, and every session still completes with
+  // exact output.
+  for (uint64_t seed : chaosSeeds()) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    const fs::path dir = freshDir("ckptfail-" + std::to_string(seed));
+    SessionServer server(supervisedConfig(dir));
+    std::vector<uint64_t> ids;
+    for (size_t i = 0; i < 8; ++i) {
+      ids.push_back(server.admit(scenarios::serveMixedRecoverableWorkload(i)));
+    }
+    {
+      fault::ScopedFault armed(configFor(
+          seed, fault::maskOf(fault::Point::CheckpointWriteFailure), 1, 2));
+      server.runUntilQuiet(400000);
+    }
+    for (uint64_t id : ids) {
+      const SessionRecord record = recordOf(server, id);
+      EXPECT_EQ(record.state, SessionState::Completed)
+          << record.label << ": " << record.error;
+      EXPECT_TRUE(record.outputOk) << record.label;
+      // Terminal completion cleaned the disk for this session.
+      EXPECT_TRUE(listCheckpoints(dir.string(), id).empty());
+    }
+    // The atomic writer stages and renames: failed writes leave nothing
+    // but (possibly) their own temp files, and those are unlinked on the
+    // throw path — never a half-written committed checkpoint.
+    EXPECT_EQ(stragglerTemps(dir), 0u);
+    fs::remove_all(dir);
+  }
+}
+
+TEST(SuperviseChaos, RestartStormBurnsBudgetAndFailsTyped) {
+  // The revival path itself keeps dying. Every attempt must burn budget
+  // (no infinite restart loops), and the end state is either a clean
+  // completion (a lucky revival got through) or a typed
+  // RestartsExhausted failure — while bystanders stay exact.
+  for (uint64_t seed : chaosSeeds()) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    const fs::path dir = freshDir("storm-" + std::to_string(seed));
+    SessionServer server(supervisedConfig(dir));
+    const uint64_t victim = server.admit(scenarios::serveTickerWorkload(20));
+    const uint64_t clean = server.admit(scenarios::serveConcessionWorkload(2));
+    for (int f = 0; f < 6; ++f) server.runFrame();
+    {
+      // First fail the victim's slice once (parks it), then keep the
+      // storm on the revival point.
+      fault::ScopedFault slice(configFor(
+          seed, fault::maskOf(fault::Point::TenantStall), 1, 1, victim));
+      server.runFrame();
+    }
+    {
+      fault::ScopedFault armed(configFor(
+          seed, fault::maskOf(fault::Point::RestartStorm), 1, 2, victim));
+      server.runUntilQuiet(400000);
+    }
+    const SessionRecord record = recordOf(server, victim);
+    if (record.state == SessionState::Completed) {
+      EXPECT_TRUE(record.outputOk);
+      EXPECT_EQ(record.output, "1,2,3,4,5,6,7,8,9,10,"
+                               "11,12,13,14,15,16,17,18,19,20");
+    } else {
+      EXPECT_EQ(record.state, SessionState::Failed) << record.error;
+      EXPECT_EQ(record.errorClass, ErrorClass::RestartsExhausted)
+          << errorClassName(record.errorClass);
+      EXPECT_TRUE(listCheckpoints(dir.string(), victim).empty());
+    }
+    EXPECT_LE(record.restarts, server.config().restartPolicy.maxRestarts);
+    const SessionRecord bystander = recordOf(server, clean);
+    EXPECT_EQ(bystander.state, SessionState::Completed);
+    EXPECT_TRUE(bystander.outputOk);
+    fs::remove_all(dir);
+  }
+}
+
+TEST(SuperviseChaos, RecoveryCorruptionFallsBackAGeneration) {
+  // A corrupt newest generation behaves exactly like a torn file: the
+  // loader walks back to the previous generation. A session recovered
+  // from *any* generation completes with byte-identical output — an
+  // older checkpoint only means more frames to re-run.
+  for (uint64_t seed : chaosSeeds()) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    const fs::path dir = freshDir("corrupt-" + std::to_string(seed));
+    std::map<uint64_t, std::string> reference;
+    {
+      SessionServer uninterrupted{ServerConfig{}};
+      std::vector<uint64_t> ids;
+      for (size_t i = 0; i < 4; ++i) {
+        ids.push_back(uninterrupted.admit(
+            scenarios::serveTickerWorkload(16 + i * 4)));
+      }
+      uninterrupted.runUntilQuiet(200000);
+      for (uint64_t id : ids) {
+        reference[id] = recordOf(uninterrupted, id).output;
+      }
+    }
+    {
+      SessionServer first(supervisedConfig(dir));
+      for (size_t i = 0; i < 4; ++i) {
+        first.admit(scenarios::serveTickerWorkload(16 + i * 4));
+      }
+      // Enough frames for two checkpoint generations per session.
+      for (int f = 0; f < 8; ++f) first.runFrame();
+      first.drain();
+    }
+    SessionServer successor(supervisedConfig(dir));
+    std::vector<uint64_t> recovered;
+    {
+      fault::ScopedFault armed(configFor(
+          seed, fault::maskOf(fault::Point::RecoveryCorruption), 1, 2));
+      recovered = successor.recoverSessions(scenarios::serveRecoveryFactory);
+    }
+    successor.runUntilQuiet(200000);
+    for (uint64_t id : recovered) {
+      const SessionRecord record = recordOf(successor, id);
+      EXPECT_EQ(record.state, SessionState::Completed)
+          << record.label << ": " << record.error;
+      EXPECT_EQ(record.output, reference[id]) << record.label;
+    }
+    fs::remove_all(dir);
+  }
+}
+
+TEST(SuperviseChaos, SeededRandomKillRoundTripsByteIdentical) {
+  // The recovery-correctness property sweep: run a mixed recoverable
+  // workload set, kill the server (destructor, no drain — modelling a
+  // crash after a seed-chosen number of frames), recover with a
+  // successor, and require every recovered session's output to be
+  // byte-identical to an uninterrupted run's.
+  for (uint64_t seed : chaosSeeds()) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    const fs::path dir = freshDir("randkill-" + std::to_string(seed));
+    const size_t tenants = 3 + seed % 4;
+    std::map<uint64_t, std::string> reference;
+    {
+      SessionServer uninterrupted{ServerConfig{}};
+      std::vector<uint64_t> ids;
+      for (size_t i = 0; i < tenants; ++i) {
+        ids.push_back(uninterrupted.admit(
+            scenarios::serveTickerWorkload(20 + ((seed + i) % 5) * 6)));
+      }
+      uninterrupted.runUntilQuiet(200000);
+      for (uint64_t id : ids) {
+        reference[id] = recordOf(uninterrupted, id).output;
+      }
+    }
+    {
+      SessionServer doomed(supervisedConfig(dir));
+      for (size_t i = 0; i < tenants; ++i) {
+        doomed.admit(scenarios::serveTickerWorkload(20 + ((seed + i) % 5) * 6));
+      }
+      const int killAfter = 4 + int(seed % 9);
+      for (int f = 0; f < killAfter; ++f) doomed.runFrame();
+      // ~doomed: cancelled mid-flight, nothing finalized, checkpoints
+      // stay on disk — the crash model.
+    }
+    SessionServer successor(supervisedConfig(dir));
+    const std::vector<uint64_t> recovered =
+        successor.recoverSessions(scenarios::serveRecoveryFactory);
+    // Every tenant checkpointed at least once before the kill (interval
+    // 2, ≥4 frames), so every one of them must be recoverable.
+    EXPECT_EQ(recovered.size(), tenants);
+    successor.runUntilQuiet(200000);
+    for (uint64_t id : recovered) {
+      const SessionRecord record = recordOf(successor, id);
+      EXPECT_EQ(record.state, SessionState::Completed)
+          << record.label << ": " << record.error;
+      EXPECT_TRUE(record.outputOk) << record.label;
+      EXPECT_EQ(record.output, reference[id]) << record.label;
+    }
+    fs::remove_all(dir);
+  }
+}
+
+}  // namespace
+
+// ---- crash-kill: a real SIGKILL against a real process ----------------
+// These constants are shared with the CrashKillChild body below, which
+// lives outside the anonymous namespace. The targets are deliberately
+// large: at ~one tick per child frame (and ~1ms per frame) the victim
+// would take many seconds to finish naturally, while the parent kills
+// it well under a second after the first checkpoints land. A completed
+// session removes its checkpoints, so a victim that finishes before the
+// SIGKILL would leave nothing to recover — the workload must outlive
+// the kill window by a wide margin, including under sanitizers.
+constexpr size_t kCrashKillTickers[] = {6000, 6500, 7000, 7500};
+constexpr uint64_t kCrashKillInterval = 2;
+
+namespace {
+
+TEST(SuperviseChaos, CrashKillRecoversByteIdentical) {
+  // Reference outputs from an uninterrupted in-process run.
+  std::map<uint64_t, std::string> reference;
+  {
+    SessionServer uninterrupted{ServerConfig{}};
+    std::vector<uint64_t> ids;
+    for (size_t target : kCrashKillTickers) {
+      ids.push_back(uninterrupted.admit(scenarios::serveTickerWorkload(target)));
+    }
+    uninterrupted.runUntilQuiet(400000);
+    for (uint64_t id : ids) {
+      const SessionRecord record = recordOf(uninterrupted, id);
+      ASSERT_EQ(record.state, SessionState::Completed);
+      reference[id] = record.output;
+    }
+  }
+  for (uint64_t seed = 1; seed <= 6; ++seed) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    const fs::path dir = freshDir("crashkill-" + std::to_string(seed));
+    // Launch the victim: this same binary, running only the child body.
+    const pid_t child = ::fork();
+    ASSERT_GE(child, 0);
+    if (child == 0) {
+      ::setenv("PSNAP_CRASHKILL_DIR", dir.string().c_str(), 1);
+      ::execl("/proc/self/exe", "supervise_crashkill_child",
+              "--gtest_filter=CrashKillChild.Run", (char*)nullptr);
+      _exit(127);  // exec failed
+    }
+    // Wait until every session has committed at least one checkpoint…
+    bool ready = false;
+    for (int spin = 0; spin < 20000 && !ready; ++spin) {
+      size_t covered = 0;
+      const auto refs = listCheckpoints(dir.string());
+      for (size_t id = 1; id <= std::size(kCrashKillTickers); ++id) {
+        for (const CheckpointRef& ref : refs) {
+          if (ref.sessionId == id) {
+            ++covered;
+            break;
+          }
+        }
+      }
+      ready = covered == std::size(kCrashKillTickers);
+      if (!ready) ::usleep(1000);
+    }
+    ASSERT_TRUE(ready) << "child never checkpointed all sessions";
+    // …let it run a seed-scaled bit longer, then kill it dead.
+    ::usleep(useconds_t(seed * 3000));
+    ASSERT_EQ(::kill(child, SIGKILL), 0);
+    int status = 0;
+    ASSERT_EQ(::waitpid(child, &status, 0), child);
+    ASSERT_TRUE(WIFSIGNALED(status) && WTERMSIG(status) == SIGKILL);
+
+    // The successor sweeps the dead writer's temp files and recovers
+    // every session from its newest committed generation.
+    SessionServer successor([&] {
+      ServerConfig config;
+      config.checkpointDir = dir.string();
+      config.checkpointIntervalFrames = kCrashKillInterval;
+      return config;
+    }());
+    const std::vector<uint64_t> recovered =
+        successor.recoverSessions(scenarios::serveRecoveryFactory);
+    EXPECT_EQ(recovered.size(), std::size(kCrashKillTickers));
+    EXPECT_EQ(stragglerTemps(dir), 0u);  // orphaned stages were swept
+    successor.runUntilQuiet(800000);
+    for (uint64_t id : recovered) {
+      const SessionRecord record = recordOf(successor, id);
+      EXPECT_EQ(record.state, SessionState::Completed)
+          << record.label << ": " << record.error;
+      EXPECT_TRUE(record.outputOk) << record.label;
+      EXPECT_EQ(record.output, reference[id]) << record.label;
+    }
+    fs::remove_all(dir);
+  }
+}
+
+}  // namespace
+}  // namespace psnap::serve
+
+// The crash-kill victim body. Not a scenario in its own right: it only
+// runs when the parent test re-execs this binary with
+// PSNAP_CRASHKILL_DIR set, and it never returns — the parent SIGKILLs
+// it mid-workload.
+TEST(CrashKillChild, Run) {
+  const char* dir = std::getenv("PSNAP_CRASHKILL_DIR");
+  if (!dir) GTEST_SKIP() << "victim body; driven by the crash-kill test";
+  psnap::serve::ServerConfig config;
+  config.checkpointDir = dir;
+  config.checkpointIntervalFrames = psnap::serve::kCrashKillInterval;
+  psnap::serve::SessionServer server(config);
+  for (size_t target : psnap::serve::kCrashKillTickers) {
+    server.admit(psnap::scenarios::serveTickerWorkload(target));
+  }
+  // Slow frames keep the workload alive long enough to be killed at an
+  // arbitrary (parent-chosen) point — including mid-checkpoint-write.
+  while (true) {
+    server.runFrame();
+    if (std::getenv("PSNAP_CRASHKILL_DEBUG") &&
+        server.metrics().framesRun % 200 == 0) {
+      const auto& m = server.metrics();
+      std::fprintf(stderr,
+                   "[child] frames=%llu active=%zu written=%llu skipped=%llu "
+                   "failures=%llu completed=%llu failed=%llu\n",
+                   (unsigned long long)m.framesRun, server.activeSessions(),
+                   (unsigned long long)m.checkpointsWritten,
+                   (unsigned long long)m.checkpointsSkipped,
+                   (unsigned long long)m.checkpointFailures,
+                   (unsigned long long)m.completed,
+                   (unsigned long long)m.failed);
+    }
+    ::usleep(1000);
+  }
+}
